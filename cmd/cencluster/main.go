@@ -1,0 +1,36 @@
+// Command cencluster runs the full §7 clustering pipeline: measurement
+// study → feature extraction → random-forest feature importance → DBSCAN
+// clustering → vendor correlation analysis.
+//
+// Usage:
+//
+//	cencluster
+//	cencluster -topk 12 -minpts 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cendev/internal/experiments"
+)
+
+func main() {
+	topk := flag.Int("topk", 10, "top-importance features used for clustering")
+	minpts := flag.Int("minpts", 2, "DBSCAN minimum cluster size")
+	eps := flag.Float64("eps", 0, "DBSCAN epsilon override (0 = k-distance estimate)")
+	reps := flag.Int("reps", 3, "CenTrace repetitions")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "running measurement study (traces + banners + fuzzing)...")
+	c := experiments.BuildCorpus(experiments.CorpusConfig{Repetitions: *reps})
+	fmt.Fprintf(os.Stderr, "observations: %d fuzzed blocked endpoints\n\n", len(c.Observations()))
+
+	fmt.Println(experiments.RenderFig9(c))
+	res := experiments.Fig6(c, experiments.Fig6Config{
+		TopK: *topk, MinPts: *minpts, EpsilonOverride: *eps,
+	})
+	fmt.Println(experiments.RenderFig6(res))
+	fmt.Println(experiments.RenderCorrelations(experiments.VendorCorrelations(c)))
+}

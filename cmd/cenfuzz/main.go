@@ -1,0 +1,154 @@
+// Command cenfuzz runs the deterministic fuzzer against one endpoint in
+// the simulated world and prints per-strategy evasion and circumvention
+// rates — the CLI analog of the paper's CenFuzz tool.
+//
+// Usage:
+//
+//	cenfuzz -client us -endpoint kz-ep-0-0 -domain www.pokerstars.com
+//	cenfuzz -strategy "Get Word Alt." -v
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cendev/internal/cenfuzz"
+	"cendev/internal/experiments"
+	"cendev/internal/topology"
+)
+
+func main() {
+	clientID := flag.String("client", "us", "vantage point: us, AZ, KZ, or RU")
+	endpointID := flag.String("endpoint", "", "endpoint host ID (default: the domain's origin)")
+	domain := flag.String("domain", experiments.GlobalBlocked, "test domain")
+	control := flag.String("control", experiments.ControlDomain, "control domain")
+	only := flag.String("strategy", "", "run only the named strategy")
+	verbose := flag.Bool("v", false, "print each permutation verdict")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	extensions := flag.Bool("ext", false, "also run the extension strategies (segmentation, TLS record split)")
+	flag.Parse()
+
+	world := experiments.BuildWorld()
+	client := world.USClient
+	if *clientID != "us" {
+		client = world.InCountryClients[*clientID]
+		if client == nil {
+			fmt.Fprintf(os.Stderr, "no in-country client %q\n", *clientID)
+			os.Exit(2)
+		}
+	}
+	var endpoint *topology.Host
+	for _, e := range world.Endpoints {
+		if e.Host.ID == *endpointID {
+			endpoint = e.Host
+		}
+	}
+	if endpoint == nil {
+		endpoint = world.Origins[*domain]
+		if endpoint == nil {
+			fmt.Fprintf(os.Stderr, "unknown endpoint %q and no origin for %q\n", *endpointID, *domain)
+			os.Exit(2)
+		}
+	}
+
+	var strategies []cenfuzz.Strategy
+	if *only != "" {
+		for _, st := range cenfuzz.Strategies() {
+			if st.Name == *only {
+				strategies = append(strategies, st)
+			}
+		}
+		if len(strategies) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	if *extensions {
+		if strategies == nil {
+			strategies = cenfuzz.Strategies()
+		}
+		strategies = append(strategies, cenfuzz.ExtensionStrategies()...)
+	}
+
+	fz := cenfuzz.New(world.Net, client, endpoint, cenfuzz.Config{
+		TestDomain:    *domain,
+		ControlDomain: *control,
+	})
+	res := fz.Run(strategies)
+
+	if *jsonOut {
+		emitJSON(client.ID, endpoint.ID, res)
+		return
+	}
+
+	fmt.Printf("CenFuzz %s → %s (test=%s control=%s)\n", client.ID, endpoint.ID, *domain, *control)
+	fmt.Printf("normal request blocked: HTTP=%v HTTPS=%v (%d measurements)\n\n",
+		res.NormalBlocked[cenfuzz.ProtoHTTP], res.NormalBlocked[cenfuzz.ProtoTLS], res.TotalMeasurements)
+	fmt.Printf("%-24s %-11s %8s %8s %8s\n", "strategy", "category", "perms", "evade%", "circ%")
+	for i := range res.Strategies {
+		sr := &res.Strategies[i]
+		fmt.Printf("%-24s %-11s %8d %7.1f%% %7.1f%%\n",
+			sr.Name, sr.Category, len(sr.Perms), 100*sr.SuccessRate(), 100*sr.CircumventionRate())
+		if *verbose {
+			for _, p := range sr.Perms {
+				mark := " "
+				switch {
+				case !p.Valid:
+					mark = "?"
+				case p.Circumvented:
+					mark = "C"
+				case p.Evaded:
+					mark = "E"
+				}
+				fmt.Printf("    [%s] %-40s test=%s control=%s\n", mark, p.Desc, p.Test.Outcome, p.Control.Outcome)
+			}
+		}
+	}
+}
+
+// jsonStrategy is the machine-readable per-strategy record.
+type jsonStrategy struct {
+	Strategy      string  `json:"strategy"`
+	Category      string  `json:"category"`
+	Protocol      string  `json:"protocol"`
+	Permutations  int     `json:"permutations"`
+	Evasion       float64 `json:"evasion_rate"`
+	Circumvention float64 `json:"circumvention_rate"`
+}
+
+type jsonFuzz struct {
+	Client        string          `json:"client"`
+	Endpoint      string          `json:"endpoint"`
+	TestDomain    string          `json:"test_domain"`
+	ControlDomain string          `json:"control_domain"`
+	NormalBlocked map[string]bool `json:"normal_blocked"`
+	Measurements  int             `json:"measurements"`
+	Strategies    []jsonStrategy  `json:"strategies"`
+}
+
+func emitJSON(client, endpoint string, res *cenfuzz.Result) {
+	out := jsonFuzz{
+		Client: client, Endpoint: endpoint,
+		TestDomain: res.TestDomain, ControlDomain: res.ControlDomain,
+		NormalBlocked: map[string]bool{},
+		Measurements:  res.TotalMeasurements,
+	}
+	for proto, blocked := range res.NormalBlocked {
+		out.NormalBlocked[proto.String()] = blocked
+	}
+	for i := range res.Strategies {
+		sr := &res.Strategies[i]
+		out.Strategies = append(out.Strategies, jsonStrategy{
+			Strategy: sr.Name, Category: sr.Category, Protocol: sr.Proto.String(),
+			Permutations:  len(sr.Perms),
+			Evasion:       sr.SuccessRate(),
+			Circumvention: sr.CircumventionRate(),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

@@ -1,0 +1,67 @@
+// Command cenprobe banner-grabs potential censorship-device IPs in the
+// simulated world — the CLI analog of the paper's CenProbe tool. Without
+// -addr it first runs a trace-only measurement study to discover potential
+// device IPs (the §5.2 pipeline), then probes all of them.
+//
+// Usage:
+//
+//	cenprobe                 # discover device IPs via CenTrace, probe all
+//	cenprobe -addr 10.9.0.1  # probe one address
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"cendev/internal/cenprobe"
+	"cendev/internal/experiments"
+)
+
+func main() {
+	addr := flag.String("addr", "", "probe a single address instead of running discovery")
+	reps := flag.Int("reps", 3, "CenTrace repetitions during discovery")
+	flag.Parse()
+
+	if *addr != "" {
+		world := experiments.BuildWorld()
+		a, err := netip.ParseAddr(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad address %q: %v\n", *addr, err)
+			os.Exit(2)
+		}
+		printResult(cenprobe.Probe(world.Net, a))
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "running CenTrace discovery for potential device IPs...")
+	c := experiments.BuildCorpus(experiments.CorpusConfig{Repetitions: *reps, SkipFuzz: true})
+	fmt.Fprintf(os.Stderr, "found %d potential device IPs\n\n", len(c.PotentialDeviceIPs))
+	for _, a := range c.PotentialDeviceIPs {
+		printResult(c.Probes[a])
+	}
+	stats := experiments.BannerStatistics(c)
+	fmt.Println(experiments.RenderBannerStats(stats))
+}
+
+func printResult(r *cenprobe.Result) {
+	if r == nil {
+		return
+	}
+	fmt.Printf("%s  open=%v", r.Addr, r.OpenPorts)
+	if r.Vendor != "" {
+		fmt.Printf("  vendor=%s (%s)", r.Vendor, r.FingerprintID)
+	}
+	fmt.Println()
+	for _, b := range r.Banners {
+		fmt.Printf("    %5d/%-6s %q\n", b.Port, b.Protocol, truncate(b.Banner, 60))
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,190 @@
+// Command centrace runs a single CenTrace measurement in the simulated
+// world and prints the traceroute and blocking inference — the CLI analog
+// of the paper's CenTrace tool.
+//
+// Usage:
+//
+//	centrace -client us -endpoint kz-ep-0-0 -domain www.pokerstars.com -proto https
+//	centrace -list   # list clients and endpoints
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cendev/internal/centrace"
+	"cendev/internal/experiments"
+	"cendev/internal/topology"
+)
+
+func main() {
+	clientID := flag.String("client", "us", "vantage point: us, AZ, KZ, or RU")
+	endpointID := flag.String("endpoint", "", "endpoint host ID (see -list)")
+	domain := flag.String("domain", experiments.GlobalBlocked, "test domain")
+	control := flag.String("control", experiments.ControlDomain, "control domain")
+	proto := flag.String("proto", "http", "probe protocol (http|https)")
+	reps := flag.Int("reps", 5, "traceroute repetitions")
+	list := flag.Bool("list", false, "list vantage points and endpoints, then exit")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	flag.Parse()
+
+	world := experiments.BuildWorld()
+	if *list {
+		fmt.Println("vantage points: us (remote)")
+		for country := range world.InCountryClients {
+			fmt.Printf("  %s (in-country)\n", country)
+		}
+		fmt.Println("endpoints:")
+		for _, e := range world.Endpoints {
+			via := ""
+			if e.ViaRussia {
+				via = " (via RU transit)"
+			}
+			fmt.Printf("  %-16s %s AS%d%s\n", e.Host.ID, e.Country, e.ASN, via)
+		}
+		return
+	}
+
+	client := world.USClient
+	if *clientID != "us" {
+		client = world.InCountryClients[*clientID]
+		if client == nil {
+			fmt.Fprintf(os.Stderr, "no in-country client %q (have AZ, KZ, RU)\n", *clientID)
+			os.Exit(2)
+		}
+	}
+	var endpoint *topology.Host
+	for _, e := range world.Endpoints {
+		if e.Host.ID == *endpointID {
+			endpoint = e.Host
+		}
+	}
+	if endpoint == nil {
+		if h := world.Origins[*domain]; *endpointID == "" && h != nil {
+			endpoint = h // default: the domain's origin server
+		} else {
+			fmt.Fprintf(os.Stderr, "unknown endpoint %q (use -list)\n", *endpointID)
+			os.Exit(2)
+		}
+	}
+
+	p := centrace.HTTP
+	if *proto == "https" {
+		p = centrace.HTTPS
+	}
+	res := centrace.New(world.Net, client, endpoint, centrace.Config{
+		ControlDomain: *control,
+		TestDomain:    *domain,
+		Protocol:      p,
+		Repetitions:   *reps,
+	}).Run()
+
+	if *jsonOut {
+		emitJSON(world, client, endpoint, res)
+		return
+	}
+
+	fmt.Printf("CenTrace %s → %s (%s, test=%s)\n", client.ID, endpoint.ID, p, *domain)
+	fmt.Printf("control path (%d hops to endpoint):\n", res.EndpointTTL)
+	for ttl := 1; ttl <= res.EndpointTTL; ttl++ {
+		if addr, ok := res.Control.MostLikelyHop(ttl); ok {
+			info, _ := world.Net.Geo.Lookup(addr)
+			fmt.Printf("  %2d  %-12s AS%-6d %s (%s)\n", ttl, addr, info.ASN, info.Name, info.Country)
+		} else if ttl == res.EndpointTTL {
+			fmt.Printf("  %2d  %-12s endpoint\n", ttl, endpoint.Addr)
+		} else {
+			fmt.Printf("  %2d  *\n", ttl)
+		}
+	}
+	if !res.Blocked {
+		fmt.Println("verdict: NOT BLOCKED")
+		return
+	}
+	fmt.Printf("verdict: BLOCKED (%s)\n", res.TermKind)
+	fmt.Printf("  terminating TTL: %d   location: %s   placement: %s\n",
+		res.TermTTL, res.Location, res.Placement)
+	if res.TTLCopyCorrected {
+		fmt.Printf("  TTL-copying injector detected; corrected device hop: %d\n", res.DeviceTTL)
+	}
+	fmt.Printf("  blocking hop: %s\n", res.BlockingHop)
+	if res.BlockpageVendor != "" {
+		fmt.Printf("  blockpage vendor: %s (%s)\n", res.BlockpageVendor, res.BlockpageID)
+	}
+	if res.Injected != nil {
+		fmt.Printf("  injected packet: ttl=%d ipid=%#x window=%d flags=%s\n",
+			res.Injected.TTL, res.Injected.IPID, res.Injected.TCPWindow, res.Injected.TCPFlags)
+	}
+	if res.QuoteDelta != nil && res.QuoteDelta.Any() {
+		fmt.Printf("  quote delta at blocking hop: %s\n", res.QuoteDelta)
+	}
+}
+
+// jsonResult is the machine-readable measurement record, modeled on the
+// JSON the real CenTrace tool emits.
+type jsonResult struct {
+	Client       string    `json:"client"`
+	Endpoint     string    `json:"endpoint"`
+	Protocol     string    `json:"protocol"`
+	TestDomain   string    `json:"test_domain"`
+	Valid        bool      `json:"valid"`
+	Blocked      bool      `json:"blocked"`
+	TermKind     string    `json:"terminating_response"`
+	TermTTL      int       `json:"terminating_ttl"`
+	EndpointTTL  int       `json:"endpoint_ttl"`
+	Location     string    `json:"location"`
+	Placement    string    `json:"placement"`
+	DeviceTTL    int       `json:"device_ttl"`
+	TTLCorrected bool      `json:"ttl_copy_corrected"`
+	BlockingHop  *jsonHop  `json:"blocking_hop,omitempty"`
+	Blockpage    string    `json:"blockpage_vendor,omitempty"`
+	ControlPath  []jsonHop `json:"control_path"`
+}
+
+type jsonHop struct {
+	TTL     int    `json:"ttl"`
+	Addr    string `json:"addr,omitempty"`
+	ASN     uint32 `json:"asn,omitempty"`
+	Org     string `json:"org,omitempty"`
+	Country string `json:"country,omitempty"`
+}
+
+func emitJSON(world *experiments.Scenario, client, ep *topology.Host, res *centrace.Result) {
+	out := jsonResult{
+		Client:       client.ID,
+		Endpoint:     ep.ID,
+		Protocol:     res.Config.Protocol.String(),
+		TestDomain:   res.Config.TestDomain,
+		Valid:        res.Valid,
+		Blocked:      res.Blocked,
+		TermKind:     res.TermKind.String(),
+		TermTTL:      res.TermTTL,
+		EndpointTTL:  res.EndpointTTL,
+		Location:     res.Location.String(),
+		Placement:    res.Placement.String(),
+		DeviceTTL:    res.DeviceTTL,
+		TTLCorrected: res.TTLCopyCorrected,
+		Blockpage:    res.BlockpageVendor,
+	}
+	if res.Blocked && res.BlockingHop.Addr.IsValid() {
+		out.BlockingHop = &jsonHop{
+			TTL: res.BlockingHop.TTL, Addr: res.BlockingHop.Addr.String(),
+			ASN: res.BlockingHop.ASN, Org: res.BlockingHop.Org, Country: res.BlockingHop.Country,
+		}
+	}
+	for ttl := 1; ttl <= res.EndpointTTL; ttl++ {
+		h := jsonHop{TTL: ttl}
+		if addr, ok := res.Control.MostLikelyHop(ttl); ok {
+			info, _ := world.Net.Geo.Lookup(addr)
+			h.Addr = addr.String()
+			h.ASN = info.ASN
+			h.Org = info.Name
+			h.Country = info.Country
+		}
+		out.ControlPath = append(out.ControlPath, h)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

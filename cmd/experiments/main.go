@@ -1,0 +1,178 @@
+// Command experiments regenerates every table and figure of the paper
+// against the simulated four-country world.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp table1
+//	experiments -exp fig5 -reps 5
+//	experiments -exp fig10 -format dot > az.dot
+//
+// Experiments: table1, table2, table3, fig1, fig3, fig4, fig5, fig6, fig9,
+// fig10, fig11, fig12, stats4, stats5, stats6, stats7, methods, calib,
+// direction, throttle, dns, devices, report, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cendev/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..3|fig1|fig3..6|fig9..12|stats4..7|methods|calib|direction|throttle|dns|devices|report|all)")
+	reps := flag.Int("reps", 5, "CenTrace repetitions per traceroute")
+	maxFuzz := flag.Int("maxfuzz", 12, "max fuzzed devices per country")
+	format := flag.String("format", "ascii", "path-graph format for fig1/fig10-12 (ascii|dot)")
+	flag.Parse()
+
+	needsFuzz := map[string]bool{
+		"fig5": true, "fig6": true, "fig9": true, "report": true,
+		"stats6": true, "stats7": true, "methods": true, "all": true,
+	}
+	cfg := experiments.CorpusConfig{
+		Repetitions:                *reps,
+		MaxFuzzEndpointsPerCountry: *maxFuzz,
+		SkipFuzz:                   !needsFuzz[*exp],
+	}
+	if *exp == "table2" || *exp == "table3" {
+		// Catalog-only experiments need no measurements.
+		runCatalog(*exp)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "building world and running measurement study...")
+	c := experiments.BuildCorpus(cfg)
+	fmt.Fprintf(os.Stderr, "done: %d traces, %d device IPs, %d fuzzed endpoints\n\n",
+		len(c.Traces), len(c.PotentialDeviceIPs), len(c.Fuzz))
+
+	run := func(id string) {
+		switch id {
+		case "table1":
+			fmt.Println(experiments.RenderTable1(experiments.Table1(c)))
+		case "table2", "table3":
+			runCatalog(id)
+		case "fig1", "fig10", "fig11", "fig12":
+			g := map[string]func(*experiments.Corpus) *experiments.PathGraph{
+				"fig1": experiments.Fig1, "fig10": experiments.Fig10,
+				"fig11": experiments.Fig11, "fig12": experiments.Fig12,
+			}[id](c)
+			if *format == "dot" {
+				fmt.Println(g.RenderDOT())
+			} else {
+				fmt.Println(g.RenderASCII())
+			}
+		case "fig3":
+			fmt.Println(experiments.RenderFig3(experiments.Fig3(c)))
+		case "fig4":
+			fmt.Println(experiments.RenderFig4(experiments.Fig4(c)))
+		case "fig5":
+			fmt.Println(experiments.RenderFig5(experiments.Fig5(c)))
+		case "fig6":
+			fmt.Println(experiments.RenderFig6(experiments.Fig6(c, experiments.Fig6Config{})))
+		case "fig9":
+			fmt.Println(experiments.RenderFig9(c))
+		case "stats4":
+			printStats4(c)
+		case "stats5":
+			fmt.Println(experiments.RenderBannerStats(experiments.BannerStatistics(c)))
+		case "stats6":
+			printStats6(c)
+		case "stats7":
+			fmt.Println(experiments.RenderCorrelations(experiments.VendorCorrelations(c)))
+			fmt.Println(experiments.RenderPredictions(experiments.ClassifyUnlabeled(c)))
+		case "calib":
+			fmt.Println(experiments.RenderCalibration(experiments.Calibrate(20, 200)))
+		case "methods":
+			fmt.Println(experiments.RenderMethodRates(c))
+		case "direction":
+			fmt.Println(experiments.RenderDirectionality(experiments.DirectionalityDemo()))
+		case "throttle":
+			fmt.Println(experiments.RenderThrottling(experiments.ThrottlingDemo()))
+		case "dns":
+			fmt.Println(experiments.RenderDNSReport(experiments.DNSExtension(c.Scenario)))
+		case "report":
+			experiments.WriteReport(os.Stdout, c)
+		case "devices":
+			fmt.Println(experiments.RenderDeviceInventory(experiments.DeviceInventory(c.Scenario)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{
+			"table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5",
+			"fig6", "fig9", "fig10", "fig11", "fig12",
+			"stats4", "stats5", "stats6", "stats7", "methods", "calib",
+			"direction", "throttle", "dns",
+		} {
+			fmt.Printf("=== %s ===\n", id)
+			run(id)
+			fmt.Println()
+		}
+		return
+	}
+	run(*exp)
+}
+
+func runCatalog(id string) {
+	switch id {
+	case "table2":
+		fmt.Println(experiments.RenderTable2())
+	case "table3":
+		fmt.Println(experiments.RenderTable3())
+	}
+}
+
+func printStats4(c *experiments.Corpus) {
+	q := experiments.QuoteStatistics(c)
+	fmt.Printf("§4.3 quoted packets: %d quotes, %.1f%% RFC792-minimal, %.1f%% TOS-changed, %d IP-flags-changed\n",
+		q.TotalQuotes,
+		100*float64(q.RFC792Only)/float64(max(1, q.TotalQuotes)),
+		100*float64(q.TOSChanged)/float64(max(1, q.TotalQuotes)),
+		q.IPFlagsChanged)
+	for _, country := range experiments.Countries {
+		e := experiments.Extraterritorial(c, country)
+		if e.BlockedAbroad == 0 {
+			continue
+		}
+		var asns []string
+		for asn, n := range e.ForeignASNs {
+			asns = append(asns, fmt.Sprintf("AS%d×%d", asn, n))
+		}
+		sort.Strings(asns)
+		fmt.Printf("§4.3 extraterritorial blocking: %s endpoints blocked abroad: %d of %d (%.1f%%) in %s\n",
+			country, e.BlockedAbroad, e.BlockedEndpoints, 100*e.Share, strings.Join(asns, " "))
+	}
+}
+
+func printStats6(c *experiments.Corpus) {
+	totals := experiments.Fig5StrategyTotals(experiments.Fig5(c))
+	var names []string
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("§6.3 per-strategy evasion rates (all countries)")
+	for _, name := range names {
+		t := totals[name]
+		fmt.Printf("  %-24s %5.1f%% (%d/%d)\n", name, t.Rate(), t.Evaded, t.Valid)
+	}
+	fmt.Println("\n§6.3 in-country circumvention:")
+	for _, r := range experiments.Circumvention(c) {
+		fmt.Printf("  %s %-24s evaded=%d circumvented=%d (%s)\n",
+			r.Country, r.Strategy, r.Evaded, r.Circumvented, r.Domain)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

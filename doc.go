@@ -1,0 +1,13 @@
+// Package cendev is a from-scratch Go reproduction of "Network Measurement
+// Methods for Locating and Examining Censorship Devices" (CoNEXT '22): the
+// CenTrace censorship traceroute, the CenFuzz deterministic request fuzzer,
+// the CenProbe banner-grab pipeline, and the device clustering analysis,
+// all running against a deterministic packet-level network simulator that
+// models the paper's four-country study (AZ, BY, KZ, RU).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitution notes, and EXPERIMENTS.md for paper-vs-measured results.
+// The library lives under internal/; the runnable surfaces are cmd/ and
+// examples/. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation.
+package cendev

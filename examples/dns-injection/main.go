@@ -1,0 +1,64 @@
+// dns-injection demonstrates the DNS protocol extension the paper names
+// as future work (§8): a CenTrace-style TTL-limited DNS measurement
+// detects an on-path injector forging A records for a blocked QNAME,
+// localizes it, and distinguishes the forged answer (which wins the race)
+// from the resolver's legitimate answer arriving behind it.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"cendev/internal/centrace"
+	"cendev/internal/dnsgram"
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+func main() {
+	// client — r1 — r2 — r3 — resolver, with a DNS injector on r2→r3.
+	g := topology.NewGraph()
+	asC := g.AddAS(64500, "ClientNet", "US")
+	asT := g.AddAS(64501, "TransitNet", "DE")
+	asR := g.AddAS(64502, "ResolverNet", "IR")
+	r1 := g.AddRouter("r1", asC)
+	g.AddRouter("r2", asT)
+	r3 := g.AddRouter("r3", asR)
+	g.Link("r1", "r2")
+	g.Link("r2", "r3")
+	client := g.AddHost("client", asC, r1)
+	resolver := g.AddHost("resolver", asR, r3)
+
+	net := simnet.New(g)
+	net.RegisterResolver("resolver", endpoint.NewResolver(map[string]netip.Addr{
+		"www.blocked.example": netip.MustParseAddr("192.0.2.80"),
+		"www.control.example": netip.MustParseAddr("192.0.2.81"),
+	}))
+	injector := middlebox.NewDevice("injector", middlebox.VendorDNSInjector,
+		[]string{"www.blocked.example"}, netip.Addr{})
+	net.AttachDevice("r2", "r3", injector)
+
+	// A plain full-TTL query shows the race: the forged answer arrives
+	// first, the honest answer behind it.
+	q := dnsgram.NewQuery(1, "www.blocked.example")
+	fmt.Println("full-TTL query for www.blocked.example:")
+	for _, d := range net.SendUDP(client, resolver, 53, q.Serialize(), 64) {
+		resp, err := dnsgram.ParseResponse(d.Packet.Payload)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  answer %v (hop %d)\n", resp.Answers, d.FromHop)
+	}
+
+	// CenTrace-DNS localizes the injector.
+	res := centrace.New(net, client, resolver, centrace.Config{
+		ControlDomain: "www.control.example",
+		TestDomain:    "www.blocked.example",
+		Protocol:      centrace.DNS,
+		Repetitions:   5,
+	}).Run()
+	fmt.Printf("\nCenTrace-DNS verdict: blocked=%v (%s, %s)\n", res.Blocked, res.BlockpageID, res.Placement)
+	fmt.Printf("injector located at: %s\n", res.BlockingHop)
+}

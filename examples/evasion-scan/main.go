@@ -1,0 +1,49 @@
+// evasion-scan runs CenFuzz against two endpoints filtered by different
+// vendors and compares their evasion fingerprints side by side — the §6
+// observation that deterministic fuzzing outcomes differ by device and can
+// therefore fingerprint it.
+package main
+
+import (
+	"fmt"
+
+	"cendev/internal/cenfuzz"
+	"cendev/internal/experiments"
+)
+
+func main() {
+	world := experiments.BuildWorld()
+
+	endpoints := map[string]string{
+		"az-ep-4-0":   "Fortinet ISP (AZ)",
+		"kz-mhep-0-0": "Kerio Control ISP (KZ)",
+	}
+	results := map[string]*cenfuzz.Result{}
+	for id := range endpoints {
+		var ep experiments.EndpointInfo
+		for _, e := range world.Endpoints {
+			if e.Host.ID == id {
+				ep = e
+			}
+		}
+		fz := cenfuzz.New(world.Net, world.USClient, ep.Host, cenfuzz.Config{
+			TestDomain:    experiments.TestDomainsFor(ep.Country)[0],
+			ControlDomain: experiments.ControlDomain,
+		})
+		results[id] = fz.Run(nil)
+	}
+
+	fmt.Printf("%-24s | %-22s | %-22s\n", "strategy", endpoints["az-ep-4-0"], endpoints["kz-mhep-0-0"])
+	az := results["az-ep-4-0"]
+	kz := results["kz-mhep-0-0"]
+	for i := range az.Strategies {
+		a := &az.Strategies[i]
+		k := kz.Strategy(a.Name)
+		diff := ""
+		if (a.SuccessRate() > 0.5) != (k.SuccessRate() > 0.5) {
+			diff = "  ← distinguishes the vendors"
+		}
+		fmt.Printf("%-24s | %20.1f%% | %20.1f%%%s\n", a.Name, 100*a.SuccessRate(), 100*k.SuccessRate(), diff)
+	}
+	fmt.Println("\nStrategies whose outcome differs form the per-vendor fingerprint (§6, §7).")
+}

@@ -1,0 +1,59 @@
+// fingerprint-vendor walks the §5 pipeline end to end for one endpoint:
+// CenTrace locates the in-path device and extracts its potential IP
+// address; CenProbe port-scans it, grabs protocol banners, and matches
+// them against the Recog-style fingerprint database; the result is a
+// vendor label that corroborates (or substitutes for) blockpage evidence.
+package main
+
+import (
+	"fmt"
+
+	"cendev/internal/cenprobe"
+	"cendev/internal/centrace"
+	"cendev/internal/experiments"
+)
+
+func main() {
+	world := experiments.BuildWorld()
+
+	// The KZ multihomed ISPs run commercial filters; take one endpoint
+	// behind each and identify the products.
+	targets := []string{"kz-mhep-0-0", "kz-mhep-2-0", "kz-mhep-3-0", "az-ep-0-0"}
+	for _, id := range targets {
+		var ep experiments.EndpointInfo
+		for _, e := range world.Endpoints {
+			if e.Host.ID == id {
+				ep = e
+			}
+		}
+		res := centrace.New(world.Net, world.USClient, ep.Host, centrace.Config{
+			ControlDomain: experiments.ControlDomain,
+			TestDomain:    experiments.TestDomainsFor(ep.Country)[0],
+			Protocol:      centrace.HTTP,
+			Repetitions:   3,
+		}).Run()
+		fmt.Printf("endpoint %s (%s):\n", id, ep.Country)
+		if !res.Blocked {
+			fmt.Println("  not blocked; nothing to fingerprint")
+			continue
+		}
+		fmt.Printf("  CenTrace: %s blocking at %s\n", res.TermKind, res.BlockingHop)
+		if res.Placement != centrace.PlacementInPath {
+			fmt.Println("  on-path device: no probeable address (§5.2 limitation)")
+			continue
+		}
+		probe := cenprobe.Probe(world.Net, res.BlockingHop.Addr)
+		fmt.Printf("  CenProbe: open ports %v\n", probe.OpenPorts)
+		for _, b := range probe.Banners {
+			fmt.Printf("    %d/%s %q\n", b.Port, b.Protocol, b.Banner)
+		}
+		if probe.Vendor != "" {
+			fmt.Printf("  vendor: %s (fingerprint %s)\n", probe.Vendor, probe.FingerprintID)
+		} else if res.BlockpageVendor != "" {
+			fmt.Printf("  vendor: %s (from injected blockpage; no banners)\n", res.BlockpageVendor)
+		} else {
+			fmt.Println("  vendor: unidentified (no services exposed)")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,49 @@
+// locate-upstream demonstrates the paper's extraterritorial-blocking
+// finding (§4.3): remote CenTrace measurements toward Kazakhstan endpoints
+// that route through Russian transit terminate inside Russia — the
+// blocking is imposed by a different country than the one being measured.
+// Measurement platforms that attribute censorship to the endpoint's
+// country would misreport these.
+package main
+
+import (
+	"fmt"
+
+	"cendev/internal/centrace"
+	"cendev/internal/experiments"
+)
+
+func main() {
+	world := experiments.BuildWorld()
+
+	fmt.Println("Remote CenTrace to every KZ endpoint for", experiments.KZPoker)
+	fmt.Println()
+	blockedInRU, blockedInKZ := 0, 0
+	for _, ep := range world.EndpointsIn("KZ") {
+		res := centrace.New(world.Net, world.USClient, ep.Host, centrace.Config{
+			ControlDomain: experiments.ControlDomain,
+			TestDomain:    experiments.KZPoker,
+			Protocol:      centrace.HTTP,
+			Repetitions:   3,
+		}).Run()
+		if !res.Blocked {
+			fmt.Printf("%-16s not blocked\n", ep.Host.ID)
+			continue
+		}
+		hop := res.BlockingHop
+		marker := ""
+		switch hop.Country {
+		case "RU":
+			blockedInRU++
+			marker = "  ← blocked OUTSIDE Kazakhstan"
+		case "KZ":
+			blockedInKZ++
+		}
+		fmt.Printf("%-16s blocked at AS%-6d %-22s (%s)%s\n",
+			ep.Host.ID, hop.ASN, hop.Org, hop.Country, marker)
+	}
+	fmt.Println()
+	fmt.Printf("blocked inside KZ: %d endpoints; blocked in Russian transit: %d endpoints\n",
+		blockedInKZ, blockedInRU)
+	fmt.Println("(the paper measured 34.07% of KZ endpoints timing out in AS31133/AS43727)")
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a five-hop simulated network with one censorship
+// device, run a CenTrace measurement, and read the inference. This is the
+// smallest end-to-end use of the library's public surface: topology →
+// simnet → middlebox → centrace.
+package main
+
+import (
+	"fmt"
+
+	"cendev/internal/centrace"
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+func main() {
+	// 1. A linear topology: client — r1 — r2 — r3 — server.
+	g := topology.NewGraph()
+	asClient := g.AddAS(64500, "ClientNet", "US")
+	asTransit := g.AddAS(64501, "TransitNet", "DE")
+	asServer := g.AddAS(64502, "ServerNet", "KZ")
+	r1 := g.AddRouter("r1", asClient)
+	g.AddRouter("r2", asTransit)
+	r3 := g.AddRouter("r3", asServer)
+	g.Link("r1", "r2")
+	g.Link("r2", "r3")
+	client := g.AddHost("client", asClient, r1)
+	server := g.AddHost("server", asServer, r3)
+
+	// 2. A network over it, with a web server on the endpoint.
+	net := simnet.New(g)
+	net.RegisterServer("server", endpoint.NewServer("www.blocked.example", "www.control.example"))
+
+	// 3. A Fortinet-style filter on the transit→server link, configured to
+	// block one domain.
+	dev := middlebox.NewDevice("demo-filter", middlebox.VendorFortinet,
+		[]string{"www.blocked.example"}, g.Router("r3").Addr)
+	net.AttachDevice("r2", "r3", dev)
+
+	// 4. Run CenTrace: control vs test domain, TTL-limited probes.
+	res := centrace.New(net, client, server, centrace.Config{
+		ControlDomain: "www.control.example",
+		TestDomain:    "www.blocked.example",
+		Protocol:      centrace.HTTP,
+		Repetitions:   5,
+	}).Run()
+
+	// 5. Read the verdict.
+	fmt.Printf("endpoint distance: %d hops\n", res.EndpointTTL)
+	fmt.Printf("blocked: %v (%s)\n", res.Blocked, res.TermKind)
+	fmt.Printf("device location: %s (%s, %s)\n", res.BlockingHop, res.Placement, res.Location)
+	if res.BlockpageVendor != "" {
+		fmt.Printf("blockpage vendor: %s\n", res.BlockpageVendor)
+	}
+}

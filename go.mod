@@ -1,0 +1,3 @@
+module cendev
+
+go 1.22

@@ -1,0 +1,48 @@
+package blockpage
+
+import (
+	"testing"
+
+	"cendev/internal/middlebox"
+)
+
+func TestMatchFortinet(t *testing.T) {
+	fp, ok := Match([]byte("<html>...Powered by FortiGuard...</html>"))
+	if !ok || fp.Vendor != "Fortinet" {
+		t.Errorf("Match = %+v ok=%v", fp, ok)
+	}
+}
+
+func TestMatchMiss(t *testing.T) {
+	if _, ok := Match([]byte("<html>perfectly ordinary page</html>")); ok {
+		t.Error("ordinary page matched a blockpage fingerprint")
+	}
+	if v := VendorFor([]byte("nothing")); v != "" {
+		t.Errorf("VendorFor = %q", v)
+	}
+}
+
+func TestVendorProfileBlockpagesRecognized(t *testing.T) {
+	// Every vendor profile that injects a blockpage must be recognizable by
+	// the fingerprint DB — otherwise CenTrace's conservative blocking
+	// definition would misclassify the injection as a normal response.
+	for vendor, p := range middlebox.Profiles {
+		if p.Action != middlebox.ActionBlockpage {
+			continue
+		}
+		fp, ok := Match([]byte(p.Blockpage))
+		if !ok {
+			t.Errorf("vendor %s blockpage not in fingerprint DB", vendor)
+			continue
+		}
+		if fp.Vendor != string(vendor) {
+			t.Errorf("vendor %s blockpage attributed to %q", vendor, fp.Vendor)
+		}
+	}
+}
+
+func TestVendorFor(t *testing.T) {
+	if v := VendorFor([]byte("x Kaspersky Web Traffic Security y")); v != "Kaspersky" {
+		t.Errorf("VendorFor = %q", v)
+	}
+}

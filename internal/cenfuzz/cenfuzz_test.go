@@ -1,0 +1,485 @@
+package cenfuzz
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+const (
+	blockedDomain = "www.blocked.example"
+	controlDomain = "www.control.example"
+)
+
+// TestTable2PermutationCounts pins every strategy's permutation count to
+// the NP column of Table 2.
+func TestTable2PermutationCounts(t *testing.T) {
+	want := map[string]int{
+		"Get Word Alt.":           6,
+		"Http Word Alt.":          16,
+		"Host Word Alt.":          7,
+		"Path Alt.":               8,
+		"Hostname Alt.":           5,
+		"Hostname TLD Alt.":       10,
+		"Host. Subdomain Alt.":    10,
+		"Header Alt.":             59,
+		"Get Word Cap.":           8,
+		"Http Word Cap.":          16,
+		"Host Word Cap.":          16,
+		"Get Word Rem.":           7,
+		"Http Word Rem.":          167,
+		"Host Word Rem.":          63,
+		"Http Delimiter Rem.":     3,
+		"Hostname Pad.":           9,
+		"Min Version Alt.":        4,
+		"Max Version Alt.":        4,
+		"CipherSuite Alt.":        25,
+		"Client Certificate Alt.": 3,
+		"SNI Alt.":                4,
+		"SNI TLD Alt.":            10,
+		"SNI Subdomain Alt.":      10,
+		"SNI Pad.":                9,
+		"Normal":                  1,
+	}
+	got := map[string]int{}
+	httpCount, tlsCount := 0, 0
+	for _, st := range Strategies() {
+		got[st.Name] = len(st.Perms())
+		if st.Category != "Normal" {
+			if st.Proto == ProtoHTTP {
+				httpCount++
+			} else {
+				tlsCount++
+			}
+		}
+	}
+	for name, np := range want {
+		if got[name] != np {
+			t.Errorf("strategy %q: NP = %d, want %d", name, got[name], np)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("catalog has %d strategies, want %d", len(got), len(want))
+	}
+	if httpCount != 16 || tlsCount != 8 {
+		t.Errorf("strategy counts: HTTP=%d TLS=%d, want 16/8 (§6)", httpCount, tlsCount)
+	}
+}
+
+func TestDistinctSubsequences(t *testing.T) {
+	cases := map[string]int{
+		"GET":      7,
+		"HTTP/1.1": 167,
+		"Host: ":   63,
+		"\r\n":     3,
+	}
+	for s, want := range cases {
+		subs := distinctSubsequences(s)
+		if len(subs) != want {
+			t.Errorf("distinctSubsequences(%q) = %d entries, want %d", s, len(subs), want)
+		}
+		seen := map[string]bool{}
+		for _, sub := range subs {
+			if sub == s {
+				t.Errorf("%q: full string included", s)
+			}
+			if seen[sub] {
+				t.Errorf("%q: duplicate %q", s, sub)
+			}
+			seen[sub] = true
+		}
+	}
+}
+
+func TestCaseMasks(t *testing.T) {
+	masks := caseMasks("GET")
+	if len(masks) != 8 {
+		t.Fatalf("caseMasks(GET) = %d, want 8", len(masks))
+	}
+	found := map[string]bool{}
+	for _, m := range masks {
+		found[m] = true
+	}
+	for _, want := range []string{"GET", "get", "GeT", "gEt"} {
+		if !found[want] {
+			t.Errorf("mask %q missing", want)
+		}
+	}
+	if len(caseMasks("Host")) != 16 {
+		t.Error("caseMasks(Host) != 16")
+	}
+}
+
+func TestHostnameHelpers(t *testing.T) {
+	if got := reverseString("abc.de"); got != "ed.cba" {
+		t.Errorf("reverseString = %q", got)
+	}
+	if got := swapTLD("www.example.com", "net"); got != "www.example.net" {
+		t.Errorf("swapTLD = %q", got)
+	}
+	if got := swapSubdomain("www.example.com", "m"); got != "m.example.com" {
+		t.Errorf("swapSubdomain = %q", got)
+	}
+	if got := swapSubdomain("example.com", "m"); got != "m.example.com" {
+		t.Errorf("swapSubdomain two-label = %q", got)
+	}
+	if got := padHost("x.com", 2, 1); got != "**x.com*" {
+		t.Errorf("padHost = %q", got)
+	}
+}
+
+// buildNet returns a 3-router network with a device of the given vendor on
+// the middle link and a wildcard+tolerant server for circumvention checks.
+func buildNet(t *testing.T, vendor middlebox.Vendor) (*simnet.Network, *Fuzzer) {
+	t.Helper()
+	g := topology.NewGraph()
+	asC := g.AddAS(100, "ClientNet", "US")
+	asE := g.AddAS(300, "EndpointNet", "KZ")
+	r1 := g.AddRouter("r1", asC)
+	g.AddRouter("r2", asE)
+	r3 := g.AddRouter("r3", asE)
+	g.Link("r1", "r2")
+	g.Link("r2", "r3")
+	client := g.AddHost("client", asC, r1)
+	server := g.AddHost("server", asE, r3)
+	n := simnet.New(g)
+	srv := endpoint.NewServer(blockedDomain, controlDomain)
+	srv.WildcardSubdomains = true
+	srv.TolerantPadding = true
+	n.RegisterServer("server", srv)
+	if vendor != "" {
+		dev := middlebox.NewDevice("d", vendor, []string{blockedDomain}, g.Router("r2").Addr)
+		n.AttachDevice("r1", "r2", dev)
+	}
+	fz := New(n, client, server, Config{TestDomain: blockedDomain, ControlDomain: controlDomain})
+	return n, fz
+}
+
+// runStrategy executes one named strategy against a fresh fuzzer.
+func runStrategy(t *testing.T, vendor middlebox.Vendor, name string) *StrategyResult {
+	t.Helper()
+	_, fz := buildNet(t, vendor)
+	var sts []Strategy
+	for _, st := range Strategies() {
+		if st.Name == name {
+			sts = append(sts, st)
+		}
+	}
+	if len(sts) != 1 {
+		t.Fatalf("strategy %q not found", name)
+	}
+	res := fz.Run(sts)
+	return res.Strategy(name)
+}
+
+func TestNormalRequestBlocked(t *testing.T) {
+	_, fz := buildNet(t, middlebox.VendorCisco)
+	res := fz.Run([]Strategy{})
+	if !res.NormalBlocked[ProtoHTTP] {
+		t.Error("normal HTTP request should be blocked")
+	}
+	if !res.NormalBlocked[ProtoTLS] {
+		t.Error("normal TLS request should be blocked")
+	}
+}
+
+func TestNormalRequestUnblockedWithoutDevice(t *testing.T) {
+	_, fz := buildNet(t, "")
+	res := fz.Run([]Strategy{})
+	if res.NormalBlocked[ProtoHTTP] || res.NormalBlocked[ProtoTLS] {
+		t.Errorf("no device but NormalBlocked = %v", res.NormalBlocked)
+	}
+}
+
+func TestGetWordAltAgainstCisco(t *testing.T) {
+	sr := runStrategy(t, middlebox.VendorCisco, "Get Word Alt.")
+	// Cisco profile triggers on GET/POST/PUT/HEAD: PATCH, DELETE, XXXX and
+	// the empty method evade; POST and PUT do not.
+	wantEvaded := map[string]bool{
+		`method="POST"`: false, `method="PUT"`: false,
+		`method="PATCH"`: true, `method="DELETE"`: true,
+		`method="XXXX"`: true, `method=""`: true,
+	}
+	for _, p := range sr.Perms {
+		want, ok := wantEvaded[p.Desc]
+		if !ok {
+			t.Errorf("unexpected permutation %q", p.Desc)
+			continue
+		}
+		if !p.Valid {
+			t.Errorf("%s: invalid (control blocked?)", p.Desc)
+			continue
+		}
+		if p.Evaded != want {
+			t.Errorf("%s: evaded = %v, want %v", p.Desc, p.Evaded, want)
+		}
+	}
+	if got := sr.SuccessRate(); got < 0.5 || got > 0.8 {
+		t.Errorf("success rate = %.2f, want 4/6", got)
+	}
+}
+
+func TestGetWordAltAgainstFortinet(t *testing.T) {
+	// The substring-scanning Fortinet profile ignores the method entirely:
+	// nothing in this strategy evades it.
+	sr := runStrategy(t, middlebox.VendorFortinet, "Get Word Alt.")
+	if got := sr.SuccessRate(); got != 0 {
+		t.Errorf("success rate = %.2f, want 0", got)
+	}
+}
+
+func TestCapitalizeRarelyEvades(t *testing.T) {
+	// Devices fold method case (§6.3), so Get Word Cap. should not evade.
+	sr := runStrategy(t, middlebox.VendorCisco, "Get Word Cap.")
+	if got := sr.SuccessRate(); got != 0 {
+		t.Errorf("Get Word Cap. success = %.2f, want 0", got)
+	}
+	// But Host Word Cap. evades exact-host-word parsers (all masks except
+	// the canonical "Host").
+	hr := runStrategy(t, middlebox.VendorCisco, "Host Word Cap.")
+	if got := hr.SuccessRate(); got < 0.9 {
+		t.Errorf("Host Word Cap. vs exact-word parser = %.2f, want 15/16", got)
+	}
+	// ...and not case-insensitive parsers.
+	kr := runStrategy(t, middlebox.VendorKerio, "Host Word Cap.")
+	if got := kr.SuccessRate(); got != 0 {
+		t.Errorf("Host Word Cap. vs case-insensitive parser = %.2f, want 0", got)
+	}
+}
+
+func TestHostWordRemoveEvadesBroadly(t *testing.T) {
+	// "Removing parts of the Host Word evades devices more than 91.3% of
+	// the time" (§6.3). Against a case-insensitive-host-word device, every
+	// truncation except the canonical "Host:"-with-space forms evades.
+	sr := runStrategy(t, middlebox.VendorKerio, "Host Word Rem.")
+	if got := sr.SuccessRate(); got < 0.9 {
+		t.Errorf("Host Word Rem. success = %.2f, want > 0.9", got)
+	}
+}
+
+func TestPaddingAsymmetry(t *testing.T) {
+	// Suffix-matching (leading-wildcard) rules block leading pads but miss
+	// trailing pads (§6.3). Kerio uses MatchSuffix on the full hostname.
+	sr := runStrategy(t, middlebox.VendorKerio, "Hostname Pad.")
+	for _, p := range sr.Perms {
+		wantEvade := strings.Contains(p.Desc, "/1") || strings.Contains(p.Desc, "/2") // any trailing pad
+		if p.Evaded != wantEvade {
+			t.Errorf("%s: evaded = %v, want %v", p.Desc, p.Evaded, wantEvade)
+		}
+	}
+	// Contains-matching devices (DDoSGuard) are not evaded by any padding.
+	dr := runStrategy(t, middlebox.VendorDDoSGuard, "Hostname Pad.")
+	if got := dr.SuccessRate(); got != 0 {
+		t.Errorf("padding vs contains-matcher = %.2f, want 0", got)
+	}
+}
+
+func TestTLDVsKeywordMatcher(t *testing.T) {
+	// Keyword-matching devices (Kaspersky) catch even TLD changes.
+	sr := runStrategy(t, middlebox.VendorKaspersky, "Hostname TLD Alt.")
+	if got := sr.SuccessRate(); got != 0 {
+		t.Errorf("TLD alt vs keyword matcher = %.2f, want 0", got)
+	}
+	// Exact matchers miss all of them.
+	cr := runStrategy(t, middlebox.VendorCisco, "Hostname TLD Alt.")
+	if got := cr.SuccessRate(); got != 1 {
+		t.Errorf("TLD alt vs exact matcher = %.2f, want 1", got)
+	}
+}
+
+func TestSubdomainCircumvention(t *testing.T) {
+	// Wildcard-vhost servers serve subdomain variants, so evasion becomes
+	// circumvention (the dailymotion case, §6.3). Cisco matches the exact
+	// hostname, so subdomain variants evade it.
+	sr := runStrategy(t, middlebox.VendorCisco, "Host. Subdomain Alt.")
+	if got := sr.SuccessRate(); got != 1 {
+		t.Fatalf("subdomain alt success = %.2f, want 1", got)
+	}
+	if got := sr.CircumventionRate(); got != 1 {
+		t.Errorf("subdomain alt circumvention = %.2f, want 1 (wildcard server)", got)
+	}
+	// TLD variants evade but do NOT circumvent: the server 403s them.
+	tr := runStrategy(t, middlebox.VendorCisco, "Hostname TLD Alt.")
+	if got := tr.CircumventionRate(); got != 0 {
+		t.Errorf("TLD alt circumvention = %.2f, want 0", got)
+	}
+}
+
+func TestTLSVersionEvasion(t *testing.T) {
+	// Palo Alto's TLS parser window is 1.1–1.2: a pure TLS 1.0 hello falls
+	// below it and a pure TLS 1.3 hello above it, reproducing "setting the
+	// TLS Version to 1.0 or 1.3" evasion (§6.3).
+	sr := runStrategy(t, middlebox.VendorPaloAlto, "Max Version Alt.")
+	byDesc := map[string]bool{}
+	for _, p := range sr.Perms {
+		byDesc[p.Desc] = p.Evaded
+	}
+	if !byDesc["max=TLS1.0"] {
+		t.Error("max=TLS1.0 should evade a 1.1-min parser")
+	}
+	if byDesc["max=TLS1.2"] || byDesc["max=TLS1.3"] {
+		t.Error("ranges intersecting the parser window should not evade")
+	}
+	mr := runStrategy(t, middlebox.VendorPaloAlto, "Min Version Alt.")
+	byDesc = map[string]bool{}
+	for _, p := range mr.Perms {
+		byDesc[p.Desc] = p.Evaded
+	}
+	if !byDesc["min=TLS1.3"] {
+		t.Error("min=TLS1.3 (pure 1.3 hello) should evade a 1.2-max parser")
+	}
+	if byDesc["min=TLS1.0"] || byDesc["min=TLS1.2"] {
+		t.Error("ranges intersecting the parser window should not evade")
+	}
+}
+
+func TestSNIStrategiesMirrorHostname(t *testing.T) {
+	sr := runStrategy(t, middlebox.VendorKerio, "SNI Pad.")
+	trailing, leading := 0, 0
+	for _, p := range sr.Perms {
+		hasTrailing := strings.HasSuffix(p.Desc, "/1") || strings.HasSuffix(p.Desc, "/2")
+		if p.Evaded && hasTrailing {
+			trailing++
+		}
+		if p.Evaded && !hasTrailing {
+			leading++
+		}
+	}
+	if trailing != 6 || leading != 0 {
+		t.Errorf("SNI pad evasions: trailing=%d leading=%d, want 6/0", trailing, leading)
+	}
+}
+
+func TestSNIAltEvasions(t *testing.T) {
+	sr := runStrategy(t, middlebox.VendorKerio, "SNI Alt.")
+	// Reversed, empty, and omitted SNIs evade a suffix matcher; a repeated
+	// SNI (domaindomain) still ends with the domain and is caught.
+	wantEvaded := map[string]bool{
+		"reversed SNI": true, "empty SNI": true,
+		"omit SNI extension": true, "repeated SNI": false,
+	}
+	for _, p := range sr.Perms {
+		if !p.Valid {
+			t.Errorf("%s: invalid", p.Desc)
+			continue
+		}
+		if want := wantEvaded[p.Desc]; p.Evaded != want {
+			t.Errorf("%s: evaded = %v, want %v", p.Desc, p.Evaded, want)
+		}
+	}
+}
+
+func TestCipherSuiteQuirkEvasion(t *testing.T) {
+	n, fz := buildNet(t, "")
+	dev := middlebox.NewDevice("d", middlebox.VendorKerio, []string{blockedDomain}, netip.Addr{})
+	dev.Quirks.TLS.RequireKnownSuite = map[uint16]bool{}
+	for _, cs := range cipherSuiteList[:5] { // parses only the TLS 1.3 suites
+		dev.Quirks.TLS.RequireKnownSuite[cs] = true
+	}
+	n.AttachDevice("r1", "r2", dev)
+	var st []Strategy
+	for _, s := range Strategies() {
+		if s.Name == "CipherSuite Alt." {
+			st = append(st, s)
+		}
+	}
+	res := fz.Run(st)
+	sr := res.Strategy("CipherSuite Alt.")
+	rate := sr.SuccessRate()
+	if rate < 0.7 || rate == 1 {
+		t.Errorf("cipher-suite evasion rate = %.2f, want most-but-not-all (legacy suites evade)", rate)
+	}
+}
+
+func TestFullRunBookkeeping(t *testing.T) {
+	_, fz := buildNet(t, middlebox.VendorCisco)
+	res := fz.Run(nil)
+	if len(res.Strategies) != 25 { // Normal + 16 HTTP + 8 TLS
+		t.Errorf("strategies = %d, want 25", len(res.Strategies))
+	}
+	wantMeasurements := 2 // protocol baselines
+	for _, st := range Strategies() {
+		wantMeasurements += 2 * len(st.Perms())
+	}
+	if res.TotalMeasurements != wantMeasurements {
+		t.Errorf("TotalMeasurements = %d, want %d", res.TotalMeasurements, wantMeasurements)
+	}
+	evaded := res.EvadedStrategies(0.5)
+	if len(evaded) == 0 {
+		t.Error("no strategy evaded the Cisco profile at >50%")
+	}
+	if res.Strategy("nope") != nil {
+		t.Error("unknown strategy lookup should return nil")
+	}
+}
+
+func TestOutcomeStringers(t *testing.T) {
+	if OutcomeBlockedRST.String() != "blocked-rst" || OutcomeOK.String() != "ok" {
+		t.Error("Outcome.String broken")
+	}
+	if !OutcomeBlockedDrop.Blocked() || OutcomeOK.Blocked() {
+		t.Error("Blocked() broken")
+	}
+	if ProtoTLS.String() != "HTTPS" || ProtoHTTP.Port() != 80 {
+		t.Error("Proto helpers broken")
+	}
+}
+
+func TestSegmentationExtensionStrategy(t *testing.T) {
+	ext := ExtensionStrategies()
+	if len(ext) != 2 {
+		t.Fatalf("extension catalog = %d strategies, want 2", len(ext))
+	}
+	byName := map[string]Strategy{}
+	for _, st := range ext {
+		byName[st.Name] = st
+	}
+	if len(byName["Segmentation"].Perms()) != 4 {
+		t.Fatalf("segmentation permutations = %d, want 4", len(byName["Segmentation"].Perms()))
+	}
+	if len(byName["TLS Record Split"].Perms()) != 3 {
+		t.Fatalf("TLS record split permutations = %d, want 3", len(byName["TLS Record Split"].Perms()))
+	}
+	// Against a per-packet engine (Cisco profile) every split inside the
+	// hostname evades; against a reassembling engine (Fortinet) none do.
+	_, fz := buildNet(t, middlebox.VendorCisco)
+	res := fz.Run(ExtensionStrategies())
+	sr := res.Strategy("Segmentation")
+	if got := sr.SuccessRate(); got != 1 {
+		t.Errorf("segmentation vs per-packet engine = %.2f, want 1", got)
+	}
+	if got := sr.CircumventionRate(); got != 1 {
+		t.Errorf("segmentation circumvention = %.2f, want 1 (server reassembles)", got)
+	}
+	_, fz2 := buildNet(t, middlebox.VendorFortinet)
+	res2 := fz2.Run(ExtensionStrategies())
+	if got := res2.Strategy("Segmentation").SuccessRate(); got != 0 {
+		t.Errorf("segmentation vs reassembling engine = %.2f, want 0", got)
+	}
+}
+
+func TestTLSRecordSplitExtension(t *testing.T) {
+	var split []Strategy
+	for _, st := range ExtensionStrategies() {
+		if st.Name == "TLS Record Split" {
+			split = append(split, st)
+		}
+	}
+	// Per-packet engine (Kerio) is evaded; reassembling engine (Palo Alto,
+	// with a TLS window covering the canonical hello) is not.
+	_, fz := buildNet(t, middlebox.VendorKerio)
+	res := fz.Run(split)
+	if got := res.Strategy("TLS Record Split").SuccessRate(); got != 1 {
+		t.Errorf("record split vs per-packet engine = %.2f, want 1", got)
+	}
+	_, fz2 := buildNet(t, middlebox.VendorFortinet)
+	res2 := fz2.Run(split)
+	if got := res2.Strategy("TLS Record Split").SuccessRate(); got != 0 {
+		t.Errorf("record split vs reassembling engine = %.2f, want 0", got)
+	}
+}

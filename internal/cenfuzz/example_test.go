@@ -1,0 +1,45 @@
+package cenfuzz_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"cendev/internal/cenfuzz"
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// Example runs one CenFuzz strategy against a simulated device and prints
+// its evasion rate — the deterministic per-device fingerprint the paper's
+// §6 builds.
+func Example() {
+	g := topology.NewGraph()
+	asC := g.AddAS(64500, "ClientNet", "US")
+	asE := g.AddAS(64501, "ServerNet", "KZ")
+	r1 := g.AddRouter("r1", asC)
+	r2 := g.AddRouter("r2", asE)
+	g.Link("r1", "r2")
+	client := g.AddHost("client", asC, r1)
+	server := g.AddHost("server", asE, r2)
+	net := simnet.New(g)
+	net.RegisterServer("server", endpoint.NewServer("blocked.example", "control.example"))
+	net.AttachDevice("r1", "r2", middlebox.NewDevice("fw", middlebox.VendorCisco,
+		[]string{"blocked.example"}, netip.Addr{}))
+
+	fz := cenfuzz.New(net, client, server, cenfuzz.Config{
+		TestDomain:    "blocked.example",
+		ControlDomain: "control.example",
+	})
+	var getWordAlt []cenfuzz.Strategy
+	for _, st := range cenfuzz.Strategies() {
+		if st.Name == "Get Word Alt." {
+			getWordAlt = append(getWordAlt, st)
+		}
+	}
+	res := fz.Run(getWordAlt)
+	sr := res.Strategy("Get Word Alt.")
+	fmt.Printf("%s: %.0f%% of permutations evade\n", sr.Name, 100*sr.SuccessRate())
+	// Output: Get Word Alt.: 67% of permutations evade
+}

@@ -1,0 +1,328 @@
+package cenfuzz
+
+import (
+	"fmt"
+	"time"
+
+	"cendev/internal/blockpage"
+	"cendev/internal/endpoint"
+	"cendev/internal/httpgram"
+	"cendev/internal/netem"
+	"cendev/internal/simnet"
+	"cendev/internal/tlsgram"
+	"cendev/internal/topology"
+)
+
+// Outcome classifies one fuzz measurement.
+type Outcome int
+
+// Measurement outcomes. The blocked outcomes follow the paper's
+// conservative definition (§6.2): repeated packet drops, connection resets
+// or failures, and known injected blockpages.
+const (
+	OutcomeOK Outcome = iota
+	OutcomeBlockedDrop
+	OutcomeBlockedRST
+	OutcomeBlockedFIN
+	OutcomeBlockedPage
+)
+
+// Blocked reports whether the outcome is any blocking class.
+func (o Outcome) Blocked() bool { return o != OutcomeOK }
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeBlockedDrop:
+		return "blocked-drop"
+	case OutcomeBlockedRST:
+		return "blocked-rst"
+	case OutcomeBlockedFIN:
+		return "blocked-fin"
+	case OutcomeBlockedPage:
+		return "blocked-page"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Config parameterizes a fuzzing run.
+type Config struct {
+	TestDomain    string
+	ControlDomain string
+	// Retries for timed-out measurements before accepting a drop verdict.
+	Retries int
+	// WaitBlocked is the pause after a blocked measurement (§6.2: 120 s to
+	// avoid stateful blocking effects); WaitOK after an unblocked one (3 s).
+	WaitBlocked time.Duration
+	WaitOK      time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.WaitBlocked == 0 {
+		c.WaitBlocked = 120 * time.Second
+	}
+	if c.WaitOK == 0 {
+		c.WaitOK = 3 * time.Second
+	}
+	return c
+}
+
+// Fuzzer runs CenFuzz measurements from a client against one endpoint.
+type Fuzzer struct {
+	Net      *simnet.Network
+	Client   *topology.Host
+	Endpoint *topology.Host
+	Config   Config
+}
+
+// New returns a Fuzzer with defaulted configuration.
+func New(net *simnet.Network, client, ep *topology.Host, cfg Config) *Fuzzer {
+	return &Fuzzer{Net: net, Client: client, Endpoint: ep, Config: cfg.withDefaults()}
+}
+
+// Measurement is one raw request/response observation.
+type Measurement struct {
+	Outcome Outcome
+	// HTTPStatus is the response status for HTTP measurements that got a
+	// response (0 otherwise).
+	HTTPStatus int
+	// ServedContent is true when the response carried the canonical
+	// content for the requested domain (HTTP 200) or a TLS Server Hello —
+	// the circumvention criterion.
+	ServedContent bool
+	// Body is the raw response payload, when any.
+	Body []byte
+}
+
+// measureOnce sends payload segments on a fresh connection and classifies
+// the response without retrying.
+func (f *Fuzzer) measureOnce(segments [][]byte, port uint16) Measurement {
+	conn, err := f.Net.Dial(f.Client, f.Endpoint, port)
+	if err != nil {
+		return Measurement{Outcome: OutcomeBlockedDrop}
+	}
+	defer conn.Close()
+	ds := conn.SendSegments(segments, 64)
+	m := Measurement{Outcome: OutcomeBlockedDrop} // silence = drop
+	sawData := false
+	for _, d := range ds {
+		pkt := d.Packet
+		if pkt.TCP == nil || pkt.IP.Src != f.Endpoint.Addr {
+			continue
+		}
+		switch {
+		case pkt.TCP.Flags&netem.TCPRst != 0:
+			if !sawData {
+				return Measurement{Outcome: OutcomeBlockedRST}
+			}
+		case len(pkt.Payload) > 0:
+			sawData = true
+			m = f.classifyData(pkt.Payload, port)
+		case pkt.TCP.Flags&netem.TCPFin != 0 && !sawData:
+			m = Measurement{Outcome: OutcomeBlockedFIN}
+		}
+	}
+	return m
+}
+
+// classifyData interprets a payload-bearing response.
+func (f *Fuzzer) classifyData(body []byte, port uint16) Measurement {
+	if _, ok := blockpage.Match(body); ok {
+		return Measurement{Outcome: OutcomeBlockedPage, Body: body}
+	}
+	m := Measurement{Outcome: OutcomeOK, Body: body}
+	if port == 443 {
+		_, m.ServedContent = endpoint.IsServerHello(body)
+		return m
+	}
+	// HTTP: parse the status line.
+	m.HTTPStatus = httpgram.ParseStatus(body)
+	m.ServedContent = m.HTTPStatus == 200
+	return m
+}
+
+// Measure runs one measurement with timeout retries and the post-wait.
+// It is exported for reuse by other measurement campaigns (e.g. the
+// Geneva-style search baseline in internal/evolve).
+func (f *Fuzzer) Measure(payload []byte, port uint16) Measurement {
+	return f.MeasureSegments([][]byte{payload}, port)
+}
+
+// MeasureSegments is Measure for multi-segment sends (the segmentation
+// extension strategy).
+func (f *Fuzzer) MeasureSegments(segments [][]byte, port uint16) Measurement {
+	var m Measurement
+	for attempt := 0; attempt <= f.Config.Retries; attempt++ {
+		m = f.measureOnce(segments, port)
+		if m.Outcome != OutcomeBlockedDrop {
+			break
+		}
+		f.Net.Sleep(f.Config.WaitBlocked) // wait out stateful blocking before retrying
+	}
+	if m.Outcome.Blocked() {
+		f.Net.Sleep(f.Config.WaitBlocked)
+	} else {
+		f.Net.Sleep(f.Config.WaitOK)
+	}
+	return m
+}
+
+// PermResult is the verdict for one permutation of one strategy.
+type PermResult struct {
+	Strategy string
+	Desc     string
+	Test     Measurement
+	Control  Measurement
+	// Valid means the verdict is interpretable: the control permutation
+	// was not blocked (§6.2).
+	Valid bool
+	// Evaded ("successful") means the normal test request was blocked but
+	// this permutation was not (§6.2).
+	Evaded bool
+	// Circumvented means the permutation evaded AND fetched the intended
+	// resource correctly (§6: "the probe loads the intended resource").
+	Circumvented bool
+}
+
+// StrategyResult aggregates one strategy's permutations.
+type StrategyResult struct {
+	Name     string
+	Category string
+	Proto    Proto
+	Perms    []PermResult
+}
+
+// SuccessRate is the fraction of valid permutations that evaded.
+func (s *StrategyResult) SuccessRate() float64 {
+	valid, evaded := 0, 0
+	for _, p := range s.Perms {
+		if p.Valid {
+			valid++
+			if p.Evaded {
+				evaded++
+			}
+		}
+	}
+	if valid == 0 {
+		return 0
+	}
+	return float64(evaded) / float64(valid)
+}
+
+// CircumventionRate is the fraction of valid permutations that both evaded
+// and fetched correct content.
+func (s *StrategyResult) CircumventionRate() float64 {
+	valid, circ := 0, 0
+	for _, p := range s.Perms {
+		if p.Valid {
+			valid++
+			if p.Circumvented {
+				circ++
+			}
+		}
+	}
+	if valid == 0 {
+		return 0
+	}
+	return float64(circ) / float64(valid)
+}
+
+// Result is a full CenFuzz run against one endpoint.
+type Result struct {
+	TestDomain    string
+	ControlDomain string
+	// NormalBlocked maps protocol → whether the canonical request for the
+	// test domain was blocked. Strategies for protocols that are not
+	// blocked at all yield no evasion signal.
+	NormalBlocked map[Proto]bool
+	Strategies    []StrategyResult
+	// TotalMeasurements counts individual request/response measurements.
+	TotalMeasurements int
+}
+
+// EvadedStrategies lists the names of strategies whose evasion rate
+// exceeds the threshold.
+func (r *Result) EvadedStrategies(threshold float64) []string {
+	var out []string
+	for i := range r.Strategies {
+		if r.Strategies[i].SuccessRate() > threshold {
+			out = append(out, r.Strategies[i].Name)
+		}
+	}
+	return out
+}
+
+// Strategy returns the named strategy result, or nil.
+func (r *Result) Strategy(name string) *StrategyResult {
+	for i := range r.Strategies {
+		if r.Strategies[i].Name == name {
+			return &r.Strategies[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the given strategies (nil = the full Table 2 catalog)
+// against the endpoint: for each strategy, a fresh Normal baseline for the
+// test and control domains, then each permutation for the control domain
+// and the test domain (§6.2).
+func (f *Fuzzer) Run(strategies []Strategy) *Result {
+	if strategies == nil {
+		strategies = Strategies()
+	}
+	res := &Result{
+		TestDomain:    f.Config.TestDomain,
+		ControlDomain: f.Config.ControlDomain,
+		NormalBlocked: make(map[Proto]bool),
+	}
+	// Normal baselines per protocol.
+	baseline := map[Proto]Measurement{}
+	for _, proto := range []Proto{ProtoHTTP, ProtoTLS} {
+		normal := normalPayload(proto, f.Config.TestDomain)
+		m := f.Measure(normal, proto.Port())
+		baseline[proto] = m
+		res.NormalBlocked[proto] = m.Outcome.Blocked()
+		res.TotalMeasurements++
+	}
+	for _, st := range strategies {
+		sr := StrategyResult{Name: st.Name, Category: st.Category, Proto: st.Proto}
+		normalBlocked := baseline[st.Proto].Outcome.Blocked()
+		for _, perm := range st.Perms() {
+			pr := PermResult{Strategy: st.Name, Desc: perm.Desc}
+			pr.Control = f.measurePerm(perm, f.Config.ControlDomain, st.Proto.Port())
+			pr.Test = f.measurePerm(perm, f.Config.TestDomain, st.Proto.Port())
+			res.TotalMeasurements += 2
+			pr.Valid = !pr.Control.Outcome.Blocked()
+			if pr.Valid && normalBlocked && !pr.Test.Outcome.Blocked() {
+				pr.Evaded = true
+				pr.Circumvented = pr.Test.ServedContent
+			}
+			sr.Perms = append(sr.Perms, pr)
+		}
+		res.Strategies = append(res.Strategies, sr)
+	}
+	return res
+}
+
+// measurePerm measures one permutation for one domain, honoring segmented
+// permutations.
+func (f *Fuzzer) measurePerm(perm Permutation, domain string, port uint16) Measurement {
+	if perm.Segments != nil {
+		return f.MeasureSegments(perm.Segments(domain), port)
+	}
+	return f.Measure(perm.Payload(domain), port)
+}
+
+// normalPayload renders the canonical request for a protocol and domain.
+func normalPayload(p Proto, domain string) []byte {
+	if p == ProtoHTTP {
+		return httpgram.NewRequest(domain).Render()
+	}
+	return tlsgram.NewClientHello(domain).Serialize()
+}

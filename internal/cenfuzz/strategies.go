@@ -1,0 +1,656 @@
+// Package cenfuzz implements CenFuzz, the deterministic censorship request
+// fuzzer (§6 of the paper): 16 HTTP request and 8 TLS Client Hello fuzzing
+// strategies, each a fixed list of permutations applied identically to the
+// Test Domain and a Control Domain, with per-permutation evasion and
+// circumvention verdicts. Determinism is the point — the same permutations
+// run against every device, so the outcomes form a comparable fingerprint
+// (§6: "If the goal is to produce a set of deterministic network
+// fingerprints, we need a static set of strategies").
+package cenfuzz
+
+import (
+	"fmt"
+
+	"cendev/internal/httpgram"
+	"cendev/internal/tlsgram"
+)
+
+// Proto selects the protocol a strategy fuzzes.
+type Proto int
+
+// Strategy protocols.
+const (
+	ProtoHTTP Proto = iota
+	ProtoTLS
+)
+
+// String implements fmt.Stringer.
+func (p Proto) String() string {
+	if p == ProtoHTTP {
+		return "HTTP"
+	}
+	return "HTTPS"
+}
+
+// Port returns the TCP port probed for the protocol.
+func (p Proto) Port() uint16 {
+	if p == ProtoHTTP {
+		return 80
+	}
+	return 443
+}
+
+// Permutation is one deterministic request mutation. Exactly one of HTTP,
+// TLS, and Segments is non-nil, matching the owning strategy's protocol.
+// The builder receives the domain (test or control) and returns the
+// mutated request.
+type Permutation struct {
+	Desc string
+	HTTP func(domain string) *httpgram.Request
+	TLS  func(domain string) *tlsgram.ClientHello
+	// Segments renders a multi-segment send (the TCP segmentation
+	// extension strategy); the fuzzer transmits each element as its own
+	// TCP segment on one connection.
+	Segments func(domain string) [][]byte
+}
+
+// Payload renders the permutation's wire bytes for a domain. For
+// segmented permutations it returns the concatenated stream (callers that
+// need per-segment sends use Segments directly).
+func (p Permutation) Payload(domain string) []byte {
+	switch {
+	case p.HTTP != nil:
+		return p.HTTP(domain).Render()
+	case p.Segments != nil:
+		var out []byte
+		for _, seg := range p.Segments(domain) {
+			out = append(out, seg...)
+		}
+		return out
+	default:
+		return p.TLS(domain).Serialize()
+	}
+}
+
+// Strategy is one named fuzzing strategy from Table 2.
+type Strategy struct {
+	// Name matches the labels of Figure 5, e.g. "Get Word Alt.".
+	Name string
+	// Category is Alternate, Capitalize, Remove, Pad, or Normal.
+	Category string
+	Proto    Proto
+	// Perms generates the strategy's full permutation list.
+	Perms func() []Permutation
+}
+
+// httpPerm wraps a request mutator into an HTTP permutation.
+func httpPerm(desc string, mutate func(r *httpgram.Request)) Permutation {
+	return Permutation{
+		Desc: desc,
+		HTTP: func(domain string) *httpgram.Request {
+			r := httpgram.NewRequest(domain)
+			mutate(r)
+			return r
+		},
+	}
+}
+
+// hostPerm wraps a hostname transformation into an HTTP permutation.
+func hostPerm(desc string, transform func(domain string) string) Permutation {
+	return Permutation{
+		Desc: desc,
+		HTTP: func(domain string) *httpgram.Request {
+			r := httpgram.NewRequest(transform(domain))
+			return r
+		},
+	}
+}
+
+// tlsPerm wraps a Client Hello mutator into a TLS permutation.
+func tlsPerm(desc string, mutate func(ch *tlsgram.ClientHello, domain string)) Permutation {
+	return Permutation{
+		Desc: desc,
+		TLS: func(domain string) *tlsgram.ClientHello {
+			ch := tlsgram.NewClientHello(domain)
+			mutate(ch, domain)
+			return ch
+		},
+	}
+}
+
+// tldAlternatives and subdomainAlternatives are the 10-entry lists used by
+// the TLD and Subdomain strategies for both HTTP and TLS.
+var (
+	tldAlternatives       = []string{"net", "org", "info", "biz", "io", "co", "ru", "us", "de", "uk"}
+	subdomainAlternatives = []string{"m", "www2", "wiki", "mail", "blog", "dev", "cdn", "shop", "api", "news"}
+)
+
+// padCombos are the (leading, trailing) star-pad combinations — 3×3
+// including the identity, giving Table 2's 9 permutations.
+var padCombos = [][2]int{
+	{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2},
+}
+
+func padHost(host string, lead, trail int) string {
+	return repeat("*", lead) + host + repeat("*", trail)
+}
+
+func repeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}
+
+// alternateHeaders is the 59-entry header list of the Header Alternate
+// strategy: common valid headers, uncommon ones, and invalid ones.
+var alternateHeaders = []httpgram.Header{
+	{Name: "Connection", Value: "keep-alive"},
+	{Name: "Connection", Value: "close"},
+	{Name: "User-Agent", Value: "Mozilla/5.0 (Windows NT 10.0; Win64; x64)"},
+	{Name: "User-Agent", Value: "curl/7.88.1"},
+	{Name: "User-Agent", Value: "xxx"},
+	{Name: "Accept", Value: "*/*"},
+	{Name: "Accept", Value: "text/html"},
+	{Name: "Accept-Language", Value: "en-US,en;q=0.9"},
+	{Name: "Accept-Language", Value: "ru-RU"},
+	{Name: "Accept-Encoding", Value: "gzip, deflate"},
+	{Name: "Accept-Encoding", Value: "identity"},
+	{Name: "Accept-Charset", Value: "utf-8"},
+	{Name: "Referer", Value: "https://www.google.com/"},
+	{Name: "Referer", Value: "http://example.com/"},
+	{Name: "Cookie", Value: "session=abc123"},
+	{Name: "Cookie", Value: "x=y"},
+	{Name: "X-Forwarded-For", Value: "127.0.0.1"},
+	{Name: "X-Forwarded-For", Value: "8.8.8.8"},
+	{Name: "X-Forwarded-Host", Value: "example.com"},
+	{Name: "X-Real-IP", Value: "127.0.0.1"},
+	{Name: "Range", Value: "bytes=0-100"},
+	{Name: "Range", Value: "bytes=0-"},
+	{Name: "If-Modified-Since", Value: "Sat, 29 Oct 1994 19:43:31 GMT"},
+	{Name: "If-None-Match", Value: `"abc"`},
+	{Name: "Cache-Control", Value: "no-cache"},
+	{Name: "Cache-Control", Value: "max-age=0"},
+	{Name: "Pragma", Value: "no-cache"},
+	{Name: "Upgrade", Value: "h2c"},
+	{Name: "Upgrade-Insecure-Requests", Value: "1"},
+	{Name: "Via", Value: "1.1 proxy"},
+	{Name: "Warning", Value: "199 misc"},
+	{Name: "TE", Value: "trailers"},
+	{Name: "Expect", Value: "100-continue"},
+	{Name: "From", Value: "user@example.com"},
+	{Name: "Origin", Value: "http://example.com"},
+	{Name: "DNT", Value: "1"},
+	{Name: "X-Requested-With", Value: "XMLHttpRequest"},
+	{Name: "Authorization", Value: "Basic dXNlcjpwYXNz"},
+	{Name: "Proxy-Authorization", Value: "Basic dXNlcjpwYXNz"},
+	{Name: "Content-Length", Value: "0"},
+	{Name: "Content-Type", Value: "text/plain"},
+	{Name: "Transfer-Encoding", Value: "chunked"},
+	{Name: "Transfer-Encoding", Value: "identity"},
+	{Name: "Date", Value: "Tue, 15 Nov 1994 08:12:31 GMT"},
+	{Name: "Max-Forwards", Value: "10"},
+	{Name: "Proxy-Connection", Value: "keep-alive"},
+	{Name: "X-Custom-Header", Value: "value"},
+	{Name: "XXXX", Value: "xxx"},
+	{Raw: "X-Broken-No-Colon"},
+	{Raw: ": empty-name"},
+	{Name: "Host", Value: "www.innocuous.example"}, // duplicate Host
+	{Name: "host", Value: "www.innocuous.example"}, // duplicate lowercase host
+	{Name: "Accept-Datetime", Value: "Thu, 31 May 2007 20:35:00 GMT"},
+	{Name: "Forwarded", Value: "for=192.0.2.60"},
+	{Name: "A-IM", Value: "feed"},
+	{Name: "If-Range", Value: `"xyz"`},
+	{Name: "If-Unmodified-Since", Value: "Sat, 29 Oct 1994 19:43:31 GMT"},
+	{Name: "Trailer", Value: "Expires"},
+	{Name: "X-Do-Not-Track", Value: "1"},
+}
+
+// cipherSuiteList is the 25-suite list of the Cipher Suite strategy.
+var cipherSuiteList = []uint16{
+	tlsgram.TLS_AES_128_GCM_SHA256,
+	tlsgram.TLS_AES_256_GCM_SHA384,
+	tlsgram.TLS_CHACHA20_POLY1305_SHA256,
+	tlsgram.TLS_AES_128_CCM_SHA256,
+	tlsgram.TLS_AES_128_CCM_8_SHA256,
+	tlsgram.TLS_RSA_WITH_RC4_128_SHA,
+	tlsgram.TLS_RSA_WITH_3DES_EDE_CBC_SHA,
+	tlsgram.TLS_RSA_WITH_AES_128_CBC_SHA,
+	tlsgram.TLS_RSA_WITH_AES_256_CBC_SHA,
+	tlsgram.TLS_RSA_WITH_AES_128_CBC_SHA256,
+	tlsgram.TLS_RSA_WITH_AES_256_CBC_SHA256,
+	tlsgram.TLS_RSA_WITH_AES_128_GCM_SHA256,
+	tlsgram.TLS_RSA_WITH_AES_256_GCM_SHA384,
+	tlsgram.TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA,
+	tlsgram.TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA,
+	tlsgram.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA,
+	tlsgram.TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA,
+	tlsgram.TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256,
+	tlsgram.TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384,
+	tlsgram.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256,
+	tlsgram.TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384,
+	tlsgram.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256,
+	tlsgram.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+	tlsgram.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+	tlsgram.TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,
+}
+
+// tlsVersions are the four versions the Min/Max Version strategies sweep.
+var tlsVersions = []uint16{
+	tlsgram.VersionTLS10, tlsgram.VersionTLS11, tlsgram.VersionTLS12, tlsgram.VersionTLS13,
+}
+
+// Strategies returns the full catalog of Table 2, in table order, prefixed
+// by the Normal pseudo-strategies (one per protocol) that Figure 5 reports
+// alongside the fuzzing strategies.
+func Strategies() []Strategy {
+	return append(normalStrategies(), append(httpStrategies(), tlsStrategies()...)...)
+}
+
+func normalStrategies() []Strategy {
+	return []Strategy{
+		{
+			Name: "Normal", Category: "Normal", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				return []Permutation{httpPerm("canonical GET", func(*httpgram.Request) {})}
+			},
+		},
+	}
+}
+
+// httpStrategies returns the 16 HTTP strategies of Table 2.
+func httpStrategies() []Strategy {
+	return []Strategy{
+		{
+			Name: "Get Word Alt.", Category: "Alternate", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				words := []string{"POST", "PUT", "PATCH", "DELETE", "XXXX", ""}
+				out := make([]Permutation, 0, len(words))
+				for _, w := range words {
+					w := w
+					out = append(out, httpPerm("method="+quoted(w), func(r *httpgram.Request) { r.Method = w }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Http Word Alt.", Category: "Alternate", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				words := []string{
+					"HTTP/1.0", "HTTP/1.2", "HTTP/2", "HTTP/3", "HTTP/9", "HTTP/0.9",
+					"HTTP/ 1.1", "HTTP /1.1", "http/1.1", "XXXX/1.1", "HTTPS/1.1",
+					"HTP/1.1", `HTTP\1.1`, "HTTP//1.1", "HTTP/1.1.1", "",
+				}
+				out := make([]Permutation, 0, len(words))
+				for _, w := range words {
+					w := w
+					out = append(out, httpPerm("version="+quoted(w), func(r *httpgram.Request) { r.Version = w }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Host Word Alt.", Category: "Alternate", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				words := []string{"HostHeader:", "XXXX:", "Host :", "Host;", "Hostname:", "H0st:", ""}
+				out := make([]Permutation, 0, len(words))
+				for _, w := range words {
+					w := w
+					out = append(out, httpPerm("hostword="+quoted(w), func(r *httpgram.Request) { r.HostWord = w }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Path Alt.", Category: "Alternate", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				paths := []string{"?", "z", "//", "/index.html", "*", "/.", "/%2e", `\`}
+				out := make([]Permutation, 0, len(paths))
+				for _, p := range paths {
+					p := p
+					out = append(out, httpPerm("path="+quoted(p), func(r *httpgram.Request) { r.Path = p }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Hostname Alt.", Category: "Alternate", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				return []Permutation{
+					hostPerm("reversed hostname", reverseString),
+					hostPerm("repeated hostname", func(d string) string { return d + d }),
+					hostPerm("empty hostname", func(string) string { return "" }),
+					httpPerm("omit host line", func(r *httpgram.Request) { r.OmitHostLine = true }),
+					hostPerm("unrelated hostname", func(string) string { return "www.innocuous.example" }),
+				}
+			},
+		},
+		{
+			Name: "Hostname TLD Alt.", Category: "Alternate", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := make([]Permutation, 0, len(tldAlternatives))
+				for _, tld := range tldAlternatives {
+					tld := tld
+					out = append(out, hostPerm("tld="+tld, func(d string) string { return swapTLD(d, tld) }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Host. Subdomain Alt.", Category: "Alternate", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := make([]Permutation, 0, len(subdomainAlternatives))
+				for _, sub := range subdomainAlternatives {
+					sub := sub
+					out = append(out, hostPerm("subdomain="+sub, func(d string) string { return swapSubdomain(d, sub) }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Header Alt.", Category: "Alternate", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := make([]Permutation, 0, len(alternateHeaders))
+				for i, h := range alternateHeaders {
+					h := h
+					desc := h.Name
+					if desc == "" {
+						desc = quoted(h.Raw)
+					}
+					out = append(out, httpPerm(fmt.Sprintf("header[%d]=%s", i, desc),
+						func(r *httpgram.Request) { r.Headers = append(r.Headers, h) }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Get Word Cap.", Category: "Capitalize", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, w := range caseMasks("GET") {
+					w := w
+					out = append(out, httpPerm("method="+w, func(r *httpgram.Request) { r.Method = w }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Http Word Cap.", Category: "Capitalize", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, w := range caseMasks("HTTP") {
+					w := w
+					out = append(out, httpPerm("version="+w+"/1.1", func(r *httpgram.Request) { r.Version = w + "/1.1" }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Host Word Cap.", Category: "Capitalize", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, w := range caseMasks("Host") {
+					w := w
+					out = append(out, httpPerm("hostword="+w+":", func(r *httpgram.Request) { r.HostWord = w + ":" }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Get Word Rem.", Category: "Remove", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, w := range distinctSubsequences("GET") {
+					w := w
+					out = append(out, httpPerm("method="+quoted(w), func(r *httpgram.Request) { r.Method = w }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Http Word Rem.", Category: "Remove", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, w := range distinctSubsequences("HTTP/1.1") {
+					w := w
+					out = append(out, httpPerm("version="+quoted(w), func(r *httpgram.Request) { r.Version = w }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Host Word Rem.", Category: "Remove", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				// "Host: " including the separating space; the rendered
+				// request adds no extra space for these permutations.
+				for _, w := range distinctSubsequences("Host: ") {
+					w := w
+					out = append(out, Permutation{
+						Desc: "hostline=" + quoted(w),
+						HTTP: func(domain string) *httpgram.Request {
+							r := httpgram.NewRequest(domain)
+							r.OmitHostLine = true
+							r.Headers = append(r.Headers, httpgram.Header{Raw: w + domain})
+							return r
+						},
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name: "Http Delimiter Rem.", Category: "Remove", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, d := range distinctSubsequences("\r\n") {
+					d := d
+					out = append(out, httpPerm("delimiter="+quoted(d), func(r *httpgram.Request) { r.Delimiter = d }))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Hostname Pad.", Category: "Pad", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, combo := range padCombos {
+					combo := combo
+					out = append(out, hostPerm(fmt.Sprintf("pad=%d/%d", combo[0], combo[1]),
+						func(d string) string { return padHost(d, combo[0], combo[1]) }))
+				}
+				return out
+			},
+		},
+	}
+}
+
+// tlsStrategies returns the 8 HTTPS strategies of Table 2.
+func tlsStrategies() []Strategy {
+	return []Strategy{
+		{
+			Name: "Min Version Alt.", Category: "Alternate", Proto: ProtoTLS,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, v := range tlsVersions {
+					v := v
+					out = append(out, tlsPerm("min="+tlsgram.VersionName(v),
+						func(ch *tlsgram.ClientHello, _ string) {
+							max := uint16(tlsgram.VersionTLS13)
+							if v > max {
+								max = v
+							}
+							ch.SetSupportedVersions(v, max)
+						}))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Max Version Alt.", Category: "Alternate", Proto: ProtoTLS,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, v := range tlsVersions {
+					v := v
+					out = append(out, tlsPerm("max="+tlsgram.VersionName(v),
+						func(ch *tlsgram.ClientHello, _ string) {
+							ch.SetSupportedVersions(tlsgram.VersionTLS10, v)
+							if v < tlsgram.VersionTLS13 {
+								ch.LegacyVersion = v
+							}
+						}))
+				}
+				return out
+			},
+		},
+		{
+			Name: "CipherSuite Alt.", Category: "Alternate", Proto: ProtoTLS,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, cs := range cipherSuiteList {
+					cs := cs
+					out = append(out, tlsPerm("suite="+tlsgram.CipherSuiteNames[cs],
+						func(ch *tlsgram.ClientHello, _ string) {
+							ch.CipherSuites = []uint16{cs}
+						}))
+				}
+				return out
+			},
+		},
+		{
+			Name: "Client Certificate Alt.", Category: "Alternate", Proto: ProtoTLS,
+			Perms: func() []Permutation {
+				return []Permutation{
+					tlsPerm("cert for requested domain", func(ch *tlsgram.ClientHello, d string) {
+						ch.SetClientCertHint("CN=" + d)
+					}),
+					tlsPerm("cert for other domain", func(ch *tlsgram.ClientHello, _ string) {
+						ch.SetClientCertHint("CN=www.test.com")
+					}),
+					tlsPerm("empty cert", func(ch *tlsgram.ClientHello, _ string) {
+						ch.SetClientCertHint("CN=")
+					}),
+				}
+			},
+		},
+		{
+			Name: "SNI Alt.", Category: "Alternate", Proto: ProtoTLS,
+			Perms: func() []Permutation {
+				return []Permutation{
+					tlsPerm("reversed SNI", func(ch *tlsgram.ClientHello, d string) { ch.SetSNI(reverseString(d)) }),
+					tlsPerm("empty SNI", func(ch *tlsgram.ClientHello, _ string) { ch.SetSNI("") }),
+					tlsPerm("omit SNI extension", func(ch *tlsgram.ClientHello, _ string) {
+						ch.RemoveExtension(tlsgram.ExtServerName)
+					}),
+					tlsPerm("repeated SNI", func(ch *tlsgram.ClientHello, d string) { ch.SetSNI(d + d) }),
+				}
+			},
+		},
+		{
+			Name: "SNI TLD Alt.", Category: "Alternate", Proto: ProtoTLS,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, tld := range tldAlternatives {
+					tld := tld
+					out = append(out, tlsPerm("tld="+tld, func(ch *tlsgram.ClientHello, d string) {
+						ch.SetSNI(swapTLD(d, tld))
+					}))
+				}
+				return out
+			},
+		},
+		{
+			Name: "SNI Subdomain Alt.", Category: "Alternate", Proto: ProtoTLS,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, sub := range subdomainAlternatives {
+					sub := sub
+					out = append(out, tlsPerm("subdomain="+sub, func(ch *tlsgram.ClientHello, d string) {
+						ch.SetSNI(swapSubdomain(d, sub))
+					}))
+				}
+				return out
+			},
+		},
+		{
+			Name: "SNI Pad.", Category: "Pad", Proto: ProtoTLS,
+			Perms: func() []Permutation {
+				out := []Permutation{}
+				for _, combo := range padCombos {
+					combo := combo
+					out = append(out, tlsPerm(fmt.Sprintf("pad=%d/%d", combo[0], combo[1]),
+						func(ch *tlsgram.ClientHello, d string) {
+							ch.SetSNI(padHost(d, combo[0], combo[1]))
+						}))
+				}
+				return out
+			},
+		},
+	}
+}
+
+func quoted(s string) string { return fmt.Sprintf("%q", s) }
+
+// tlsRecordSplitStrategy splits the Client Hello bytes across TCP
+// segments: per-packet DPI engines fail to parse either fragment as a
+// hello and are evaded; reassembling engines still catch it.
+func tlsRecordSplitStrategy() Strategy {
+	return Strategy{
+		Name: "TLS Record Split", Category: "Extension", Proto: ProtoTLS,
+		Perms: func() []Permutation {
+			offsets := []int{5, 16, 40}
+			out := make([]Permutation, 0, len(offsets))
+			for _, off := range offsets {
+				off := off
+				out = append(out, Permutation{
+					Desc: fmt.Sprintf("split@%d", off),
+					Segments: func(domain string) [][]byte {
+						raw := tlsgram.NewClientHello(domain).Serialize()
+						cut := off
+						if cut >= len(raw) {
+							cut = len(raw) / 2
+						}
+						return [][]byte{raw[:cut], raw[cut:]}
+					},
+				})
+			}
+			return out
+		},
+	}
+}
+
+// ExtensionStrategies returns strategies beyond the paper's Table 2
+// catalog; Strategies() deliberately excludes them so the Table 2
+// permutation counts stay exact. Currently: TCP segmentation, the
+// Geneva/SymTCP evasion class, splitting the request at several offsets
+// inside the Host header so no single segment carries the full trigger.
+func ExtensionStrategies() []Strategy {
+	return []Strategy{
+		tlsRecordSplitStrategy(),
+		{
+			Name: "Segmentation", Category: "Extension", Proto: ProtoHTTP,
+			Perms: func() []Permutation {
+				// Split points measured back from the end of the rendered
+				// request, landing inside the hostname.
+				offsets := []int{4, 8, 12, 16}
+				out := make([]Permutation, 0, len(offsets))
+				for _, off := range offsets {
+					off := off
+					out = append(out, Permutation{
+						Desc: fmt.Sprintf("split@-%d", off),
+						Segments: func(domain string) [][]byte {
+							req := httpgram.NewRequest(domain).Render()
+							cut := len(req) - off
+							if cut < 1 {
+								cut = 1
+							}
+							return [][]byte{req[:cut], req[cut:]}
+						},
+					})
+				}
+				return out
+			},
+		},
+	}
+}

@@ -1,0 +1,125 @@
+package cenfuzz
+
+import "sort"
+
+// distinctSubsequences returns every distinct proper subsequence of s —
+// all the strings obtainable by deleting one or more characters — in a
+// deterministic order (shortest first, then lexicographic). The empty
+// string is included; s itself is not.
+//
+// This is the Remove-category permutation generator: Table 2's counts fall
+// out of it exactly — "GET" has 7 proper subsequences, "Host: " has 63, and
+// "HTTP/1.1" (with its repeated characters) has 167 distinct ones.
+func distinctSubsequences(s string) []string {
+	seen := map[string]bool{}
+	n := len(s)
+	if n > 16 {
+		panic("cenfuzz: subsequence expansion too large for " + s)
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask == (1<<n)-1 {
+			continue // the full string is not a removal
+		}
+		b := make([]byte, 0, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				b = append(b, s[i])
+			}
+		}
+		seen[string(b)] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// caseMasks returns all 2^n capitalizations of the first n letters of s
+// (n = number of ASCII letters in s), in mask order. The canonical string
+// itself is included — it acts as the strategy's identity permutation.
+func caseMasks(s string) []string {
+	var letterIdx []int
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') {
+			letterIdx = append(letterIdx, i)
+		}
+	}
+	n := len(letterIdx)
+	if n > 8 {
+		panic("cenfuzz: case expansion too large for " + s)
+	}
+	out := make([]string, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		b := []byte(s)
+		for bit, idx := range letterIdx {
+			c := b[idx]
+			if mask&(1<<bit) != 0 {
+				b[idx] = upper(c)
+			} else {
+				b[idx] = lower(c)
+			}
+		}
+		out = append(out, string(b))
+	}
+	return out
+}
+
+func upper(c byte) byte {
+	if 'a' <= c && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+func lower(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c - 'A' + 'a'
+	}
+	return c
+}
+
+// reverseString reverses a string byte-wise (hostnames are ASCII).
+func reverseString(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// swapTLD replaces the last label of a hostname.
+func swapTLD(host, tld string) string {
+	for i := len(host) - 1; i >= 0; i-- {
+		if host[i] == '.' {
+			return host[:i+1] + tld
+		}
+	}
+	return host + "." + tld
+}
+
+// swapSubdomain replaces the leading label of a hostname (or prepends one
+// when the hostname has fewer than three labels).
+func swapSubdomain(host, sub string) string {
+	first := -1
+	count := 1
+	for i := 0; i < len(host); i++ {
+		if host[i] == '.' {
+			if first < 0 {
+				first = i
+			}
+			count++
+		}
+	}
+	if count >= 3 && first > 0 {
+		return sub + host[first:]
+	}
+	return sub + "." + host
+}

@@ -1,0 +1,78 @@
+package centrace
+
+import (
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// Target is one endpoint × domain × protocol measurement in a campaign.
+type Target struct {
+	Endpoint *topology.Host
+	Domain   string
+	Protocol Protocol
+	// Label is free-form caller context (country, ASN, ...) carried
+	// through to the result.
+	Label string
+}
+
+// CampaignResult pairs a target with its measurement.
+type CampaignResult struct {
+	Target Target
+	Result *Result
+}
+
+// Campaign runs CenTrace against many targets from one vantage point —
+// the §4.2 collection pattern ("We perform measurements to multiple
+// endpoints concurrently to speed up our data collection"; the simulator
+// is synchronous, so "concurrently" here means batched).
+type Campaign struct {
+	Net    *simnet.Network
+	Client *topology.Host
+	// Base holds the shared configuration; TestDomain and Protocol are
+	// overridden per target.
+	Base Config
+	// Progress, when non-nil, is called after each measurement.
+	Progress func(done, total int, r CampaignResult)
+}
+
+// Run measures every target in order.
+func (c *Campaign) Run(targets []Target) []CampaignResult {
+	out := make([]CampaignResult, 0, len(targets))
+	for i, tgt := range targets {
+		cfg := c.Base
+		cfg.TestDomain = tgt.Domain
+		cfg.Protocol = tgt.Protocol
+		res := New(c.Net, c.Client, tgt.Endpoint, cfg).Run()
+		cr := CampaignResult{Target: tgt, Result: res}
+		out = append(out, cr)
+		if c.Progress != nil {
+			c.Progress(i+1, len(targets), cr)
+		}
+	}
+	return out
+}
+
+// Blocked filters a campaign's results to the blocked ones.
+func Blocked(results []CampaignResult) []CampaignResult {
+	var out []CampaignResult
+	for _, r := range results {
+		if r.Result.Blocked {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BlockingHops groups blocked results by blocking-hop address string,
+// the grouping CenProbe's target discovery uses (§5.2).
+func BlockingHops(results []CampaignResult) map[string][]CampaignResult {
+	out := map[string][]CampaignResult{}
+	for _, r := range results {
+		if !r.Result.Blocked || !r.Result.BlockingHop.Addr.IsValid() {
+			continue
+		}
+		key := r.Result.BlockingHop.Addr.String()
+		out[key] = append(out[key], r)
+	}
+	return out
+}

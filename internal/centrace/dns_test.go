@@ -1,0 +1,101 @@
+package centrace
+
+import (
+	"net/netip"
+	"testing"
+
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+)
+
+// buildDNSNet extends the standard test network with a resolver on the
+// endpoint host.
+func buildDNSNet(t *testing.T) (*simnet.Network, *Prober) {
+	t.Helper()
+	n, client, server := buildNet(t)
+	n.RegisterResolver("server", endpoint.NewResolver(map[string]netip.Addr{
+		blockedDomain: netip.MustParseAddr("192.0.2.80"),
+		controlDomain: netip.MustParseAddr("192.0.2.81"),
+	}))
+	p := New(n, client, server, Config{
+		ControlDomain: controlDomain,
+		TestDomain:    blockedDomain,
+		Protocol:      DNS,
+		Repetitions:   3,
+	})
+	return n, p
+}
+
+func TestDNSUnblockedMeasurement(t *testing.T) {
+	_, p := buildDNSNet(t)
+	res := p.Run()
+	if !res.Valid {
+		t.Fatal("control DNS trace should reach the resolver")
+	}
+	if res.Blocked {
+		t.Errorf("no DNS devices but blocked (term=%s)", res.TermKind)
+	}
+	if res.EndpointTTL != 5 {
+		t.Errorf("EndpointTTL = %d, want 5", res.EndpointTTL)
+	}
+}
+
+func TestDNSInjectionDetectedAndLocalized(t *testing.T) {
+	n, p := buildDNSNet(t)
+	dev := middlebox.NewDevice("inj", middlebox.VendorDNSInjector, []string{blockedDomain}, netip.Addr{})
+	n.AttachDevice("r2", "r3", dev)
+
+	res := p.Run()
+	if !res.Blocked {
+		t.Fatal("DNS injection not detected")
+	}
+	if res.TermKind != KindData || res.BlockpageID != "dns-injection" {
+		t.Errorf("term=%s id=%q, want injected-data verdict", res.TermKind, res.BlockpageID)
+	}
+	if res.Placement != PlacementOnPath {
+		t.Errorf("placement = %s, want on-path (injector races the resolver)", res.Placement)
+	}
+	if res.DeviceTTL != 3 {
+		t.Errorf("DeviceTTL = %d, want 3", res.DeviceTTL)
+	}
+}
+
+func TestDNSDropLocalized(t *testing.T) {
+	n, p := buildDNSNet(t)
+	dev := middlebox.NewDevice("drop", middlebox.VendorUnknownDrop, []string{blockedDomain}, n.Graph.Router("r3").Addr)
+	n.AttachDevice("r2", "r3", dev)
+
+	res := p.Run()
+	if !res.Blocked || res.TermKind != KindTimeout {
+		t.Fatalf("blocked=%v term=%s, want DNS drop", res.Blocked, res.TermKind)
+	}
+	if res.DeviceTTL != 3 || res.Placement != PlacementInPath {
+		t.Errorf("device at %d (%s), want 3 in-path", res.DeviceTTL, res.Placement)
+	}
+}
+
+func TestDNSNXDomainNotBlocked(t *testing.T) {
+	// A domain absent from the zone yields NXDOMAIN — a legitimate answer,
+	// not censorship.
+	n, client, server := buildNet(t)
+	n.RegisterResolver("server", endpoint.NewResolver(map[string]netip.Addr{
+		controlDomain: netip.MustParseAddr("192.0.2.81"),
+	}))
+	p := New(n, client, server, Config{
+		ControlDomain: controlDomain,
+		TestDomain:    "www.nonexistent.example",
+		Protocol:      DNS,
+		Repetitions:   3,
+	})
+	res := p.Run()
+	if res.Blocked {
+		t.Errorf("NXDOMAIN misclassified as censorship (term=%s)", res.TermKind)
+	}
+}
+
+func TestDNSProtocolHelpers(t *testing.T) {
+	if DNS.String() != "DNS" || DNS.Port() != 53 {
+		t.Error("DNS protocol helpers broken")
+	}
+}

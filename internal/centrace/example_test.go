@@ -1,0 +1,41 @@
+package centrace_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"cendev/internal/centrace"
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// Example demonstrates locating a censorship device with CenTrace: build a
+// topology, attach a filter, run the control/test measurement, and read
+// the inference.
+func Example() {
+	g := topology.NewGraph()
+	asClient := g.AddAS(64500, "ClientNet", "US")
+	asServer := g.AddAS(64501, "ServerNet", "KZ")
+	r1 := g.AddRouter("r1", asClient)
+	r2 := g.AddRouter("r2", asServer)
+	g.Link("r1", "r2")
+	client := g.AddHost("client", asClient, r1)
+	server := g.AddHost("server", asServer, r2)
+
+	net := simnet.New(g)
+	net.RegisterServer("server", endpoint.NewServer("blocked.example", "control.example"))
+	net.AttachDevice("r1", "r2", middlebox.NewDevice("fw", middlebox.VendorCisco,
+		[]string{"blocked.example"}, netip.Addr{}))
+
+	res := centrace.New(net, client, server, centrace.Config{
+		ControlDomain: "control.example",
+		TestDomain:    "blocked.example",
+		Repetitions:   3,
+	}).Run()
+
+	fmt.Printf("blocked=%v kind=%s device-hop=%d placement=%s\n",
+		res.Blocked, res.TermKind, res.DeviceTTL, res.Placement)
+	// Output: blocked=true kind=TIMEOUT device-hop=2 placement=in-path
+}

@@ -1,0 +1,354 @@
+// Package centrace implements CenTrace, the censorship traceroute (§4 of
+// the paper): TTL-limited application-layer probes for a Control Domain and
+// a Test Domain that build the network path to an endpoint and locate the
+// hop at which a censorship device interferes, classify the device as
+// in-path or on-path, correct for TTL-copying injectors, and extract the
+// features later used for device clustering.
+package centrace
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"cendev/internal/httpgram"
+	"cendev/internal/netem"
+	"cendev/internal/simnet"
+	"cendev/internal/tlsgram"
+	"cendev/internal/topology"
+)
+
+// Protocol selects the application protocol of the probes.
+type Protocol int
+
+// Probe protocols. CenTrace targets HTTP Host-header and TLS SNI blocking
+// (§4: "We focus on censorship devices performing censorship on the HTTP
+// Host header or the SNI extension in the TLS Client Hello"); DNS is the
+// protocol extension the paper names in §4.1 and §8, probing UDP queries
+// whose QNAME is the trigger.
+const (
+	HTTP Protocol = iota
+	HTTPS
+	DNS
+	// SSH probes send the client version banner after the handshake. SSH
+	// carries no hostname, so the "test" probe is the SSH banner itself
+	// (triggering protocol-detecting devices) and the "control" probe is a
+	// neutral payload on the same port; the domain strings act only as
+	// labels.
+	SSH
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case HTTP:
+		return "HTTP"
+	case HTTPS:
+		return "HTTPS"
+	case DNS:
+		return "DNS"
+	default:
+		return "SSH"
+	}
+}
+
+// Port returns the destination port for the protocol.
+func (p Protocol) Port() uint16 {
+	switch p {
+	case HTTP:
+		return 80
+	case HTTPS:
+		return 443
+	case DNS:
+		return 53
+	default:
+		return 22
+	}
+}
+
+// Config parameterizes one CenTrace measurement.
+type Config struct {
+	ControlDomain string
+	TestDomain    string
+	Protocol      Protocol
+	// MaxTTL bounds the TTL sweep (the paper uses 64; simulated paths are
+	// shorter, so the default is 30).
+	MaxTTL int
+	// Repetitions is how many times each traceroute is repeated to absorb
+	// path variance (§4.1: 11 covers 90% of paths on average).
+	Repetitions int
+	// Retries is how often a timed-out probe is retried before the timeout
+	// is accepted (§4.1: up to three times). Zero means the default of 3;
+	// pass a negative value to disable retries entirely (ablations).
+	Retries int
+	// ProbeInterval is the wait between consecutive probes to let stateful
+	// devices forget the flow (§4.1: 120 seconds). Virtual time.
+	ProbeInterval time.Duration
+	// MaxConsecutiveTimeouts ends the TTL sweep early once this many
+	// consecutive TTLs have timed out (a dropping device never answers
+	// again; the paper simply probes to TTL 64). The default, 10, is high
+	// enough that a TTL-copying injector's first surviving reset — which
+	// appears only at roughly twice the device's hop distance (§4.3) — is
+	// still observed.
+	MaxConsecutiveTimeouts int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 30
+	}
+	if c.Repetitions == 0 {
+		c.Repetitions = 11
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 120 * time.Second
+	}
+	if c.MaxConsecutiveTimeouts == 0 {
+		c.MaxConsecutiveTimeouts = 10
+	}
+	return c
+}
+
+// ResponseKind classifies what a single TTL probe elicited.
+type ResponseKind int
+
+// Probe response kinds. RST, FIN, Data, and Timeout can be terminating
+// responses (§4.1); ICMP is always non-terminating.
+const (
+	KindTimeout ResponseKind = iota
+	KindICMP
+	KindRST
+	KindFIN
+	KindData // payload-bearing response from the endpoint IP (HTTP body, TLS record, or injected blockpage)
+)
+
+// String implements fmt.Stringer using the labels of Figure 3.
+func (k ResponseKind) String() string {
+	switch k {
+	case KindTimeout:
+		return "TIMEOUT"
+	case KindICMP:
+		return "ICMP"
+	case KindRST:
+		return "RST"
+	case KindFIN:
+		return "FIN"
+	case KindData:
+		return "HTTP"
+	default:
+		return fmt.Sprintf("ResponseKind(%d)", int(k))
+	}
+}
+
+// InjectedFeatures are the TCP/IP header fields of a terminating packet
+// received from the endpoint IP — features for clustering (§7.1).
+type InjectedFeatures struct {
+	TTL       uint8
+	IPID      uint16
+	IPFlags   netem.IPFlags
+	TCPFlags  netem.TCPFlags
+	TCPWindow uint16
+	Options   []netem.TCPOptionKind
+}
+
+// ProbeObs is the observation from one TTL-limited probe.
+type ProbeObs struct {
+	TTL  int
+	Kind ResponseKind
+	// From is the source of the classified response: the ICMP-sending
+	// router, or the endpoint IP for TCP responses.
+	From netip.Addr
+	// GotICMPAlongside is true when a terminating TCP response arrived
+	// together with an ICMP Time Exceeded for the same probe — the on-path
+	// signature (§4.1, Figure 2(D)).
+	GotICMPAlongside bool
+	// ICMPFrom is the router that sent the alongside ICMP.
+	ICMPFrom netip.Addr
+	// Payload of a KindData response.
+	Payload []byte
+	// Injected header features for TCP responses.
+	Injected *InjectedFeatures
+	// Quote is the quoted packet from an ICMP response.
+	Quote *netem.QuotedPacket
+	// QuoteDelta compares the sent probe with the quote (Tracebox-style).
+	QuoteDelta *netem.QuoteDelta
+	// DialFailed marks probes whose TCP handshake never completed.
+	DialFailed bool
+}
+
+// Prober runs CenTrace measurements from a client to an endpoint over a
+// simulated network.
+type Prober struct {
+	Net      *simnet.Network
+	Client   *topology.Host
+	Endpoint *topology.Host
+	Config   Config
+}
+
+// New returns a Prober with defaulted configuration.
+func New(net *simnet.Network, client, ep *topology.Host, cfg Config) *Prober {
+	return &Prober{Net: net, Client: client, Endpoint: ep, Config: cfg.withDefaults()}
+}
+
+// payloadFor renders the probe payload for a domain.
+func (p *Prober) payloadFor(domain string) []byte {
+	switch p.Config.Protocol {
+	case HTTPS:
+		return tlsgram.NewClientHello(domain).Serialize()
+	case SSH:
+		if domain == p.Config.TestDomain {
+			return []byte("SSH-2.0-CenTrace_probe\r\n")
+		}
+		return []byte("PING CenTrace_control\r\n")
+	default:
+		return httpgram.NewRequest(domain).Render()
+	}
+}
+
+// probeOnce sends a single TTL-limited probe over a fresh TCP connection
+// (or a bare UDP datagram for DNS) and classifies the result. It does not
+// retry.
+func (p *Prober) probeOnce(domain string, ttl int) ProbeObs {
+	if p.Config.Protocol == DNS {
+		return p.probeOnceDNS(domain, ttl)
+	}
+	obs := ProbeObs{TTL: ttl, Kind: KindTimeout}
+	conn, err := p.Net.Dial(p.Client, p.Endpoint, p.Config.Protocol.Port())
+	if err != nil {
+		obs.DialFailed = true
+		return obs
+	}
+	defer conn.Close()
+	payload := p.payloadFor(domain)
+	sent := netem.NewTCPPacket(p.Client.Addr, p.Endpoint.Addr, conn.SrcPort, conn.DstPort,
+		netem.TCPPsh|netem.TCPAck, 2, 1001, payload)
+	sent.IP.TTL = uint8(ttl)
+	sent.IP.ID = 2
+	ds := conn.SendPayload(payload, uint8(ttl))
+
+	for _, d := range ds {
+		pkt := d.Packet
+		switch {
+		case pkt.ICMP != nil && pkt.ICMP.Type == netem.ICMPTimeExceeded:
+			if obs.Kind == KindTimeout { // first ICMP classifies, unless a TCP response wins
+				obs.Kind = KindICMP
+				obs.From = pkt.IP.Src
+				if q, err := pkt.ICMP.QuotedPacket(); err == nil {
+					obs.Quote = q
+					delta := netem.CompareQuote(sent, q)
+					obs.QuoteDelta = &delta
+				}
+			} else {
+				obs.GotICMPAlongside = true
+				obs.ICMPFrom = pkt.IP.Src
+			}
+		case pkt.TCP != nil && pkt.IP.Src == p.Endpoint.Addr:
+			// A response from (or spoofed as) the endpoint terminates.
+			if obs.Kind == KindICMP {
+				// The ICMP arrived first in delivery order; reclassify and
+				// remember the double observation.
+				obs.GotICMPAlongside = true
+				obs.ICMPFrom = obs.From
+			}
+			obs.From = pkt.IP.Src
+			obs.Injected = &InjectedFeatures{
+				TTL:       pkt.IP.TTL,
+				IPID:      pkt.IP.ID,
+				IPFlags:   pkt.IP.Flags,
+				TCPFlags:  pkt.TCP.Flags,
+				TCPWindow: pkt.TCP.Window,
+				Options:   pkt.TCP.OptionKinds(),
+			}
+			switch {
+			case pkt.TCP.Flags&netem.TCPRst != 0:
+				obs.Kind = KindRST
+			case len(pkt.Payload) > 0:
+				obs.Kind = KindData
+				obs.Payload = pkt.Payload
+			case pkt.TCP.Flags&netem.TCPFin != 0:
+				// A bare FIN counts as a terminating injection only when it
+				// arrives in order. A FIN with a higher sequence number means
+				// the preceding data segment was lost in transit — a genuine
+				// close, not censorship — so the probe is retried instead.
+				if obs.Kind != KindData && pkt.TCP.Seq == conn.ExpectedSeq() {
+					obs.Kind = KindFIN
+				}
+			}
+		}
+	}
+	return obs
+}
+
+// probe sends one probe with retries for timeouts (§4.1: "we retry the
+// request up to three times to account for transient network failures").
+func (p *Prober) probe(domain string, ttl int) ProbeObs {
+	var obs ProbeObs
+	for attempt := 0; attempt <= p.Config.Retries; attempt++ {
+		p.Net.Sleep(p.Config.ProbeInterval)
+		obs = p.probeOnce(domain, ttl)
+		if obs.Kind != KindTimeout {
+			return obs
+		}
+	}
+	return obs
+}
+
+// Trace is one full TTL sweep for one domain.
+type Trace struct {
+	Domain string
+	Obs    []ProbeObs
+	// TermIdx indexes the terminating observation in Obs, -1 when the
+	// sweep ended without one (endpoint never answered and no trailing
+	// timeout run was recorded — should not happen in practice).
+	TermIdx int
+}
+
+// Terminating returns the terminating observation, or nil.
+func (t *Trace) Terminating() *ProbeObs {
+	if t.TermIdx < 0 || t.TermIdx >= len(t.Obs) {
+		return nil
+	}
+	return &t.Obs[t.TermIdx]
+}
+
+// trace runs one TTL sweep for a domain, applying the paper's terminating
+// response rules: a TCP response from the endpoint IP terminates
+// immediately; otherwise, once every remaining TTL times out, the first
+// timeout of the trailing run is the terminating response.
+func (p *Prober) trace(domain string) Trace {
+	tr := Trace{Domain: domain, TermIdx: -1}
+	consecutiveTimeouts := 0
+	firstTrailingTimeout := -1
+	for ttl := 1; ttl <= p.Config.MaxTTL; ttl++ {
+		obs := p.probe(domain, ttl)
+		tr.Obs = append(tr.Obs, obs)
+		switch obs.Kind {
+		case KindRST, KindFIN, KindData:
+			tr.TermIdx = len(tr.Obs) - 1
+			return tr
+		case KindTimeout:
+			if firstTrailingTimeout < 0 {
+				firstTrailingTimeout = len(tr.Obs) - 1
+			}
+			consecutiveTimeouts++
+			if consecutiveTimeouts >= p.Config.MaxConsecutiveTimeouts {
+				tr.TermIdx = firstTrailingTimeout
+				return tr
+			}
+		default: // ICMP: path continues
+			consecutiveTimeouts = 0
+			firstTrailingTimeout = -1
+		}
+	}
+	if firstTrailingTimeout >= 0 {
+		tr.TermIdx = firstTrailingTimeout
+	}
+	return tr
+}

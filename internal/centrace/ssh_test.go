@@ -1,0 +1,106 @@
+package centrace
+
+import (
+	"net/netip"
+	"testing"
+
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// buildSSHNet extends the standard network with an SSH service on the
+// endpoint.
+func buildSSHNet(t *testing.T) (*simnet.Network, *topology.Host, *topology.Host) {
+	t.Helper()
+	n, client, server := buildNet(t)
+	srv := n.Server("server")
+	srv.Services = map[int]string{22: "SSH-2.0-OpenSSH_8.9p1"}
+	return n, client, server
+}
+
+func sshCfg() Config {
+	return Config{
+		ControlDomain: "ssh-control",
+		TestDomain:    "ssh-test",
+		Protocol:      SSH,
+		Repetitions:   3,
+	}
+}
+
+func TestSSHUnblockedMeasurement(t *testing.T) {
+	n, client, server := buildSSHNet(t)
+	res := New(n, client, server, sshCfg()).Run()
+	if !res.Valid {
+		t.Fatal("SSH control probe should reach the server banner")
+	}
+	if res.Blocked {
+		t.Errorf("no devices but blocked (term=%s)", res.TermKind)
+	}
+	if res.EndpointTTL != 5 {
+		t.Errorf("EndpointTTL = %d, want 5", res.EndpointTTL)
+	}
+}
+
+func TestSSHProtocolBlockingLocalized(t *testing.T) {
+	n, client, server := buildSSHNet(t)
+	dev := middlebox.NewDevice("d", middlebox.VendorUnknownDrop, nil, netip.Addr{})
+	dev.Quirks.BlockSSHProtocol = true
+	n.AttachDevice("r2", "r3", dev)
+
+	res := New(n, client, server, sshCfg()).Run()
+	if !res.Blocked || res.TermKind != KindTimeout {
+		t.Fatalf("blocked=%v term=%s, want SSH drop", res.Blocked, res.TermKind)
+	}
+	if res.DeviceTTL != 3 || res.Placement != PlacementInPath {
+		t.Errorf("device at %d (%s), want 3 in-path", res.DeviceTTL, res.Placement)
+	}
+	// The neutral control payload passes the same device.
+	if res.Control.EndpointTTL != 5 {
+		t.Errorf("control EndpointTTL = %d, want 5 (neutral payload passes)", res.Control.EndpointTTL)
+	}
+}
+
+func TestSSHRSTInjector(t *testing.T) {
+	n, client, server := buildSSHNet(t)
+	dev := middlebox.NewDevice("d", middlebox.VendorSandvine, nil, netip.Addr{})
+	dev.Quirks.BlockSSHProtocol = true
+	n.AttachDevice("r2", "r3", dev)
+
+	res := New(n, client, server, sshCfg()).Run()
+	if !res.Blocked || res.TermKind != KindRST {
+		t.Fatalf("blocked=%v term=%s, want RST", res.Blocked, res.TermKind)
+	}
+	if res.Injected == nil || res.Injected.IPID != 0x3412 {
+		t.Errorf("injected = %+v, want the PacketLogic IP ID signature", res.Injected)
+	}
+}
+
+func TestSSHHostnameDeviceDoesNotTrigger(t *testing.T) {
+	// A hostname-rule device without SSH protocol detection ignores SSH.
+	n, client, server := buildSSHNet(t)
+	dev := middlebox.NewDevice("d", middlebox.VendorCisco, []string{"ssh-test"}, netip.Addr{})
+	n.AttachDevice("r2", "r3", dev)
+	res := New(n, client, server, sshCfg()).Run()
+	if res.Blocked {
+		t.Errorf("hostname device misfired on SSH (term=%s)", res.TermKind)
+	}
+}
+
+func TestSSHEndpointClosedPort(t *testing.T) {
+	// An endpoint without an SSH service refuses the dial; CenTrace sees a
+	// RST from the endpoint itself ("At E"-style observation).
+	n, client, server := buildNet(t)
+	_ = server
+	g := n.Graph
+	as := g.AS(300)
+	noSSH := g.AddHost("nossh", as, g.Router("r4"))
+	n.RegisterServer("nossh", endpoint.NewServer(controlDomain))
+	res := New(n, client, noSSH, sshCfg()).Run()
+	// The dial never completes, so every probe observes a dial failure;
+	// CenTrace reports the measurement as not valid rather than blocked.
+	if res.Valid {
+		t.Errorf("closed SSH port should not yield a valid control trace (endpointTTL=%d)", res.EndpointTTL)
+	}
+}

@@ -1,0 +1,222 @@
+// Package dnsgram implements the DNS wire format needed by the DNS
+// measurement extension: A-record queries and responses with QNAME label
+// encoding. The paper scopes DNS censorship out of its main study (§3.1)
+// but names DNS probing as the natural protocol extension of CenTrace
+// (§4: "our technique can be easily extended to other protocols such as
+// DNS and SSH") and as future work (§8: "devices that perform DNS packet
+// injection"); this package plus the middlebox DNS-injection behaviour
+// implements that extension.
+package dnsgram
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"strings"
+)
+
+// Record types and classes.
+const (
+	TypeA   uint16 = 1
+	ClassIN uint16 = 1
+)
+
+// Response codes.
+const (
+	RCodeNoError  uint8 = 0
+	RCodeNXDomain uint8 = 3
+	RCodeRefused  uint8 = 5
+)
+
+var (
+	errShortDNS = errors.New("dnsgram: truncated message")
+	errBadName  = errors.New("dnsgram: malformed name")
+	errNotQuery = errors.New("dnsgram: not a query")
+	errNotResp  = errors.New("dnsgram: not a response")
+)
+
+// Query is a single-question DNS query.
+type Query struct {
+	ID   uint16
+	Name string
+	Type uint16
+}
+
+// NewQuery returns an A query for name.
+func NewQuery(id uint16, name string) *Query {
+	return &Query{ID: id, Name: name, Type: TypeA}
+}
+
+// Serialize renders the query to wire bytes.
+func (q *Query) Serialize() []byte {
+	out := make([]byte, 0, 16+len(q.Name))
+	out = binary.BigEndian.AppendUint16(out, q.ID)
+	out = binary.BigEndian.AppendUint16(out, 0x0100) // RD=1
+	out = binary.BigEndian.AppendUint16(out, 1)      // QDCOUNT
+	out = append(out, 0, 0, 0, 0, 0, 0)              // AN/NS/AR counts
+	out = appendName(out, q.Name)
+	out = binary.BigEndian.AppendUint16(out, q.Type)
+	out = binary.BigEndian.AppendUint16(out, ClassIN)
+	return out
+}
+
+// ParseQuery decodes a query from wire bytes.
+func ParseQuery(data []byte) (*Query, error) {
+	if len(data) < 12 {
+		return nil, errShortDNS
+	}
+	flags := binary.BigEndian.Uint16(data[2:])
+	if flags&0x8000 != 0 {
+		return nil, errNotQuery
+	}
+	if binary.BigEndian.Uint16(data[4:]) != 1 {
+		return nil, errShortDNS
+	}
+	name, n, err := parseName(data[12:])
+	if err != nil {
+		return nil, err
+	}
+	rest := data[12+n:]
+	if len(rest) < 4 {
+		return nil, errShortDNS
+	}
+	return &Query{
+		ID:   binary.BigEndian.Uint16(data),
+		Name: name,
+		Type: binary.BigEndian.Uint16(rest),
+	}, nil
+}
+
+// Response is a single-question DNS response with A answers.
+type Response struct {
+	ID      uint16
+	Name    string
+	RCode   uint8
+	Answers []netip.Addr
+}
+
+// Answer builds a NOERROR response to q with the given addresses.
+func Answer(q *Query, addrs ...netip.Addr) *Response {
+	return &Response{ID: q.ID, Name: q.Name, Answers: addrs}
+}
+
+// NXDomain builds an NXDOMAIN response to q.
+func NXDomain(q *Query) *Response {
+	return &Response{ID: q.ID, Name: q.Name, RCode: RCodeNXDomain}
+}
+
+// Serialize renders the response to wire bytes.
+func (r *Response) Serialize() []byte {
+	out := make([]byte, 0, 32+len(r.Name))
+	out = binary.BigEndian.AppendUint16(out, r.ID)
+	out = binary.BigEndian.AppendUint16(out, 0x8180|uint16(r.RCode)) // QR=1 RD RA
+	out = binary.BigEndian.AppendUint16(out, 1)                      // QDCOUNT
+	out = binary.BigEndian.AppendUint16(out, uint16(len(r.Answers)))
+	out = append(out, 0, 0, 0, 0) // NS/AR counts
+	out = appendName(out, r.Name)
+	out = binary.BigEndian.AppendUint16(out, TypeA)
+	out = binary.BigEndian.AppendUint16(out, ClassIN)
+	for _, a := range r.Answers {
+		out = appendName(out, r.Name)
+		out = binary.BigEndian.AppendUint16(out, TypeA)
+		out = binary.BigEndian.AppendUint16(out, ClassIN)
+		out = binary.BigEndian.AppendUint32(out, 60) // TTL
+		a4 := a.As4()
+		out = binary.BigEndian.AppendUint16(out, 4)
+		out = append(out, a4[:]...)
+	}
+	return out
+}
+
+// ParseResponse decodes a response from wire bytes.
+func ParseResponse(data []byte) (*Response, error) {
+	if len(data) < 12 {
+		return nil, errShortDNS
+	}
+	flags := binary.BigEndian.Uint16(data[2:])
+	if flags&0x8000 == 0 {
+		return nil, errNotResp
+	}
+	r := &Response{
+		ID:    binary.BigEndian.Uint16(data),
+		RCode: uint8(flags & 0xf),
+	}
+	ancount := int(binary.BigEndian.Uint16(data[6:]))
+	name, n, err := parseName(data[12:])
+	if err != nil {
+		return nil, err
+	}
+	r.Name = name
+	pos := 12 + n + 4 // skip qtype/qclass
+	for i := 0; i < ancount; i++ {
+		if pos >= len(data) {
+			return nil, errShortDNS
+		}
+		_, n, err := parseName(data[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		if pos+10 > len(data) {
+			return nil, errShortDNS
+		}
+		rtype := binary.BigEndian.Uint16(data[pos:])
+		rdlen := int(binary.BigEndian.Uint16(data[pos+8:]))
+		pos += 10
+		if pos+rdlen > len(data) {
+			return nil, errShortDNS
+		}
+		if rtype == TypeA && rdlen == 4 {
+			r.Answers = append(r.Answers, netip.AddrFrom4([4]byte(data[pos:pos+4])))
+		}
+		pos += rdlen
+	}
+	return r, nil
+}
+
+// IsQuery reports whether raw looks like a DNS query (cheap DPI pre-check).
+func IsQuery(raw []byte) bool {
+	return len(raw) >= 12 && raw[2]&0x80 == 0 && binary.BigEndian.Uint16(raw[4:]) == 1
+}
+
+// appendName encodes a domain name as DNS labels.
+func appendName(out []byte, name string) []byte {
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if label == "" {
+			continue
+		}
+		if len(label) > 63 {
+			label = label[:63]
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0)
+}
+
+// parseName decodes a label-encoded name, returning the name and bytes
+// consumed. Compression pointers are not emitted by this package and are
+// rejected.
+func parseName(data []byte) (string, int, error) {
+	var labels []string
+	pos := 0
+	for {
+		if pos >= len(data) {
+			return "", 0, errShortDNS
+		}
+		l := int(data[pos])
+		if l == 0 {
+			pos++
+			break
+		}
+		if l&0xc0 != 0 {
+			return "", 0, errBadName
+		}
+		if pos+1+l > len(data) {
+			return "", 0, errShortDNS
+		}
+		labels = append(labels, string(data[pos+1:pos+1+l]))
+		pos += 1 + l
+	}
+	return strings.Join(labels, "."), pos, nil
+}

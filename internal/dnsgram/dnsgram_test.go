@@ -1,0 +1,141 @@
+package dnsgram
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0xbeef, "www.example.com")
+	got, err := ParseQuery(q.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0xbeef || got.Name != "www.example.com" || got.Type != TypeA {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	q := NewQuery(7, "blocked.example")
+	a1 := netip.MustParseAddr("192.0.2.1")
+	a2 := netip.MustParseAddr("192.0.2.2")
+	r := Answer(q, a1, a2)
+	got, err := ParseResponse(r.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Name != "blocked.example" || got.RCode != RCodeNoError {
+		t.Errorf("response = %+v", got)
+	}
+	if len(got.Answers) != 2 || got.Answers[0] != a1 || got.Answers[1] != a2 {
+		t.Errorf("answers = %v", got.Answers)
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	q := NewQuery(9, "nonexistent.example")
+	got, err := ParseResponse(NXDomain(q).Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RCode != RCodeNXDomain || len(got.Answers) != 0 {
+		t.Errorf("nxdomain = %+v", got)
+	}
+}
+
+func TestIsQuery(t *testing.T) {
+	q := NewQuery(1, "x.example")
+	if !IsQuery(q.Serialize()) {
+		t.Error("IsQuery(query) = false")
+	}
+	if IsQuery(Answer(q, netip.MustParseAddr("192.0.2.1")).Serialize()) {
+		t.Error("IsQuery(response) = true")
+	}
+	if IsQuery([]byte("GET / HTTP/1.1")) {
+		t.Error("IsQuery(HTTP) = true")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseQuery([]byte{1, 2}); err == nil {
+		t.Error("short query should fail")
+	}
+	if _, err := ParseResponse([]byte{1, 2}); err == nil {
+		t.Error("short response should fail")
+	}
+	q := NewQuery(1, "x.example")
+	if _, err := ParseQuery(Answer(q).Serialize()); err == nil {
+		t.Error("parsing a response as a query should fail")
+	}
+	if _, err := ParseResponse(q.Serialize()); err == nil {
+		t.Error("parsing a query as a response should fail")
+	}
+	// Truncated mid-name.
+	wire := q.Serialize()
+	if _, err := ParseQuery(wire[:14]); err == nil {
+		t.Error("truncated name should fail")
+	}
+	// Compression pointer rejected.
+	bad := append([]byte(nil), wire...)
+	bad[12] = 0xc0
+	if _, err := ParseQuery(bad); err == nil {
+		t.Error("compression pointer should be rejected")
+	}
+}
+
+func TestTrailingDotAndLongLabels(t *testing.T) {
+	q := NewQuery(1, "a.example.")
+	got, err := ParseQuery(q.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "a.example" {
+		t.Errorf("name = %q", got.Name)
+	}
+	long := strings.Repeat("x", 80) + ".example"
+	q2 := NewQuery(2, long)
+	got2, err := ParseQuery(q2.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(got2.Name, ".")[0]) != 63 {
+		t.Errorf("over-long label not truncated: %q", got2.Name)
+	}
+}
+
+func TestQuickQueryRoundTrip(t *testing.T) {
+	f := func(id uint16, raw []byte) bool {
+		name := sanitize(raw)
+		if name == "" {
+			return true
+		}
+		got, err := ParseQuery(NewQuery(id, name).Serialize())
+		return err == nil && got.ID == id && got.Name == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(raw []byte) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	var labels []string
+	label := ""
+	for _, c := range raw {
+		label += string(alpha[int(c)%len(alpha)])
+		if len(label) == 8 {
+			labels = append(labels, label)
+			label = ""
+			if len(labels) == 4 {
+				break
+			}
+		}
+	}
+	if label != "" {
+		labels = append(labels, label)
+	}
+	return strings.Join(labels, ".")
+}

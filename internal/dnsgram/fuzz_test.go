@@ -1,0 +1,28 @@
+package dnsgram
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzParse ensures the DNS parsers never panic and that parsed messages
+// re-serialize and re-parse.
+func FuzzParse(f *testing.F) {
+	f.Add(NewQuery(1, "www.example.com").Serialize())
+	f.Add(Answer(NewQuery(2, "x.example"), netip.MustParseAddr("192.0.2.1")).Serialize())
+	f.Add(NXDomain(NewQuery(3, "gone.example")).Serialize())
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if q, err := ParseQuery(data); err == nil {
+			if _, err := ParseQuery(q.Serialize()); err != nil {
+				t.Fatalf("re-serialized query failed to parse: %v", err)
+			}
+		}
+		if r, err := ParseResponse(data); err == nil {
+			if _, err := ParseResponse(r.Serialize()); err != nil {
+				t.Fatalf("re-serialized response failed to parse: %v", err)
+			}
+		}
+	})
+}

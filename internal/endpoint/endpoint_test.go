@@ -1,0 +1,223 @@
+package endpoint
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"cendev/internal/dnsgram"
+	"cendev/internal/httpgram"
+	"cendev/internal/tlsgram"
+)
+
+const domain = "www.hosted.example"
+
+func TestHandleHTTPServesContent(t *testing.T) {
+	s := NewServer(domain)
+	res := s.HandleHTTP(httpgram.NewRequest(domain).Render())
+	if res.Status != 200 || res.ServedDomain != domain {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Body != ContentFor(domain, "/") {
+		t.Errorf("body = %q", res.Body)
+	}
+	raw := string(res.Render())
+	if !strings.HasPrefix(raw, "HTTP/1.1 200 OK\r\n") {
+		t.Errorf("rendered = %q", raw)
+	}
+}
+
+func TestHandleHTTPStatusCodes(t *testing.T) {
+	s := NewServer(domain)
+	cases := []struct {
+		name   string
+		mutate func(*httpgram.Request)
+		status int
+	}{
+		{"bad version", func(r *httpgram.Request) { r.Version = "HTTP/9" }, 505},
+		{"spaced version", func(r *httpgram.Request) { r.Version = "HTTP/ 1.1" }, 505},
+		{"unknown method", func(r *httpgram.Request) { r.Method = "XXXX" }, 400},
+		{"truncated method", func(r *httpgram.Request) { r.Method = "GE" }, 400},
+		{"bad delimiter", func(r *httpgram.Request) { r.Delimiter = "\n" }, 400},
+		{"mangled host word", func(r *httpgram.Request) { r.HostWord = "ost:" }, 400},
+		{"wrong vhost", func(r *httpgram.Request) { r.Hostname = "www.other.example" }, 403},
+		{"padded host", func(r *httpgram.Request) { r.Hostname = "**" + domain + "*" }, 403},
+		{"PUT method", func(r *httpgram.Request) { r.Method = "PUT" }, 405},
+		{"PATCH method", func(r *httpgram.Request) { r.Method = "PATCH" }, 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httpgram.NewRequest(domain)
+			tc.mutate(req)
+			res := s.HandleHTTP(req.Render())
+			if res.Status != tc.status {
+				t.Errorf("status = %d, want %d", res.Status, tc.status)
+			}
+		})
+	}
+}
+
+func TestAlternatePathServed(t *testing.T) {
+	s := NewServer(domain)
+	req := httpgram.NewRequest(domain)
+	req.Path = "/about"
+	res := s.HandleHTTP(req.Render())
+	if res.Status != 200 || !strings.Contains(res.Body, "/about") {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestTolerantPaddingServer(t *testing.T) {
+	s := NewServer(domain)
+	s.TolerantPadding = true
+	req := httpgram.NewRequest("**" + domain + "*")
+	res := s.HandleHTTP(req.Render())
+	if res.Status != 200 || res.ServedDomain != domain {
+		t.Errorf("tolerant server should strip pads: %+v", res)
+	}
+}
+
+func TestWildcardSubdomainServer(t *testing.T) {
+	s := NewServer(domain)
+	s.WildcardSubdomains = true
+	req := httpgram.NewRequest("wiki.hosted.example")
+	res := s.HandleHTTP(req.Render())
+	if res.Status != 200 {
+		t.Errorf("wildcard server should serve subdomains: %+v", res)
+	}
+	req2 := httpgram.NewRequest("wiki.unrelated.example")
+	if res2 := s.HandleHTTP(req2.Render()); res2.Status != 403 {
+		t.Errorf("unrelated domain: %+v", res2)
+	}
+}
+
+func TestHostMatchingCaseInsensitive(t *testing.T) {
+	s := NewServer(domain)
+	req := httpgram.NewRequest(strings.ToUpper(domain))
+	if res := s.HandleHTTP(req.Render()); res.Status != 200 {
+		t.Errorf("case-folded vhost match failed: %+v", res)
+	}
+}
+
+func TestHandleTLSSuccess(t *testing.T) {
+	s := NewServer(domain)
+	res := s.HandleTLS(tlsgram.NewClientHello(domain).Serialize())
+	if !res.OK || res.ServedDomain != domain {
+		t.Fatalf("result = %+v", res)
+	}
+	got, ok := IsServerHello(res.Response)
+	if !ok || got != domain {
+		t.Errorf("IsServerHello = %q, %v", got, ok)
+	}
+}
+
+func TestHandleTLSUnknownSNI(t *testing.T) {
+	s := NewServer(domain)
+	res := s.HandleTLS(tlsgram.NewClientHello("www.other.example").Serialize())
+	if res.OK {
+		t.Fatal("unknown SNI should not handshake")
+	}
+	alert, ok := IsAlert(res.Response)
+	if !ok || alert != AlertUnrecognizedName {
+		t.Errorf("alert = %q, %v", alert, ok)
+	}
+}
+
+func TestHandleTLSNoSNIServesDefault(t *testing.T) {
+	s := NewServer(domain, "alt.example")
+	ch := tlsgram.NewClientHello(domain)
+	ch.RemoveExtension(tlsgram.ExtServerName)
+	res := s.HandleTLS(ch.Serialize())
+	if !res.OK || res.ServedDomain != domain {
+		t.Errorf("no-SNI handshake should serve default cert: %+v", res)
+	}
+}
+
+func TestHandleTLSGarbage(t *testing.T) {
+	s := NewServer(domain)
+	res := s.HandleTLS([]byte("not tls at all"))
+	if res.OK {
+		t.Fatal("garbage should not handshake")
+	}
+	if alert, _ := IsAlert(res.Response); alert != AlertDecodeError {
+		t.Errorf("alert = %q", alert)
+	}
+}
+
+func TestHandleTLSUnsupportedSuites(t *testing.T) {
+	s := NewServer(domain)
+	ch := tlsgram.NewClientHello(domain)
+	ch.CipherSuites = []uint16{0x9999}
+	res := s.HandleTLS(ch.Serialize())
+	if res.OK {
+		t.Fatal("unknown-suite-only hello should fail")
+	}
+	if alert, _ := IsAlert(res.Response); alert != AlertHandshakeFailure {
+		t.Errorf("alert = %q", alert)
+	}
+	ch.CipherSuites = nil
+	if res := s.HandleTLS(ch.Serialize()); res.OK {
+		t.Error("empty-suite hello should fail")
+	}
+}
+
+func TestTolerantPaddingTLS(t *testing.T) {
+	s := NewServer(domain)
+	s.TolerantPadding = true
+	ch := tlsgram.NewClientHello("***" + domain)
+	res := s.HandleTLS(ch.Serialize())
+	if !res.OK {
+		t.Errorf("tolerant server should strip SNI pads: %+v", res)
+	}
+}
+
+func TestIsServerHelloNegative(t *testing.T) {
+	if _, ok := IsServerHello([]byte("HTTP/1.1 200 OK")); ok {
+		t.Error("HTTP response misdetected as ServerHello")
+	}
+	if _, ok := IsAlert([]byte("HTTP/1.1 200 OK")); ok {
+		t.Error("HTTP response misdetected as alert")
+	}
+}
+
+func TestRenderUnknownStatus(t *testing.T) {
+	raw := string(HTTPResult{Status: 599, Body: "x"}.Render())
+	if !strings.HasPrefix(raw, "HTTP/1.1 599 Unknown\r\n") {
+		t.Errorf("rendered = %q", raw)
+	}
+}
+
+func TestBareDomainRedirects(t *testing.T) {
+	s := NewServer(domain) // hosts www.hosted.example
+	req := httpgram.NewRequest("hosted.example")
+	res := s.HandleHTTP(req.Render())
+	if res.Status != 301 {
+		t.Errorf("bare-domain request status = %d, want 301", res.Status)
+	}
+	if !strings.Contains(res.Body, domain) {
+		t.Errorf("redirect body = %q", res.Body)
+	}
+}
+
+func TestResolverHandleDNS(t *testing.T) {
+	addr := netip.MustParseAddr("192.0.2.10")
+	r := NewResolver(map[string]netip.Addr{"www.hosted.example": addr})
+	q := dnsgram.NewQuery(5, "www.hosted.example")
+	resp, err := dnsgram.ParseResponse(r.HandleDNS(q.Serialize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0] != addr {
+		t.Errorf("answers = %v", resp.Answers)
+	}
+	nx, err := dnsgram.ParseResponse(r.HandleDNS(dnsgram.NewQuery(6, "gone.example").Serialize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nx.RCode != dnsgram.RCodeNXDomain {
+		t.Errorf("rcode = %d, want NXDOMAIN", nx.RCode)
+	}
+	if r.HandleDNS([]byte("junk")) != nil {
+		t.Error("garbage should be dropped silently")
+	}
+}

@@ -1,0 +1,32 @@
+package endpoint
+
+import (
+	"net/netip"
+
+	"cendev/internal/dnsgram"
+)
+
+// Resolver is a simulated DNS resolver for the DNS measurement extension:
+// it answers A queries from its zone and NXDOMAINs everything else.
+type Resolver struct {
+	// Zone maps exact domain names to their legitimate addresses.
+	Zone map[string]netip.Addr
+}
+
+// NewResolver returns a resolver serving the given zone.
+func NewResolver(zone map[string]netip.Addr) *Resolver {
+	return &Resolver{Zone: zone}
+}
+
+// HandleDNS parses a raw query and produces the raw response, or nil for
+// unparseable input (real resolvers drop garbage silently).
+func (r *Resolver) HandleDNS(raw []byte) []byte {
+	q, err := dnsgram.ParseQuery(raw)
+	if err != nil {
+		return nil
+	}
+	if addr, ok := r.Zone[q.Name]; ok && q.Type == dnsgram.TypeA {
+		return dnsgram.Answer(q, addr).Serialize()
+	}
+	return dnsgram.NXDomain(q).Serialize()
+}

@@ -1,0 +1,25 @@
+package evolve
+
+import (
+	"cendev/internal/cenfuzz"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// NetworkEvaluator builds an Evaluator that measures each genome's request
+// against a simulated network: evasion when the censor does not block the
+// rendered request, circumvention when the endpoint additionally serves
+// the intended content.
+func NetworkEvaluator(net *simnet.Network, client, ep *topology.Host, testDomain string) Evaluator {
+	fz := cenfuzz.New(net, client, ep, cenfuzz.Config{
+		TestDomain:    testDomain,
+		ControlDomain: testDomain, // unused by raw measurements
+	})
+	return func(g Genome) Outcome {
+		m := fz.Measure(g.Apply(testDomain).Render(), 80)
+		return Outcome{
+			Evaded:       !m.Outcome.Blocked(),
+			Circumvented: m.ServedContent,
+		}
+	}
+}

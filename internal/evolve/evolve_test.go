@@ -1,0 +1,139 @@
+package evolve
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"cendev/internal/endpoint"
+	"cendev/internal/httpgram"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+const (
+	blockedDomain = "www.blocked.example"
+)
+
+func TestGenomeApply(t *testing.T) {
+	g := Genome{GeneMethodPATCH, GeneHostPadTrail, GeneDelimiterLF}
+	r := g.Apply(blockedDomain)
+	if r.Method != "PATCH" {
+		t.Errorf("Method = %q", r.Method)
+	}
+	if r.Hostname != blockedDomain+"*" {
+		t.Errorf("Hostname = %q", r.Hostname)
+	}
+	if r.Delimiter != "\n" {
+		t.Errorf("Delimiter = %q", r.Delimiter)
+	}
+	if !strings.Contains(g.String(), "method=PATCH") {
+		t.Errorf("String = %s", g)
+	}
+}
+
+func TestGenomeApplyOrderMatters(t *testing.T) {
+	lead := Genome{GeneHostPadLead, GeneHostCase}.Apply(blockedDomain)
+	if lead.Hostname != strings.ToUpper("*"+blockedDomain) {
+		t.Errorf("Hostname = %q", lead.Hostname)
+	}
+	stacked := Genome{GeneHostPadTrail, GeneHostPadTrail}.Apply(blockedDomain)
+	if stacked.Hostname != blockedDomain+"**" {
+		t.Errorf("Hostname = %q", stacked.Hostname)
+	}
+}
+
+func TestSearchSyntheticEvaluator(t *testing.T) {
+	// A synthetic censor evaded only by genomes containing PATCH; the
+	// origin serves content only for unmangled host lines.
+	eval := func(g Genome) Outcome {
+		r := g.Apply(blockedDomain)
+		o := Outcome{Evaded: r.Method == "PATCH"}
+		o.Circumvented = o.Evaded && r.HostWord == httpgram.DefaultHostWord &&
+			r.Hostname == blockedDomain && r.Delimiter == httpgram.DefaultDelimiter
+		return o
+	}
+	res := Search(eval, Config{Seed: 3})
+	if !res.BestOutcome.Evaded {
+		t.Fatalf("search failed to find an evading genome: %s", res.Best)
+	}
+	found := false
+	for _, gene := range res.Best {
+		if gene == GeneMethodPATCH {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("best genome %s lacks the required gene", res.Best)
+	}
+	if res.Evaluations == 0 || res.Generations == 0 {
+		t.Error("bookkeeping missing")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	eval := func(g Genome) Outcome {
+		return Outcome{Evaded: len(g) >= 2 && g[0] == g[1]}
+	}
+	a := Search(eval, Config{Seed: 9})
+	b := Search(eval, Config{Seed: 9})
+	if a.Best.String() != b.Best.String() || a.Evaluations != b.Evaluations {
+		t.Error("same seed produced different searches")
+	}
+}
+
+// buildNet creates a network with a Cisco filter and an origin serving the
+// blocked domain.
+func buildNet(t *testing.T) (*simnet.Network, *topology.Host, *topology.Host) {
+	t.Helper()
+	g := topology.NewGraph()
+	asC := g.AddAS(1, "ClientNet", "US")
+	asE := g.AddAS(2, "OriginNet", "US")
+	r1 := g.AddRouter("r1", asC)
+	r2 := g.AddRouter("r2", asE)
+	g.Link("r1", "r2")
+	client := g.AddHost("client", asC, r1)
+	origin := g.AddHost("origin", asE, r2)
+	n := simnet.New(g)
+	srv := endpoint.NewServer(blockedDomain)
+	srv.TolerantPadding = true
+	n.RegisterServer("origin", srv)
+	dev := middlebox.NewDevice("d", middlebox.VendorCisco, []string{blockedDomain}, netip.Addr{})
+	n.AttachDevice("r1", "r2", dev)
+	return n, client, origin
+}
+
+func TestSearchAgainstSimulatedCensor(t *testing.T) {
+	n, client, origin := buildNet(t)
+	eval := NetworkEvaluator(n, client, origin, blockedDomain)
+	res := Search(eval, Config{Seed: 1, Generations: 25})
+	if !res.BestOutcome.Evaded {
+		t.Fatalf("no evading genome found: %s (fitness %.2f)", res.Best, res.BestFitness)
+	}
+	// The Cisco profile + tolerant origin admit full circumvention (e.g.
+	// a trailing host pad); the search should find one.
+	if !res.BestOutcome.Circumvented {
+		t.Errorf("no circumventing genome found: best %s", res.Best)
+	}
+	// The genetic search must be far cheaper than exhaustive permutation
+	// testing (Table 2's 479 permutations × 2 domains).
+	if res.Evaluations >= 479 {
+		t.Errorf("evaluations = %d, want cheaper than exhaustive fuzzing", res.Evaluations)
+	}
+}
+
+func TestSearchHonorsTargetAndMemo(t *testing.T) {
+	calls := 0
+	eval := func(g Genome) Outcome {
+		calls++
+		return Outcome{Evaded: true, Circumvented: true} // everything wins
+	}
+	res := Search(eval, Config{Seed: 2, PopulationSize: 10, Generations: 50})
+	if res.Generations != 1 {
+		t.Errorf("generations = %d, want early stop at target fitness", res.Generations)
+	}
+	if calls != res.Evaluations {
+		t.Errorf("calls = %d, evaluations = %d (memoization broken?)", calls, res.Evaluations)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cendev/internal/endpoint"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// Path-variance calibration (§4.1): the paper runs 200 traceroutes each to
+// 20 controlled endpoints, counts unique paths, and finds that 11
+// traceroutes cover 90% of the paths to an endpoint on average — the
+// justification for CenTrace's 11 repetitions. This harness reproduces the
+// experiment on synthetic high-variance topologies.
+
+// CalibrationResult summarizes the path-variance experiment.
+type CalibrationResult struct {
+	Endpoints int
+	// TotalTraceroutes per endpoint.
+	TotalTraceroutes int
+	// UniquePaths per endpoint.
+	UniquePaths []int
+	// RepsFor90 is, per endpoint, the number of traceroutes after which
+	// 90% of the eventually-observed unique paths had been seen.
+	RepsFor90 []int
+	// MeanRepsFor90 averages RepsFor90.
+	MeanRepsFor90 float64
+}
+
+// calibrationWorld builds numEndpoints endpoints, each reached through a
+// chain of parallel ECMP stages (width branches per stage), giving
+// width^stages distinct equal-cost paths.
+func calibrationWorld(numEndpoints, stages, width int) (*simnet.Network, *topology.Host, []*topology.Host) {
+	g := topology.NewGraph()
+	asC := g.AddAS(1, "ClientNet", "US")
+	asT := g.AddAS(2, "TransitNet", "DE")
+	r0 := g.AddRouter("r0", asC)
+	client := g.AddHost("client", asC, r0)
+	var endpoints []*topology.Host
+	n := 0
+	for e := 0; e < numEndpoints; e++ {
+		asE := g.AddAS(uint32(100+e), fmt.Sprintf("EndNet-%d", e), "KZ")
+		prevStage := []string{"r0"}
+		for s := 0; s < stages; s++ {
+			var stage []string
+			for w := 0; w < width; w++ {
+				id := fmt.Sprintf("m-%d-%d-%d", e, s, w)
+				g.AddRouter(id, asT)
+				n++
+				for _, p := range prevStage {
+					g.Link(p, id)
+				}
+				stage = append(stage, id)
+			}
+			prevStage = stage
+		}
+		last := fmt.Sprintf("last-%d", e)
+		g.AddRouter(last, asE)
+		for _, p := range prevStage {
+			g.Link(p, last)
+		}
+		endpoints = append(endpoints, g.AddHost(fmt.Sprintf("ep-%d", e), asE, g.Router(last)))
+	}
+	net := simnet.New(g)
+	for _, ep := range endpoints {
+		net.RegisterServer(ep.ID, endpoint.NewServer(ControlDomain))
+	}
+	return net, client, endpoints
+}
+
+// pathKey renders a router path as a map key.
+func pathKey(path []*topology.Router) string {
+	ids := make([]string, len(path))
+	for i, r := range path {
+		ids[i] = r.ID
+	}
+	return strings.Join(ids, ">")
+}
+
+// Calibrate runs the §4.1 path-variance experiment: traceroutes per
+// endpoint over fresh source ports, tracking when 90% of the final unique
+// path set has been observed.
+func Calibrate(numEndpoints, traceroutes int) CalibrationResult {
+	net, client, endpoints := calibrationWorld(numEndpoints, 2, 3) // 9 paths/endpoint
+	res := CalibrationResult{Endpoints: numEndpoints, TotalTraceroutes: traceroutes}
+	for _, ep := range endpoints {
+		var order []string // path key per traceroute, in order
+		seen := map[string]int{}
+		for i := 0; i < traceroutes; i++ {
+			srcPort := net.AllocPort()
+			hash := topology.FlowHash(client.Addr, ep.Addr, srcPort, 80, 6)
+			path := net.Graph.PathForFlow(client, ep, hash)
+			key := pathKey(path)
+			if _, ok := seen[key]; !ok {
+				seen[key] = i
+			}
+			order = append(order, key)
+		}
+		unique := len(seen)
+		res.UniquePaths = append(res.UniquePaths, unique)
+		// Find the traceroute index by which 90% of the unique paths had
+		// been first observed.
+		needed := (unique*9 + 9) / 10 // ceil(0.9 * unique)
+		count := 0
+		firstSeen := map[string]bool{}
+		repsFor90 := traceroutes
+		for i, key := range order {
+			if !firstSeen[key] {
+				firstSeen[key] = true
+				count++
+				if count >= needed {
+					repsFor90 = i + 1
+					break
+				}
+			}
+		}
+		res.RepsFor90 = append(res.RepsFor90, repsFor90)
+	}
+	sum := 0
+	for _, r := range res.RepsFor90 {
+		sum += r
+	}
+	if len(res.RepsFor90) > 0 {
+		res.MeanRepsFor90 = float64(sum) / float64(len(res.RepsFor90))
+	}
+	return res
+}
+
+// RenderCalibration formats the calibration outcome.
+func RenderCalibration(r CalibrationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§4.1 path-variance calibration: %d endpoints × %d traceroutes\n",
+		r.Endpoints, r.TotalTraceroutes)
+	for i := range r.UniquePaths {
+		fmt.Fprintf(&b, "  endpoint %2d: %d unique paths, 90%% covered after %d traceroutes\n",
+			i, r.UniquePaths[i], r.RepsFor90[i])
+	}
+	fmt.Fprintf(&b, "mean traceroutes to 90%% coverage: %.1f (paper: 11)\n", r.MeanRepsFor90)
+	return b.String()
+}

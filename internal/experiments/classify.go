@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cendev/internal/features"
+	"cendev/internal/ml"
+)
+
+// Unlabeled-device classification (§7.1): "Using these other network-layer
+// and censorship features, we can then classify the vendors of devices
+// that do not inject blockpages, or do not explicitly display its vendor
+// in banner responses." A random forest trained on the labeled
+// observations predicts a vendor for each unlabeled one.
+
+// Prediction is one unlabeled observation's predicted vendor.
+type Prediction struct {
+	EndpointID string
+	Country    string
+	ASN        uint32
+	Vendor     string
+	// Confidence is the fraction of forest trees voting for the winner.
+	Confidence float64
+}
+
+// ClassifyUnlabeled trains on labeled observations and predicts vendors
+// for the unlabeled ones.
+func ClassifyUnlabeled(c *Corpus) []Prediction {
+	obs := c.Observations()
+	m := features.Extract(obs).Imputed()
+	d, labeledRows, classes := m.LabeledDataset()
+	if len(classes) < 2 || len(d.X) < 4 {
+		return nil
+	}
+	forest := ml.FitForest(d, ml.ForestConfig{NumTrees: 80, Seed: 11})
+	labeled := map[int]bool{}
+	for _, r := range labeledRows {
+		labeled[r] = true
+	}
+	var out []Prediction
+	for i, o := range obs {
+		if labeled[i] {
+			continue
+		}
+		votes := map[int]int{}
+		for _, tree := range forest.Trees {
+			votes[tree.Predict(m.Row(i))]++
+		}
+		best, bestVotes := 0, -1
+		var keys []int
+		for k := range votes {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			if votes[k] > bestVotes {
+				best, bestVotes = k, votes[k]
+			}
+		}
+		out = append(out, Prediction{
+			EndpointID: o.EndpointID,
+			Country:    o.Country,
+			ASN:        o.ASN,
+			Vendor:     classes[best],
+			Confidence: float64(bestVotes) / float64(len(forest.Trees)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EndpointID < out[j].EndpointID })
+	return out
+}
+
+// RenderPredictions formats the §7.1 classification output.
+func RenderPredictions(preds []Prediction) string {
+	var b strings.Builder
+	b.WriteString("§7.1 vendor predictions for unlabeled devices (random forest)\n")
+	for _, p := range preds {
+		fmt.Fprintf(&b, "  %-16s %s AS%-6d → %-14s (%.0f%% of trees)\n",
+			p.EndpointID, p.Country, p.ASN, p.Vendor, 100*p.Confidence)
+	}
+	if len(preds) == 0 {
+		b.WriteString("  (no unlabeled observations)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"cendev/internal/cenfuzz"
+	"cendev/internal/cenprobe"
+	"cendev/internal/centrace"
+	"cendev/internal/features"
+	"cendev/internal/topology"
+)
+
+// TraceRecord is one CenTrace measurement with its context.
+type TraceRecord struct {
+	Country   string
+	InCountry bool
+	Endpoint  EndpointInfo
+	Protocol  centrace.Protocol
+	Domain    string
+	Result    *centrace.Result
+}
+
+// Key identifies the endpoint+protocol+domain of a record.
+func (r *TraceRecord) Key() string {
+	return fmt.Sprintf("%s/%s/%s", r.Endpoint.Host.ID, r.Protocol, r.Domain)
+}
+
+// CorpusConfig bounds the corpus size.
+type CorpusConfig struct {
+	// Repetitions per traceroute (default 5; the paper uses 11 — the
+	// simulated paths have less variance, see EXPERIMENTS.md).
+	Repetitions int
+	// MaxFuzzEndpointsPerCountry caps how many distinct blocking devices
+	// per country get the full CenFuzz treatment, with up to two endpoints
+	// fuzzed per device (default 12).
+	MaxFuzzEndpointsPerCountry int
+	// InCountryEndpoints caps how many endpoints each in-country client
+	// probes (default 3).
+	InCountryEndpoints int
+	// SkipFuzz skips the CenFuzz phase (for trace-only experiments).
+	SkipFuzz bool
+}
+
+func (c CorpusConfig) withDefaults() CorpusConfig {
+	if c.Repetitions == 0 {
+		c.Repetitions = 5
+	}
+	if c.MaxFuzzEndpointsPerCountry == 0 {
+		c.MaxFuzzEndpointsPerCountry = 12
+	}
+	if c.InCountryEndpoints == 0 {
+		c.InCountryEndpoints = 3
+	}
+	return c
+}
+
+// Corpus holds every measurement of one full study run: the raw material
+// for all tables and figures.
+type Corpus struct {
+	Scenario *Scenario
+	Config   CorpusConfig
+	Traces   []TraceRecord
+	// Fuzz maps endpoint host ID → CenFuzz result (remote measurements).
+	Fuzz map[string]*cenfuzz.Result
+	// FuzzTrace maps endpoint host ID → the blocked trace record the fuzz
+	// run was based on, keeping device attribution consistent.
+	FuzzTrace map[string]TraceRecord
+	// InCountryFuzz maps country → CenFuzz result against the test
+	// domains' origin servers (circumvention measurements).
+	InCountryFuzz map[string]*cenfuzz.Result
+	// PotentialDeviceIPs are the control-trace terminating-hop addresses
+	// of blocked in-path measurements (§5.2).
+	PotentialDeviceIPs []netip.Addr
+	// Probes maps device IP → banner grab result.
+	Probes map[netip.Addr]*cenprobe.Result
+}
+
+// BuildCorpus creates the world and runs the full measurement study.
+func BuildCorpus(cfg CorpusConfig) *Corpus {
+	cfg = cfg.withDefaults()
+	s := BuildWorld()
+	c := &Corpus{
+		Scenario:      s,
+		Config:        cfg,
+		Fuzz:          map[string]*cenfuzz.Result{},
+		FuzzTrace:     map[string]TraceRecord{},
+		InCountryFuzz: map[string]*cenfuzz.Result{},
+		Probes:        map[netip.Addr]*cenprobe.Result{},
+	}
+	c.runTraces()
+	c.collectDeviceIPs()
+	c.runProbes()
+	if !cfg.SkipFuzz {
+		c.runFuzz()
+	}
+	return c
+}
+
+// runTraces performs remote CenTraces from the US client to every endpoint
+// for every (domain, protocol), plus in-country CenTraces from each
+// vantage point to a subset of same-country endpoints.
+func (c *Corpus) runTraces() {
+	s := c.Scenario
+	for _, ep := range s.Endpoints {
+		for _, domain := range TestDomainsFor(ep.Country) {
+			for _, proto := range []centrace.Protocol{centrace.HTTP, centrace.HTTPS} {
+				res := c.trace(s.USClient, ep, domain, proto)
+				c.Traces = append(c.Traces, TraceRecord{
+					Country: ep.Country, Endpoint: ep,
+					Protocol: proto, Domain: domain, Result: res,
+				})
+			}
+		}
+	}
+	for _, country := range Countries {
+		client, ok := s.InCountryClients[country]
+		if !ok {
+			continue
+		}
+		// In-country vantage points target unguarded infrastructure
+		// (host-side firewalls are not the censorship under study, §4.3).
+		var eps []EndpointInfo
+		for _, e := range s.EndpointsIn(country) {
+			if !s.Guarded[e.Host.ID] {
+				eps = append(eps, e)
+			}
+			if len(eps) == c.Config.InCountryEndpoints {
+				break
+			}
+		}
+		for _, ep := range eps {
+			for _, domain := range TestDomainsFor(country) {
+				for _, proto := range []centrace.Protocol{centrace.HTTP, centrace.HTTPS} {
+					res := c.trace(client, ep, domain, proto)
+					c.Traces = append(c.Traces, TraceRecord{
+						Country: country, InCountry: true, Endpoint: ep,
+						Protocol: proto, Domain: domain, Result: res,
+					})
+				}
+			}
+		}
+	}
+}
+
+// trace runs one CenTrace measurement.
+func (c *Corpus) trace(client *topology.Host, ep EndpointInfo, domain string, proto centrace.Protocol) *centrace.Result {
+	p := centrace.New(c.Scenario.Net, client, ep.Host, centrace.Config{
+		ControlDomain: ControlDomain,
+		TestDomain:    domain,
+		Protocol:      proto,
+		Repetitions:   c.Config.Repetitions,
+	})
+	return p.Run()
+}
+
+// collectDeviceIPs gathers the potential device addresses: the blocking
+// hops of blocked, in-path measurements (§5.2: "These are the IP addresses
+// of the terminating hop in our Control Domain CenTrace measurement").
+func (c *Corpus) collectDeviceIPs() {
+	seen := map[netip.Addr]bool{}
+	for _, tr := range c.Traces {
+		r := tr.Result
+		if !r.Blocked || r.Placement != centrace.PlacementInPath {
+			continue
+		}
+		addr := r.BlockingHop.Addr
+		if addr.IsValid() && !seen[addr] {
+			seen[addr] = true
+			c.PotentialDeviceIPs = append(c.PotentialDeviceIPs, addr)
+		}
+	}
+	sort.Slice(c.PotentialDeviceIPs, func(i, j int) bool {
+		return c.PotentialDeviceIPs[i].Less(c.PotentialDeviceIPs[j])
+	})
+}
+
+// runProbes banner-grabs every potential device IP.
+func (c *Corpus) runProbes() {
+	for _, r := range cenprobe.ProbeAll(c.Scenario.Net, c.PotentialDeviceIPs) {
+		c.Probes[r.Addr] = r
+	}
+}
+
+// runFuzz fuzzes blocked endpoints — one per distinct blocking hop, so
+// every deployed device gets fuzzed at least once — capped per country,
+// plus the in-country circumvention runs against the origin servers.
+func (c *Corpus) runFuzz() {
+	s := c.Scenario
+	// Pick blocked traces per distinct blocking-hop address, preferring
+	// path blocking over endpoint-side ("At E") guards, and — for path
+	// devices — preferring unguarded endpoints so exactly one device
+	// filters the fuzzed flow.
+	type pick struct{ tr TraceRecord }
+	const endpointsPerHop = 2
+	chosen := map[string][]pick{} // blocking hop → traces
+	for _, preferPath := range []bool{true, false} {
+		for _, tr := range c.Traces {
+			if tr.InCountry || !tr.Result.Blocked {
+				continue
+			}
+			isPath := tr.Result.Location != centrace.LocAtE
+			if isPath != preferPath {
+				continue
+			}
+			if isPath && s.Guarded[tr.Endpoint.Host.ID] {
+				continue // keep the guard out of the device's fingerprint
+			}
+			key := tr.Result.BlockingHop.Addr.String()
+			if !tr.Result.BlockingHop.Addr.IsValid() {
+				key = "hop-ttl-" + fmt.Sprint(tr.Result.DeviceTTL) + "-" + tr.Country
+			}
+			already := false
+			for _, p := range chosen[key] {
+				if p.tr.Endpoint.Host.ID == tr.Endpoint.Host.ID {
+					already = true
+					break
+				}
+			}
+			if !already && len(chosen[key]) < endpointsPerHop {
+				chosen[key] = append(chosen[key], pick{tr})
+			}
+		}
+	}
+	// The per-country cap counts distinct blocking hops (devices), so
+	// vendor coverage survives even when one device blocks many endpoints.
+	// Path-blocking devices take priority over endpoint-side guards.
+	var hopKeys []string
+	for key := range chosen {
+		hopKeys = append(hopKeys, key)
+	}
+	isAtE := func(key string) bool {
+		return chosen[key][0].tr.Result.Location == centrace.LocAtE
+	}
+	sort.Slice(hopKeys, func(i, j int) bool {
+		a, b := hopKeys[i], hopKeys[j]
+		if isAtE(a) != isAtE(b) {
+			return !isAtE(a)
+		}
+		return a < b
+	})
+	perCountry := map[string]int{}
+	for _, key := range hopKeys {
+		country := chosen[key][0].tr.Country
+		if perCountry[country] >= c.Config.MaxFuzzEndpointsPerCountry {
+			continue
+		}
+		perCountry[country]++
+		for _, p := range chosen[key] {
+			tr := p.tr
+			id := tr.Endpoint.Host.ID
+			if _, done := c.Fuzz[id]; done {
+				continue
+			}
+			fz := cenfuzz.New(s.Net, s.USClient, tr.Endpoint.Host, cenfuzz.Config{
+				TestDomain:    tr.Domain,
+				ControlDomain: ControlDomain,
+			})
+			c.Fuzz[id] = fz.Run(nil)
+			c.FuzzTrace[id] = tr
+		}
+	}
+	// In-country circumvention runs: client → the blocked domain's origin.
+	for _, country := range []string{"AZ", "KZ"} {
+		client, ok := s.InCountryClients[country]
+		if !ok {
+			continue
+		}
+		domain := TestDomainsFor(country)[1] // the country-specific domain
+		origin := s.Origins[domain]
+		if origin == nil {
+			continue
+		}
+		fz := cenfuzz.New(s.Net, client, origin, cenfuzz.Config{
+			TestDomain:    domain,
+			ControlDomain: ControlDomain,
+		})
+		c.InCountryFuzz[country] = fz.Run(nil)
+	}
+}
+
+// BlockedTraces returns the blocked remote trace records for a country
+// ("" = all).
+func (c *Corpus) BlockedTraces(country string) []TraceRecord {
+	var out []TraceRecord
+	for _, tr := range c.Traces {
+		if tr.InCountry || !tr.Result.Blocked {
+			continue
+		}
+		if country == "" || tr.Country == country {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Observations assembles the per-endpoint feature observations for the
+// clustering pipeline: one observation per fuzzed blocked endpoint, using
+// the same trace record the fuzz run was based on so the device
+// attribution is consistent.
+func (c *Corpus) Observations() []*features.Observation {
+	var ids []string
+	for id := range c.Fuzz {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []*features.Observation
+	for _, id := range ids {
+		tr, ok := c.FuzzTrace[id]
+		if !ok {
+			continue
+		}
+		obs := &features.Observation{
+			EndpointID: id,
+			Country:    tr.Country,
+			ASN:        tr.Endpoint.ASN,
+			Trace:      tr.Result,
+			Fuzz:       c.Fuzz[id],
+		}
+		if p, ok := c.Probes[tr.Result.BlockingHop.Addr]; ok {
+			obs.Probe = p
+		}
+		out = append(out, obs)
+	}
+	return out
+}

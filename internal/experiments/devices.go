@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DeviceRow is one deployment in the world inventory.
+type DeviceRow struct {
+	ID        string
+	Vendor    string
+	Country   string
+	ASN       uint32
+	Placement string
+	Action    string
+	Addressed bool
+	Services  int
+}
+
+// DeviceInventory lists every deployed device, the ground truth the
+// measurement pipeline tries to rediscover.
+func DeviceInventory(s *Scenario) []DeviceRow {
+	var rows []DeviceRow
+	for _, d := range s.Devices {
+		rows = append(rows, DeviceRow{
+			ID:        d.Device.ID,
+			Vendor:    string(d.Device.Vendor),
+			Country:   d.Country,
+			ASN:       d.ASN,
+			Placement: d.Device.Placement.String(),
+			Action:    d.Device.Action.String(),
+			Addressed: d.Device.Addr.IsValid(),
+			Services:  len(d.Device.Services),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Country != rows[j].Country {
+			return rows[i].Country < rows[j].Country
+		}
+		return rows[i].ID < rows[j].ID
+	})
+	return rows
+}
+
+// RenderDeviceInventory formats the inventory table (ground truth; the
+// §5.3 comparison point for what banner grabs recover).
+func RenderDeviceInventory(rows []DeviceRow) string {
+	var b strings.Builder
+	b.WriteString("Ground-truth device inventory (what CenTrace/CenProbe try to rediscover)\n")
+	b.WriteString("Co. | ASN    | ID                   | Vendor          | Place   | Action    | Addr | Svcs\n")
+	for _, r := range rows {
+		if strings.HasPrefix(r.ID, "guard-") {
+			continue // summarized below
+		}
+		addr := "-"
+		if r.Addressed {
+			addr = "yes"
+		}
+		fmt.Fprintf(&b, "%-3s | %-6d | %-20s | %-15s | %-7s | %-9s | %-4s | %d\n",
+			r.Country, r.ASN, r.ID, r.Vendor, r.Placement, r.Action, addr, r.Services)
+	}
+	guards := 0
+	for _, r := range rows {
+		if strings.HasPrefix(r.ID, "guard-") {
+			guards++
+		}
+	}
+	fmt.Fprintf(&b, "plus %d endpoint-side guards (the At E class)\n", guards)
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+
+	"cendev/internal/centrace"
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// Directionality models the §4.2 caveat: "our remote measurements assume
+// that most censorship devices consider traffic in both directions ...
+// however, this may not always be the case (e.g. [79]). We account for
+// this partially using in-country measurements." A device that inspects
+// only traffic leaving the country is invisible to remote probing but
+// caught by the in-country vantage point.
+type Directionality struct {
+	// RemoteBlocked is the remote measurement's verdict for an endpoint
+	// behind the outbound-only filter.
+	RemoteBlocked bool
+	// InCountryBlocked is the in-country measurement's verdict for an
+	// origin server outside the country, crossing the same filter.
+	InCountryBlocked bool
+	InCountryHop     centrace.HopInfo
+}
+
+// DirectionalityDemo builds a minimal country with an outbound-only filter
+// and runs both measurement directions.
+func DirectionalityDemo() Directionality {
+	const blocked = "www.blocked.example"
+	g := topology.NewGraph()
+	asUS := g.AddAS(1, "MeasurementNet", "US")
+	asX := g.AddAS(2, "CountryNet", "XX")
+	asC := g.AddAS(3, "ContentNet", "US")
+	usR := g.AddRouter("us-r", asUS)
+	border := g.AddRouter("x-border", asX)
+	core := g.AddRouter("x-core", asX)
+	contentR := g.AddRouter("content-r", asC)
+	g.Link("us-r", "x-border")
+	g.Link("x-border", "x-core")
+	g.Link("us-r", "content-r")
+	_ = border
+
+	remote := g.AddHost("remote-client", asUS, usR)
+	inCountry := g.AddHost("x-client", asX, core)
+	insideEp := g.AddHost("x-endpoint", asX, core)
+	origin := g.AddHost("origin", asC, contentR)
+
+	n := simnet.New(g)
+	n.RegisterServer("x-endpoint", endpoint.NewServer(ControlDomain))
+	n.RegisterServer("origin", endpoint.NewServer(blocked, ControlDomain))
+
+	// The filter inspects only the outbound direction: core → border.
+	dev := middlebox.NewDevice("outbound-filter", middlebox.VendorUnknownDrop,
+		[]string{blocked}, netip.Addr{})
+	n.AttachDevice("x-core", "x-border", dev)
+
+	res := Directionality{}
+	remoteRes := centrace.New(n, remote, insideEp, centrace.Config{
+		ControlDomain: ControlDomain, TestDomain: blocked, Repetitions: 3,
+	}).Run()
+	res.RemoteBlocked = remoteRes.Blocked
+
+	inRes := centrace.New(n, inCountry, origin, centrace.Config{
+		ControlDomain: ControlDomain, TestDomain: blocked, Repetitions: 3,
+	}).Run()
+	res.InCountryBlocked = inRes.Blocked
+	res.InCountryHop = inRes.BlockingHop
+	return res
+}
+
+// RenderDirectionality formats the demonstration.
+func RenderDirectionality(d Directionality) string {
+	return fmt.Sprintf(
+		"§4.2 directionality: outbound-only filter\n"+
+			"  remote measurement (into the country):   blocked=%v (filter invisible)\n"+
+			"  in-country measurement (out of country): blocked=%v at %s\n",
+		d.RemoteBlocked, d.InCountryBlocked, d.InCountryHop)
+}

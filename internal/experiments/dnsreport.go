@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cendev/internal/centrace"
+)
+
+// DNSReport summarizes the §8 DNS-extension measurement against the
+// world's Russian public resolver.
+type DNSReport struct {
+	Resolver string
+	Rows     []DNSRow
+}
+
+// DNSRow is one domain's DNS measurement.
+type DNSRow struct {
+	Domain   string
+	Blocked  bool
+	Injected bool
+	Hop      centrace.HopInfo
+}
+
+// DNSExtension measures every study domain over DNS against the resolver.
+func DNSExtension(s *Scenario) DNSReport {
+	rep := DNSReport{}
+	if s.DNSResolver == nil {
+		return rep
+	}
+	rep.Resolver = s.DNSResolver.ID
+	domains := []string{GlobalBlocked, RUBlocked, RUNews, OpenNews, KZPoker}
+	for _, domain := range domains {
+		res := centrace.New(s.Net, s.USClient, s.DNSResolver, centrace.Config{
+			ControlDomain: ControlDomain,
+			TestDomain:    domain,
+			Protocol:      centrace.DNS,
+			Repetitions:   3,
+		}).Run()
+		rep.Rows = append(rep.Rows, DNSRow{
+			Domain:   domain,
+			Blocked:  res.Blocked,
+			Injected: res.BlockpageID == "dns-injection",
+			Hop:      res.BlockingHop,
+		})
+	}
+	return rep
+}
+
+// RenderDNSReport formats the DNS extension results.
+func RenderDNSReport(r DNSReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§8 DNS extension: queries to resolver %s through the on-path injector\n", r.Resolver)
+	for _, row := range r.Rows {
+		verdict := "honest answer"
+		if row.Injected {
+			verdict = fmt.Sprintf("forged answer injected at %s", row.Hop)
+		} else if row.Blocked {
+			verdict = "dropped"
+		}
+		fmt.Fprintf(&b, "  %-28s %s\n", row.Domain, verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cendev/internal/centrace"
+)
+
+// Fig3Cell counts blocked traceroutes for one (country, response kind,
+// location) combination — the bars of Figure 3.
+type Fig3Cell struct {
+	Country  string
+	Kind     centrace.ResponseKind
+	Location centrace.LocationClass
+	Count    int
+}
+
+// Fig3 reproduces Figure 3: the distribution of blocking type (RST /
+// TIMEOUT / FIN / HTTP) and blocking location (Path(C->E) / At E / No ICMP
+// / Past E) per country, over blocked remote measurements.
+func Fig3(c *Corpus) []Fig3Cell {
+	counts := map[[3]int]int{}
+	countryIdx := map[string]int{}
+	for i, co := range Countries {
+		countryIdx[co] = i
+	}
+	for _, tr := range c.BlockedTraces("") {
+		key := [3]int{countryIdx[tr.Country], int(tr.Result.TermKind), int(tr.Result.Location)}
+		counts[key]++
+	}
+	var out []Fig3Cell
+	kinds := []centrace.ResponseKind{centrace.KindRST, centrace.KindTimeout, centrace.KindFIN, centrace.KindData}
+	locs := []centrace.LocationClass{centrace.LocPath, centrace.LocAtE, centrace.LocNoICMP, centrace.LocPastE}
+	for ci, country := range Countries {
+		for _, k := range kinds {
+			for _, l := range locs {
+				if n := counts[[3]int{ci, int(k), int(l)}]; n > 0 {
+					out = append(out, Fig3Cell{Country: country, Kind: k, Location: l, Count: n})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Fig3Stats summarizes the headline numbers §4.3 derives from Figure 3.
+type Fig3Stats struct {
+	TotalBlocked     int
+	DropOrRST        int // packet drops + reset injections
+	PathCE           int
+	AtE              int
+	PastE            int
+	NoICMP           int
+	DropOrRSTPercent float64
+	PathCEPercent    float64
+	AtEPercent       float64
+}
+
+// Fig3Summary computes the §4.3 aggregates.
+func Fig3Summary(cells []Fig3Cell) Fig3Stats {
+	var s Fig3Stats
+	for _, c := range cells {
+		s.TotalBlocked += c.Count
+		if c.Kind == centrace.KindRST || c.Kind == centrace.KindTimeout {
+			s.DropOrRST += c.Count
+		}
+		switch c.Location {
+		case centrace.LocPath:
+			s.PathCE += c.Count
+		case centrace.LocAtE:
+			s.AtE += c.Count
+		case centrace.LocPastE:
+			s.PastE += c.Count
+		case centrace.LocNoICMP:
+			s.NoICMP += c.Count
+		}
+	}
+	if s.TotalBlocked > 0 {
+		s.DropOrRSTPercent = 100 * float64(s.DropOrRST) / float64(s.TotalBlocked)
+		s.PathCEPercent = 100 * float64(s.PathCE) / float64(s.TotalBlocked)
+		s.AtEPercent = 100 * float64(s.AtE) / float64(s.TotalBlocked)
+	}
+	return s
+}
+
+// RenderFig3 formats the Figure 3 distribution.
+func RenderFig3(cells []Fig3Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: blocking type and location per country\n")
+	b.WriteString("Co. | Type    | Location   | CenTraces\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-3s | %-7s | %-10s | %d\n", c.Country, c.Kind, c.Location, c.Count)
+	}
+	s := Fig3Summary(cells)
+	fmt.Fprintf(&b, "\nSummary (§4.3): %d blocked; drops+resets %.2f%%; Path(C->E) %.2f%%; At E %.2f%%; Past E %d; No ICMP %d\n",
+		s.TotalBlocked, s.DropOrRSTPercent, s.PathCEPercent, s.AtEPercent, s.PastE, s.NoICMP)
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cendev/internal/centrace"
+)
+
+// Fig4Row summarizes one country's device placement and distance data —
+// Figure 4: in-path vs on-path counts and the hop difference between the
+// blocking location and the endpoint.
+type Fig4Row struct {
+	Country string
+	InPath  int
+	OnPath  int
+	// HopsFromEndpoint is the distribution of (endpoint hop − blocking
+	// hop) for blocked measurements with the device on the path.
+	HopsFromEndpoint []int
+}
+
+// Fig4 computes the Figure 4 data from blocked remote traces.
+func Fig4(c *Corpus) []Fig4Row {
+	byCountry := map[string]*Fig4Row{}
+	for _, country := range Countries {
+		byCountry[country] = &Fig4Row{Country: country}
+	}
+	for _, tr := range c.BlockedTraces("") {
+		row := byCountry[tr.Country]
+		switch tr.Result.Placement {
+		case centrace.PlacementInPath:
+			row.InPath++
+		case centrace.PlacementOnPath:
+			row.OnPath++
+		}
+		if tr.Result.Location == centrace.LocPath && tr.Result.EndpointTTL > 0 {
+			row.HopsFromEndpoint = append(row.HopsFromEndpoint,
+				tr.Result.EndpointTTL-tr.Result.DeviceTTL)
+		}
+	}
+	var out []Fig4Row
+	for _, country := range Countries {
+		sort.Ints(byCountry[country].HopsFromEndpoint)
+		out = append(out, *byCountry[country])
+	}
+	return out
+}
+
+// NearEndpointShare returns the fraction of blocked measurements whose
+// blocking hop is one or two hops from the endpoint (§4.3: "More than 35%
+// of the blocking happens one or two hops away from the endpoint").
+func NearEndpointShare(rows []Fig4Row) float64 {
+	total, near := 0, 0
+	for _, r := range rows {
+		for _, h := range r.HopsFromEndpoint {
+			total++
+			if h <= 2 {
+				near++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(near) / float64(total)
+}
+
+// RenderFig4 formats the Figure 4 data.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: in-path vs on-path devices and hops from the endpoint\n")
+	b.WriteString("Co. | In-path | On-path | Hops-from-endpoint distribution\n")
+	for _, r := range rows {
+		hist := map[int]int{}
+		for _, h := range r.HopsFromEndpoint {
+			hist[h]++
+		}
+		var keys []int
+		for k := range hist {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%d hops×%d", k, hist[k]))
+		}
+		fmt.Fprintf(&b, "%-3s | %7d | %7d | %s\n", r.Country, r.InPath, r.OnPath, strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&b, "\nShare within 1–2 hops of endpoint: %.1f%% (§4.3: >35%%)\n", 100*NearEndpointShare(rows))
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fig5Row is one strategy's evasion success rate in one country — the bars
+// of Figure 5.
+type Fig5Row struct {
+	Strategy string
+	Country  string
+	// Valid and Evaded count valid permutations and evasions across the
+	// country's fuzzed endpoints.
+	Valid  int
+	Evaded int
+}
+
+// Rate is the percentage of valid permutations that evaded.
+func (r Fig5Row) Rate() float64 {
+	if r.Valid == 0 {
+		return 0
+	}
+	return 100 * float64(r.Evaded) / float64(r.Valid)
+}
+
+// Fig5 aggregates CenFuzz results per (strategy, country).
+func Fig5(c *Corpus) []Fig5Row {
+	countryOf := map[string]string{}
+	for _, tr := range c.Traces {
+		countryOf[tr.Endpoint.Host.ID] = tr.Country
+	}
+	acc := map[[2]string]*Fig5Row{}
+	for epID, res := range c.Fuzz {
+		country := countryOf[epID]
+		for i := range res.Strategies {
+			sr := &res.Strategies[i]
+			key := [2]string{sr.Name, country}
+			row, ok := acc[key]
+			if !ok {
+				row = &Fig5Row{Strategy: sr.Name, Country: country}
+				acc[key] = row
+			}
+			for _, p := range sr.Perms {
+				if p.Valid {
+					row.Valid++
+					if p.Evaded {
+						row.Evaded++
+					}
+				}
+			}
+		}
+	}
+	var out []Fig5Row
+	for _, r := range acc {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Strategy != out[j].Strategy {
+			return out[i].Strategy < out[j].Strategy
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// Fig5StrategyTotals aggregates across countries (for §6.3 headline rates).
+func Fig5StrategyTotals(rows []Fig5Row) map[string]Fig5Row {
+	out := map[string]Fig5Row{}
+	for _, r := range rows {
+		t := out[r.Strategy]
+		t.Strategy = r.Strategy
+		t.Valid += r.Valid
+		t.Evaded += r.Evaded
+		out[r.Strategy] = t
+	}
+	return out
+}
+
+// RenderFig5 formats the Figure 5 matrix (strategies × countries).
+func RenderFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: success rates of CenFuzz strategies (% of valid permutations that evade)\n")
+	fmt.Fprintf(&b, "%-24s", "Strategy")
+	for _, c := range Countries {
+		fmt.Fprintf(&b, " | %6s", c)
+	}
+	b.WriteString("\n")
+	byStrategy := map[string]map[string]Fig5Row{}
+	var names []string
+	for _, r := range rows {
+		if byStrategy[r.Strategy] == nil {
+			byStrategy[r.Strategy] = map[string]Fig5Row{}
+			names = append(names, r.Strategy)
+		}
+		byStrategy[r.Strategy][r.Country] = r
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-24s", name)
+		for _, c := range Countries {
+			if r, ok := byStrategy[name][c]; ok && r.Valid > 0 {
+				fmt.Fprintf(&b, " | %5.1f%%", r.Rate())
+			} else {
+				fmt.Fprintf(&b, " | %6s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CircumventionReport summarizes the in-country circumvention findings
+// (§6.3: padded pokerstars fetched content; subdomain dailymotion worked).
+type CircumventionReport struct {
+	Country  string
+	Domain   string
+	Strategy string
+	// Circumvented counts permutations that evaded and fetched the real
+	// content from the origin server.
+	Circumvented int
+	Evaded       int
+}
+
+// Circumvention extracts the in-country circumvention outcomes.
+func Circumvention(c *Corpus) []CircumventionReport {
+	var out []CircumventionReport
+	var countries []string
+	for country := range c.InCountryFuzz {
+		countries = append(countries, country)
+	}
+	sort.Strings(countries)
+	for _, country := range countries {
+		res := c.InCountryFuzz[country]
+		for i := range res.Strategies {
+			sr := &res.Strategies[i]
+			rep := CircumventionReport{Country: country, Domain: res.TestDomain, Strategy: sr.Name}
+			for _, p := range sr.Perms {
+				if p.Evaded {
+					rep.Evaded++
+				}
+				if p.Circumvented {
+					rep.Circumvented++
+				}
+			}
+			if rep.Evaded > 0 {
+				out = append(out, rep)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cendev/internal/features"
+	"cendev/internal/ml"
+)
+
+// Fig6Result is the clustering outcome of §7.3 / Figure 6.
+type Fig6Result struct {
+	// Epsilon is the k-distance-estimated DBSCAN ε.
+	Epsilon float64
+	// TopFeatures are the names of the selected top-importance features.
+	TopFeatures []string
+	// Clusters maps cluster id → per-country endpoint counts.
+	Clusters map[int]map[string]int
+	// Noise is the number of unclustered endpoints.
+	Noise int
+	// SameCountryShare is the fraction of clustered endpoints whose
+	// cluster is single-country (§7.4: "69% of endpoints form tight
+	// clusters with other endpoints in the same country").
+	SameCountryShare float64
+	// Labels and the observations, for downstream analysis.
+	Assignment   ml.DBSCANResult
+	Observations []*features.Observation
+}
+
+// Fig6Config bounds the clustering pipeline.
+type Fig6Config struct {
+	TopK   int // top-importance features used (default 10, §7.3)
+	MinPts int // DBSCAN minimum cluster size (default 2)
+	// EpsilonOverride skips k-distance estimation when > 0.
+	EpsilonOverride float64
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	if c.TopK == 0 {
+		c.TopK = 10
+	}
+	if c.MinPts == 0 {
+		c.MinPts = 2
+	}
+	return c
+}
+
+// Fig6 runs the full clustering pipeline: feature extraction (§7.1),
+// RF-based feature selection (§7.2), and DBSCAN with k-distance ε (§7.3).
+func Fig6(c *Corpus, cfg Fig6Config) *Fig6Result {
+	cfg = cfg.withDefaults()
+	obs := c.Observations()
+	m := features.Extract(obs)
+
+	// Feature importance from the labeled subset picks the top-K columns.
+	_, importance := Fig9(c)
+	top := ml.TopKIndices(importance, cfg.TopK)
+	sub := m.SelectColumns(top).Imputed()
+	ml.Standardize(sub.X)
+
+	eps := cfg.EpsilonOverride
+	if eps == 0 {
+		eps = ml.KDistanceEpsilon(sub.X, cfg.MinPts)
+	}
+	res := ml.DBSCAN(sub.X, eps, cfg.MinPts)
+
+	out := &Fig6Result{
+		Epsilon:      eps,
+		Clusters:     map[int]map[string]int{},
+		Assignment:   res,
+		Observations: obs,
+	}
+	for _, i := range top {
+		out.TopFeatures = append(out.TopFeatures, m.Names[i])
+	}
+	clustered, sameCountry := 0, 0
+	for i, label := range res.Labels {
+		if label == ml.Noise {
+			out.Noise++
+			continue
+		}
+		if out.Clusters[label] == nil {
+			out.Clusters[label] = map[string]int{}
+		}
+		out.Clusters[label][obs[i].Country]++
+	}
+	for _, countries := range out.Clusters {
+		total := 0
+		for _, n := range countries {
+			total += n
+		}
+		clustered += total
+		if len(countries) == 1 {
+			sameCountry += total
+		}
+	}
+	if clustered > 0 {
+		out.SameCountryShare = float64(sameCountry) / float64(clustered)
+	}
+	return out
+}
+
+// RenderFig6 formats the cluster composition like Figure 6.
+func RenderFig6(r *Fig6Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: DBSCAN clusters (eps=%.2f from k-distance, top features: %s)\n",
+		r.Epsilon, strings.Join(r.TopFeatures, ", "))
+	var ids []int
+	for id := range r.Clusters {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		var parts []string
+		for _, country := range Countries {
+			if n := r.Clusters[id][country]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s×%d", country, n))
+			}
+		}
+		fmt.Fprintf(&b, "cluster %2d: %s\n", id, strings.Join(parts, " "))
+	}
+	fmt.Fprintf(&b, "noise: %d\nsame-country share: %.0f%% (§7.4: 69%%)\n", r.Noise, 100*r.SameCountryShare)
+	return b.String()
+}

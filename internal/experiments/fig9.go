@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cendev/internal/features"
+	"cendev/internal/ml"
+)
+
+// Fig9 reproduces §7.2 / Figure 9: train a random-forest classifier on the
+// labeled device observations (3 × 5-fold cross-validation) and report
+// per-feature MDI importance. Returns the CV accuracies and the feature
+// importances aligned with features.FeatureNames().
+func Fig9(c *Corpus) (accuracies []float64, importance []float64) {
+	obs := c.Observations()
+	m := features.Extract(obs).Imputed()
+	d, _, classes := labeledDataset(m)
+	if len(d.X) < 5 || len(classes) < 2 {
+		// Too few labels to train; return zeros so callers degrade
+		// gracefully (the caller's corpus was probably trace-only).
+		return nil, make([]float64, len(m.Names))
+	}
+	return ml.CrossValidate(d, ml.ForestConfig{NumTrees: 60, Seed: 1}, 5, 3)
+}
+
+// labeledDataset adapts features.Matrix.LabeledDataset (kept here so Fig9
+// can work on the imputed copy).
+func labeledDataset(m *features.Matrix) (*ml.Dataset, []int, []string) {
+	return m.LabeledDataset()
+}
+
+// Fig9Confusion runs the same 3×5-fold CV but accumulates a per-vendor
+// confusion matrix over held-out predictions, giving per-class precision
+// and recall for the vendor classifier.
+func Fig9Confusion(c *Corpus) *ml.ConfusionMatrix {
+	obs := c.Observations()
+	m := features.Extract(obs).Imputed()
+	d, _, classes := m.LabeledDataset()
+	if len(classes) < 2 || len(d.X) < 5 {
+		return ml.NewConfusionMatrix(classes)
+	}
+	return ml.CrossValidateConfusion(d, classes, ml.ForestConfig{NumTrees: 60, Seed: 1}, 5, 3)
+}
+
+// Fig9Row pairs a feature with its importance.
+type Fig9Row struct {
+	Feature    string
+	Importance float64
+}
+
+// Fig9Ranked returns features sorted by descending MDI.
+func Fig9Ranked(c *Corpus) []Fig9Row {
+	_, imp := Fig9(c)
+	names := features.FeatureNames()
+	rows := make([]Fig9Row, 0, len(names))
+	for i, name := range names {
+		rows = append(rows, Fig9Row{Feature: name, Importance: imp[i]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Importance > rows[j].Importance })
+	return rows
+}
+
+// RenderFig9 formats the importance ranking like Figure 9.
+func RenderFig9(c *Corpus) string {
+	accs, _ := Fig9(c)
+	rows := Fig9Ranked(c)
+	var b strings.Builder
+	b.WriteString("Figure 9: importance of device features (random-forest MDI, 3×5-fold CV)\n")
+	if len(accs) > 0 {
+		mean := 0.0
+		for _, a := range accs {
+			mean += a
+		}
+		fmt.Fprintf(&b, "CV accuracy: %.2f over %d folds\n", mean/float64(len(accs)), len(accs))
+	}
+	for _, r := range rows {
+		if r.Importance <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %.4f %s\n", r.Feature, r.Importance, bar(r.Importance, 40))
+	}
+	b.WriteString("\nVendor confusion matrix (held-out predictions):\n")
+	b.WriteString(Fig9Confusion(c).String())
+	return b.String()
+}
+
+func bar(v float64, scale int) string {
+	n := int(v * float64(scale) * 4)
+	if n > scale {
+		n = scale
+	}
+	return strings.Repeat("#", n)
+}

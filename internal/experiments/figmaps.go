@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// PathGraph is the traceroute-derived graph behind Figures 1 and 10–12:
+// nodes are hop addresses annotated with AS metadata, edges carry how many
+// traceroutes used them and whether blocking was observed on them.
+type PathGraph struct {
+	Title string
+	Nodes map[netip.Addr]PathNode
+	Edges map[[2]netip.Addr]*PathEdge
+}
+
+// PathNode annotates one hop.
+type PathNode struct {
+	Addr    netip.Addr
+	ASN     uint32
+	Org     string
+	Country string
+}
+
+// PathEdge is one link in the traceroute graph.
+type PathEdge struct {
+	Traces  int
+	Blocked int // traceroutes whose blocking hop is the edge head
+}
+
+// BuildPathGraph assembles the graph from CenTrace results for one country
+// and client side (inCountry selects Figure 1-style vs Figure 10–12-style
+// views).
+func BuildPathGraph(c *Corpus, country string, inCountry bool) *PathGraph {
+	g := &PathGraph{
+		Title: fmt.Sprintf("CenTrace paths: %s (in-country=%v)", country, inCountry),
+		Nodes: map[netip.Addr]PathNode{},
+		Edges: map[[2]netip.Addr]*PathEdge{},
+	}
+	for _, tr := range c.Traces {
+		if tr.Country != country || tr.InCountry != inCountry {
+			continue
+		}
+		res := tr.Result
+		// Reconstruct the modal hop sequence from the control aggregate.
+		var prev netip.Addr
+		prevSet := false
+		maxTTL := res.EndpointTTL
+		if maxTTL == 0 {
+			maxTTL = res.TermTTL
+		}
+		for ttl := 1; ttl <= maxTTL; ttl++ {
+			addr, ok := res.Control.MostLikelyHop(ttl)
+			if !ok {
+				if ttl == res.EndpointTTL {
+					addr = res.Endpoint
+				} else {
+					prevSet = false
+					continue
+				}
+			}
+			g.addNode(c, addr)
+			if prevSet {
+				key := [2]netip.Addr{prev, addr}
+				e := g.Edges[key]
+				if e == nil {
+					e = &PathEdge{}
+					g.Edges[key] = e
+				}
+				e.Traces++
+				if res.Blocked && res.DeviceTTL == ttl {
+					e.Blocked++
+				}
+			}
+			prev = addr
+			prevSet = true
+		}
+	}
+	return g
+}
+
+func (g *PathGraph) addNode(c *Corpus, addr netip.Addr) {
+	if _, ok := g.Nodes[addr]; ok {
+		return
+	}
+	info, _ := c.Scenario.Net.Geo.Lookup(addr)
+	g.Nodes[addr] = PathNode{Addr: addr, ASN: info.ASN, Org: info.Name, Country: info.Country}
+}
+
+// BlockedEdges returns the edges on which blocking was observed.
+func (g *PathGraph) BlockedEdges() [][2]netip.Addr {
+	var out [][2]netip.Addr
+	for key, e := range g.Edges {
+		if e.Blocked > 0 {
+			out = append(out, key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Less(out[j][0]) })
+	return out
+}
+
+// RenderDOT renders the graph in Graphviz DOT, blocked links in red —
+// the same presentation as Figures 1 and 10–12.
+func (g *PathGraph) RenderDOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph centrace {\n  label=%q;\n  rankdir=LR;\n", g.Title)
+	var addrs []netip.Addr
+	for a := range g.Nodes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	for _, a := range addrs {
+		n := g.Nodes[a]
+		fmt.Fprintf(&b, "  %q [label=\"%s\\nAS%d %s (%s)\"];\n", a, a, n.ASN, n.Org, n.Country)
+	}
+	var keys [][2]netip.Addr
+	for k := range g.Edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0].Less(keys[j][0])
+		}
+		return keys[i][1].Less(keys[j][1])
+	})
+	for _, k := range keys {
+		e := g.Edges[k]
+		attrs := fmt.Sprintf("label=\"%d\"", e.Traces)
+		if e.Blocked > 0 {
+			attrs = fmt.Sprintf("label=\"%d (blocked %d)\" color=red penwidth=2", e.Traces, e.Blocked)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", k[0], k[1], attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RenderASCII renders a per-AS blocking summary as text.
+func (g *PathGraph) RenderASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Title)
+	blockedByAS := map[string]int{}
+	for key, e := range g.Edges {
+		if e.Blocked == 0 {
+			continue
+		}
+		head := g.Nodes[key[1]]
+		label := fmt.Sprintf("AS%d %s (%s)", head.ASN, head.Org, head.Country)
+		blockedByAS[label] += e.Blocked
+	}
+	var labels []string
+	for l := range blockedByAS {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "  blocking at %-40s ×%d\n", l, blockedByAS[l])
+	}
+	if len(labels) == 0 {
+		b.WriteString("  (no blocking observed)\n")
+	}
+	return b.String()
+}
+
+// Fig1 is the KZ in-country view (Figure 1).
+func Fig1(c *Corpus) *PathGraph { return BuildPathGraph(c, "KZ", true) }
+
+// Fig10 is the AZ remote view (Figure 10).
+func Fig10(c *Corpus) *PathGraph { return BuildPathGraph(c, "AZ", false) }
+
+// Fig11 is the BY remote view (Figure 11).
+func Fig11(c *Corpus) *PathGraph { return BuildPathGraph(c, "BY", false) }
+
+// Fig12 is the KZ remote view (Figure 12).
+func Fig12(c *Corpus) *PathGraph { return BuildPathGraph(c, "KZ", false) }

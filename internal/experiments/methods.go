@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cendev/internal/cenfuzz"
+)
+
+// PermRate is the aggregate evasion rate of one specific permutation of
+// one strategy across all fuzzed endpoints — the granularity at which
+// §6.3 reports "using the PUT, PATCH and an empty HTTP method evade the
+// censorship device 21.63%, 82.15%, and 92.01% of the times".
+type PermRate struct {
+	Strategy string
+	Desc     string
+	Valid    int
+	Evaded   int
+}
+
+// Rate returns the evasion percentage.
+func (p PermRate) Rate() float64 {
+	if p.Valid == 0 {
+		return 0
+	}
+	return 100 * float64(p.Evaded) / float64(p.Valid)
+}
+
+// PermutationRates aggregates per-permutation outcomes for one strategy
+// across the corpus's fuzz runs, in permutation order.
+func PermutationRates(c *Corpus, strategy string) []PermRate {
+	acc := map[string]*PermRate{}
+	var order []string
+	for _, res := range fuzzInOrder(c) {
+		sr := res.Strategy(strategy)
+		if sr == nil {
+			continue
+		}
+		for _, p := range sr.Perms {
+			r, ok := acc[p.Desc]
+			if !ok {
+				r = &PermRate{Strategy: strategy, Desc: p.Desc}
+				acc[p.Desc] = r
+				order = append(order, p.Desc)
+			}
+			if p.Valid {
+				r.Valid++
+				if p.Evaded {
+					r.Evaded++
+				}
+			}
+		}
+	}
+	out := make([]PermRate, 0, len(order))
+	for _, desc := range order {
+		out = append(out, *acc[desc])
+	}
+	return out
+}
+
+// fuzzInOrder returns fuzz results in deterministic endpoint order.
+func fuzzInOrder(c *Corpus) []*cenfuzz.Result {
+	var ids []string
+	for id := range c.Fuzz {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*cenfuzz.Result, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.Fuzz[id])
+	}
+	return out
+}
+
+// MethodRates extracts the §6.3 headline per-method evasion rates from the
+// Get Word Alternate strategy.
+type MethodRates struct {
+	POST, PUT, PATCH, DELETE, XXXX, Empty float64
+}
+
+// MethodEvasionRates computes the per-method rates.
+func MethodEvasionRates(c *Corpus) MethodRates {
+	var m MethodRates
+	for _, r := range PermutationRates(c, "Get Word Alt.") {
+		switch r.Desc {
+		case `method="POST"`:
+			m.POST = r.Rate()
+		case `method="PUT"`:
+			m.PUT = r.Rate()
+		case `method="PATCH"`:
+			m.PATCH = r.Rate()
+		case `method="DELETE"`:
+			m.DELETE = r.Rate()
+		case `method="XXXX"`:
+			m.XXXX = r.Rate()
+		case `method=""`:
+			m.Empty = r.Rate()
+		}
+	}
+	return m
+}
+
+// RenderMethodRates formats the §6.3 per-method comparison.
+func RenderMethodRates(c *Corpus) string {
+	m := MethodEvasionRates(c)
+	var b strings.Builder
+	b.WriteString("§6.3 per-method evasion rates (paper: POST 1.76%, PUT 21.63%, PATCH 82.15%, empty 92.01%)\n")
+	fmt.Fprintf(&b, "  POST   %5.1f%%\n  PUT    %5.1f%%\n  PATCH  %5.1f%%\n  DELETE %5.1f%%\n  XXXX   %5.1f%%\n  empty  %5.1f%%\n",
+		m.POST, m.PUT, m.PATCH, m.DELETE, m.XXXX, m.Empty)
+	return b.String()
+}

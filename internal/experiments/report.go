@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport emits a complete Markdown report of every table, figure, and
+// headline statistic from one corpus — the regenerable companion to
+// EXPERIMENTS.md. Sections that need fuzz data degrade gracefully when the
+// corpus was built with SkipFuzz.
+func WriteReport(w io.Writer, c *Corpus) error {
+	section := func(title, body string) {
+		fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", title, body)
+	}
+	fmt.Fprintf(w, "# Measurement study report\n\n")
+	fmt.Fprintf(w, "Corpus: %d traces, %d potential device IPs, %d fuzzed endpoints, %d repetitions/traceroute.\n\n",
+		len(c.Traces), len(c.PotentialDeviceIPs), len(c.Fuzz), c.Config.Repetitions)
+
+	section("Table 1 — CenTrace measurements collected", RenderTable1(Table1(c)))
+	section("Table 2 — CenFuzz strategy catalog", RenderTable2())
+	section("Table 3 — clustering feature inventory", RenderTable3())
+	section("Figure 1 — KZ in-country paths", Fig1(c).RenderASCII())
+	section("Figure 3 — blocking type × location", RenderFig3(Fig3(c)))
+	section("Figure 4 — in-path vs on-path", RenderFig4(Fig4(c)))
+	if len(c.Fuzz) > 0 {
+		section("Figure 5 — CenFuzz strategy success rates", RenderFig5(Fig5(c)))
+		section("Figure 6 — device clustering", RenderFig6(Fig6(c, Fig6Config{})))
+		section("Figure 9 — feature importance", RenderFig9(c))
+		section("§6.3 per-method evasion rates", RenderMethodRates(c))
+		section("§7.4 vendor correlations", RenderCorrelations(VendorCorrelations(c)))
+		section("§7.1 unlabeled-device predictions", RenderPredictions(ClassifyUnlabeled(c)))
+	}
+	section("Figure 10 — AZ remote paths", Fig10(c).RenderASCII())
+	section("Figure 11 — BY remote paths", Fig11(c).RenderASCII())
+	section("Figure 12 — KZ remote paths", Fig12(c).RenderASCII())
+
+	q := QuoteStatistics(c)
+	quoteBody := fmt.Sprintf("quotes=%d rfc792-minimal=%.1f%% tos-changed=%.1f%% ipflags-changed=%d\n",
+		q.TotalQuotes,
+		pct(q.RFC792Only, q.TotalQuotes), pct(q.TOSChanged, q.TotalQuotes), q.IPFlagsChanged)
+	for _, country := range Countries {
+		e := Extraterritorial(c, country)
+		if e.BlockedAbroad > 0 {
+			quoteBody += fmt.Sprintf("%s endpoints blocked abroad: %d of %d (%.1f%%)\n",
+				country, e.BlockedAbroad, e.BlockedEndpoints, 100*e.Share)
+		}
+	}
+	section("§4.3 quoted packets and extraterritorial blocking", quoteBody)
+	section("§5.3 device banners", RenderBannerStats(BannerStatistics(c)))
+	section("§8 DNS extension", RenderDNSReport(DNSExtension(c.Scenario)))
+	section("§4.2 directionality caveat", RenderDirectionality(DirectionalityDemo()))
+	section("Throttling (intro, [79])", RenderThrottling(ThrottlingDemo()))
+	return nil
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

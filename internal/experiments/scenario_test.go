@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"testing"
+
+	"cendev/internal/centrace"
+)
+
+// traceTo runs one CenTrace in the world.
+func traceTo(s *Scenario, clientID string, ep EndpointInfo, domain string, proto centrace.Protocol) *centrace.Result {
+	client := s.USClient
+	if clientID != "" {
+		client = s.InCountryClients[clientID]
+	}
+	p := centrace.New(s.Net, client, ep.Host, centrace.Config{
+		ControlDomain: ControlDomain,
+		TestDomain:    domain,
+		Protocol:      proto,
+		Repetitions:   3,
+	})
+	return p.Run()
+}
+
+func TestWorldBuilds(t *testing.T) {
+	s := BuildWorld()
+	if len(s.Endpoints) < 100 {
+		t.Errorf("endpoints = %d, want 100+", len(s.Endpoints))
+	}
+	for _, c := range []string{"AZ", "KZ", "RU"} {
+		if s.InCountryClients[c] == nil {
+			t.Errorf("missing in-country client for %s", c)
+		}
+	}
+	if s.InCountryClients["BY"] != nil {
+		t.Error("BY should have no vantage point (as in the paper)")
+	}
+	if len(s.Devices) < 20 {
+		t.Errorf("devices = %d, want 20+", len(s.Devices))
+	}
+	if s.Origins[KZPoker] == nil || s.Origins[GlobalBlocked] == nil {
+		t.Error("origin servers missing")
+	}
+}
+
+func TestAZBlockedAtDeltaBorder(t *testing.T) {
+	s := BuildWorld()
+	ep := s.EndpointsIn("AZ")[0]
+	res := traceTo(s, "", ep, GlobalBlocked, centrace.HTTP)
+	if !res.Blocked {
+		t.Fatal("AZ endpoint should be blocked for the global domain")
+	}
+	if res.TermKind != centrace.KindTimeout {
+		t.Errorf("TermKind = %s, want TIMEOUT (drops)", res.TermKind)
+	}
+	if res.BlockingHop.ASN != 29049 || res.BlockingHop.Country != "AZ" {
+		t.Errorf("blocking hop = %s, want Delta Telecom AS29049", res.BlockingHop)
+	}
+	if res.Placement != centrace.PlacementInPath {
+		t.Errorf("placement = %s", res.Placement)
+	}
+	// Control measurement to the same endpoint is unblocked.
+	if !res.Valid {
+		t.Error("control should reach the endpoint")
+	}
+}
+
+func TestAZInCountryTwoHops(t *testing.T) {
+	s := BuildWorld()
+	ep := s.EndpointsIn("AZ")[0]
+	res := traceTo(s, "AZ", ep, AZBlocked, centrace.HTTPS)
+	if !res.Blocked {
+		t.Fatal("in-country AZ measurement should be blocked")
+	}
+	if res.DeviceTTL != 2 {
+		t.Errorf("device at %d hops from the AZ client, want 2 (§4.3)", res.DeviceTTL)
+	}
+	if res.BlockingHop.ASN != 29049 {
+		t.Errorf("blocking hop = %s, want AS29049", res.BlockingHop)
+	}
+}
+
+func TestBYOnPathInEndpointAS(t *testing.T) {
+	s := BuildWorld()
+	eps := s.EndpointsIn("BY")
+	res := traceTo(s, "", eps[0], BYBlocked, centrace.HTTP)
+	if !res.Blocked || res.TermKind != centrace.KindRST {
+		t.Fatalf("BY: blocked=%v term=%s, want RST injection", res.Blocked, res.TermKind)
+	}
+	if res.Placement != centrace.PlacementOnPath {
+		t.Errorf("BY placement = %s, want on-path", res.Placement)
+	}
+	if res.BlockingHop.ASN != eps[0].ASN {
+		t.Errorf("blocking hop ASN = %d, want endpoint AS %d", res.BlockingHop.ASN, eps[0].ASN)
+	}
+}
+
+func TestBYTorDroppedAtCogent(t *testing.T) {
+	s := BuildWorld()
+	ep := s.EndpointsIn("BY")[0]
+	res := traceTo(s, "", ep, TorBridges, centrace.HTTP)
+	if !res.Blocked || res.TermKind != centrace.KindTimeout {
+		t.Fatalf("tor: blocked=%v term=%s, want drop", res.Blocked, res.TermKind)
+	}
+	if res.BlockingHop.ASN != 174 {
+		t.Errorf("tor blocking hop = %s, want COGENT AS174 (before entering BY)", res.BlockingHop)
+	}
+	if res.BlockingHop.Country == "BY" {
+		t.Error("tor blocking should occur outside BY")
+	}
+}
+
+func TestKZViaRussiaBlockedUpstream(t *testing.T) {
+	s := BuildWorld()
+	var viaRU, direct *EndpointInfo
+	for i := range s.Endpoints {
+		e := &s.Endpoints[i]
+		if e.Country != "KZ" {
+			continue
+		}
+		if e.ViaRussia && viaRU == nil {
+			viaRU = e
+		}
+		if !e.ViaRussia && direct == nil {
+			direct = e
+		}
+	}
+	res := traceTo(s, "", *viaRU, KZPoker, centrace.HTTP)
+	if !res.Blocked {
+		t.Fatal("via-Russia KZ endpoint should be blocked for pokerstars")
+	}
+	if res.BlockingHop.Country != "RU" {
+		t.Errorf("blocking hop = %s, want Russian transit (extraterritorial, §4.3)", res.BlockingHop)
+	}
+	if res.BlockingHop.ASN != 31133 && res.BlockingHop.ASN != 43727 {
+		t.Errorf("blocking ASN = %d, want Megafon/Kvant", res.BlockingHop.ASN)
+	}
+	res2 := traceTo(s, "", *direct, KZPoker, centrace.HTTP)
+	if !res2.Blocked || res2.BlockingHop.ASN != 9198 {
+		t.Errorf("direct KZ endpoint: blocked=%v hop=%s, want JSC-Kazakhtelecom", res2.Blocked, res2.BlockingHop)
+	}
+}
+
+func TestKZInCountryThreeHops(t *testing.T) {
+	s := BuildWorld()
+	var direct EndpointInfo
+	for _, e := range s.EndpointsIn("KZ") {
+		if !e.ViaRussia {
+			direct = e
+			break
+		}
+	}
+	res := traceTo(s, "KZ", direct, KZPoker, centrace.HTTP)
+	if !res.Blocked {
+		t.Fatal("in-country KZ should be blocked")
+	}
+	if res.DeviceTTL != 3 {
+		t.Errorf("device at %d hops from the KZ client, want 3 (§4.3)", res.DeviceTTL)
+	}
+	if res.BlockingHop.ASN != 9198 {
+		t.Errorf("blocking hop = %s, want AS9198 (upstream of client AS203087)", res.BlockingHop)
+	}
+}
+
+func TestRUInCountryUnblocked(t *testing.T) {
+	s := BuildWorld()
+	var eps []EndpointInfo
+	for _, e := range s.EndpointsIn("RU") {
+		if !s.Guarded[e.Host.ID] {
+			eps = append(eps, e)
+		}
+	}
+	blockedCount := 0
+	for _, ep := range eps[:3] {
+		for _, domain := range TestDomainsFor("RU") {
+			res := traceTo(s, "RU", ep, domain, centrace.HTTP)
+			if res.Blocked {
+				blockedCount++
+			}
+		}
+	}
+	if blockedCount != 0 {
+		t.Errorf("RU in-country blocked CTs = %d, want 0 (§4.3)", blockedCount)
+	}
+}
+
+func TestRUPastEFromCopyTTLDevice(t *testing.T) {
+	s := BuildWorld()
+	// Regions 9 and 10 run the TTL-copying injectors.
+	var ep EndpointInfo
+	for _, e := range s.EndpointsIn("RU") {
+		if e.ASN == 42009 {
+			ep = e
+			break
+		}
+	}
+	res := traceTo(s, "", ep, RUBlocked, centrace.HTTP)
+	if !res.Blocked || res.TermKind != centrace.KindRST {
+		t.Fatalf("copyttl region: blocked=%v term=%s", res.Blocked, res.TermKind)
+	}
+	if res.Location != centrace.LocPastE {
+		t.Errorf("location = %s, want Past E (§4.3)", res.Location)
+	}
+	if !res.TTLCopyCorrected {
+		t.Error("TTL-copy correction should apply")
+	}
+	if res.BlockingHop.ASN != 42009 {
+		t.Errorf("corrected blocking hop = %s, want the region AS", res.BlockingHop)
+	}
+}
+
+func TestRUUnfilteredRegionUnblocked(t *testing.T) {
+	s := BuildWorld()
+	var ep EndpointInfo
+	for _, e := range s.EndpointsIn("RU") {
+		if e.ASN == 42020 { // beyond ruFiltered
+			ep = e
+			break
+		}
+	}
+	res := traceTo(s, "", ep, RUBlocked, centrace.HTTP)
+	if res.Blocked {
+		t.Errorf("unfiltered RU region blocked: hop=%s", res.BlockingHop)
+	}
+}
+
+func TestGuardedEndpointsAtE(t *testing.T) {
+	s := BuildWorld()
+	// Endpoint index 3 is guarded (guardEvery=7, offset 3).
+	ep := s.Endpoints[3]
+	res := traceTo(s, "", ep, TestDomainsFor(ep.Country)[0], centrace.HTTP)
+	if !res.Blocked {
+		t.Skipf("endpoint %s not blocked (may be upstream-blocked first)", ep.Host.ID)
+	}
+	// Either the guard (At E) or an upstream device terminates; if the
+	// terminating TTL equals the endpoint distance it must classify At E.
+	if res.TermTTL == res.EndpointTTL && res.Location != centrace.LocAtE {
+		t.Errorf("location = %s, want At E", res.Location)
+	}
+}
+
+func TestFortinetBlockpageInAZ(t *testing.T) {
+	s := BuildWorld()
+	var ep EndpointInfo
+	for _, e := range s.EndpointsIn("AZ") {
+		if e.ASN == uint32(57000+azFortinetIx) {
+			ep = e
+			break
+		}
+	}
+	res := traceTo(s, "", ep, AZBlocked, centrace.HTTP)
+	if !res.Blocked {
+		t.Fatal("Fortinet ISP endpoint should be blocked")
+	}
+	if res.TermKind != centrace.KindData || res.BlockpageVendor != "Fortinet" {
+		t.Errorf("term=%s vendor=%q, want injected Fortinet blockpage", res.TermKind, res.BlockpageVendor)
+	}
+}
+
+// TestWorldInvariants pins structural properties of the built world.
+func TestWorldInvariants(t *testing.T) {
+	s := BuildWorld()
+	// Endpoint addresses are unique and inside their AS prefixes.
+	seen := map[string]bool{}
+	for _, e := range s.Endpoints {
+		a := e.Host.Addr.String()
+		if seen[a] {
+			t.Fatalf("duplicate endpoint address %s", a)
+		}
+		seen[a] = true
+		info, ok := s.Net.Geo.Lookup(e.Host.Addr)
+		if !ok || info.ASN != e.ASN {
+			t.Errorf("endpoint %s: geo ASN %d, scenario ASN %d", e.Host.ID, info.ASN, e.ASN)
+		}
+		if info.Country != e.Country && !e.ViaRussia {
+			t.Errorf("endpoint %s: geo country %q, scenario %q", e.Host.ID, info.Country, e.Country)
+		}
+	}
+	// Every endpoint is reachable from the US client with the control
+	// domain (unless guarded, which only affects test domains).
+	for _, e := range s.Endpoints[:10] {
+		res := traceTo(s, "", e, ControlDomain, centrace.HTTP)
+		if !res.Valid {
+			t.Errorf("endpoint %s unreachable for the control domain", e.Host.ID)
+		}
+	}
+	// Vendor inventory matches §5.3's product set.
+	vendors := map[string]int{}
+	for _, d := range s.Devices {
+		vendors[string(d.Device.Vendor)]++
+	}
+	for _, want := range []string{"Fortinet", "Cisco", "Kerio Control", "Palo Alto",
+		"DDoSGuard", "Mikrotik", "Kaspersky", "Sandvine", "Netsweeper", "dns-injector"} {
+		if vendors[want] == 0 {
+			t.Errorf("vendor %s missing from the world", want)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cendev/internal/cenprobe"
+	"cendev/internal/features"
+	"cendev/internal/ml"
+)
+
+// QuoteStats summarizes the ICMP quoted-packet observations of §4.3.
+type QuoteStats struct {
+	TotalQuotes    int
+	RFC792Only     int
+	TOSChanged     int
+	IPFlagsChanged int
+}
+
+// QuoteStatistics walks all control traces for quote behaviour: the share
+// of routers quoting the RFC 792 minimum vs more (RFC 1812), and the share
+// of quotes differing in TOS and IP flags.
+func QuoteStatistics(c *Corpus) QuoteStats {
+	var s QuoteStats
+	for _, tr := range c.Traces {
+		for _, trace := range tr.Result.Control.Traces {
+			for _, obs := range trace.Obs {
+				if obs.Quote == nil {
+					continue
+				}
+				s.TotalQuotes++
+				if obs.Quote.FollowsRFC792Only() {
+					s.RFC792Only++
+				}
+				if obs.QuoteDelta != nil {
+					if obs.QuoteDelta.TOSChanged {
+						s.TOSChanged++
+					}
+					if obs.QuoteDelta.IPFlagsChanged {
+						s.IPFlagsChanged++
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// BannerStats reproduces §5.3: how many potential device IPs were probed,
+// how many exposed services, and the per-vendor label counts, plus the
+// blockpage-labeled devices that presented no banners.
+type BannerStats struct {
+	Summary cenprobe.Summary
+	// BlockpageOnlyVendors counts vendor labels observed only via injected
+	// blockpages (the 4 extra Fortinet devices of §5.3).
+	BlockpageOnlyVendors map[string]int
+}
+
+// BannerStatistics aggregates the probe results.
+func BannerStatistics(c *Corpus) BannerStats {
+	var results []*cenprobe.Result
+	for _, addr := range c.PotentialDeviceIPs {
+		if r, ok := c.Probes[addr]; ok {
+			results = append(results, r)
+		}
+	}
+	stats := BannerStats{
+		Summary:              cenprobe.Summarize(results),
+		BlockpageOnlyVendors: map[string]int{},
+	}
+	// Blockpage labels for blocking hops whose banner grab found nothing.
+	seen := map[string]bool{}
+	for _, tr := range c.BlockedTraces("") {
+		r := tr.Result
+		if r.BlockpageVendor == "" {
+			continue
+		}
+		addr := r.BlockingHop.Addr
+		if !addr.IsValid() || seen[addr.String()] {
+			continue
+		}
+		seen[addr.String()] = true
+		if p, ok := c.Probes[addr]; !ok || p.Vendor == "" {
+			stats.BlockpageOnlyVendors[r.BlockpageVendor]++
+		}
+	}
+	return stats
+}
+
+// RenderBannerStats formats the §5.3 summary.
+func RenderBannerStats(s BannerStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§5.3 device banners: %d potential device IPs probed, %d with open ports, %d vendor-labeled\n",
+		s.Summary.Probed, s.Summary.WithOpenPorts, s.Summary.Labeled)
+	var vendors []string
+	for v := range s.Summary.VendorCounts {
+		vendors = append(vendors, v)
+	}
+	sort.Strings(vendors)
+	for _, v := range vendors {
+		fmt.Fprintf(&b, "  %-14s %d device(s)\n", v, s.Summary.VendorCounts[v])
+	}
+	for v, n := range s.BlockpageOnlyVendors {
+		fmt.Fprintf(&b, "  %-14s %d device(s) labeled by blockpage only\n", v, n)
+	}
+	return b.String()
+}
+
+// VendorCorrelation is one pairwise Spearman comparison of §7.4.
+type VendorCorrelation struct {
+	VendorA, VendorB string
+	MeanRho          float64
+	MeanP            float64
+	Pairs            int
+}
+
+// VendorCorrelations computes pairwise Spearman correlations of feature
+// vectors between devices of the same and different vendors (§7.4: same
+// vendor ρ≈1, Fortinet vs Cisco ρ≈0.56).
+func VendorCorrelations(c *Corpus) []VendorCorrelation {
+	obs := c.Observations()
+	m := features.Extract(obs).Imputed()
+	byVendor := map[string][]int{}
+	for i, o := range obs {
+		if label := o.Label(); label != "" {
+			byVendor[label] = append(byVendor[label], i)
+		}
+	}
+	var vendors []string
+	for v := range byVendor {
+		vendors = append(vendors, v)
+	}
+	sort.Strings(vendors)
+	var out []VendorCorrelation
+	for ai, va := range vendors {
+		for _, vb := range vendors[ai:] {
+			vc := VendorCorrelation{VendorA: va, VendorB: vb}
+			var sumRho, sumP float64
+			for _, i := range byVendor[va] {
+				for _, j := range byVendor[vb] {
+					if va == vb && j <= i {
+						continue
+					}
+					rho, p := ml.Spearman(m.Row(i), m.Row(j))
+					sumRho += rho
+					sumP += p
+					vc.Pairs++
+				}
+			}
+			if vc.Pairs == 0 {
+				continue
+			}
+			vc.MeanRho = sumRho / float64(vc.Pairs)
+			vc.MeanP = sumP / float64(vc.Pairs)
+			out = append(out, vc)
+		}
+	}
+	return out
+}
+
+// RenderCorrelations formats the §7.4 correlation table.
+func RenderCorrelations(cors []VendorCorrelation) string {
+	var b strings.Builder
+	b.WriteString("§7.4 pairwise Spearman correlations of device features\n")
+	for _, c := range cors {
+		kind := "cross-vendor"
+		if c.VendorA == c.VendorB {
+			kind = "same-vendor"
+		}
+		fmt.Fprintf(&b, "%-14s vs %-14s  rho=%.2f p=%.3f (%d pairs, %s)\n",
+			c.VendorA, c.VendorB, c.MeanRho, c.MeanP, c.Pairs, kind)
+	}
+	return b.String()
+}
+
+// ExtraterritorialStats quantifies the KZ-blocked-in-Russia phenomenon
+// (§4.3: measurements to 34.07% of KZ endpoints time out in Russian ASes).
+type ExtraterritorialStats struct {
+	Country          string
+	BlockedEndpoints int
+	BlockedAbroad    int
+	Share            float64
+	ForeignASNs      map[uint32]int
+}
+
+// Extraterritorial computes, for one country, how many blocked endpoints
+// are actually blocked in a different country.
+func Extraterritorial(c *Corpus, country string) ExtraterritorialStats {
+	s := ExtraterritorialStats{Country: country, ForeignASNs: map[uint32]int{}}
+	abroad := map[string]bool{}
+	blocked := map[string]bool{}
+	for _, tr := range c.BlockedTraces(country) {
+		id := tr.Endpoint.Host.ID
+		blocked[id] = true
+		hop := tr.Result.BlockingHop
+		if hop.Country != "" && hop.Country != country {
+			abroad[id] = true
+			s.ForeignASNs[hop.ASN]++
+		}
+	}
+	s.BlockedEndpoints = len(blocked)
+	s.BlockedAbroad = len(abroad)
+	if s.BlockedEndpoints > 0 {
+		s.Share = float64(s.BlockedAbroad) / float64(s.BlockedEndpoints)
+	}
+	return s
+}

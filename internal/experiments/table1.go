@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row is one country's measurement-collection summary (Table 1).
+type Table1Row struct {
+	Country          string
+	InCountryClients int
+	InCountryCTs     int
+	InCountryBlocked int
+	Endpoints        int
+	EndpointASNs     int
+	RemoteCTs        int
+	RemoteBlocked    int
+}
+
+// Table1 reproduces Table 1: CenTrace measurements collected per country,
+// split into in-country and remote, with endpoint and ASN counts.
+func Table1(c *Corpus) []Table1Row {
+	var rows []Table1Row
+	for _, country := range Countries {
+		row := Table1Row{Country: country}
+		if c.Scenario.InCountryClients[country] != nil {
+			row.InCountryClients = 1
+		}
+		asns := map[uint32]bool{}
+		eps := map[string]bool{}
+		for _, tr := range c.Traces {
+			if tr.Country != country {
+				continue
+			}
+			if tr.InCountry {
+				row.InCountryCTs++
+				if tr.Result.Blocked {
+					row.InCountryBlocked++
+				}
+				continue
+			}
+			row.RemoteCTs++
+			if tr.Result.Blocked {
+				row.RemoteBlocked++
+			}
+			eps[tr.Endpoint.Host.ID] = true
+			asns[tr.Endpoint.ASN] = true
+		}
+		row.Endpoints = len(eps)
+		row.EndpointASNs = len(asns)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable1 formats Table 1 rows like the paper's table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: CenTrace (CT) measurements collected\n")
+	b.WriteString("Co. | Clients | In-CTs | In-Blocked | Endpoints | Endpoint ASNs | Remote CTs | Remote Blocked\n")
+	for _, r := range rows {
+		clients := "-"
+		if r.InCountryClients > 0 {
+			clients = fmt.Sprintf("%d", r.InCountryClients)
+		}
+		inCTs, inBlocked := "-", "-"
+		if r.InCountryClients > 0 {
+			inCTs = fmt.Sprintf("%d", r.InCountryCTs)
+			inBlocked = fmt.Sprintf("%d", r.InCountryBlocked)
+		}
+		fmt.Fprintf(&b, "%-3s | %7s | %6s | %10s | %9d | %13d | %10d | %d\n",
+			r.Country, clients, inCTs, inBlocked,
+			r.Endpoints, r.EndpointASNs, r.RemoteCTs, r.RemoteBlocked)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cendev/internal/cenfuzz"
+	"cendev/internal/features"
+)
+
+// Table2Row is one strategy of Table 2 with its permutation count.
+type Table2Row struct {
+	Category string
+	Protocol string
+	Strategy string
+	NP       int
+	Example  string
+}
+
+// Table2 enumerates the CenFuzz strategy catalog with permutation counts.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, st := range cenfuzz.Strategies() {
+		if st.Category == "Normal" {
+			continue
+		}
+		perms := st.Perms()
+		example := ""
+		if len(perms) > 0 {
+			example = perms[0].Desc
+		}
+		rows = append(rows, Table2Row{
+			Category: st.Category,
+			Protocol: st.Proto.String(),
+			Strategy: st.Name,
+			NP:       len(perms),
+			Example:  example,
+		})
+	}
+	return rows
+}
+
+// RenderTable2 formats the strategy catalog like Table 2.
+func RenderTable2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: CenFuzz HTTP request and TLS client hello fuzzing strategies\n")
+	b.WriteString("Proto | Category   | Strategy                | NP  | Example\n")
+	for _, r := range Table2() {
+		fmt.Fprintf(&b, "%-5s | %-10s | %-23s | %3d | %s\n",
+			r.Protocol, r.Category, r.Strategy, r.NP, r.Example)
+	}
+	return b.String()
+}
+
+// RenderTable3 lists the clustering feature inventory (Table 3).
+func RenderTable3() string {
+	var b strings.Builder
+	b.WriteString("Table 3: features collected for clustering\n")
+	for _, name := range features.FeatureNames() {
+		origin := "CenTrace"
+		switch {
+		case strings.HasPrefix(name, "Fuzz:"):
+			origin = "CenFuzz"
+		case strings.HasPrefix(name, "PortOpen:"), name == "NumOpenPorts":
+			origin = "Banners"
+		}
+		fmt.Fprintf(&b, "%-10s %s\n", origin, name)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"cendev/internal/centrace"
+	"cendev/internal/endpoint"
+	"cendev/internal/httpgram"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// Throttling models the interference class the paper's introduction cites
+// for Russia ([79]: "Throttling Twitter"): a device slows matched flows
+// instead of blocking them. CenTrace's conservative definition (§4.1)
+// deliberately does not flag throttling — the request completes — so the
+// demo shows both the blind spot and the timing-based detector that
+// closes it.
+type Throttling struct {
+	// CenTraceBlocked is CenTrace's verdict for the throttled domain.
+	CenTraceBlocked bool
+	// ControlRTT and ThrottledRTT are the virtual fetch times.
+	ControlRTT   time.Duration
+	ThrottledRTT time.Duration
+	// Detected is the timing detector's verdict (throttled ≫ control).
+	Detected bool
+}
+
+// throttleRatio is the slowdown factor above which the detector flags a
+// flow as throttled.
+const throttleRatio = 5
+
+// ThrottlingDemo builds a minimal network with a throttling device and
+// runs CenTrace plus the timing detector.
+func ThrottlingDemo() Throttling {
+	const throttled = "www.throttled.example"
+	g := topology.NewGraph()
+	asC := g.AddAS(1, "ClientNet", "US")
+	asE := g.AddAS(2, "EndpointNet", "RU")
+	r1 := g.AddRouter("r1", asC)
+	r2 := g.AddRouter("r2", asE)
+	g.Link("r1", "r2")
+	client := g.AddHost("client", asC, r1)
+	server := g.AddHost("server", asE, r2)
+	n := simnet.New(g)
+	n.RegisterServer("server", endpoint.NewServer(throttled, ControlDomain))
+	dev := middlebox.NewDevice("throttler", middlebox.VendorUnknownDrop, []string{throttled}, netip.Addr{})
+	dev.Action = middlebox.ActionThrottle
+	dev.ResidualWindow = 0
+	n.AttachDevice("r1", "r2", dev)
+
+	out := Throttling{}
+	res := centrace.New(n, client, server, centrace.Config{
+		ControlDomain: ControlDomain,
+		TestDomain:    throttled,
+		Repetitions:   3,
+	}).Run()
+	out.CenTraceBlocked = res.Blocked
+
+	out.ControlRTT = fetchRTT(n, client, server, ControlDomain)
+	out.ThrottledRTT = fetchRTT(n, client, server, throttled)
+	out.Detected = out.ControlRTT > 0 &&
+		out.ThrottledRTT > throttleRatio*out.ControlRTT
+	return out
+}
+
+// fetchRTT measures the virtual time from sending a request to receiving
+// its last response byte.
+func fetchRTT(n *simnet.Network, client, server *topology.Host, domain string) time.Duration {
+	conn, err := n.Dial(client, server, 80)
+	if err != nil {
+		return 0
+	}
+	defer conn.Close()
+	start := n.Now()
+	ds := conn.SendPayload(httpgram.NewRequest(domain).Render(), 64)
+	var last time.Duration
+	for _, d := range ds {
+		if d.At > last {
+			last = d.At
+		}
+	}
+	if last == 0 {
+		return 0
+	}
+	return last - start
+}
+
+// RenderThrottling formats the demonstration.
+func RenderThrottling(t Throttling) string {
+	return fmt.Sprintf(
+		"Throttling (the paper's [79] interference class):\n"+
+			"  CenTrace verdict:      blocked=%v (conservative definition sees a completed request)\n"+
+			"  control fetch RTT:     %v\n"+
+			"  throttled fetch RTT:   %v\n"+
+			"  timing detector:       throttling=%v (>%d× slowdown)\n",
+		t.CenTraceBlocked, t.ControlRTT, t.ThrottledRTT, t.Detected, throttleRatio)
+}

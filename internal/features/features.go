@@ -1,0 +1,239 @@
+// Package features turns the outputs of CenTrace, CenFuzz, and CenProbe
+// into the feature vectors of Table 3, ready for the clustering pipeline
+// (§7.1): censorship response type, placement, injected-packet header
+// fields, quoted-ICMP deltas, per-strategy evasion outcomes, and open
+// ports. Missing values are NaN; labels come from blockpages and banners.
+package features
+
+import (
+	"math"
+
+	"cendev/internal/cenfuzz"
+	"cendev/internal/cenprobe"
+	"cendev/internal/centrace"
+	"cendev/internal/ml"
+)
+
+// Observation bundles the measurements for one blocked endpoint.
+type Observation struct {
+	EndpointID string
+	Country    string
+	ASN        uint32
+	Trace      *centrace.Result
+	Fuzz       *cenfuzz.Result
+	Probe      *cenprobe.Result // nil when no device address was probeable
+}
+
+// Label returns the vendor label for the observation: banner label first,
+// then blockpage label, "" when unlabeled (§7.1: "If any of the devices
+// respond with an explicit vendor indication in an injected blockpage, or
+// in a banner, we then extract this data as a label").
+func (o *Observation) Label() string {
+	if o.Probe != nil && o.Probe.Vendor != "" {
+		return o.Probe.Vendor
+	}
+	if o.Trace != nil && o.Trace.BlockpageVendor != "" {
+		return o.Trace.BlockpageVendor
+	}
+	return ""
+}
+
+// portFeatures are the open-port indicator columns.
+var portFeatures = []int{22, 23, 80, 161, 443, 4081, 8291}
+
+// Matrix is the assembled feature matrix.
+type Matrix struct {
+	Names        []string
+	X            [][]float64
+	Observations []*Observation
+}
+
+// FeatureNames returns the full, ordered feature name list.
+func FeatureNames() []string {
+	names := []string{
+		"CensorResponse",
+		"OnPath",
+		"InjectedIPTTL",
+		"InjectedIPID",
+		"InjectedIPFlags",
+		"InjectedTCPWindow",
+		"InjectedTCPFlags",
+		"IPTOSChanged",
+		"IPFlagsChanged",
+		"QuoteRFC792Only",
+		"LocationClass",
+	}
+	for _, st := range cenfuzz.Strategies() {
+		names = append(names, "Fuzz:"+st.Name)
+	}
+	for _, p := range portFeatures {
+		names = append(names, "PortOpen:"+portName(p))
+	}
+	names = append(names, "NumOpenPorts")
+	names = append(names, "SYNACKWindow", "SYNACKTTL", "StackDF")
+	return names
+}
+
+func portName(p int) string {
+	switch p {
+	case 22:
+		return "22"
+	case 23:
+		return "23"
+	case 80:
+		return "80"
+	case 161:
+		return "161"
+	case 443:
+		return "443"
+	case 4081:
+		return "4081"
+	case 8291:
+		return "8291"
+	default:
+		return "?"
+	}
+}
+
+// Extract builds the feature matrix for a set of observations.
+func Extract(obs []*Observation) *Matrix {
+	m := &Matrix{Names: FeatureNames(), Observations: obs}
+	for _, o := range obs {
+		m.X = append(m.X, extractRow(o, m.Names))
+	}
+	return m
+}
+
+func extractRow(o *Observation, names []string) []float64 {
+	nan := math.NaN()
+	row := make([]float64, 0, len(names))
+
+	// CenTrace features.
+	tr := o.Trace
+	if tr != nil {
+		row = append(row, float64(tr.TermKind))
+		if tr.Placement == centrace.PlacementOnPath {
+			row = append(row, 1)
+		} else {
+			row = append(row, 0)
+		}
+		if inj := tr.Injected; inj != nil {
+			row = append(row,
+				float64(inj.TTL), float64(inj.IPID), float64(inj.IPFlags),
+				float64(inj.TCPWindow), float64(inj.TCPFlags))
+		} else {
+			row = append(row, nan, nan, nan, nan, nan)
+		}
+		if qd := tr.QuoteDelta; qd != nil {
+			row = append(row, b2f(qd.TOSChanged), b2f(qd.IPFlagsChanged), b2f(qd.RFC792Only))
+		} else {
+			row = append(row, nan, nan, nan)
+		}
+		row = append(row, float64(tr.Location))
+	} else {
+		for i := 0; i < 11; i++ {
+			row = append(row, nan)
+		}
+	}
+
+	// CenFuzz per-strategy success rates.
+	for _, st := range cenfuzz.Strategies() {
+		if o.Fuzz == nil {
+			row = append(row, nan)
+			continue
+		}
+		sr := o.Fuzz.Strategy(st.Name)
+		if sr == nil {
+			row = append(row, nan)
+			continue
+		}
+		row = append(row, sr.SuccessRate())
+	}
+
+	// Banner features.
+	if o.Probe == nil {
+		for range portFeatures {
+			row = append(row, nan)
+		}
+		row = append(row, nan)
+	} else {
+		open := map[int]bool{}
+		for _, p := range o.Probe.OpenPorts {
+			open[p] = true
+		}
+		for _, p := range portFeatures {
+			row = append(row, b2f(open[p]))
+		}
+		row = append(row, float64(len(o.Probe.OpenPorts)))
+	}
+	// Nmap-style stack personality (Table 3's "features from Nmap
+	// fingerprinting").
+	if o.Probe != nil && o.Probe.HasPersonality {
+		row = append(row,
+			float64(o.Probe.Personality.SYNACKWindow),
+			float64(o.Probe.Personality.SYNACKTTL),
+			b2f(o.Probe.Personality.DF))
+	} else {
+		row = append(row, nan, nan, nan)
+	}
+	return row
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Imputed returns a deep copy of the matrix with NaNs median-imputed.
+func (m *Matrix) Imputed() *Matrix {
+	c := &Matrix{Names: m.Names, Observations: m.Observations}
+	for _, row := range m.X {
+		c.X = append(c.X, append([]float64(nil), row...))
+	}
+	ml.ImputeMedian(c.X)
+	return c
+}
+
+// LabeledDataset builds an ml.Dataset from the labeled subset. classNames
+// maps class index back to vendor label.
+func (m *Matrix) LabeledDataset() (d *ml.Dataset, rows []int, classNames []string) {
+	classIdx := map[string]int{}
+	d = &ml.Dataset{}
+	for i, o := range m.Observations {
+		label := o.Label()
+		if label == "" {
+			continue
+		}
+		cls, ok := classIdx[label]
+		if !ok {
+			cls = len(classNames)
+			classIdx[label] = cls
+			classNames = append(classNames, label)
+		}
+		d.X = append(d.X, m.X[i])
+		d.Y = append(d.Y, cls)
+		rows = append(rows, i)
+	}
+	return d, rows, classNames
+}
+
+// SelectColumns returns a new matrix restricted to the given columns.
+func (m *Matrix) SelectColumns(cols []int) *Matrix {
+	c := &Matrix{Observations: m.Observations}
+	for _, col := range cols {
+		c.Names = append(c.Names, m.Names[col])
+	}
+	for _, row := range m.X {
+		sub := make([]float64, 0, len(cols))
+		for _, col := range cols {
+			sub = append(sub, row[col])
+		}
+		c.X = append(c.X, sub)
+	}
+	return c
+}
+
+// Row returns the feature vector of observation i.
+func (m *Matrix) Row(i int) []float64 { return m.X[i] }

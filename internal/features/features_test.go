@@ -1,0 +1,235 @@
+package features
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"cendev/internal/cenfuzz"
+	"cendev/internal/cenprobe"
+	"cendev/internal/centrace"
+	"cendev/internal/netem"
+)
+
+// fakeTrace builds a minimal blocked CenTrace result.
+func fakeTrace(kind centrace.ResponseKind, placement centrace.PlacementClass, vendor string) *centrace.Result {
+	r := &centrace.Result{
+		Blocked:         true,
+		TermKind:        kind,
+		Placement:       placement,
+		Location:        centrace.LocPath,
+		BlockpageVendor: vendor,
+	}
+	if kind == centrace.KindRST {
+		r.Injected = &centrace.InjectedFeatures{
+			TTL: 60, IPID: 0xbeef, TCPWindow: 1,
+			TCPFlags: netem.TCPRst | netem.TCPAck,
+		}
+	}
+	delta := netem.QuoteDelta{TOSChanged: true}
+	r.QuoteDelta = &delta
+	return r
+}
+
+// fakeFuzz builds a fuzz result where the named strategies fully evade.
+func fakeFuzz(evading ...string) *cenfuzz.Result {
+	res := &cenfuzz.Result{NormalBlocked: map[cenfuzz.Proto]bool{cenfuzz.ProtoHTTP: true}}
+	evades := map[string]bool{}
+	for _, name := range evading {
+		evades[name] = true
+	}
+	for _, st := range cenfuzz.Strategies() {
+		sr := cenfuzz.StrategyResult{Name: st.Name, Category: st.Category, Proto: st.Proto}
+		for range st.Perms() {
+			sr.Perms = append(sr.Perms, cenfuzz.PermResult{Valid: true, Evaded: evades[st.Name]})
+		}
+		res.Strategies = append(res.Strategies, sr)
+	}
+	return res
+}
+
+func fakeProbe(vendor string, ports ...int) *cenprobe.Result {
+	return &cenprobe.Result{
+		Addr:      netip.MustParseAddr("10.0.0.1"),
+		OpenPorts: ports,
+		Vendor:    vendor,
+	}
+}
+
+func TestFeatureNamesStable(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != 11+25+7+1+3 {
+		t.Fatalf("feature count = %d, want 47 (11 trace + 25 fuzz + 8 banner + 3 stack)", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+	if names[0] != "CensorResponse" {
+		t.Errorf("names[0] = %q", names[0])
+	}
+}
+
+func TestExtractRowValues(t *testing.T) {
+	obs := &Observation{
+		EndpointID: "ep1", Country: "KZ", ASN: 9198,
+		Trace: fakeTrace(centrace.KindRST, centrace.PlacementOnPath, ""),
+		Fuzz:  fakeFuzz("Get Word Alt."),
+		Probe: fakeProbe("Cisco", 22, 23),
+	}
+	m := Extract([]*Observation{obs})
+	if len(m.X) != 1 || len(m.X[0]) != len(m.Names) {
+		t.Fatalf("matrix shape = %dx%d", len(m.X), len(m.X[0]))
+	}
+	idx := func(name string) int {
+		for i, n := range m.Names {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("feature %q missing", name)
+		return -1
+	}
+	row := m.X[0]
+	if row[idx("CensorResponse")] != float64(centrace.KindRST) {
+		t.Error("CensorResponse wrong")
+	}
+	if row[idx("OnPath")] != 1 {
+		t.Error("OnPath wrong")
+	}
+	if row[idx("InjectedIPID")] != float64(0xbeef) {
+		t.Error("InjectedIPID wrong")
+	}
+	if row[idx("IPTOSChanged")] != 1 {
+		t.Error("IPTOSChanged wrong")
+	}
+	if row[idx("Fuzz:Get Word Alt.")] != 1 {
+		t.Error("evading strategy rate should be 1")
+	}
+	if row[idx("Fuzz:SNI Pad.")] != 0 {
+		t.Error("non-evading strategy rate should be 0")
+	}
+	if row[idx("PortOpen:22")] != 1 || row[idx("PortOpen:80")] != 0 {
+		t.Error("port features wrong")
+	}
+	if row[idx("NumOpenPorts")] != 2 {
+		t.Error("NumOpenPorts wrong")
+	}
+}
+
+func TestExtractMissingValues(t *testing.T) {
+	obs := &Observation{
+		EndpointID: "ep1", Country: "AZ",
+		Trace: fakeTrace(centrace.KindTimeout, centrace.PlacementInPath, ""),
+		Fuzz:  nil,
+		Probe: nil,
+	}
+	obs.Trace.Injected = nil
+	obs.Trace.QuoteDelta = nil
+	m := Extract([]*Observation{obs})
+	nanCount := 0
+	for _, v := range m.X[0] {
+		if math.IsNaN(v) {
+			nanCount++
+		}
+	}
+	// 5 injected + 3 quote + 25 fuzz + 8 banner + 3 stack = 44 NaNs.
+	if nanCount != 44 {
+		t.Errorf("NaN count = %d, want 44", nanCount)
+	}
+	imp := m.Imputed()
+	for _, v := range imp.X[0] {
+		if math.IsNaN(v) {
+			t.Fatal("Imputed left NaN")
+		}
+	}
+	// Original untouched.
+	stillNaN := 0
+	for _, v := range m.X[0] {
+		if math.IsNaN(v) {
+			stillNaN++
+		}
+	}
+	if stillNaN != nanCount {
+		t.Error("Imputed mutated the original matrix")
+	}
+}
+
+func TestLabelPriority(t *testing.T) {
+	both := &Observation{
+		Trace: fakeTrace(centrace.KindData, centrace.PlacementInPath, "Fortinet"),
+		Probe: fakeProbe("Cisco", 22),
+	}
+	if got := both.Label(); got != "Cisco" {
+		t.Errorf("Label = %q, want banner label first", got)
+	}
+	pageOnly := &Observation{Trace: fakeTrace(centrace.KindData, centrace.PlacementInPath, "Fortinet")}
+	if got := pageOnly.Label(); got != "Fortinet" {
+		t.Errorf("Label = %q, want blockpage fallback", got)
+	}
+	none := &Observation{Trace: fakeTrace(centrace.KindTimeout, centrace.PlacementInPath, "")}
+	if got := none.Label(); got != "" {
+		t.Errorf("Label = %q, want empty", got)
+	}
+}
+
+func TestLabeledDataset(t *testing.T) {
+	obsA := &Observation{EndpointID: "a", Trace: fakeTrace(centrace.KindRST, centrace.PlacementInPath, ""), Probe: fakeProbe("Cisco", 22)}
+	obsB := &Observation{EndpointID: "b", Trace: fakeTrace(centrace.KindTimeout, centrace.PlacementInPath, "")}
+	obsC := &Observation{EndpointID: "c", Trace: fakeTrace(centrace.KindData, centrace.PlacementInPath, "Fortinet")}
+	m := Extract([]*Observation{obsA, obsB, obsC})
+	d, rows, classes := m.LabeledDataset()
+	if len(d.X) != 2 || len(rows) != 2 {
+		t.Fatalf("labeled rows = %d, want 2 (unlabeled dropped)", len(d.X))
+	}
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+	if classes[d.Y[0]] != "Cisco" || classes[d.Y[1]] != "Fortinet" {
+		t.Errorf("class mapping broken: %v %v", d.Y, classes)
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	obs := &Observation{
+		Trace: fakeTrace(centrace.KindRST, centrace.PlacementOnPath, ""),
+		Fuzz:  fakeFuzz(),
+		Probe: fakeProbe("", 22),
+	}
+	m := Extract([]*Observation{obs})
+	sub := m.SelectColumns([]int{0, 1})
+	if len(sub.Names) != 2 || sub.Names[0] != "CensorResponse" {
+		t.Errorf("selected names = %v", sub.Names)
+	}
+	if len(sub.X[0]) != 2 {
+		t.Errorf("selected width = %d", len(sub.X[0]))
+	}
+	if len(sub.Row(0)) != 2 {
+		t.Error("Row accessor broken")
+	}
+}
+
+func TestFuzzFeatureNamesMatchCatalog(t *testing.T) {
+	names := FeatureNames()
+	for _, st := range cenfuzz.Strategies() {
+		found := false
+		for _, n := range names {
+			if n == "Fuzz:"+st.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("strategy %q missing from feature names", st.Name)
+		}
+	}
+	for _, n := range names {
+		if strings.HasPrefix(n, "PortOpen:") && n == "PortOpen:?" {
+			t.Error("unnamed port feature")
+		}
+	}
+}

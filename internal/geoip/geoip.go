@@ -1,0 +1,74 @@
+// Package geoip provides IP address to AS/country/organization lookups for
+// the simulated Internet, substituting for the Maxmind and Routeviews
+// metadata the paper relies on (§4.2). The registry is populated from the
+// topology, so lookups are exact rather than approximate — the paper's
+// caveat about inaccurate border-router geolocation does not apply, which
+// DESIGN.md documents as an accepted fidelity difference.
+package geoip
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// Info is the metadata record for an address range.
+type Info struct {
+	ASN     uint32
+	Name    string
+	Country string
+}
+
+// Registry maps prefixes to AS metadata with longest-prefix-match lookups.
+type Registry struct {
+	entries []entry
+	sorted  bool
+}
+
+type entry struct {
+	prefix netip.Prefix
+	info   Info
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a prefix with its metadata.
+func (r *Registry) Add(prefix netip.Prefix, info Info) {
+	r.entries = append(r.entries, entry{prefix: prefix.Masked(), info: info})
+	r.sorted = false
+}
+
+// Lookup returns the metadata for the longest matching prefix.
+func (r *Registry) Lookup(addr netip.Addr) (Info, bool) {
+	if !r.sorted {
+		// Sort by descending prefix length so the first match is longest.
+		sort.SliceStable(r.entries, func(i, j int) bool {
+			return r.entries[i].prefix.Bits() > r.entries[j].prefix.Bits()
+		})
+		r.sorted = true
+	}
+	for _, e := range r.entries {
+		if e.prefix.Contains(addr) {
+			return e.info, true
+		}
+	}
+	return Info{}, false
+}
+
+// ASN returns just the AS number for addr, 0 when unknown.
+func (r *Registry) ASN(addr netip.Addr) uint32 {
+	info, ok := r.Lookup(addr)
+	if !ok {
+		return 0
+	}
+	return info.ASN
+}
+
+// Country returns the ISO country code for addr, "" when unknown.
+func (r *Registry) Country(addr netip.Addr) string {
+	info, _ := r.Lookup(addr)
+	return info.Country
+}
+
+// Len returns the number of registered prefixes.
+func (r *Registry) Len() int { return len(r.entries) }

@@ -1,0 +1,66 @@
+package geoip
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestLookupLongestPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Add(netip.MustParsePrefix("10.0.0.0/8"), Info{ASN: 1, Name: "Big", Country: "US"})
+	r.Add(netip.MustParsePrefix("10.1.0.0/16"), Info{ASN: 2, Name: "Mid", Country: "DE"})
+	r.Add(netip.MustParsePrefix("10.1.2.0/24"), Info{ASN: 3, Name: "Small", Country: "KZ"})
+
+	cases := []struct {
+		addr string
+		asn  uint32
+	}{
+		{"10.9.9.9", 1},
+		{"10.1.9.9", 2},
+		{"10.1.2.9", 3},
+	}
+	for _, tc := range cases {
+		info, ok := r.Lookup(netip.MustParseAddr(tc.addr))
+		if !ok || info.ASN != tc.asn {
+			t.Errorf("Lookup(%s) = %+v ok=%v, want ASN %d", tc.addr, info, ok, tc.asn)
+		}
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	r := NewRegistry()
+	r.Add(netip.MustParsePrefix("10.0.0.0/8"), Info{ASN: 1})
+	if _, ok := r.Lookup(netip.MustParseAddr("192.168.1.1")); ok {
+		t.Error("Lookup outside all prefixes should miss")
+	}
+	if asn := r.ASN(netip.MustParseAddr("192.168.1.1")); asn != 0 {
+		t.Errorf("ASN miss = %d, want 0", asn)
+	}
+	if c := r.Country(netip.MustParseAddr("192.168.1.1")); c != "" {
+		t.Errorf("Country miss = %q, want empty", c)
+	}
+}
+
+func TestAddAfterLookupResorts(t *testing.T) {
+	r := NewRegistry()
+	r.Add(netip.MustParsePrefix("10.0.0.0/8"), Info{ASN: 1})
+	addr := netip.MustParseAddr("10.1.2.3")
+	if got := r.ASN(addr); got != 1 {
+		t.Fatalf("ASN = %d, want 1", got)
+	}
+	r.Add(netip.MustParsePrefix("10.1.0.0/16"), Info{ASN: 2})
+	if got := r.ASN(addr); got != 2 {
+		t.Errorf("ASN after adding longer prefix = %d, want 2", got)
+	}
+}
+
+func TestCountryAndLen(t *testing.T) {
+	r := NewRegistry()
+	r.Add(netip.MustParsePrefix("10.2.0.0/16"), Info{ASN: 9198, Name: "JSC-Kazakhtelecom", Country: "KZ"})
+	if got := r.Country(netip.MustParseAddr("10.2.0.7")); got != "KZ" {
+		t.Errorf("Country = %q", got)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,26 @@
+package httpgram
+
+import "testing"
+
+// FuzzParse ensures the lenient request parser and the middlebox-style
+// host scanners never panic on arbitrary bytes.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: www.example.com\r\n\r\n"))
+	f.Add([]byte("GE / HTP\nost: x\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\r\r\r\n\n\n"))
+	f.Add([]byte("host:"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := Parse(data)
+		_ = p.HasViolation(ViolationBadVersion)
+		for _, mode := range []HostScanMode{ScanExactHostWord, ScanCaseInsensitiveHostWord, ScanSubstring} {
+			ExtractHost(data, ScanOptions{Mode: mode})
+			ExtractHost(data, ScanOptions{
+				Mode:                        mode,
+				MethodAllowlist:             []string{"GET"},
+				RequireParseableRequestLine: true,
+				RequireCanonicalDelimiters:  true,
+			})
+		}
+	})
+}

@@ -1,0 +1,352 @@
+// Package httpgram models HTTP/1.1 GET requests at the grammar level
+// (Appendix B, Figure 7 of the paper): every token of the request line, the
+// Host header word, the hostname, and the delimiters are independently
+// settable so that CenFuzz can render deliberately malformed requests, and
+// so that middleboxes and endpoints can parse them with configurable
+// strictness.
+package httpgram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canonical grammar tokens for a well-formed request.
+const (
+	DefaultMethod    = "GET"
+	DefaultPath      = "/"
+	DefaultVersion   = "HTTP/1.1"
+	DefaultHostWord  = "Host:"
+	DefaultDelimiter = "\r\n"
+)
+
+// Header is one additional header line rendered verbatim as Name + ": " +
+// Value (the canonical form); Raw overrides the rendering entirely when set,
+// allowing malformed header lines.
+type Header struct {
+	Name  string
+	Value string
+	Raw   string
+}
+
+// render returns the header line without the trailing delimiter.
+func (h Header) render() string {
+	if h.Raw != "" {
+		return h.Raw
+	}
+	return h.Name + ": " + h.Value
+}
+
+// Request is a grammar-level HTTP request. The zero value is not useful;
+// construct with NewRequest and mutate the fields a fuzzing strategy targets.
+type Request struct {
+	Method    string // request method word, e.g. "GET", "PATCH", "GeT", "GE", ""
+	Path      string // request target, e.g. "/", "?", "z"
+	Version   string // protocol version word, e.g. "HTTP/1.1", "XXXX/1.1", "HTTP/ 1.1"
+	HostWord  string // the Host header field word including colon, e.g. "Host:", "HostHeader:", "ost:"
+	Hostname  string // the value of the Host header, the censorship trigger
+	Delimiter string // line delimiter, canonically "\r\n"; Remove strategies use "\r" or "\n"
+	Headers   []Header
+	// OmitHostLine drops the Host header line entirely (one of the
+	// Hostname Alternate fuzzing permutations).
+	OmitHostLine bool
+}
+
+// NewRequest returns a canonical GET request for hostname.
+func NewRequest(hostname string) *Request {
+	return &Request{
+		Method:    DefaultMethod,
+		Path:      DefaultPath,
+		Version:   DefaultVersion,
+		HostWord:  DefaultHostWord,
+		Hostname:  hostname,
+		Delimiter: DefaultDelimiter,
+	}
+}
+
+// Clone returns a deep copy of the request.
+func (r *Request) Clone() *Request {
+	c := *r
+	c.Headers = append([]Header(nil), r.Headers...)
+	return &c
+}
+
+// Render produces the raw request bytes sent on the wire:
+//
+//	<Method> <Path> <Version><Delim><HostWord> <Hostname><Delim>[headers...]<Delim>
+func (r *Request) Render() []byte {
+	var b strings.Builder
+	b.WriteString(r.Method)
+	b.WriteString(" ")
+	b.WriteString(r.Path)
+	b.WriteString(" ")
+	b.WriteString(r.Version)
+	b.WriteString(r.Delimiter)
+	if !r.OmitHostLine {
+		b.WriteString(r.HostWord)
+		b.WriteString(" ")
+		b.WriteString(r.Hostname)
+		b.WriteString(r.Delimiter)
+	}
+	for _, h := range r.Headers {
+		b.WriteString(h.render())
+		b.WriteString(r.Delimiter)
+	}
+	b.WriteString(r.Delimiter)
+	return []byte(b.String())
+}
+
+// String implements fmt.Stringer with escaped delimiters for logging.
+func (r *Request) String() string {
+	return fmt.Sprintf("%q", r.Render())
+}
+
+// Parsed is the result of parsing raw request bytes.
+type Parsed struct {
+	Method   string
+	Path     string
+	Version  string
+	Host     string   // value of the recognized Host header, "" if absent
+	HostWord string   // the field word that carried the host, e.g. "Host:"
+	Headers  []Header // all header lines after the request line
+	// Violations records grammar problems a strict server would reject.
+	Violations []Violation
+}
+
+// Violation is a grammar problem detected while parsing.
+type Violation string
+
+// Grammar violations surfaced by Parse. Endpoint servers map these to HTTP
+// error statuses (§6.3: "400 Bad Request, 403 Forbidden, 301 Moved
+// Permanently and 505 HTTP Version Not Supported").
+const (
+	ViolationBadRequestLine  Violation = "bad-request-line"
+	ViolationUnknownMethod   Violation = "unknown-method"
+	ViolationBadVersion      Violation = "bad-version"
+	ViolationMissingHost     Violation = "missing-host"
+	ViolationBadDelimiter    Violation = "bad-delimiter"
+	ViolationMalformedHeader Violation = "malformed-header"
+)
+
+// validMethods are the request methods a conforming origin server accepts.
+var validMethods = map[string]bool{
+	"GET": true, "HEAD": true, "POST": true, "PUT": true,
+	"PATCH": true, "DELETE": true, "OPTIONS": true, "TRACE": true,
+}
+
+// ValidMethod reports whether m is a standard HTTP request method
+// (case-sensitive, per RFC 7231).
+func ValidMethod(m string) bool { return validMethods[m] }
+
+// splitLines splits raw request bytes into lines, tolerating \r\n, \n, and
+// bare \r delimiters. It reports whether every line used the canonical \r\n.
+func splitLines(raw string) (lines []string, canonical bool) {
+	canonical = true
+	for len(raw) > 0 {
+		iN := strings.IndexByte(raw, '\n')
+		iR := strings.IndexByte(raw, '\r')
+		switch {
+		case iR >= 0 && iN == iR+1: // \r\n
+			lines = append(lines, raw[:iR])
+			raw = raw[iN+1:]
+		case iN >= 0 && (iR < 0 || iN < iR): // bare \n
+			lines = append(lines, raw[:iN])
+			raw = raw[iN+1:]
+			canonical = false
+		case iR >= 0: // bare \r
+			lines = append(lines, raw[:iR])
+			raw = raw[iR+1:]
+			canonical = false
+		default:
+			lines = append(lines, raw)
+			raw = ""
+			canonical = false
+		}
+	}
+	return lines, canonical
+}
+
+// Parse parses raw request bytes leniently, recording violations rather
+// than failing, so that both strict origin servers and sloppy middleboxes
+// can be layered on top of one scan.
+func Parse(raw []byte) *Parsed {
+	p := &Parsed{}
+	lines, canonical := splitLines(string(raw))
+	if !canonical {
+		p.Violations = append(p.Violations, ViolationBadDelimiter)
+	}
+	if len(lines) == 0 {
+		p.Violations = append(p.Violations, ViolationBadRequestLine)
+		return p
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) == 3 {
+		p.Method, p.Path, p.Version = parts[0], parts[1], parts[2]
+	} else {
+		p.Violations = append(p.Violations, ViolationBadRequestLine)
+		if len(parts) > 0 {
+			p.Method = parts[0]
+		}
+	}
+	if p.Method == "" || !ValidMethod(p.Method) {
+		p.Violations = append(p.Violations, ViolationUnknownMethod)
+	}
+	if !strings.HasPrefix(p.Version, "HTTP/1.") {
+		p.Violations = append(p.Violations, ViolationBadVersion)
+	}
+	for _, line := range lines[1:] {
+		if line == "" {
+			break // end of headers
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			p.Violations = append(p.Violations, ViolationMalformedHeader)
+			p.Headers = append(p.Headers, Header{Raw: line})
+			continue
+		}
+		name := line[:colon]
+		value := strings.TrimSpace(line[colon+1:])
+		p.Headers = append(p.Headers, Header{Name: name, Value: value})
+		if strings.EqualFold(name, "Host") && p.Host == "" {
+			p.Host = value
+			p.HostWord = name + ":"
+		}
+	}
+	if p.Host == "" {
+		p.Violations = append(p.Violations, ViolationMissingHost)
+	}
+	return p
+}
+
+// HasViolation reports whether v was recorded.
+func (p *Parsed) HasViolation(v Violation) bool {
+	for _, got := range p.Violations {
+		if got == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HostScanMode selects how a middlebox extracts the hostname it matches
+// rules against. Real devices differ here, and the differences are exactly
+// what several CenFuzz strategies exploit (§6.3).
+type HostScanMode int
+
+// Host scanning modes, ordered roughly from strictest to loosest.
+const (
+	// ScanExactHostWord only honors a header whose field word is exactly
+	// "Host:" (case-sensitive) followed by a space.
+	ScanExactHostWord HostScanMode = iota
+	// ScanCaseInsensitiveHostWord honors any capitalization of "host:".
+	ScanCaseInsensitiveHostWord
+	// ScanSubstring searches for "Host:" case-insensitively anywhere in the
+	// raw bytes and takes the rest of the line — tolerant of broken
+	// delimiters and malformed request lines.
+	ScanSubstring
+)
+
+// ScanOptions configures ExtractHost.
+type ScanOptions struct {
+	Mode HostScanMode
+	// MethodAllowlist, when non-empty, restricts scanning to requests whose
+	// method word is in the list (compared case-insensitively — real
+	// devices fold case, which is why Capitalize strategies rarely evade,
+	// §6.3); otherwise the scan reports no host. This reproduces devices
+	// that "trigger only on certain HTTP methods".
+	MethodAllowlist []string
+	// RequireParseableRequestLine makes the scan fail when the request line
+	// does not have three space-separated parts.
+	RequireParseableRequestLine bool
+	// RequireCanonicalDelimiters makes the scan fail on requests not using
+	// \r\n line endings.
+	RequireCanonicalDelimiters bool
+}
+
+// ExtractHost scans raw request bytes the way a censorship device would and
+// returns the hostname the device keys its rules on. ok is false when the
+// device's parser fails to find a hostname at all — which means the request
+// evades a hostname-based rule.
+func ExtractHost(raw []byte, opts ScanOptions) (host string, ok bool) {
+	s := string(raw)
+	lines, canonical := splitLines(s)
+	if opts.RequireCanonicalDelimiters && !canonical {
+		return "", false
+	}
+	if len(lines) == 0 {
+		return "", false
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if opts.RequireParseableRequestLine && len(strings.Split(lines[0], " ")) != 3 {
+		return "", false
+	}
+	if len(opts.MethodAllowlist) > 0 {
+		method := parts[0]
+		allowed := false
+		for _, m := range opts.MethodAllowlist {
+			if strings.EqualFold(method, m) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			return "", false
+		}
+	}
+	switch opts.Mode {
+	case ScanExactHostWord:
+		for _, line := range lines[1:] {
+			if rest, found := strings.CutPrefix(line, "Host: "); found {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	case ScanCaseInsensitiveHostWord:
+		for _, line := range lines[1:] {
+			if len(line) >= 5 && strings.EqualFold(line[:5], "Host:") {
+				return strings.TrimSpace(line[5:]), true
+			}
+		}
+	case ScanSubstring:
+		// ASCII-only lowering: strings.ToLower can change the byte length
+		// on invalid UTF-8, which would desynchronize the index below.
+		lower := asciiLower(s)
+		idx := strings.Index(lower, "host:")
+		if idx >= 0 {
+			rest := s[idx+5:]
+			if end := strings.IndexAny(rest, "\r\n"); end >= 0 {
+				rest = rest[:end]
+			}
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// asciiLower lowercases ASCII letters byte-wise, preserving length.
+func asciiLower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c - 'A' + 'a'
+		}
+	}
+	return string(b)
+}
+
+// ParseStatus extracts the status code from a raw HTTP/1.x response,
+// returning 0 when the bytes are not a parseable status line.
+func ParseStatus(raw []byte) int {
+	s := string(raw)
+	if !strings.HasPrefix(s, "HTTP/1.") || len(s) < 12 {
+		return 0
+	}
+	code := 0
+	for i := 9; i < 12; i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0
+		}
+		code = code*10 + int(c-'0')
+	}
+	return code
+}

@@ -1,0 +1,274 @@
+package httpgram
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderCanonical(t *testing.T) {
+	r := NewRequest("www.example.com")
+	got := string(r.Render())
+	want := "GET / HTTP/1.1\r\nHost: www.example.com\r\n\r\n"
+	if got != want {
+		t.Errorf("Render() = %q, want %q", got, want)
+	}
+}
+
+func TestRenderWithHeaders(t *testing.T) {
+	r := NewRequest("example.com")
+	r.Headers = []Header{
+		{Name: "Connection", Value: "keep-alive"},
+		{Raw: "X-Broken-NoColon"},
+	}
+	got := string(r.Render())
+	if !strings.Contains(got, "Connection: keep-alive\r\n") {
+		t.Errorf("missing canonical header in %q", got)
+	}
+	if !strings.Contains(got, "X-Broken-NoColon\r\n") {
+		t.Errorf("missing raw header in %q", got)
+	}
+	if !strings.HasSuffix(got, "\r\n\r\n") {
+		t.Errorf("missing final delimiter in %q", got)
+	}
+}
+
+func TestRenderMutatedTokens(t *testing.T) {
+	r := NewRequest("example.com")
+	r.Method = "GeT"
+	r.Path = "?"
+	r.Version = "XXXX/1.1"
+	r.HostWord = "HostHeader:"
+	r.Delimiter = "\n"
+	got := string(r.Render())
+	want := "GeT ? XXXX/1.1\nHostHeader: example.com\n\n"
+	if got != want {
+		t.Errorf("Render() = %q, want %q", got, want)
+	}
+}
+
+func TestParseCanonical(t *testing.T) {
+	p := Parse(NewRequest("www.example.com").Render())
+	if p.Method != "GET" || p.Path != "/" || p.Version != "HTTP/1.1" {
+		t.Errorf("request line parse: %+v", p)
+	}
+	if p.Host != "www.example.com" {
+		t.Errorf("Host = %q", p.Host)
+	}
+	if len(p.Violations) != 0 {
+		t.Errorf("unexpected violations: %v", p.Violations)
+	}
+}
+
+func TestParseViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		req  func() *Request
+		want Violation
+	}{
+		{"unknown method", func() *Request { r := NewRequest("x.com"); r.Method = "XXXX"; return r }, ViolationUnknownMethod},
+		{"truncated method", func() *Request { r := NewRequest("x.com"); r.Method = "GE"; return r }, ViolationUnknownMethod},
+		{"case-mangled method", func() *Request { r := NewRequest("x.com"); r.Method = "GeT"; return r }, ViolationUnknownMethod},
+		{"bad version", func() *Request { r := NewRequest("x.com"); r.Version = "HTTP/9"; return r }, ViolationBadVersion},
+		{"spaced version", func() *Request { r := NewRequest("x.com"); r.Version = "HTTP/ 1.1"; return r }, ViolationBadVersion},
+		{"mangled host word", func() *Request { r := NewRequest("x.com"); r.HostWord = "ost:"; return r }, ViolationMissingHost},
+		{"bare lf delimiter", func() *Request { r := NewRequest("x.com"); r.Delimiter = "\n"; return r }, ViolationBadDelimiter},
+		{"bare cr delimiter", func() *Request { r := NewRequest("x.com"); r.Delimiter = "\r"; return r }, ViolationBadDelimiter},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Parse(tc.req().Render())
+			if !p.HasViolation(tc.want) {
+				t.Errorf("violations = %v, want %v", p.Violations, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseCaseInsensitiveHostHeader(t *testing.T) {
+	r := NewRequest("x.com")
+	r.HostWord = "hOSt:"
+	p := Parse(r.Render())
+	if p.Host != "x.com" {
+		t.Errorf("Host = %q, want x.com (origin servers match field names case-insensitively)", p.Host)
+	}
+}
+
+func TestParseSpacedVersionStillFindsHost(t *testing.T) {
+	r := NewRequest("x.com")
+	r.Version = "HTTP/ 1.1" // request line now has 4 space-separated parts
+	p := Parse(r.Render())
+	if p.Host != "x.com" {
+		t.Errorf("Host = %q, want x.com", p.Host)
+	}
+}
+
+func TestValidMethod(t *testing.T) {
+	for _, m := range []string{"GET", "POST", "PUT", "PATCH", "DELETE", "HEAD", "OPTIONS", "TRACE"} {
+		if !ValidMethod(m) {
+			t.Errorf("ValidMethod(%q) = false", m)
+		}
+	}
+	for _, m := range []string{"", "GE", "GeT", "XXXX", "get"} {
+		if ValidMethod(m) {
+			t.Errorf("ValidMethod(%q) = true", m)
+		}
+	}
+}
+
+func TestExtractHostExactWord(t *testing.T) {
+	opts := ScanOptions{Mode: ScanExactHostWord}
+	r := NewRequest("blocked.example")
+	if h, ok := ExtractHost(r.Render(), opts); !ok || h != "blocked.example" {
+		t.Errorf("canonical request: host=%q ok=%v", h, ok)
+	}
+	// Mangled host word evades an exact-word scanner.
+	r.HostWord = "HoST:"
+	if _, ok := ExtractHost(r.Render(), opts); ok {
+		t.Error("mangled host word should evade ScanExactHostWord")
+	}
+	// Removed-prefix host word evades too.
+	r.HostWord = "ost:"
+	if _, ok := ExtractHost(r.Render(), opts); ok {
+		t.Error("truncated host word should evade ScanExactHostWord")
+	}
+}
+
+func TestExtractHostCaseInsensitive(t *testing.T) {
+	opts := ScanOptions{Mode: ScanCaseInsensitiveHostWord}
+	r := NewRequest("blocked.example")
+	r.HostWord = "hOST:"
+	if h, ok := ExtractHost(r.Render(), opts); !ok || h != "blocked.example" {
+		t.Errorf("case-mangled host word: host=%q ok=%v", h, ok)
+	}
+	r.HostWord = "ost:"
+	if _, ok := ExtractHost(r.Render(), opts); ok {
+		t.Error("truncated host word should evade case-insensitive scanner")
+	}
+}
+
+func TestExtractHostSubstring(t *testing.T) {
+	opts := ScanOptions{Mode: ScanSubstring}
+	r := NewRequest("blocked.example")
+	r.Delimiter = "\n" // broken delimiters don't stop a substring scanner
+	if h, ok := ExtractHost(r.Render(), opts); !ok || h != "blocked.example" {
+		t.Errorf("substring scan: host=%q ok=%v", h, ok)
+	}
+	r2 := NewRequest("blocked.example")
+	r2.HostWord = "ost:" // but a truncated word still evades it
+	if _, ok := ExtractHost(r2.Render(), opts); ok {
+		t.Error("truncated host word should evade substring scanner")
+	}
+}
+
+func TestExtractHostMethodAllowlist(t *testing.T) {
+	opts := ScanOptions{
+		Mode:            ScanCaseInsensitiveHostWord,
+		MethodAllowlist: []string{"GET", "POST"},
+	}
+	r := NewRequest("blocked.example")
+	if _, ok := ExtractHost(r.Render(), opts); !ok {
+		t.Error("GET should be scanned")
+	}
+	r.Method = "PATCH"
+	if _, ok := ExtractHost(r.Render(), opts); ok {
+		t.Error("PATCH should evade a GET/POST-only device")
+	}
+	r.Method = ""
+	if _, ok := ExtractHost(r.Render(), opts); ok {
+		t.Error("empty method should evade a GET/POST-only device")
+	}
+}
+
+func TestExtractHostStrictRequestLine(t *testing.T) {
+	opts := ScanOptions{Mode: ScanCaseInsensitiveHostWord, RequireParseableRequestLine: true}
+	r := NewRequest("blocked.example")
+	r.Version = "HTTP/ 1.1" // four parts now
+	if _, ok := ExtractHost(r.Render(), opts); ok {
+		t.Error("spaced version should evade a strict-request-line device")
+	}
+}
+
+func TestExtractHostStrictDelimiters(t *testing.T) {
+	opts := ScanOptions{Mode: ScanCaseInsensitiveHostWord, RequireCanonicalDelimiters: true}
+	r := NewRequest("blocked.example")
+	r.Delimiter = "\n"
+	if _, ok := ExtractHost(r.Render(), opts); ok {
+		t.Error("bare-LF delimiters should evade a strict-delimiter device")
+	}
+	r.Delimiter = "\r\n"
+	if _, ok := ExtractHost(r.Render(), opts); !ok {
+		t.Error("canonical request should not evade")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := NewRequest("a.com")
+	r.Headers = []Header{{Name: "X", Value: "1"}}
+	c := r.Clone()
+	c.Hostname = "b.com"
+	c.Headers[0].Value = "2"
+	if r.Hostname != "a.com" || r.Headers[0].Value != "1" {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestQuickRenderParseHostRoundTrip(t *testing.T) {
+	// For any hostname made of reasonable label characters, rendering a
+	// canonical request and parsing it recovers the hostname.
+	f := func(raw []byte) bool {
+		host := sanitizeHost(raw)
+		if host == "" {
+			return true
+		}
+		p := Parse(NewRequest(host).Render())
+		return p.Host == host
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitizeHost maps arbitrary bytes to hostname-safe characters.
+func sanitizeHost(raw []byte) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-."
+	var b bytes.Buffer
+	for _, c := range raw {
+		b.WriteByte(alphabet[int(c)%len(alphabet)])
+	}
+	return strings.Trim(b.String(), ".-")
+}
+
+func TestSplitLinesMixed(t *testing.T) {
+	lines, canonical := splitLines("a\r\nb\nc\rd")
+	want := []string{"a", "b", "c", "d"}
+	if canonical {
+		t.Error("mixed delimiters reported canonical")
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("lines[%d] = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestParseStatus(t *testing.T) {
+	cases := map[string]int{
+		"HTTP/1.1 200 OK\r\n\r\nbody":   200,
+		"HTTP/1.1 403 Forbidden\r\n":    403,
+		"HTTP/1.0 505 HTTP Version\r\n": 505,
+		"HTTP/1.1 xx OK":                0,
+		"garbage":                       0,
+		"":                              0,
+		"HTTP/1.1 99":                   0, // too short for 3 digits
+	}
+	for raw, want := range cases {
+		if got := ParseStatus([]byte(raw)); got != want {
+			t.Errorf("ParseStatus(%q) = %d, want %d", raw, got, want)
+		}
+	}
+}

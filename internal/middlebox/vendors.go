@@ -1,0 +1,392 @@
+package middlebox
+
+import (
+	"net/netip"
+	"time"
+
+	"cendev/internal/httpgram"
+	"cendev/internal/netem"
+	"cendev/internal/tlsgram"
+)
+
+// Vendor names a censorship device manufacturer (or an unlabeled class).
+// The commercial vendors are the ones §5.3 identified in AZ, BY, KZ, and RU.
+type Vendor string
+
+// Vendors modeled by the simulator.
+const (
+	VendorFortinet  Vendor = "Fortinet"
+	VendorCisco     Vendor = "Cisco"
+	VendorKerio     Vendor = "Kerio Control"
+	VendorPaloAlto  Vendor = "Palo Alto"
+	VendorDDoSGuard Vendor = "DDoSGuard"
+	VendorMikrotik  Vendor = "Mikrotik"
+	VendorKaspersky Vendor = "Kaspersky"
+	// VendorUnknownRST is the unlabeled on-path RST-injector class dominant
+	// in BY (§4.3: "most censorship devices in BY are deployed on-path, and
+	// inject RST packets into flows").
+	VendorUnknownRST Vendor = "unknown-rst"
+	// VendorUnknownCopyTTL is the unlabeled RU injector class that copies
+	// the IP header (including TTL) of censored packets into its resets,
+	// producing the "Past E" artifact (§4.3, Figure 2(E)).
+	VendorUnknownCopyTTL Vendor = "unknown-copyttl"
+	// VendorUnknownDrop is the unlabeled dropping class with no probeable
+	// services (§5.3: most potential device IPs host no public services).
+	VendorUnknownDrop Vendor = "unknown-drop"
+	// VendorDNSInjector is the on-path DNS packet injector class — the
+	// paper's §8 future-work protocol, modeled after well-known national
+	// injectors: it answers matching queries with a forged A record and
+	// lets the real answer race in behind it.
+	VendorDNSInjector Vendor = "dns-injector"
+	// VendorNetsweeper models the commercial URL filter of the Planet
+	// Netsweeper report the paper cites ([16]): blockpage injection with a
+	// deny-page URL pattern, identifiable from the page rather than
+	// banners.
+	VendorNetsweeper Vendor = "Netsweeper"
+	// VendorSandvine models the PacketLogic devices reported deployed for
+	// Russian censorship (the paper's [1], [44]): in-path RST injection
+	// with a distinctive fixed IP ID, no public services — the class that
+	// stays unlabeled in banner scans.
+	VendorSandvine Vendor = "Sandvine"
+)
+
+// Profile is a vendor's behaviour template: how its parser reads requests,
+// what it does on a match, and what its injected packets and banners look
+// like. Deployments instantiate devices from profiles via NewDevice.
+type Profile struct {
+	Vendor         Vendor
+	Placement      Placement
+	Action         Action
+	MatchMode      MatchMode
+	Quirks         Quirks
+	Inject         InjectionProfile
+	CopyTTL        bool
+	Blockpage      string
+	Services       map[int]string
+	ResidualWindow time.Duration
+	// MaxInjectsPerFlow caps injections per flow (see Device).
+	MaxInjectsPerFlow int
+	// Reassembles: whether the DPI engine reassembles TCP streams (see
+	// Device). High-end commercial engines do; simpler ones inspect
+	// packets individually and are evaded by segmentation.
+	Reassembles bool
+	// Personality is the management stack's TCP fingerprint (see Device).
+	Personality TCPPersonality
+	// RegistrableRules configures rules on the registrable domain
+	// (example.com) instead of the full test hostname (www.example.com),
+	// which changes which hostname mutations evade (§6.3).
+	RegistrableRules bool
+}
+
+// Profiles is the registry of vendor behaviour templates. The quirk choices
+// encode the paper's aggregate findings: nearly every device triggers on
+// GET and POST but many miss PATCH and empty methods; most devices match
+// hostnames case-insensitively but fail on truncated grammar words; only
+// substring-scanning devices survive mangled delimiters; a few TLS stacks
+// give up outside TLS 1.1–1.2 or without a recognized cipher suite.
+var Profiles = map[Vendor]Profile{
+	VendorFortinet: {
+		Vendor:    VendorFortinet,
+		Placement: InPath,
+		Action:    ActionBlockpage,
+		MatchMode: MatchSuffix,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{Mode: httpgram.ScanSubstring},
+		},
+		Inject: InjectionProfile{
+			IPID: 0x4000, TTL: 64, TCPWindow: 8192,
+			Options: []netem.TCPOption{{Kind: netem.TCPOptMSS, Data: []byte{0x05, 0xb4}}},
+		},
+		Blockpage: `<html><head><title>Web Filter Violation</title></head>` +
+			`<body><h1>Web Page Blocked!</h1><p>You have tried to access a web page ` +
+			`which is in violation of your internet usage policy.</p>` +
+			`<p>Powered by FortiGuard.</p></body></html>`,
+		Personality: TCPPersonality{SYNACKWindow: 5840, SYNACKTTL: 64, DF: true},
+		Services: map[int]string{
+			22:  "SSH-2.0-FortiSSH",
+			443: "Server: xxxxxxxx-xxxxx\r\nFortiGate Administrative Console",
+			161: "Fortinet FortiGate-600E v6.4",
+		},
+		ResidualWindow:   90 * time.Second,
+		RegistrableRules: true,
+		Reassembles:      true,
+	},
+	VendorCisco: {
+		Vendor:    VendorCisco,
+		Placement: InPath,
+		Action:    ActionDrop,
+		MatchMode: MatchExact,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:                       httpgram.ScanExactHostWord,
+				MethodAllowlist:            []string{"GET", "POST", "PUT", "HEAD"},
+				RequireCanonicalDelimiters: true,
+			},
+			PathSensitive:           true,
+			RequireVersionWordExact: true,
+		},
+		Inject:      InjectionProfile{TTL: 255, TCPWindow: 0},
+		Personality: TCPPersonality{SYNACKWindow: 4128, SYNACKTTL: 255, DF: false},
+		Services: map[int]string{
+			22: "SSH-2.0-Cisco-1.25",
+			23: "\r\nUser Access Verification\r\n\r\nPassword: ",
+		},
+		ResidualWindow: 90 * time.Second,
+	},
+	VendorKerio: {
+		Vendor:    VendorKerio,
+		Placement: InPath,
+		Action:    ActionDrop,
+		MatchMode: MatchSuffix,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET", "POST", "PUT"},
+			},
+			PathSensitive: true,
+		},
+		Inject:      InjectionProfile{TTL: 64, TCPWindow: 29200},
+		Personality: TCPPersonality{SYNACKWindow: 29200, SYNACKTTL: 64, DF: true},
+		Services: map[int]string{
+			22:   "SSH-2.0-OpenSSH_8.0 Kerio",
+			4081: "HTTP/1.1 301 Moved Permanently\r\nServer: Kerio Control Embedded Web Server\r\n",
+		},
+		ResidualWindow: 60 * time.Second,
+	},
+	VendorPaloAlto: {
+		Vendor:    VendorPaloAlto,
+		Placement: InPath,
+		Action:    ActionDrop,
+		MatchMode: MatchSuffix,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:                        httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist:             []string{"GET", "POST"},
+				RequireParseableRequestLine: true,
+			},
+			TLS: TLSQuirks{ParseVersionMin: tlsgram.VersionTLS11, ParseVersionMax: tlsgram.VersionTLS12},
+		},
+		Inject:      InjectionProfile{TTL: 64, TCPWindow: 0},
+		Personality: TCPPersonality{SYNACKWindow: 65535, SYNACKTTL: 64, DF: true},
+		Services: map[int]string{
+			443: "Server: PanWeb Server/ - \r\nPAN-OS web management interface",
+			22:  "SSH-2.0-OpenSSH_7.8 PAN-OS",
+		},
+		ResidualWindow:   90 * time.Second,
+		RegistrableRules: true,
+		Reassembles:      true,
+	},
+	VendorDDoSGuard: {
+		Vendor:    VendorDDoSGuard,
+		Placement: InPath,
+		Action:    ActionRST,
+		MatchMode: MatchContains,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET", "POST", "PUT"},
+			},
+		},
+		Inject:      InjectionProfile{IPID: 0, TTL: 64, TCPWindow: 0},
+		Personality: TCPPersonality{SYNACKWindow: 14600, SYNACKTTL: 64, DF: true},
+		Services: map[int]string{
+			80: "HTTP/1.1 403 Forbidden\r\nServer: ddos-guard\r\n",
+		},
+		ResidualWindow:   45 * time.Second,
+		RegistrableRules: true,
+	},
+	VendorMikrotik: {
+		Vendor:    VendorMikrotik,
+		Placement: InPath,
+		Action:    ActionDrop,
+		MatchMode: MatchExact,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET", "POST", "PUT"},
+			},
+		},
+		Inject:      InjectionProfile{TTL: 64, TCPWindow: 14600},
+		Personality: TCPPersonality{SYNACKWindow: 14600, SYNACKTTL: 64, DF: false},
+		Services: map[int]string{
+			22:   "SSH-2.0-ROSSSH",
+			8291: "MikroTik RouterOS Winbox",
+		},
+		ResidualWindow: 60 * time.Second,
+	},
+	VendorKaspersky: {
+		Vendor:    VendorKaspersky,
+		Placement: InPath,
+		Action:    ActionDrop,
+		MatchMode: MatchKeyword,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET"},
+			},
+		},
+		Inject:      InjectionProfile{TTL: 64, TCPWindow: 64240},
+		Personality: TCPPersonality{SYNACKWindow: 64240, SYNACKTTL: 128, DF: true},
+		Services: map[int]string{
+			80: "HTTP/1.1 403 Forbidden\r\nServer: Kaspersky Web Traffic Security\r\n",
+		},
+		ResidualWindow: 90 * time.Second,
+	},
+	VendorUnknownRST: {
+		Vendor:    VendorUnknownRST,
+		Placement: OnPath,
+		Action:    ActionRST,
+		MatchMode: MatchSuffix,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET", "POST"},
+			},
+		},
+		Inject:            InjectionProfile{IPID: 0xbeef, TTL: 64, TCPWindow: 1},
+		ResidualWindow:    60 * time.Second,
+		MaxInjectsPerFlow: 0,
+		RegistrableRules:  true,
+	},
+	VendorUnknownCopyTTL: {
+		Vendor:    VendorUnknownCopyTTL,
+		Placement: InPath,
+		Action:    ActionRST,
+		MatchMode: MatchSuffix,
+		CopyTTL:   true,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET", "POST", "PUT"},
+			},
+		},
+		Inject:           InjectionProfile{TCPWindow: 0},
+		ResidualWindow:   60 * time.Second,
+		RegistrableRules: true,
+	},
+	VendorDNSInjector: {
+		Vendor:    VendorDNSInjector,
+		Placement: OnPath,
+		Action:    ActionDNSInject,
+		MatchMode: MatchSuffix,
+		Inject:    InjectionProfile{IPID: 0x1234, TTL: 64},
+		// No ResidualWindow: classic DNS injectors are stateless.
+		RegistrableRules: true,
+	},
+	VendorNetsweeper: {
+		Vendor:    VendorNetsweeper,
+		Placement: InPath,
+		Action:    ActionBlockpage,
+		MatchMode: MatchSuffix,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET", "POST", "HEAD"},
+			},
+		},
+		Inject: InjectionProfile{IPID: 0x0100, TTL: 64, TCPWindow: 5840},
+		Blockpage: `<html><head><title>Web Page Blocked</title></head>` +
+			`<body><p>The page you have requested has been blocked.</p>` +
+			`<img src="http://deny.netsweeper.example/webadmin/deny/logo.gif">` +
+			`</body></html>`,
+		ResidualWindow:   60 * time.Second,
+		RegistrableRules: true,
+	},
+	VendorSandvine: {
+		Vendor:    VendorSandvine,
+		Placement: InPath,
+		Action:    ActionRST,
+		MatchMode: MatchSuffix,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET", "POST", "PUT", "HEAD"},
+			},
+		},
+		// The fixed IP ID 0x3412 is the PacketLogic signature reported in
+		// the Bad Traffic analysis.
+		Inject:           InjectionProfile{IPID: 0x3412, TTL: 64, TCPWindow: 0},
+		ResidualWindow:   60 * time.Second,
+		RegistrableRules: true,
+	},
+	VendorUnknownDrop: {
+		Vendor:    VendorUnknownDrop,
+		Placement: InPath,
+		Action:    ActionDrop,
+		MatchMode: MatchSuffix,
+		Quirks: Quirks{
+			HTTP: httpgram.ScanOptions{
+				Mode:            httpgram.ScanCaseInsensitiveHostWord,
+				MethodAllowlist: []string{"GET", "POST", "PUT"},
+			},
+			PathSensitive: true,
+		},
+		Inject:         InjectionProfile{},
+		ResidualWindow: 90 * time.Second,
+	},
+}
+
+// registrable reduces a hostname to its registrable domain (last two
+// labels): "www.example.com" → "example.com".
+func registrable(host string) string {
+	labels := splitLabels(host)
+	if len(labels) <= 2 {
+		return host
+	}
+	return labels[len(labels)-2] + "." + labels[len(labels)-1]
+}
+
+func splitLabels(host string) []string {
+	var labels []string
+	start := 0
+	for i := 0; i < len(host); i++ {
+		if host[i] == '.' {
+			labels = append(labels, host[start:i])
+			start = i + 1
+		}
+	}
+	return append(labels, host[start:])
+}
+
+// NewDevice instantiates a device of the given vendor blocking the given
+// domains. addr is the device's probeable management address (pass the zero
+// netip.Addr for devices without one). Rule entries are reduced to
+// registrable domains when the vendor profile calls for it.
+func NewDevice(id string, vendor Vendor, domains []string, addr netip.Addr) *Device {
+	p, ok := Profiles[vendor]
+	if !ok {
+		panic("middlebox: unknown vendor " + string(vendor))
+	}
+	rules := RuleSet{Mode: p.MatchMode, CaseInsensitive: true}
+	for _, d := range domains {
+		if p.RegistrableRules {
+			rules.Domains = append(rules.Domains, registrable(d))
+		} else {
+			rules.Domains = append(rules.Domains, d)
+		}
+	}
+	dev := &Device{
+		ID:                id,
+		Vendor:            vendor,
+		Placement:         p.Placement,
+		Action:            p.Action,
+		Rules:             rules,
+		Quirks:            p.Quirks,
+		Inject:            p.Inject,
+		CopyTTL:           p.CopyTTL,
+		Blockpage:         p.Blockpage,
+		Addr:              addr,
+		ResidualWindow:    p.ResidualWindow,
+		MaxInjectsPerFlow: p.MaxInjectsPerFlow,
+		DNSOnly:           vendor == VendorDNSInjector,
+		Reassembles:       p.Reassembles,
+		Personality:       p.Personality,
+	}
+	if len(p.Services) > 0 && addr.IsValid() {
+		dev.Services = make(map[int]string, len(p.Services))
+		for port, banner := range p.Services {
+			dev.Services[port] = banner
+		}
+	}
+	return dev
+}

@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// DBSCANResult holds the cluster assignment per point: 0..k-1 are cluster
+// ids, Noise (-1) marks outliers.
+type DBSCANResult struct {
+	Labels      []int
+	NumClusters int
+}
+
+// Noise is the DBSCAN label for points in no cluster.
+const Noise = -1
+
+// euclidean computes the distance between two vectors, skipping dimensions
+// where either value is NaN (missing-feature tolerant).
+func euclidean(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// DBSCAN clusters points with density parameters eps and minPts (§7.3:
+// "We use DBSCAN clustering, which uses a density metric to determine the
+// number of clusters in the data rather than a pre-determined number").
+func DBSCAN(points [][]float64, eps float64, minPts int) DBSCANResult {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if euclidean(points[i], points[j]) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nbrs := neighbors(i)
+		if len(nbrs) < minPts {
+			continue // noise (may be claimed by a cluster later)
+		}
+		labels[i] = cluster
+		queue := append([]int(nil), nbrs...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = cluster
+			jn := neighbors(j)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+		cluster++
+	}
+	return DBSCANResult{Labels: labels, NumClusters: cluster}
+}
+
+// KDistanceEpsilon estimates the DBSCAN ε by averaging each point's
+// distance to its k nearest neighbors — the technique the paper borrows
+// from prior literature to pick ε (§7.3).
+func KDistanceEpsilon(points [][]float64, k int) float64 {
+	n := len(points)
+	if n < 2 || k < 1 {
+		return 0
+	}
+	total := 0.0
+	count := 0
+	for i := 0; i < n; i++ {
+		dists := make([]float64, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i != j {
+				dists = append(dists, euclidean(points[i], points[j]))
+			}
+		}
+		sort.Float64s(dists)
+		kk := k
+		if kk > len(dists) {
+			kk = len(dists)
+		}
+		for _, d := range dists[:kk] {
+			total += d
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// ClusterSizes returns the member count per cluster id.
+func (r DBSCANResult) ClusterSizes() map[int]int {
+	sizes := map[int]int{}
+	for _, l := range r.Labels {
+		if l != Noise {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+// Members returns the point indices in a cluster.
+func (r DBSCANResult) Members(cluster int) []int {
+	var out []int
+	for i, l := range r.Labels {
+		if l == cluster {
+			out = append(out, i)
+		}
+	}
+	return out
+}

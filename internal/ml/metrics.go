@@ -1,0 +1,167 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConfusionMatrix accumulates classifier predictions against truth.
+type ConfusionMatrix struct {
+	// Classes are the label names, indexing both dimensions.
+	Classes []string
+	// Counts[t][p] counts samples of true class t predicted as p.
+	Counts [][]int
+}
+
+// NewConfusionMatrix returns an empty matrix over the given classes.
+func NewConfusionMatrix(classes []string) *ConfusionMatrix {
+	m := &ConfusionMatrix{Classes: classes}
+	m.Counts = make([][]int, len(classes))
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, len(classes))
+	}
+	return m
+}
+
+// Add records one prediction.
+func (m *ConfusionMatrix) Add(trueClass, predicted int) {
+	if trueClass >= 0 && trueClass < len(m.Classes) && predicted >= 0 && predicted < len(m.Classes) {
+		m.Counts[trueClass][predicted]++
+	}
+}
+
+// Accuracy is the overall fraction of correct predictions.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for t := range m.Counts {
+		for p, n := range m.Counts[t] {
+			total += n
+			if t == p {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Precision returns TP/(TP+FP) for a class (1 when the class was never
+// predicted).
+func (m *ConfusionMatrix) Precision(class int) float64 {
+	tp := m.Counts[class][class]
+	predicted := 0
+	for t := range m.Counts {
+		predicted += m.Counts[t][class]
+	}
+	if predicted == 0 {
+		return 1
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// Recall returns TP/(TP+FN) for a class (1 when the class never occurred).
+func (m *ConfusionMatrix) Recall(class int) float64 {
+	tp := m.Counts[class][class]
+	actual := 0
+	for _, n := range m.Counts[class] {
+		actual += n
+	}
+	if actual == 0 {
+		return 1
+	}
+	return float64(tp) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for a class.
+func (m *ConfusionMatrix) F1(class int) float64 {
+	p, r := m.Precision(class), m.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 across classes that occur.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	sum, n := 0.0, 0
+	for c := range m.Classes {
+		actual := 0
+		for _, v := range m.Counts[c] {
+			actual += v
+		}
+		if actual == 0 {
+			continue
+		}
+		sum += m.F1(c)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// String renders the matrix with per-class precision/recall.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	width := 14
+	fmt.Fprintf(&b, "%-*s", width, "true\\pred")
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, " %*s", width, truncateLabel(c, width))
+	}
+	b.WriteString("   prec  recall\n")
+	for t, row := range m.Counts {
+		fmt.Fprintf(&b, "%-*s", width, truncateLabel(m.Classes[t], width))
+		for _, n := range row {
+			fmt.Fprintf(&b, " %*d", width, n)
+		}
+		fmt.Fprintf(&b, "  %5.2f   %5.2f\n", m.Precision(t), m.Recall(t))
+	}
+	fmt.Fprintf(&b, "accuracy %.2f, macro-F1 %.2f\n", m.Accuracy(), m.MacroF1())
+	return b.String()
+}
+
+func truncateLabel(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// CrossValidateConfusion runs k-fold CV like CrossValidate but accumulates
+// a confusion matrix over the held-out predictions.
+func CrossValidateConfusion(d *Dataset, classes []string, cfg ForestConfig, k, repeats int) *ConfusionMatrix {
+	cm := NewConfusionMatrix(classes)
+	n := len(d.X)
+	for rep := 0; rep < repeats; rep++ {
+		rng := newPermRng(cfg.Seed + int64(rep))
+		perm := rng.Perm(n)
+		for fold := 0; fold < k; fold++ {
+			var trainIdx, testIdx []int
+			for i, p := range perm {
+				if i%k == fold {
+					testIdx = append(testIdx, p)
+				} else {
+					trainIdx = append(trainIdx, p)
+				}
+			}
+			if len(trainIdx) == 0 || len(testIdx) == 0 {
+				continue
+			}
+			sub := &Dataset{}
+			for _, i := range trainIdx {
+				sub.X = append(sub.X, d.X[i])
+				sub.Y = append(sub.Y, d.Y[i])
+			}
+			foldCfg := cfg
+			foldCfg.Seed = cfg.Seed + int64(rep*1000+fold)
+			forest := FitForest(sub, foldCfg)
+			for _, i := range testIdx {
+				cm.Add(d.Y[i], forest.Predict(d.X[i]))
+			}
+		}
+	}
+	return cm
+}

@@ -1,0 +1,243 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// ranks assigns average ranks to values (ties share the mean rank), the
+// standard preprocessing for Spearman correlation.
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// pearson computes the Pearson correlation coefficient.
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Spearman computes Spearman's rank correlation coefficient r_s and its
+// two-sided p-value (t-distribution approximation, df = n-2), the measure
+// §7.4 uses for pairwise device-feature similarity.
+func Spearman(x, y []float64) (rs, p float64) {
+	if len(x) != len(y) || len(x) < 3 {
+		return 0, 1
+	}
+	rs = pearson(ranks(x), ranks(y))
+	n := float64(len(x))
+	if math.Abs(rs) >= 1 {
+		return rs, 0
+	}
+	t := rs * math.Sqrt((n-2)/(1-rs*rs))
+	p = 2 * studentTTail(math.Abs(t), n-2)
+	if p > 1 {
+		p = 1
+	}
+	return rs, p
+}
+
+// studentTTail returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function.
+func studentTTail(t, df float64) float64 {
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// ImputeMedian replaces NaN entries with the per-column median of the
+// non-missing values (§7.2: "We impute missing features in the data via
+// taking the median of other samples"). The matrix is modified in place
+// and returned.
+func ImputeMedian(x [][]float64) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	cols := len(x[0])
+	for c := 0; c < cols; c++ {
+		var present []float64
+		for r := range x {
+			if !math.IsNaN(x[r][c]) {
+				present = append(present, x[r][c])
+			}
+		}
+		med := 0.0
+		if len(present) > 0 {
+			sort.Float64s(present)
+			mid := len(present) / 2
+			if len(present)%2 == 1 {
+				med = present[mid]
+			} else {
+				med = (present[mid-1] + present[mid]) / 2
+			}
+		}
+		for r := range x {
+			if math.IsNaN(x[r][c]) {
+				x[r][c] = med
+			}
+		}
+	}
+	return x
+}
+
+// Standardize z-scores each column in place (mean 0, unit variance),
+// skipping NaN entries and leaving constant columns at zero. Distance-based
+// methods (DBSCAN, k-distance ε) need this: raw feature magnitudes differ
+// by orders of magnitude (evasion rates in [0,1] vs IP ID values).
+func Standardize(x [][]float64) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	cols := len(x[0])
+	for c := 0; c < cols; c++ {
+		var sum, n float64
+		for r := range x {
+			if !math.IsNaN(x[r][c]) {
+				sum += x[r][c]
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		mean := sum / n
+		var varsum float64
+		for r := range x {
+			if !math.IsNaN(x[r][c]) {
+				d := x[r][c] - mean
+				varsum += d * d
+			}
+		}
+		std := math.Sqrt(varsum / n)
+		for r := range x {
+			if math.IsNaN(x[r][c]) {
+				continue
+			}
+			if std == 0 {
+				x[r][c] = 0
+			} else {
+				x[r][c] = (x[r][c] - mean) / std
+			}
+		}
+	}
+	return x
+}
+
+// TopKIndices returns the indices of the k largest values, descending
+// (used to pick "the top 10 features that perform best", §7.3).
+func TopKIndices(values []float64, k int) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

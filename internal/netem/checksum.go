@@ -1,0 +1,46 @@
+package netem
+
+// Checksum computes the Internet checksum (RFC 1071) over data.
+// The returned value is ready to be stored in a header checksum field.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum folds the IPv4 pseudo-header used by the TCP checksum
+// into a partial sum that tcpChecksum completes.
+func pseudoHeaderSum(src, dst [4]byte, protocol uint8, tcpLen int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(protocol)
+	sum += uint32(tcpLen)
+	return sum
+}
+
+// checksumWithInitial computes the Internet checksum over data starting from
+// an initial partial sum (used for pseudo-header inclusion).
+func checksumWithInitial(initial uint32, data []byte) uint16 {
+	sum := initial
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,15 @@
+// Package netem implements the wire-format packet model used by the
+// censorship-device measurement tools and by the simulated network substrate.
+//
+// The design follows the layer idiom popularized by gopacket: each protocol
+// layer (IPv4, TCP, ICMP) is a struct whose zero value is usable, with
+// SerializeTo and DecodeFromBytes methods that produce and consume exact wire
+// bytes, including checksums. A Packet bundles an IPv4 header with exactly
+// one transport layer and an application payload.
+//
+// Faithful wire formats matter here because CenTrace inspects the quoted
+// packet inside ICMP Time Exceeded errors (RFC 792 quotes the IP header plus
+// 64 bits of payload; RFC 1812 routers quote more) to detect middlebox header
+// rewrites, and because stateful middleboxes and endpoints parse the raw
+// bytes of HTTP requests and TLS Client Hello messages carried as payloads.
+package netem

@@ -1,0 +1,29 @@
+package netem_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"cendev/internal/netem"
+)
+
+// Example builds a TCP packet, serializes it to wire bytes, and quotes it
+// inside an ICMP Time Exceeded the way a router would — the primitive
+// CenTrace's Tracebox-style comparison is built on.
+func Example() {
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("192.0.2.7")
+	probe := netem.NewTCPPacket(src, dst, 40000, 80, netem.TCPPsh|netem.TCPAck, 1, 1,
+		[]byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"))
+	probe.IP.TTL = 3
+
+	router := netip.MustParseAddr("172.16.0.1")
+	te, _ := netem.NewTimeExceeded(router, probe, 8) // RFC 792 minimal quote
+	quoted, _ := te.ICMP.QuotedPacket()
+	srcPort, dstPort, _ := quoted.QuotedPorts()
+	delta := netem.CompareQuote(probe, quoted)
+
+	fmt.Printf("quoted ports %d>%d rfc792=%v delta=%s\n",
+		srcPort, dstPort, quoted.FollowsRFC792Only(), delta)
+	// Output: quoted ports 40000>80 rfc792=true delta=no-delta
+}

@@ -1,0 +1,165 @@
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Packet is a full IPv4 packet: one IP header, exactly one transport layer
+// (TCP, UDP, or ICMP), and an optional application payload (TCP/UDP only).
+type Packet struct {
+	IP      IPv4
+	TCP     *TCP  // exactly one of TCP, UDP, ICMP is non-nil
+	UDP     *UDP  // exactly one of TCP, UDP, ICMP is non-nil
+	ICMP    *ICMP // exactly one of TCP, UDP, ICMP is non-nil
+	Payload []byte
+}
+
+var errNoTransport = errors.New("netem: packet has no transport layer")
+
+// Serialize renders the packet to wire bytes, computing lengths and
+// checksums in both headers.
+func (p *Packet) Serialize() ([]byte, error) {
+	switch {
+	case p.TCP != nil:
+		src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
+		seg := p.TCP.SerializeTo(nil, src, dst, p.Payload)
+		p.IP.Protocol = ProtoTCP
+		out := p.IP.SerializeTo(nil, len(seg))
+		return append(out, seg...), nil
+	case p.UDP != nil:
+		src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
+		seg := p.UDP.SerializeTo(nil, src, dst, p.Payload)
+		p.IP.Protocol = ProtoUDP
+		out := p.IP.SerializeTo(nil, len(seg))
+		return append(out, seg...), nil
+	case p.ICMP != nil:
+		msg := p.ICMP.SerializeTo(nil)
+		p.IP.Protocol = ProtoICMP
+		out := p.IP.SerializeTo(nil, len(msg))
+		return append(out, msg...), nil
+	default:
+		return nil, errNoTransport
+	}
+}
+
+// DecodePacket parses wire bytes into a Packet.
+func DecodePacket(data []byte) (*Packet, error) {
+	var p Packet
+	n, err := p.IP.DecodeFromBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	rest := data[n:]
+	switch p.IP.Protocol {
+	case ProtoTCP:
+		var tcp TCP
+		hl, err := tcp.DecodeFromBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.TCP = &tcp
+		p.Payload = append([]byte(nil), rest[hl:]...)
+	case ProtoUDP:
+		var udp UDP
+		hl, err := udp.DecodeFromBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.UDP = &udp
+		p.Payload = append([]byte(nil), rest[hl:]...)
+	case ProtoICMP:
+		var icmp ICMP
+		if err := icmp.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.ICMP = &icmp
+	default:
+		return nil, fmt.Errorf("netem: unsupported protocol %s", p.IP.Protocol)
+	}
+	return &p, nil
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{IP: p.IP, Payload: append([]byte(nil), p.Payload...)}
+	if p.TCP != nil {
+		t := *p.TCP
+		t.Options = make([]TCPOption, len(p.TCP.Options))
+		for i, o := range p.TCP.Options {
+			t.Options[i] = TCPOption{Kind: o.Kind, Data: append([]byte(nil), o.Data...)}
+		}
+		q.TCP = &t
+	}
+	if p.UDP != nil {
+		u := *p.UDP
+		q.UDP = &u
+	}
+	if p.ICMP != nil {
+		m := *p.ICMP
+		m.Quoted = append([]byte(nil), p.ICMP.Quoted...)
+		q.ICMP = &m
+	}
+	return q
+}
+
+// String implements fmt.Stringer, summarizing all layers.
+func (p *Packet) String() string {
+	var b strings.Builder
+	b.WriteString(p.IP.String())
+	if p.TCP != nil {
+		fmt.Fprintf(&b, " / %s", p.TCP)
+	}
+	if p.UDP != nil {
+		fmt.Fprintf(&b, " / UDP %d > %d", p.UDP.SrcPort, p.UDP.DstPort)
+	}
+	if p.ICMP != nil {
+		fmt.Fprintf(&b, " / %s", p.ICMP)
+	}
+	if len(p.Payload) > 0 {
+		fmt.Fprintf(&b, " / %dB payload", len(p.Payload))
+	}
+	return b.String()
+}
+
+// NewTCPPacket builds a TCP packet with the given addressing, flags, and
+// payload, using defaults suitable for the simulator.
+func NewTCPPacket(src, dst netip.Addr, srcPort, dstPort uint16, flags TCPFlags, seq, ack uint32, payload []byte) *Packet {
+	return &Packet{
+		IP: IPv4{TTL: 64, Src: src, Dst: dst, Protocol: ProtoTCP},
+		TCP: &TCP{
+			SrcPort: srcPort, DstPort: dstPort,
+			Seq: seq, Ack: ack, Flags: flags, Window: 65535,
+		},
+		Payload: payload,
+	}
+}
+
+// NewTimeExceeded builds the ICMP Time Exceeded error a router at routerAddr
+// sends back to the source of offending. quoteLen controls how many bytes of
+// the offending packet's transport segment are quoted: 8 reproduces the
+// RFC 792 minimum; larger values emulate RFC 1812 routers that quote more.
+// The quote is built from the offending packet as the router observed it, so
+// any header rewrites applied by upstream middleboxes are visible to
+// Tracebox-style comparison.
+func NewTimeExceeded(routerAddr netip.Addr, offending *Packet, quoteLen int) (*Packet, error) {
+	wire, err := offending.Serialize()
+	if err != nil {
+		return nil, err
+	}
+	ihl := IPv4HeaderLen
+	end := ihl + quoteLen
+	if end > len(wire) {
+		end = len(wire)
+	}
+	return &Packet{
+		IP: IPv4{TTL: 64, Src: routerAddr, Dst: offending.IP.Src, Protocol: ProtoICMP},
+		ICMP: &ICMP{
+			Type:   ICMPTimeExceeded,
+			Code:   0, // TTL exceeded in transit
+			Quoted: append([]byte(nil), wire[:end]...),
+		},
+	}, nil
+}

@@ -1,0 +1,72 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cendev/internal/netem"
+	"cendev/internal/topology"
+)
+
+// Capture is the tcpdump substitute: a buffer of every packet a client host
+// sent or received while capturing was enabled. CenTrace relies on captures
+// to implement on-path detection — observing both an injected terminating
+// response and the ICMP Time Exceeded from the next hop for the same probe
+// (§4.1, Figure 2(D)).
+type Capture struct {
+	Records []CaptureRecord
+}
+
+// CaptureRecord is one captured packet.
+type CaptureRecord struct {
+	Packet   *netem.Packet
+	At       time.Duration
+	Outbound bool
+}
+
+// StartCapture begins capturing on a client host and returns the buffer.
+// Any previous capture on the host is replaced.
+func (n *Network) StartCapture(h *topology.Host) *Capture {
+	c := &Capture{}
+	n.captures[h.ID] = c
+	return c
+}
+
+// StopCapture ends capturing on a client host.
+func (n *Network) StopCapture(h *topology.Host) {
+	delete(n.captures, h.ID)
+}
+
+// recordCapture appends to the host's capture buffer when one is active.
+func (n *Network) recordCapture(h *topology.Host, pkt *netem.Packet, outbound bool) {
+	c, ok := n.captures[h.ID]
+	if !ok {
+		return
+	}
+	c.Records = append(c.Records, CaptureRecord{Packet: pkt.Clone(), At: n.clock, Outbound: outbound})
+}
+
+// Inbound returns the captured inbound packets, in order.
+func (c *Capture) Inbound() []*netem.Packet {
+	var out []*netem.Packet
+	for _, r := range c.Records {
+		if !r.Outbound {
+			out = append(out, r.Packet)
+		}
+	}
+	return out
+}
+
+// String renders the capture as a tcpdump-flavoured text listing.
+func (c *Capture) String() string {
+	var b strings.Builder
+	for _, r := range c.Records {
+		dir := "<"
+		if r.Outbound {
+			dir = ">"
+		}
+		fmt.Fprintf(&b, "%12v %s %s\n", r.At, dir, r.Packet)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package simnet
+
+import (
+	"errors"
+
+	"cendev/internal/netem"
+	"cendev/internal/topology"
+)
+
+// Conn is a simulated TCP connection from a client host to an endpoint
+// host. CenTrace and CenFuzz open a fresh connection per probe (§4.1:
+// "CenTrace performs each TTL-limited probe over a new TCP connection").
+type Conn struct {
+	net      *Network
+	client   *topology.Host
+	endpoint *topology.Host
+	SrcPort  uint16
+	DstPort  uint16
+	seq, ack uint32
+	open     bool
+}
+
+// ErrConnRefused is returned by Dial when the endpoint resets the SYN.
+var ErrConnRefused = errors.New("simnet: connection refused")
+
+// ErrConnTimeout is returned by Dial when the handshake receives no answer
+// (e.g. residual stateful blocking is dropping all packets between the
+// hosts).
+var ErrConnTimeout = errors.New("simnet: connection timed out")
+
+// Dial performs a TCP handshake at full TTL and returns an established
+// connection. The SYN carries no payload, so content-triggered devices let
+// it pass — but devices in a residual blocking state will drop it, making
+// the dial time out just like in the field.
+func (n *Network) Dial(client, ep *topology.Host, dstPort uint16) (*Conn, error) {
+	c := &Conn{
+		net: n, client: client, endpoint: ep,
+		SrcPort: n.AllocPort(), DstPort: dstPort,
+		seq: 1,
+	}
+	syn := netem.NewTCPPacket(client.Addr, ep.Addr, c.SrcPort, dstPort, netem.TCPSyn, c.seq, 0, nil)
+	ds := n.Transmit(syn, client, ep)
+	for _, d := range ds {
+		if d.Packet.TCP == nil || d.Packet.IP.Src != ep.Addr {
+			continue
+		}
+		t := d.Packet.TCP
+		if t.Flags&netem.TCPRst != 0 {
+			return nil, ErrConnRefused
+		}
+		if t.Flags&netem.TCPSyn != 0 && t.Flags&netem.TCPAck != 0 {
+			c.seq++
+			c.ack = t.Seq + 1
+			c.open = true
+			// Final ACK of the handshake (fire and forget).
+			ackPkt := netem.NewTCPPacket(client.Addr, ep.Addr, c.SrcPort, dstPort, netem.TCPAck, c.seq, c.ack, nil)
+			n.Transmit(ackPkt, client, ep)
+			return c, nil
+		}
+	}
+	return nil, ErrConnTimeout
+}
+
+// SendPayload transmits application payload on the connection with the
+// given IP TTL and returns every packet the client receives in response.
+// This is the TTL-limited probe primitive CenTrace is built on: the
+// handshake ran at full TTL, only the payload packet is TTL-limited.
+func (c *Conn) SendPayload(payload []byte, ttl uint8) []Delivery {
+	pkt := netem.NewTCPPacket(c.client.Addr, c.endpoint.Addr, c.SrcPort, c.DstPort,
+		netem.TCPPsh|netem.TCPAck, c.seq, c.ack, payload)
+	pkt.IP.TTL = ttl
+	pkt.IP.ID = uint16(c.seq) // deterministic, varies per segment
+	ds := c.net.Transmit(pkt, c.client, c.endpoint)
+	c.seq += uint32(len(payload))
+	return ds
+}
+
+// SendSegments transmits application payload split across multiple TCP
+// segments on the connection, all at the given TTL, and returns every
+// packet received across the sends. Splitting the censorship trigger
+// across segments evades DPI engines that inspect packets individually
+// (the Geneva/SymTCP evasion class).
+func (c *Conn) SendSegments(segments [][]byte, ttl uint8) []Delivery {
+	var out []Delivery
+	for _, seg := range segments {
+		out = append(out, c.SendPayload(seg, ttl)...)
+	}
+	return out
+}
+
+// ExpectedSeq returns the next in-order sequence number expected from the
+// server. Injected packets spoof exactly this value; a genuine FIN sent
+// after a lost data segment carries a higher one, which lets measurement
+// tools tell the two apart.
+func (c *Conn) ExpectedSeq() uint32 { return c.ack }
+
+// Client returns the client host of the connection.
+func (c *Conn) Client() *topology.Host { return c.client }
+
+// Endpoint returns the endpoint host of the connection.
+func (c *Conn) Endpoint() *topology.Host { return c.endpoint }
+
+// Close sends a FIN at full TTL. Responses are discarded.
+func (c *Conn) Close() {
+	if !c.open {
+		return
+	}
+	fin := netem.NewTCPPacket(c.client.Addr, c.endpoint.Addr, c.SrcPort, c.DstPort,
+		netem.TCPFin|netem.TCPAck, c.seq, c.ack, nil)
+	c.net.Transmit(fin, c.client, c.endpoint)
+	c.open = false
+}

@@ -1,0 +1,176 @@
+// Package simnet is the deterministic virtual Internet the measurement
+// tools run against. It forwards packets hop-by-hop over a topology.Graph,
+// decrementing TTLs, generating ICMP Time Exceeded errors with per-router
+// quoting behaviour, letting in-path and on-path censorship devices inspect
+// and interfere with traffic, and delivering payloads to simulated endpoint
+// servers. All timing is virtual: a Clock advances only when the code says
+// so, which makes the paper's 120-second stateful-blocking waits free.
+//
+// Fidelity notes (see DESIGN.md §2 for the substitution table):
+//   - Devices inspect client→endpoint traffic; most real censorship devices
+//     consider both directions (§4.2), and all of the paper's triggers ride
+//     in the forward direction, so reverse inspection is not modeled.
+//   - Banner probes (ProbeService) resolve directly against the device or
+//     server registry rather than walking packets; CenTrace-style TTL games
+//     are irrelevant to banner grabs.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"cendev/internal/endpoint"
+	"cendev/internal/geoip"
+	"cendev/internal/middlebox"
+	"cendev/internal/topology"
+)
+
+// Network is the virtual Internet.
+type Network struct {
+	Graph *topology.Graph
+	Geo   *geoip.Registry
+
+	clock       time.Duration
+	linkDevices map[topology.LinkID][]*middlebox.Device
+	guards      map[string]*middlebox.Device  // endpoint host ID → At-E device
+	servers     map[string]*endpoint.Server   // endpoint host ID → server
+	resolvers   map[string]*endpoint.Resolver // endpoint host ID → DNS resolver
+	hostsByAddr map[netip.Addr]*topology.Host
+	devices     []*middlebox.Device
+	captures    map[string]*Capture // client host ID → capture buffer
+	httpStreams map[string][]byte   // per-flow HTTP request reassembly
+	nextPort    uint16
+	lossRate    float64
+	lossRng     *rand.Rand
+}
+
+// New creates a network over a topology graph and populates the geo
+// registry from its ASes.
+func New(g *topology.Graph) *Network {
+	n := &Network{
+		Graph:       g,
+		Geo:         geoip.NewRegistry(),
+		linkDevices: make(map[topology.LinkID][]*middlebox.Device),
+		guards:      make(map[string]*middlebox.Device),
+		servers:     make(map[string]*endpoint.Server),
+		resolvers:   make(map[string]*endpoint.Resolver),
+		hostsByAddr: make(map[netip.Addr]*topology.Host),
+		captures:    make(map[string]*Capture),
+		nextPort:    33000,
+	}
+	for _, as := range g.ASes() {
+		n.Geo.Add(as.Prefix, geoip.Info{ASN: as.ASN, Name: as.Name, Country: as.Country})
+	}
+	for _, h := range g.Hosts() {
+		n.hostsByAddr[h.Addr] = h
+	}
+	return n
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.clock }
+
+// SetLoss enables random transient packet loss at the given per-packet
+// rate, driven by a seeded generator so runs stay reproducible. Loss
+// applies independently to the forward packet and to each response.
+// CenTrace's retry logic (§4.1: "we retry the request up to three times to
+// account for transient network failures") exists for exactly this.
+func (n *Network) SetLoss(rate float64, seed int64) {
+	n.lossRate = rate
+	n.lossRng = rand.New(rand.NewSource(seed))
+}
+
+// lose reports whether a packet is randomly dropped.
+func (n *Network) lose() bool {
+	return n.lossRate > 0 && n.lossRng != nil && n.lossRng.Float64() < n.lossRate
+}
+
+// Sleep advances the virtual clock.
+func (n *Network) Sleep(d time.Duration) { n.clock += d }
+
+// AttachDevice places a censorship device on the directed link from router
+// `from` to router `to`: it inspects every client→endpoint packet crossing
+// the link in that direction.
+func (n *Network) AttachDevice(from, to string, dev *middlebox.Device) {
+	if n.Graph.Router(from) == nil || n.Graph.Router(to) == nil {
+		panic(fmt.Sprintf("simnet: AttachDevice on unknown link %s→%s", from, to))
+	}
+	id := topology.LinkID{From: from, To: to}
+	n.linkDevices[id] = append(n.linkDevices[id], dev)
+	n.devices = append(n.devices, dev)
+}
+
+// AttachGuard places a device directly in front of an endpoint host — the
+// NAT/firewall configuration behind the paper's "At E" blocking class
+// (§4.3: 16.19% of traceroutes terminate at the endpoint IP itself).
+func (n *Network) AttachGuard(hostID string, dev *middlebox.Device) {
+	if n.Graph.Host(hostID) == nil {
+		panic("simnet: AttachGuard on unknown host " + hostID)
+	}
+	n.guards[hostID] = dev
+	n.devices = append(n.devices, dev)
+}
+
+// RegisterServer installs an endpoint server on a host. Hosts added to the
+// graph after New are (re-)indexed here.
+func (n *Network) RegisterServer(hostID string, s *endpoint.Server) {
+	h := n.Graph.Host(hostID)
+	if h == nil {
+		panic("simnet: RegisterServer on unknown host " + hostID)
+	}
+	n.hostsByAddr[h.Addr] = h
+	n.servers[hostID] = s
+}
+
+// Server returns the server registered on a host, or nil.
+func (n *Network) Server(hostID string) *endpoint.Server { return n.servers[hostID] }
+
+// RegisterResolver installs a DNS resolver on a host (UDP port 53), for
+// the DNS measurement extension.
+func (n *Network) RegisterResolver(hostID string, r *endpoint.Resolver) {
+	h := n.Graph.Host(hostID)
+	if h == nil {
+		panic("simnet: RegisterResolver on unknown host " + hostID)
+	}
+	n.hostsByAddr[h.Addr] = h
+	n.resolvers[hostID] = r
+}
+
+// Resolver returns the resolver registered on a host, or nil.
+func (n *Network) Resolver(hostID string) *endpoint.Resolver { return n.resolvers[hostID] }
+
+// Devices returns every device attached anywhere in the network.
+func (n *Network) Devices() []*middlebox.Device { return n.devices }
+
+// HostByAddr resolves an address to its host.
+func (n *Network) HostByAddr(addr netip.Addr) *topology.Host { return n.hostsByAddr[addr] }
+
+// ResetDeviceState clears stateful flow tracking on every device, for use
+// between independent experiments.
+func (n *Network) ResetDeviceState() {
+	for _, d := range n.devices {
+		d.ResetState()
+	}
+}
+
+// AllocPort returns a fresh ephemeral source port (deterministic sequence).
+func (n *Network) AllocPort() uint16 {
+	p := n.nextPort
+	n.nextPort++
+	if n.nextPort < 33000 {
+		n.nextPort = 33000
+	}
+	return p
+}
+
+// DeviceByAddr returns the device with the given management address, if any.
+func (n *Network) DeviceByAddr(addr netip.Addr) *middlebox.Device {
+	for _, d := range n.devices {
+		if d.Addr == addr {
+			return d
+		}
+	}
+	return nil
+}

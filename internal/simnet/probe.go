@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"net/netip"
+	"sort"
+
+	"cendev/internal/middlebox"
+)
+
+// ProbeService performs a banner grab against addr:port the way CenProbe's
+// ZGrab-style scanner does: connect, read the service's initial banner.
+// It resolves against censorship devices' management services first, then
+// endpoint servers' auxiliary services, then the standard web ports of
+// endpoint servers. ok is false when nothing listens.
+func (n *Network) ProbeService(addr netip.Addr, port int) (banner string, ok bool) {
+	if dev := n.DeviceByAddr(addr); dev != nil {
+		if b, open := dev.Services[port]; open {
+			return b, true
+		}
+		return "", false
+	}
+	if h := n.hostsByAddr[addr]; h != nil {
+		if srv := n.servers[h.ID]; srv != nil {
+			if b, open := srv.Services[port]; open {
+				return b, true
+			}
+			if port == 80 {
+				return "HTTP/1.1 200 OK\r\nServer: nginx\r\n", true
+			}
+			if port == 443 {
+				return "TLS server, certificate CN=" + firstDomain(srv.Domains), true
+			}
+		}
+	}
+	return "", false
+}
+
+// OpenPorts scans the given ports on addr and returns those with listening
+// services, sorted — the Nmap-style port scan CenProbe starts with (§5.1).
+func (n *Network) OpenPorts(addr netip.Addr, ports []int) []int {
+	var open []int
+	for _, p := range ports {
+		if _, ok := n.ProbeService(addr, p); ok {
+			open = append(open, p)
+		}
+	}
+	sort.Ints(open)
+	return open
+}
+
+func firstDomain(domains []string) string {
+	if len(domains) == 0 {
+		return "unknown"
+	}
+	return domains[0]
+}
+
+// ProbeTCPPersonality performs an Nmap-style stack probe against addr: a
+// SYN to an open port, observing the SYN-ACK's window, TTL, and DF bit.
+// Devices answer with their management stack's personality; plain hosts
+// answer with the generic server personality. ok is false when nothing
+// listens at the address.
+func (n *Network) ProbeTCPPersonality(addr netip.Addr) (middlebox.TCPPersonality, bool) {
+	if dev := n.DeviceByAddr(addr); dev != nil {
+		if len(dev.Services) == 0 {
+			return middlebox.TCPPersonality{}, false
+		}
+		if dev.Personality == (middlebox.TCPPersonality{}) {
+			return middlebox.DefaultHostPersonality, true
+		}
+		return dev.Personality, true
+	}
+	if h := n.hostsByAddr[addr]; h != nil && n.servers[h.ID] != nil {
+		return middlebox.DefaultHostPersonality, true
+	}
+	return middlebox.TCPPersonality{}, false
+}

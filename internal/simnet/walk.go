@@ -1,0 +1,318 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cendev/internal/middlebox"
+	"cendev/internal/netem"
+	"cendev/internal/topology"
+)
+
+// perHopLatency is the virtual one-way latency of each link.
+const perHopLatency = 2 * time.Millisecond
+
+// Delivery is one packet arriving back at the sending client.
+type Delivery struct {
+	Packet *netem.Packet
+	// At is the virtual arrival time.
+	At time.Duration
+	// FromHop is the 1-based hop index the packet originated at (router
+	// ICMP), 0 for packets originating at or beyond the endpoint.
+	FromHop int
+}
+
+// Transmit sends one client packet into the network and returns everything
+// the client receives in response, in arrival order. The packet's journey:
+//
+//	client ── link ── R1 ── link ── R2 … Rn ── link ── endpoint
+//
+// Devices attached to a directed link inspect the packet as it crosses;
+// routers decrement TTL and answer expiry with ICMP Time Exceeded (quoting
+// per their RFC behaviour); the endpoint's guard device and server produce
+// the final response. Return packets traverse the reverse path with their
+// own TTL decrements, so low-TTL injections (CopyTTL devices) can die
+// before reaching the client — the mechanism behind "Past E" (§4.3).
+func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Delivery {
+	n.clock += perHopLatency
+	n.recordCapture(src, pkt, true)
+
+	var out []Delivery
+	defer func() {
+		for _, d := range out {
+			n.recordCapture(src, d.Packet, false)
+		}
+	}()
+
+	var flowHash uint64
+	switch {
+	case pkt.TCP != nil:
+		flowHash = topology.FlowHash(pkt.IP.Src, pkt.IP.Dst, pkt.TCP.SrcPort, pkt.TCP.DstPort, uint8(netem.ProtoTCP))
+	case pkt.UDP != nil:
+		flowHash = topology.FlowHash(pkt.IP.Src, pkt.IP.Dst, pkt.UDP.SrcPort, pkt.UDP.DstPort, uint8(netem.ProtoUDP))
+	default:
+		return out
+	}
+	path := n.Graph.PathForFlow(src, dst, flowHash)
+	if path == nil {
+		return out
+	}
+
+	// deliver queues a response packet originating at hop originHop
+	// (1-based; 0 = client-side) for return-path processing.
+	deliver := func(resp *netem.Packet, originHop int) {
+		if n.lose() {
+			return // transient loss on the return path
+		}
+		hopsBack := originHop // routers between origin and client, inclusive of origin side
+		if hopsBack > 0 {
+			// The originating router/device does not decrement its own
+			// packet; the remaining originHop-1 routers each decrement once.
+			decrements := originHop - 1
+			if int(resp.IP.TTL) <= decrements {
+				return // died on the return path
+			}
+			resp.IP.TTL -= uint8(decrements)
+		}
+		out = append(out, Delivery{
+			Packet:  resp,
+			At:      n.clock + time.Duration(originHop)*perHopLatency,
+			FromHop: originHop,
+		})
+	}
+
+	if n.lose() {
+		return out // transient loss on the forward path
+	}
+	// throttleDelay accumulates extra latency imposed by throttling
+	// devices; it shifts every delivery's arrival time.
+	var throttleDelay time.Duration
+	working := pkt.Clone()
+	ttl := working.IP.TTL
+	prev := "" // empty = client access link
+	for i, router := range path {
+		hop := i + 1
+		// Devices on the link (prev → router) inspect the crossing packet.
+		linkFrom := prev
+		if linkFrom == "" {
+			linkFrom = "@" + src.ID // client access link pseudo-router
+		}
+		dropped := false
+		for _, dev := range n.linkDevices[topology.LinkID{From: linkFrom, To: router.ID}] {
+			v := dev.Inspect(working, dst.Addr, n.clock)
+			for _, inj := range v.Injected {
+				deliver(inj.Clone(), hop)
+			}
+			if v.DropOriginal {
+				dropped = true
+			}
+			throttleDelay += v.ThrottleDelay
+		}
+		if dropped {
+			return sortDeliveries(out)
+		}
+		// Router decrements TTL; on expiry it may answer with ICMP.
+		ttl--
+		working.IP.TTL = ttl
+		if ttl == 0 {
+			if router.SendsICMP {
+				te, err := netem.NewTimeExceeded(router.Addr, working, router.QuoteLen)
+				if err == nil {
+					deliver(te, hop)
+				}
+			}
+			return sortDeliveries(out)
+		}
+		// Forwarding rewrites (TOS/flags) applied by some routers.
+		if router.RewriteTOS != nil {
+			working.IP.TOS = *router.RewriteTOS
+		}
+		if router.SetIPFlags != nil {
+			working.IP.Flags = netem.IPFlags(*router.SetIPFlags)
+		}
+		prev = router.ID
+	}
+
+	// The packet has crossed the last router; deliver to the endpoint.
+	endpointHop := len(path) + 1
+	if guard := n.guards[dst.ID]; guard != nil {
+		v := guard.Inspect(working, dst.Addr, n.clock)
+		for _, inj := range v.Injected {
+			deliver(inj.Clone(), endpointHop)
+		}
+		if v.Triggered && v.DropOriginal {
+			return sortDeliveries(out)
+		}
+	}
+	for _, resp := range n.endpointRespond(working, dst) {
+		deliver(resp, endpointHop)
+	}
+	if throttleDelay > 0 {
+		n.clock += throttleDelay
+		for i := range out {
+			out[i].At += throttleDelay
+		}
+	}
+	return sortDeliveries(out)
+}
+
+// sortDeliveries orders deliveries by arrival time (stable for equal times).
+func sortDeliveries(ds []Delivery) []Delivery {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].At < ds[j-1].At; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ds
+}
+
+// endpointRespond produces the endpoint's transport-level response to a
+// packet that reached it.
+func (n *Network) endpointRespond(pkt *netem.Packet, dst *topology.Host) []*netem.Packet {
+	if pkt.UDP != nil {
+		return n.endpointRespondUDP(pkt, dst)
+	}
+	tcp := pkt.TCP
+	base := func() *netem.Packet {
+		return &netem.Packet{
+			IP: netem.IPv4{TTL: 64, Src: dst.Addr, Dst: pkt.IP.Src, Protocol: netem.ProtoTCP},
+			TCP: &netem.TCP{
+				SrcPort: tcp.DstPort, DstPort: tcp.SrcPort,
+				Seq: tcp.Ack, Ack: tcp.Seq + uint32(len(pkt.Payload)),
+				Window: 65535,
+			},
+		}
+	}
+	srv := n.servers[dst.ID]
+	portOpen := srv != nil && (tcp.DstPort == 80 || tcp.DstPort == 443 || srv.Services[int(tcp.DstPort)] != "")
+
+	switch {
+	case tcp.Flags&netem.TCPSyn != 0 && tcp.Flags&netem.TCPAck == 0:
+		resp := base()
+		if !portOpen {
+			resp.TCP.Flags = netem.TCPRst | netem.TCPAck
+			resp.TCP.Ack = tcp.Seq + 1
+			return []*netem.Packet{resp}
+		}
+		resp.TCP.Flags = netem.TCPSyn | netem.TCPAck
+		resp.TCP.Ack = tcp.Seq + 1
+		resp.TCP.Seq = 1000 // deterministic ISN
+		return []*netem.Packet{resp}
+
+	case len(pkt.Payload) > 0 && portOpen:
+		var payload []byte
+		switch tcp.DstPort {
+		case 80:
+			// HTTP servers reassemble the request stream: segments
+			// accumulate per flow until the header terminator arrives.
+			req, complete := n.bufferHTTP(pkt)
+			if !complete {
+				ack := base()
+				ack.TCP.Flags = netem.TCPAck
+				return []*netem.Packet{ack}
+			}
+			payload = srv.HandleHTTP(req).Render()
+		case 443:
+			payload = srv.HandleTLS(pkt.Payload).Response
+		default:
+			payload = []byte(srv.Services[int(tcp.DstPort)])
+		}
+		data := base()
+		data.TCP.Flags = netem.TCPPsh | netem.TCPAck
+		data.Payload = payload
+		fin := base()
+		fin.TCP.Flags = netem.TCPFin | netem.TCPAck
+		fin.TCP.Seq = data.TCP.Seq + uint32(len(payload))
+		return []*netem.Packet{data, fin}
+
+	case tcp.Flags&(netem.TCPFin|netem.TCPRst) != 0:
+		resp := base()
+		resp.TCP.Flags = netem.TCPAck
+		return []*netem.Packet{resp}
+
+	default:
+		return nil // bare ACK etc.
+	}
+}
+
+// bufferHTTP accumulates HTTP request segments per flow and reports
+// whether a complete request (ending in the header terminator) is ready.
+// Incomplete single segments that already look like a full request line
+// with a bare-delimiter ending are passed through unchanged so mangled
+// delimiters still reach the parser (CenFuzz's Remove strategies).
+func (n *Network) bufferHTTP(pkt *netem.Packet) ([]byte, bool) {
+	key := fmt.Sprintf("%s:%d>%s:%d", pkt.IP.Src, pkt.TCP.SrcPort, pkt.IP.Dst, pkt.TCP.DstPort)
+	if n.httpStreams == nil {
+		n.httpStreams = make(map[string][]byte)
+	}
+	buf := append(n.httpStreams[key], pkt.Payload...)
+	if complete(buf) {
+		delete(n.httpStreams, key)
+		return buf, true
+	}
+	// Bound buffered state; a flow exceeding the bound is flushed as-is.
+	if len(buf) > 16<<10 {
+		delete(n.httpStreams, key)
+		return buf, true
+	}
+	n.httpStreams[key] = buf
+	return nil, false
+}
+
+// complete reports whether buffered bytes end a request: the canonical
+// CRLFCRLF terminator, or any of the mangled delimiter endings CenFuzz
+// renders (bare LF/CR doubles), or a trailing empty-line heuristic.
+func complete(buf []byte) bool {
+	s := string(buf)
+	for _, term := range []string{"\r\n\r\n", "\n\n", "\r\r"} {
+		if strings.HasSuffix(s, term) {
+			return true
+		}
+	}
+	// Delimiter-free renders (CenFuzz delimiter="") cannot signal an end;
+	// treat any payload without line breaks as complete.
+	return !strings.ContainsAny(s, "\r\n")
+}
+
+// endpointRespondUDP answers UDP datagrams: DNS queries go to the host's
+// resolver; everything else is silently dropped (no ICMP port-unreachable
+// in this model — probing tools treat silence as a drop either way).
+func (n *Network) endpointRespondUDP(pkt *netem.Packet, dst *topology.Host) []*netem.Packet {
+	if pkt.UDP.DstPort != 53 || len(pkt.Payload) == 0 {
+		return nil
+	}
+	r := n.resolvers[dst.ID]
+	if r == nil {
+		return nil
+	}
+	answer := r.HandleDNS(pkt.Payload)
+	if answer == nil {
+		return nil
+	}
+	return []*netem.Packet{{
+		IP:      netem.IPv4{TTL: 64, Src: dst.Addr, Dst: pkt.IP.Src, Protocol: netem.ProtoUDP},
+		UDP:     &netem.UDP{SrcPort: 53, DstPort: pkt.UDP.SrcPort},
+		Payload: answer,
+	}}
+}
+
+// SendUDP transmits one UDP datagram from a client host with the given TTL
+// and returns everything the client receives — the DNS probe primitive.
+func (n *Network) SendUDP(client, dst *topology.Host, dstPort uint16, payload []byte, ttl uint8) []Delivery {
+	pkt := netem.NewUDPPacket(client.Addr, dst.Addr, n.AllocPort(), dstPort, payload)
+	pkt.IP.TTL = ttl
+	return n.Transmit(pkt, client, dst)
+}
+
+// ClientAccessLink returns the pseudo-router name for a client's access
+// link, for attaching devices immediately in front of a client host.
+func ClientAccessLink(h *topology.Host) string { return "@" + h.ID }
+
+// AttachClientSideDevice places a device on the access link between a
+// client host and its first router.
+func (n *Network) AttachClientSideDevice(h *topology.Host, dev *middlebox.Device) {
+	id := topology.LinkID{From: ClientAccessLink(h), To: h.Router.ID}
+	n.linkDevices[id] = append(n.linkDevices[id], dev)
+	n.devices = append(n.devices, dev)
+}

@@ -1,0 +1,28 @@
+package tlsgram
+
+import "testing"
+
+// FuzzParse ensures the Client Hello parser never panics and that a
+// successfully parsed hello re-serializes and re-parses.
+func FuzzParse(f *testing.F) {
+	f.Add(NewClientHello("www.example.com").Serialize())
+	ch := NewClientHello("x")
+	ch.SetPadding(50)
+	ch.SessionID = []byte{1, 2, 3}
+	f.Add(ch.Serialize())
+	f.Add([]byte{22, 3, 1, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Parse(data)
+		if err != nil {
+			return
+		}
+		parsed.SNI()
+		parsed.SupportedVersions()
+		parsed.EffectiveMinVersion()
+		parsed.EffectiveMaxVersion()
+		if _, err := Parse(parsed.Serialize()); err != nil {
+			t.Fatalf("re-serialized hello failed to parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,440 @@
+// Package tlsgram models TLS Client Hello messages at the grammar level
+// (Appendix B, Figure 8 of the paper): record header, handshake header,
+// client version, cipher suites, compression methods, and extensions —
+// notably server_name (SNI), which censorship devices key on, and
+// supported_versions, which the Min/Max Version fuzzing strategies mutate.
+//
+// Serialization follows the real TLS 1.2/1.3 wire format so middleboxes in
+// the simulator parse actual bytes, with one documented exception: the
+// Client Certificate fuzzing strategy is carried as a private-range
+// extension (in real TLS the certificate appears later in the handshake,
+// which the simulator does not model).
+package tlsgram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TLS protocol versions as wire values.
+const (
+	VersionTLS10 uint16 = 0x0301
+	VersionTLS11 uint16 = 0x0302
+	VersionTLS12 uint16 = 0x0303
+	VersionTLS13 uint16 = 0x0304
+)
+
+// VersionName returns the conventional name of a TLS version value.
+func VersionName(v uint16) string {
+	switch v {
+	case VersionTLS10:
+		return "TLS1.0"
+	case VersionTLS11:
+		return "TLS1.1"
+	case VersionTLS12:
+		return "TLS1.2"
+	case VersionTLS13:
+		return "TLS1.3"
+	default:
+		return fmt.Sprintf("TLS(%#04x)", v)
+	}
+}
+
+// TLS extension types used by the grammar.
+const (
+	ExtServerName        uint16 = 0
+	ExtPadding           uint16 = 21
+	ExtSupportedVersions uint16 = 43
+	// ExtClientCertHint is a private-range extension carrying the subject CN
+	// of the client certificate the fuzzer would present (see package doc).
+	ExtClientCertHint uint16 = 0xffce
+)
+
+// Cipher suite values, named per the IANA registry. The set covers the 25
+// suites CenFuzz's Cipher Suite strategy iterates (Table 2).
+const (
+	TLS_RSA_WITH_RC4_128_SHA                      uint16 = 0x0005
+	TLS_RSA_WITH_3DES_EDE_CBC_SHA                 uint16 = 0x000a
+	TLS_RSA_WITH_AES_128_CBC_SHA                  uint16 = 0x002f
+	TLS_RSA_WITH_AES_256_CBC_SHA                  uint16 = 0x0035
+	TLS_RSA_WITH_AES_128_CBC_SHA256               uint16 = 0x003c
+	TLS_RSA_WITH_AES_256_CBC_SHA256               uint16 = 0x003d
+	TLS_RSA_WITH_AES_128_GCM_SHA256               uint16 = 0x009c
+	TLS_RSA_WITH_AES_256_GCM_SHA384               uint16 = 0x009d
+	TLS_AES_128_GCM_SHA256                        uint16 = 0x1301
+	TLS_AES_256_GCM_SHA384                        uint16 = 0x1302
+	TLS_CHACHA20_POLY1305_SHA256                  uint16 = 0x1303
+	TLS_AES_128_CCM_SHA256                        uint16 = 0x1304
+	TLS_AES_128_CCM_8_SHA256                      uint16 = 0x1305
+	TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA          uint16 = 0xc009
+	TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA          uint16 = 0xc00a
+	TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA            uint16 = 0xc013
+	TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA            uint16 = 0xc014
+	TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256       uint16 = 0xc023
+	TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384       uint16 = 0xc024
+	TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256         uint16 = 0xc027
+	TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384         uint16 = 0xc028
+	TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256       uint16 = 0xc02b
+	TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384       uint16 = 0xc02c
+	TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256         uint16 = 0xc02f
+	TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384         uint16 = 0xc030
+	TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256   uint16 = 0xcca8
+	TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256 uint16 = 0xcca9
+)
+
+// CipherSuiteNames maps suite values to IANA names, for reporting.
+var CipherSuiteNames = map[uint16]string{
+	TLS_RSA_WITH_RC4_128_SHA:                      "TLS_RSA_WITH_RC4_128_SHA",
+	TLS_RSA_WITH_3DES_EDE_CBC_SHA:                 "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+	TLS_RSA_WITH_AES_128_CBC_SHA:                  "TLS_RSA_WITH_AES_128_CBC_SHA",
+	TLS_RSA_WITH_AES_256_CBC_SHA:                  "TLS_RSA_WITH_AES_256_CBC_SHA",
+	TLS_RSA_WITH_AES_128_CBC_SHA256:               "TLS_RSA_WITH_AES_128_CBC_SHA256",
+	TLS_RSA_WITH_AES_256_CBC_SHA256:               "TLS_RSA_WITH_AES_256_CBC_SHA256",
+	TLS_RSA_WITH_AES_128_GCM_SHA256:               "TLS_RSA_WITH_AES_128_GCM_SHA256",
+	TLS_RSA_WITH_AES_256_GCM_SHA384:               "TLS_RSA_WITH_AES_256_GCM_SHA384",
+	TLS_AES_128_GCM_SHA256:                        "TLS_AES_128_GCM_SHA256",
+	TLS_AES_256_GCM_SHA384:                        "TLS_AES_256_GCM_SHA384",
+	TLS_CHACHA20_POLY1305_SHA256:                  "TLS_CHACHA20_POLY1305_SHA256",
+	TLS_AES_128_CCM_SHA256:                        "TLS_AES_128_CCM_SHA256",
+	TLS_AES_128_CCM_8_SHA256:                      "TLS_AES_128_CCM_8_SHA256",
+	TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA:          "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA",
+	TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA:          "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA",
+	TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA:            "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+	TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA:            "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+	TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256:       "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256",
+	TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384:       "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384",
+	TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256:         "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256",
+	TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384:         "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384",
+	TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256:       "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+	TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384:       "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384",
+	TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256:         "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+	TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384:         "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+	TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256:   "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+	TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256: "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256",
+}
+
+// DefaultCipherSuites is the suite list a normal (unfuzzed) Client Hello
+// offers, mirroring a modern browser ordering.
+var DefaultCipherSuites = []uint16{
+	TLS_AES_128_GCM_SHA256,
+	TLS_AES_256_GCM_SHA384,
+	TLS_CHACHA20_POLY1305_SHA256,
+	TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256,
+	TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+	TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+	TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,
+}
+
+// Extension is a raw TLS extension.
+type Extension struct {
+	Type uint16
+	Data []byte
+}
+
+// ClientHello is a grammar-level TLS Client Hello.
+type ClientHello struct {
+	LegacyVersion      uint16 // client_version in the hello body
+	Random             [32]byte
+	SessionID          []byte
+	CipherSuites       []uint16
+	CompressionMethods []byte
+	Extensions         []Extension
+}
+
+// NewClientHello returns a canonical Client Hello for serverName with modern
+// defaults: TLS 1.2 legacy version, supported_versions offering 1.2–1.3,
+// and the default cipher suites.
+func NewClientHello(serverName string) *ClientHello {
+	ch := &ClientHello{
+		LegacyVersion:      VersionTLS12,
+		CipherSuites:       append([]uint16(nil), DefaultCipherSuites...),
+		CompressionMethods: []byte{0},
+	}
+	ch.SetSNI(serverName)
+	ch.SetSupportedVersions(VersionTLS12, VersionTLS13)
+	return ch
+}
+
+// Clone returns a deep copy.
+func (ch *ClientHello) Clone() *ClientHello {
+	c := *ch
+	c.SessionID = append([]byte(nil), ch.SessionID...)
+	c.CipherSuites = append([]uint16(nil), ch.CipherSuites...)
+	c.CompressionMethods = append([]byte(nil), ch.CompressionMethods...)
+	c.Extensions = make([]Extension, len(ch.Extensions))
+	for i, e := range ch.Extensions {
+		c.Extensions[i] = Extension{Type: e.Type, Data: append([]byte(nil), e.Data...)}
+	}
+	return &c
+}
+
+// setExtension replaces or appends an extension by type.
+func (ch *ClientHello) setExtension(typ uint16, data []byte) {
+	for i := range ch.Extensions {
+		if ch.Extensions[i].Type == typ {
+			ch.Extensions[i].Data = data
+			return
+		}
+	}
+	ch.Extensions = append(ch.Extensions, Extension{Type: typ, Data: data})
+}
+
+// getExtension returns the data of the extension with the given type.
+func (ch *ClientHello) getExtension(typ uint16) ([]byte, bool) {
+	for _, e := range ch.Extensions {
+		if e.Type == typ {
+			return e.Data, true
+		}
+	}
+	return nil, false
+}
+
+// RemoveExtension deletes the extension with the given type if present.
+func (ch *ClientHello) RemoveExtension(typ uint16) {
+	out := ch.Extensions[:0]
+	for _, e := range ch.Extensions {
+		if e.Type != typ {
+			out = append(out, e)
+		}
+	}
+	ch.Extensions = out
+}
+
+// SetSNI sets the server_name extension (host_name entry) to name.
+func (ch *ClientHello) SetSNI(name string) {
+	// server_name_list: u16 list length; entry: type(0)=host_name, u16 len, name.
+	data := make([]byte, 0, 5+len(name))
+	data = binary.BigEndian.AppendUint16(data, uint16(3+len(name)))
+	data = append(data, 0) // host_name
+	data = binary.BigEndian.AppendUint16(data, uint16(len(name)))
+	data = append(data, name...)
+	ch.setExtension(ExtServerName, data)
+}
+
+// SNI returns the server name carried in the server_name extension.
+func (ch *ClientHello) SNI() (string, bool) {
+	data, ok := ch.getExtension(ExtServerName)
+	if !ok || len(data) < 5 {
+		return "", false
+	}
+	nameLen := int(binary.BigEndian.Uint16(data[3:]))
+	if 5+nameLen > len(data) {
+		return "", false
+	}
+	return string(data[5 : 5+nameLen]), true
+}
+
+// SetSupportedVersions sets the supported_versions extension to the
+// inclusive range [min, max], listed newest-first like real clients do.
+func (ch *ClientHello) SetSupportedVersions(min, max uint16) {
+	var versions []uint16
+	for v := max; v >= min; v-- {
+		versions = append(versions, v)
+	}
+	data := make([]byte, 0, 1+2*len(versions))
+	data = append(data, byte(2*len(versions)))
+	for _, v := range versions {
+		data = binary.BigEndian.AppendUint16(data, v)
+	}
+	ch.setExtension(ExtSupportedVersions, data)
+}
+
+// SupportedVersions returns the versions listed in supported_versions.
+func (ch *ClientHello) SupportedVersions() []uint16 {
+	data, ok := ch.getExtension(ExtSupportedVersions)
+	if !ok || len(data) < 1 {
+		return nil
+	}
+	n := int(data[0])
+	if 1+n > len(data) {
+		return nil
+	}
+	var out []uint16
+	for i := 1; i+1 < 1+n; i += 2 {
+		out = append(out, binary.BigEndian.Uint16(data[i:]))
+	}
+	return out
+}
+
+// SetPadding adds a padding extension of n zero bytes.
+func (ch *ClientHello) SetPadding(n int) {
+	ch.setExtension(ExtPadding, make([]byte, n))
+}
+
+// SetClientCertHint records the subject CN of the client certificate the
+// fuzzer would present (see package doc for why this rides in the CH).
+func (ch *ClientHello) SetClientCertHint(cn string) {
+	ch.setExtension(ExtClientCertHint, []byte(cn))
+}
+
+// ClientCertHint returns the recorded client certificate CN, if any.
+func (ch *ClientHello) ClientCertHint() (string, bool) {
+	data, ok := ch.getExtension(ExtClientCertHint)
+	return string(data), ok
+}
+
+// Record/handshake framing constants.
+const (
+	recordTypeHandshake  = 22
+	handshakeClientHello = 1
+)
+
+// Serialize renders the Client Hello as a full TLS record
+// (record header + handshake header + body).
+func (ch *ClientHello) Serialize() []byte {
+	body := make([]byte, 0, 128)
+	body = binary.BigEndian.AppendUint16(body, ch.LegacyVersion)
+	body = append(body, ch.Random[:]...)
+	body = append(body, byte(len(ch.SessionID)))
+	body = append(body, ch.SessionID...)
+	body = binary.BigEndian.AppendUint16(body, uint16(2*len(ch.CipherSuites)))
+	for _, cs := range ch.CipherSuites {
+		body = binary.BigEndian.AppendUint16(body, cs)
+	}
+	body = append(body, byte(len(ch.CompressionMethods)))
+	body = append(body, ch.CompressionMethods...)
+	ext := make([]byte, 0, 64)
+	for _, e := range ch.Extensions {
+		ext = binary.BigEndian.AppendUint16(ext, e.Type)
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(e.Data)))
+		ext = append(ext, e.Data...)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(ext)))
+	body = append(body, ext...)
+
+	msg := make([]byte, 0, 4+len(body))
+	msg = append(msg, handshakeClientHello)
+	msg = append(msg, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	msg = append(msg, body...)
+
+	rec := make([]byte, 0, 5+len(msg))
+	rec = append(rec, recordTypeHandshake)
+	rec = binary.BigEndian.AppendUint16(rec, VersionTLS10) // legacy record version
+	rec = binary.BigEndian.AppendUint16(rec, uint16(len(msg)))
+	rec = append(rec, msg...)
+	return rec
+}
+
+var (
+	errShortCH  = errors.New("tlsgram: truncated Client Hello")
+	errNotCH    = errors.New("tlsgram: not a Client Hello record")
+	errBadCHLen = errors.New("tlsgram: inconsistent Client Hello lengths")
+)
+
+// Parse decodes a serialized TLS record back into a ClientHello.
+func Parse(raw []byte) (*ClientHello, error) {
+	if len(raw) < 9 {
+		return nil, errShortCH
+	}
+	if raw[0] != recordTypeHandshake {
+		return nil, errNotCH
+	}
+	recLen := int(binary.BigEndian.Uint16(raw[3:]))
+	if 5+recLen > len(raw) {
+		return nil, errBadCHLen
+	}
+	msg := raw[5 : 5+recLen]
+	if len(msg) < 4 || msg[0] != handshakeClientHello {
+		return nil, errNotCH
+	}
+	bodyLen := int(msg[1])<<16 | int(msg[2])<<8 | int(msg[3])
+	if 4+bodyLen > len(msg) {
+		return nil, errBadCHLen
+	}
+	body := msg[4 : 4+bodyLen]
+
+	ch := &ClientHello{}
+	if len(body) < 35 {
+		return nil, errShortCH
+	}
+	ch.LegacyVersion = binary.BigEndian.Uint16(body)
+	copy(ch.Random[:], body[2:34])
+	p := 34
+	sidLen := int(body[p])
+	p++
+	if p+sidLen > len(body) {
+		return nil, errBadCHLen
+	}
+	ch.SessionID = append([]byte(nil), body[p:p+sidLen]...)
+	p += sidLen
+	if p+2 > len(body) {
+		return nil, errBadCHLen
+	}
+	csLen := int(binary.BigEndian.Uint16(body[p:]))
+	p += 2
+	if p+csLen > len(body) || csLen%2 != 0 {
+		return nil, errBadCHLen
+	}
+	for i := 0; i < csLen; i += 2 {
+		ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(body[p+i:]))
+	}
+	p += csLen
+	if p >= len(body) {
+		return nil, errBadCHLen
+	}
+	cmLen := int(body[p])
+	p++
+	if p+cmLen > len(body) {
+		return nil, errBadCHLen
+	}
+	ch.CompressionMethods = append([]byte(nil), body[p:p+cmLen]...)
+	p += cmLen
+	if p+2 > len(body) {
+		return ch, nil // extensions are optional
+	}
+	extLen := int(binary.BigEndian.Uint16(body[p:]))
+	p += 2
+	if p+extLen > len(body) {
+		return nil, errBadCHLen
+	}
+	ext := body[p : p+extLen]
+	for len(ext) >= 4 {
+		typ := binary.BigEndian.Uint16(ext)
+		l := int(binary.BigEndian.Uint16(ext[2:]))
+		if 4+l > len(ext) {
+			return nil, errBadCHLen
+		}
+		ch.Extensions = append(ch.Extensions, Extension{
+			Type: typ, Data: append([]byte(nil), ext[4:4+l]...),
+		})
+		ext = ext[4+l:]
+	}
+	return ch, nil
+}
+
+// IsClientHello reports whether raw looks like a TLS Client Hello record,
+// the cheap pre-check a DPI device uses before full parsing.
+func IsClientHello(raw []byte) bool {
+	return len(raw) >= 6 && raw[0] == recordTypeHandshake && raw[5] == handshakeClientHello
+}
+
+// EffectiveMaxVersion returns the highest version the hello offers: the
+// highest supported_versions entry when present, else the legacy version.
+func (ch *ClientHello) EffectiveMaxVersion() uint16 {
+	max := uint16(0)
+	for _, v := range ch.SupportedVersions() {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return ch.LegacyVersion
+	}
+	return max
+}
+
+// EffectiveMinVersion returns the lowest version the hello offers.
+func (ch *ClientHello) EffectiveMinVersion() uint16 {
+	versions := ch.SupportedVersions()
+	if len(versions) == 0 {
+		return ch.LegacyVersion
+	}
+	min := versions[0]
+	for _, v := range versions[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,241 @@
+package tlsgram
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	ch := NewClientHello("www.example.com")
+	ch.SessionID = []byte{1, 2, 3, 4}
+	raw := ch.Serialize()
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LegacyVersion != VersionTLS12 {
+		t.Errorf("LegacyVersion = %#x", got.LegacyVersion)
+	}
+	if !bytes.Equal(got.SessionID, ch.SessionID) {
+		t.Errorf("SessionID = %v", got.SessionID)
+	}
+	if !reflect.DeepEqual(got.CipherSuites, ch.CipherSuites) {
+		t.Errorf("CipherSuites = %v, want %v", got.CipherSuites, ch.CipherSuites)
+	}
+	sni, ok := got.SNI()
+	if !ok || sni != "www.example.com" {
+		t.Errorf("SNI = %q ok=%v", sni, ok)
+	}
+	versions := got.SupportedVersions()
+	if !reflect.DeepEqual(versions, []uint16{VersionTLS13, VersionTLS12}) {
+		t.Errorf("SupportedVersions = %#x", versions)
+	}
+}
+
+func TestSNIMutation(t *testing.T) {
+	ch := NewClientHello("blocked.example")
+	ch.SetSNI("moc.elpmaxe.dekcolb")
+	got, err := Parse(ch.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sni, _ := got.SNI()
+	if sni != "moc.elpmaxe.dekcolb" {
+		t.Errorf("SNI = %q", sni)
+	}
+}
+
+func TestRemoveSNI(t *testing.T) {
+	ch := NewClientHello("blocked.example")
+	ch.RemoveExtension(ExtServerName)
+	got, err := Parse(ch.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.SNI(); ok {
+		t.Error("SNI should be absent after removal")
+	}
+}
+
+func TestSupportedVersionRanges(t *testing.T) {
+	ch := NewClientHello("x.com")
+	ch.SetSupportedVersions(VersionTLS10, VersionTLS11)
+	got, _ := Parse(ch.Serialize())
+	if got.EffectiveMaxVersion() != VersionTLS11 {
+		t.Errorf("EffectiveMaxVersion = %#x", got.EffectiveMaxVersion())
+	}
+	if got.EffectiveMinVersion() != VersionTLS10 {
+		t.Errorf("EffectiveMinVersion = %#x", got.EffectiveMinVersion())
+	}
+}
+
+func TestEffectiveVersionsWithoutExtension(t *testing.T) {
+	ch := NewClientHello("x.com")
+	ch.RemoveExtension(ExtSupportedVersions)
+	if ch.EffectiveMaxVersion() != VersionTLS12 || ch.EffectiveMinVersion() != VersionTLS12 {
+		t.Errorf("fallback versions = %#x/%#x", ch.EffectiveMinVersion(), ch.EffectiveMaxVersion())
+	}
+}
+
+func TestPaddingExtension(t *testing.T) {
+	ch := NewClientHello("x.com")
+	base := len(ch.Serialize())
+	ch.SetPadding(100)
+	padded := len(ch.Serialize())
+	if padded != base+104 { // 4-byte extension header + 100 bytes
+		t.Errorf("padded length = %d, base = %d", padded, base)
+	}
+	got, err := Parse(ch.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.getExtension(ExtPadding); !ok {
+		t.Error("padding extension missing after round trip")
+	}
+}
+
+func TestClientCertHint(t *testing.T) {
+	ch := NewClientHello("x.com")
+	ch.SetClientCertHint("CN=www.test.com")
+	got, err := Parse(ch.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, ok := got.ClientCertHint()
+	if !ok || cn != "CN=www.test.com" {
+		t.Errorf("ClientCertHint = %q ok=%v", cn, ok)
+	}
+}
+
+func TestIsClientHello(t *testing.T) {
+	ch := NewClientHello("x.com")
+	if !IsClientHello(ch.Serialize()) {
+		t.Error("IsClientHello(serialized CH) = false")
+	}
+	if IsClientHello([]byte("GET / HTTP/1.1\r\n\r\n")) {
+		t.Error("IsClientHello(HTTP request) = true")
+	}
+	if IsClientHello(nil) {
+		t.Error("IsClientHello(nil) = true")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short":          {22, 3, 1},
+		"not handshake":  {23, 3, 1, 0, 2, 0, 0, 0, 0},
+		"truncated body": {22, 3, 1, 0, 4, 1, 0, 0, 200},
+	}
+	for name, raw := range cases {
+		if _, err := Parse(raw); err == nil {
+			t.Errorf("%s: Parse should fail", name)
+		}
+	}
+	// Record length larger than buffer.
+	ch := NewClientHello("x.com")
+	raw := ch.Serialize()
+	if _, err := Parse(raw[:len(raw)-3]); err == nil {
+		t.Error("truncated record: Parse should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ch := NewClientHello("a.com")
+	c := ch.Clone()
+	c.SetSNI("b.com")
+	c.CipherSuites[0] = 0
+	sni, _ := ch.SNI()
+	if sni != "a.com" {
+		t.Errorf("original SNI mutated: %q", sni)
+	}
+	if ch.CipherSuites[0] == 0 {
+		t.Error("original cipher suites mutated")
+	}
+}
+
+func TestCipherSuiteTable(t *testing.T) {
+	if len(CipherSuiteNames) < 25 {
+		t.Errorf("need at least 25 named suites for the Table 2 strategy, have %d", len(CipherSuiteNames))
+	}
+	for v, name := range CipherSuiteNames {
+		if !strings.HasPrefix(name, "TLS_") {
+			t.Errorf("suite %#x has malformed name %q", v, name)
+		}
+	}
+	for _, cs := range DefaultCipherSuites {
+		if _, ok := CipherSuiteNames[cs]; !ok {
+			t.Errorf("default suite %#x missing from name table", cs)
+		}
+	}
+}
+
+func TestVersionName(t *testing.T) {
+	cases := map[uint16]string{
+		VersionTLS10: "TLS1.0", VersionTLS11: "TLS1.1",
+		VersionTLS12: "TLS1.2", VersionTLS13: "TLS1.3",
+		0x0300: "TLS(0x0300)",
+	}
+	for v, want := range cases {
+		if got := VersionName(v); got != want {
+			t.Errorf("VersionName(%#x) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestQuickSNIRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		name := sanitizeName(raw)
+		ch := NewClientHello(name)
+		got, err := Parse(ch.Serialize())
+		if err != nil {
+			return false
+		}
+		sni, ok := got.SNI()
+		return ok && sni == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSerializeParseStable(t *testing.T) {
+	f := func(sid []byte, nSuites uint8, pad uint8) bool {
+		if len(sid) > 32 {
+			sid = sid[:32]
+		}
+		ch := NewClientHello("host.example")
+		ch.SessionID = sid
+		for i := 0; i < int(nSuites%8); i++ {
+			ch.CipherSuites = append(ch.CipherSuites, uint16(i))
+		}
+		if pad > 0 {
+			ch.SetPadding(int(pad))
+		}
+		raw := ch.Serialize()
+		got, err := Parse(raw)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Serialize(), raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeName(raw []byte) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-."
+	b := make([]byte, 0, len(raw))
+	for _, c := range raw {
+		b = append(b, alphabet[int(c)%len(alphabet)])
+	}
+	s := strings.Trim(string(b), ".-")
+	if s == "" {
+		return "x.example"
+	}
+	return s
+}

@@ -1,0 +1,351 @@
+// Package topology models the AS-level network graph the simulator routes
+// over: autonomous systems with country and organization metadata, routers
+// with per-router ICMP behaviour, hosts attached to routers, and links with
+// equal-cost multipath (ECMP) routing. Path selection is deterministic per
+// flow: a 5-tuple hash picks among equal-cost next hops, which reproduces
+// the path variance CenTrace must cope with (§4.1: "90% of all paths to
+// each endpoint are covered in 11 traceroutes on average").
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// AS is an autonomous system.
+type AS struct {
+	ASN     uint32
+	Name    string // organization, e.g. "Delta Telecom"
+	Country string // ISO 3166-1 alpha-2, e.g. "AZ"
+	Prefix  netip.Prefix
+}
+
+// String implements fmt.Stringer.
+func (a *AS) String() string { return fmt.Sprintf("AS%d (%s, %s)", a.ASN, a.Name, a.Country) }
+
+// Router is a network hop. Its ICMP behaviour shapes what CenTrace can see.
+type Router struct {
+	ID   string
+	Addr netip.Addr
+	AS   *AS
+	// SendsICMP controls whether the router answers TTL expiry with an ICMP
+	// Time Exceeded at all. Silent routers create gaps in traceroutes and
+	// the rare "No ICMP" ambiguity (§4.3 found exactly one such case).
+	SendsICMP bool
+	// QuoteLen is the number of transport-segment bytes quoted in ICMP
+	// errors: 8 for RFC 792 minimal routers, larger for RFC 1812 routers
+	// (§4.3: 57.6% quoted the minimum).
+	QuoteLen int
+	// RewriteTOS, when non-nil, overwrites the IP TOS byte of forwarded
+	// packets — the middlebox-adjacent behaviour behind the 32.06% of
+	// quotes that differed in TOS (§4.3).
+	RewriteTOS *uint8
+	// SetIPFlags, when non-nil, overwrites the IP flag bits of forwarded
+	// packets (one quoted packet in the paper differed in IP flags).
+	SetIPFlags *uint8
+}
+
+// Host is a client or endpoint machine attached to a router.
+type Host struct {
+	ID     string
+	Addr   netip.Addr
+	AS     *AS
+	Router *Router
+}
+
+// LinkID identifies a directed link between two routers.
+type LinkID struct{ From, To string }
+
+// Graph is the network topology.
+type Graph struct {
+	ases    map[uint32]*AS
+	routers map[string]*Router
+	hosts   map[string]*Host
+	adj     map[string][]string
+	// addrSeq tracks per-AS address allocation.
+	addrSeq map[uint32]int
+	// distCache memoizes BFS distance maps per destination router; it is
+	// invalidated whenever the graph changes. Path computation runs for
+	// every simulated packet, so this cache carries the simulator.
+	distCache map[string]map[string]int
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{
+		ases:    make(map[uint32]*AS),
+		routers: make(map[string]*Router),
+		hosts:   make(map[string]*Host),
+		adj:     make(map[string][]string),
+		addrSeq: make(map[uint32]int),
+	}
+}
+
+// AddAS registers an autonomous system. Each AS is allocated a /16 from
+// 10.0.0.0/8 keyed by registration order (10.<index>.0.0/16), from which
+// router and host addresses are assigned. At most 255 ASes fit; the
+// scenarios in this repository use well under that.
+func (g *Graph) AddAS(asn uint32, name, country string) *AS {
+	if a, ok := g.ases[asn]; ok {
+		return a
+	}
+	idx := len(g.ases) + 1
+	if idx > 255 {
+		panic("topology: AS limit (255) exceeded")
+	}
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(idx), 0, 0}), 16)
+	a := &AS{ASN: asn, Name: name, Country: country, Prefix: prefix}
+	g.ases[asn] = a
+	return a
+}
+
+// nextAddr allocates the next address inside an AS prefix.
+func (g *Graph) nextAddr(a *AS) netip.Addr {
+	g.addrSeq[a.ASN]++
+	seq := g.addrSeq[a.ASN]
+	if seq > 0xfffe {
+		panic("topology: AS address space exhausted")
+	}
+	p4 := a.Prefix.Addr().As4()
+	p4[2] = byte(seq >> 8)
+	p4[3] = byte(seq)
+	return netip.AddrFrom4(p4)
+}
+
+// AddRouter creates a router in as with default behaviour: answers ICMP
+// with RFC 792 minimal quoting.
+func (g *Graph) AddRouter(id string, as *AS) *Router {
+	if r, ok := g.routers[id]; ok {
+		return r
+	}
+	r := &Router{ID: id, Addr: g.nextAddr(as), AS: as, SendsICMP: true, QuoteLen: 8}
+	g.routers[id] = r
+	g.adj[id] = nil
+	return r
+}
+
+// AddHost attaches a host to a router, allocating it an address in as.
+func (g *Graph) AddHost(id string, as *AS, router *Router) *Host {
+	if h, ok := g.hosts[id]; ok {
+		return h
+	}
+	h := &Host{ID: id, Addr: g.nextAddr(as), AS: as, Router: router}
+	g.hosts[id] = h
+	return h
+}
+
+// Link connects two routers bidirectionally.
+func (g *Graph) Link(a, b string) {
+	if _, ok := g.routers[a]; !ok {
+		panic("topology: unknown router " + a)
+	}
+	if _, ok := g.routers[b]; !ok {
+		panic("topology: unknown router " + b)
+	}
+	for _, n := range g.adj[a] {
+		if n == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.distCache = nil
+}
+
+// Router returns a router by ID, or nil.
+func (g *Graph) Router(id string) *Router { return g.routers[id] }
+
+// Host returns a host by ID, or nil.
+func (g *Graph) Host(id string) *Host { return g.hosts[id] }
+
+// AS returns an AS by number, or nil.
+func (g *Graph) AS(asn uint32) *AS { return g.ases[asn] }
+
+// Routers returns all routers in deterministic order.
+func (g *Graph) Routers() []*Router {
+	ids := make([]string, 0, len(g.routers))
+	for id := range g.routers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Router, len(ids))
+	for i, id := range ids {
+		out[i] = g.routers[id]
+	}
+	return out
+}
+
+// Hosts returns all hosts in deterministic order.
+func (g *Graph) Hosts() []*Host {
+	ids := make([]string, 0, len(g.hosts))
+	for id := range g.hosts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Host, len(ids))
+	for i, id := range ids {
+		out[i] = g.hosts[id]
+	}
+	return out
+}
+
+// ASes returns all ASes in ASN order.
+func (g *Graph) ASes() []*AS {
+	asns := make([]uint32, 0, len(g.ases))
+	for asn := range g.ases {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	out := make([]*AS, len(asns))
+	for i, asn := range asns {
+		out[i] = g.ases[asn]
+	}
+	return out
+}
+
+// distancesTo runs BFS from the destination router and returns hop
+// distances for every router that can reach it. Results are memoized
+// until the graph changes.
+func (g *Graph) distancesTo(dst string) map[string]int {
+	if cached, ok := g.distCache[dst]; ok {
+		return cached
+	}
+	dist := map[string]int{dst: 0}
+	queue := []string{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		neighbors := append([]string(nil), g.adj[cur]...)
+		sort.Strings(neighbors)
+		for _, n := range neighbors {
+			if _, seen := dist[n]; !seen {
+				dist[n] = dist[cur] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	if g.distCache == nil {
+		g.distCache = make(map[string]map[string]int)
+	}
+	g.distCache[dst] = dist
+	return dist
+}
+
+// NextHops returns the equal-cost next hops from router `from` toward
+// router `dst`, in deterministic order.
+func (g *Graph) NextHops(from, dst string) []string {
+	dist := g.distancesTo(dst)
+	d, ok := dist[from]
+	if !ok || from == dst {
+		return nil
+	}
+	var hops []string
+	for _, n := range g.adj[from] {
+		if dist[n] == d-1 {
+			hops = append(hops, n)
+		}
+	}
+	sort.Strings(hops)
+	return hops
+}
+
+// PathForFlow computes the router path from src's router to dst's router
+// for a given flow hash, choosing among equal-cost next hops by mixing the
+// hash with the hop position (per-flow ECMP: the same flow always takes the
+// same path; different source ports may take different paths).
+func (g *Graph) PathForFlow(src, dst *Host, flowHash uint64) []*Router {
+	if src.Router == nil || dst.Router == nil {
+		return nil
+	}
+	dist := g.distancesTo(dst.Router.ID)
+	if _, ok := dist[src.Router.ID]; !ok {
+		return nil
+	}
+	var path []*Router
+	cur := src.Router.ID
+	path = append(path, g.routers[cur])
+	hop := 0
+	for cur != dst.Router.ID {
+		d := dist[cur]
+		var hops []string
+		for _, n := range g.adj[cur] {
+			if dist[n] == d-1 {
+				hops = append(hops, n)
+			}
+		}
+		sort.Strings(hops)
+		if len(hops) == 0 {
+			return nil // disconnected (should not happen after dist check)
+		}
+		// Use the high bits of the mixed hash: low bits can correlate with
+		// the source-port sequence and collapse the ECMP spread.
+		choice := hops[(mix(flowHash, uint64(hop))>>32)%uint64(len(hops))]
+		path = append(path, g.routers[choice])
+		cur = choice
+		hop++
+	}
+	return path
+}
+
+// AllPaths enumerates every ECMP path between the hosts' routers, up to
+// limit paths (0 means no limit). Used by tests and by the path-variance
+// calibration experiment.
+func (g *Graph) AllPaths(src, dst *Host, limit int) [][]*Router {
+	dist := g.distancesTo(dst.Router.ID)
+	if _, ok := dist[src.Router.ID]; !ok {
+		return nil
+	}
+	var out [][]*Router
+	var walk func(cur string, acc []*Router)
+	walk = func(cur string, acc []*Router) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		acc = append(acc, g.routers[cur])
+		if cur == dst.Router.ID {
+			out = append(out, append([]*Router(nil), acc...))
+			return
+		}
+		d := dist[cur]
+		var hops []string
+		for _, n := range g.adj[cur] {
+			if dist[n] == d-1 {
+				hops = append(hops, n)
+			}
+		}
+		sort.Strings(hops)
+		for _, n := range hops {
+			walk(n, acc)
+		}
+	}
+	walk(src.Router.ID, nil)
+	return out
+}
+
+// FlowHash computes the per-flow hash used by ECMP from the 5-tuple.
+func FlowHash(src, dst netip.Addr, srcPort, dstPort uint16, proto uint8) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	write := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+	}
+	s4, d4 := src.As4(), dst.As4()
+	write(s4[:])
+	write(d4[:])
+	write([]byte{byte(srcPort >> 8), byte(srcPort), byte(dstPort >> 8), byte(dstPort), proto})
+	return h
+}
+
+// mix combines a flow hash with a hop index into a new pseudo-random value.
+func mix(h, hop uint64) uint64 {
+	x := h ^ (hop+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,258 @@
+package topology
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// buildDiamond creates a 4-router diamond: src-r1-{r2a|r2b}-r3-dst with two
+// equal-cost paths.
+func buildDiamond(t *testing.T) (*Graph, *Host, *Host) {
+	t.Helper()
+	g := NewGraph()
+	asA := g.AddAS(100, "SourceNet", "US")
+	asB := g.AddAS(200, "TransitNet", "DE")
+	asC := g.AddAS(300, "DestNet", "KZ")
+	r1 := g.AddRouter("r1", asA)
+	g.AddRouter("r2a", asB)
+	g.AddRouter("r2b", asB)
+	r3 := g.AddRouter("r3", asC)
+	g.Link("r1", "r2a")
+	g.Link("r1", "r2b")
+	g.Link("r2a", "r3")
+	g.Link("r2b", "r3")
+	src := g.AddHost("client", asA, r1)
+	dst := g.AddHost("server", asC, r3)
+	return g, src, dst
+}
+
+func TestUniqueAddresses(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	seen := map[netip.Addr]string{}
+	for _, r := range g.Routers() {
+		if prev, dup := seen[r.Addr]; dup {
+			t.Errorf("address %s assigned to both %s and %s", r.Addr, prev, r.ID)
+		}
+		seen[r.Addr] = r.ID
+	}
+	for _, h := range g.Hosts() {
+		if prev, dup := seen[h.Addr]; dup {
+			t.Errorf("address %s assigned to both %s and %s", h.Addr, prev, h.ID)
+		}
+		seen[h.Addr] = h.ID
+	}
+}
+
+func TestAddressesInsideASPrefix(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	for _, r := range g.Routers() {
+		if !r.AS.Prefix.Contains(r.Addr) {
+			t.Errorf("router %s addr %s outside AS prefix %s", r.ID, r.Addr, r.AS.Prefix)
+		}
+	}
+	for _, h := range g.Hosts() {
+		if !h.AS.Prefix.Contains(h.Addr) {
+			t.Errorf("host %s addr %s outside AS prefix %s", h.ID, h.Addr, h.AS.Prefix)
+		}
+	}
+}
+
+func TestPathForFlowValid(t *testing.T) {
+	g, src, dst := buildDiamond(t)
+	path := g.PathForFlow(src, dst, 12345)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3 (r1, r2x, r3)", len(path))
+	}
+	if path[0].ID != "r1" || path[2].ID != "r3" {
+		t.Errorf("path endpoints = %s..%s", path[0].ID, path[len(path)-1].ID)
+	}
+	mid := path[1].ID
+	if mid != "r2a" && mid != "r2b" {
+		t.Errorf("middle hop = %s", mid)
+	}
+}
+
+func TestPathForFlowDeterministic(t *testing.T) {
+	g, src, dst := buildDiamond(t)
+	for _, h := range []uint64{0, 1, 42, 1 << 60} {
+		p1 := g.PathForFlow(src, dst, h)
+		p2 := g.PathForFlow(src, dst, h)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("hash %d: nondeterministic path", h)
+			}
+		}
+	}
+}
+
+func TestECMPVariance(t *testing.T) {
+	g, src, dst := buildDiamond(t)
+	mids := map[string]int{}
+	for h := uint64(0); h < 200; h++ {
+		path := g.PathForFlow(src, dst, FlowHash(src.Addr, dst.Addr, uint16(40000+h), 80, 6))
+		mids[path[1].ID]++
+	}
+	if len(mids) != 2 {
+		t.Fatalf("ECMP used %d distinct middle hops, want 2 (%v)", len(mids), mids)
+	}
+	for id, n := range mids {
+		if n < 40 {
+			t.Errorf("hop %s chosen only %d/200 times; ECMP split too skewed", id, n)
+		}
+	}
+}
+
+func TestAllPathsEnumeration(t *testing.T) {
+	g, src, dst := buildDiamond(t)
+	paths := g.AllPaths(src, dst, 0)
+	if len(paths) != 2 {
+		t.Fatalf("AllPaths = %d paths, want 2", len(paths))
+	}
+	limited := g.AllPaths(src, dst, 1)
+	if len(limited) != 1 {
+		t.Errorf("AllPaths(limit=1) = %d paths", len(limited))
+	}
+}
+
+func TestNextHops(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	hops := g.NextHops("r1", "r3")
+	if len(hops) != 2 || hops[0] != "r2a" || hops[1] != "r2b" {
+		t.Errorf("NextHops(r1, r3) = %v", hops)
+	}
+	if hops := g.NextHops("r3", "r3"); hops != nil {
+		t.Errorf("NextHops at destination = %v, want nil", hops)
+	}
+}
+
+func TestDisconnectedPath(t *testing.T) {
+	g := NewGraph()
+	as := g.AddAS(1, "A", "US")
+	r1 := g.AddRouter("island1", as)
+	r2 := g.AddRouter("island2", as)
+	h1 := g.AddHost("h1", as, r1)
+	h2 := g.AddHost("h2", as, r2)
+	if p := g.PathForFlow(h1, h2, 1); p != nil {
+		t.Errorf("path across disconnected routers = %v", p)
+	}
+	if p := g.AllPaths(h1, h2, 0); p != nil {
+		t.Errorf("AllPaths across disconnected routers = %v", p)
+	}
+}
+
+func TestLinkUnknownRouterPanics(t *testing.T) {
+	g := NewGraph()
+	as := g.AddAS(1, "A", "US")
+	g.AddRouter("a", as)
+	defer func() {
+		if recover() == nil {
+			t.Error("Link with unknown router should panic")
+		}
+	}()
+	g.Link("a", "missing")
+}
+
+func TestIdempotentAdds(t *testing.T) {
+	g := NewGraph()
+	as1 := g.AddAS(1, "A", "US")
+	as2 := g.AddAS(1, "A-again", "DE")
+	if as1 != as2 {
+		t.Error("AddAS with same ASN should return the existing AS")
+	}
+	r1 := g.AddRouter("r", as1)
+	r2 := g.AddRouter("r", as1)
+	if r1 != r2 {
+		t.Error("AddRouter with same ID should return the existing router")
+	}
+	g.Link("r", "r") // self-link allowed structurally but must not duplicate
+	h1 := g.AddHost("h", as1, r1)
+	h2 := g.AddHost("h", as1, r1)
+	if h1 != h2 {
+		t.Error("AddHost with same ID should return the existing host")
+	}
+}
+
+func TestSamePathSameFlowLongChain(t *testing.T) {
+	// A longer topology with nested ECMP groups.
+	g := NewGraph()
+	as := g.AddAS(1, "A", "US")
+	ids := []string{"a", "b1", "b2", "c", "d1", "d2", "e"}
+	for _, id := range ids {
+		g.AddRouter(id, as)
+	}
+	g.Link("a", "b1")
+	g.Link("a", "b2")
+	g.Link("b1", "c")
+	g.Link("b2", "c")
+	g.Link("c", "d1")
+	g.Link("c", "d2")
+	g.Link("d1", "e")
+	g.Link("d2", "e")
+	src := g.AddHost("src", as, g.Router("a"))
+	dst := g.AddHost("dst", as, g.Router("e"))
+	paths := g.AllPaths(src, dst, 0)
+	if len(paths) != 4 {
+		t.Errorf("AllPaths = %d, want 4", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 5 {
+			t.Errorf("path length = %d, want 5", len(p))
+		}
+	}
+}
+
+func TestQuickFlowHashStable(t *testing.T) {
+	f := func(sp, dp uint16, proto uint8) bool {
+		a := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+		b := netip.AddrFrom4([4]byte{10, 0, 0, 2})
+		return FlowHash(a, b, sp, dp, proto) == FlowHash(a, b, sp, dp, proto)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFlowHashSensitiveToPort(t *testing.T) {
+	a := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	b := netip.AddrFrom4([4]byte{10, 0, 0, 2})
+	diff := 0
+	for sp := uint16(0); sp < 1000; sp++ {
+		if FlowHash(a, b, sp, 80, 6) != FlowHash(a, b, sp+1, 80, 6) {
+			diff++
+		}
+	}
+	if diff < 990 {
+		t.Errorf("flow hash collides too often across adjacent ports: %d/1000 differ", diff)
+	}
+}
+
+func TestDeterministicAccessorOrder(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	r1 := g.Routers()
+	r2 := g.Routers()
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatal("Routers() order not deterministic")
+		}
+	}
+	if len(g.ASes()) != 3 {
+		t.Errorf("ASes() = %d, want 3", len(g.ASes()))
+	}
+	if g.AS(200).Name != "TransitNet" {
+		t.Errorf("AS(200) = %v", g.AS(200))
+	}
+}
+
+func TestQuickPathIsShortest(t *testing.T) {
+	g, src, dst := buildDiamond(t)
+	f := func(h uint64) bool {
+		path := g.PathForFlow(src, dst, h)
+		// The diamond's shortest router path is 3 hops; ECMP must never
+		// produce a longer (or shorter) walk.
+		return len(path) == 3 && path[0].ID == "r1" && path[2].ID == "r3"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
