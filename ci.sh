@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's continuous-integration gate, runnable locally
+# and from .github/workflows/ci.yml. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+# Short fuzz smoke: a few seconds per parser target, enough to catch
+# regressions in the grammar/codec round-trips without holding CI hostage.
+FUZZTIME="${FUZZTIME:-5s}"
+echo "==> fuzz smoke (${FUZZTIME} per target)"
+go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/httpgram
+go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/tlsgram
+go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/dnsgram
+go test -run=^$ -fuzz=FuzzDecodePacket -fuzztime="$FUZZTIME" ./internal/netem
+
+echo "==> ci.sh: all green"

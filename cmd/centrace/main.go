@@ -13,9 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"cendev/internal/centrace"
 	"cendev/internal/experiments"
+	"cendev/internal/faults"
 	"cendev/internal/topology"
 )
 
@@ -28,9 +32,22 @@ func main() {
 	reps := flag.Int("reps", 5, "traceroute repetitions")
 	list := flag.Bool("list", false, "list vantage points and endpoints, then exit")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	// Impairment profiles (see internal/faults); any of these installs a
+	// deterministic fault engine in front of the measurement.
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the impairment engine")
+	loss := flag.Float64("loss", 0, "global uniform packet-loss rate [0,1]")
+	burstLoss := flag.String("burst-loss", "", "Gilbert–Elliott bursty loss as pGoodToBad,pBadToGood,lossBad")
+	dup := flag.Float64("dup", 0, "response duplication rate [0,1]")
+	blackhole := flag.String("blackhole", "", "dead link window as from:to:startSec:endSec (router IDs)")
+	icmpSilent := flag.String("icmp-silent", "", "comma-separated router IDs that never send ICMP")
+	icmpLimit := flag.String("icmp-limit", "", "ICMP token bucket as router:burst:perSecond")
+	flap := flag.String("flap", "", "route flap as router:periodSec")
 	flag.Parse()
 
 	world := experiments.BuildWorld()
+	if eng := buildEngine(*faultSeed, *loss, *burstLoss, *dup, *blackhole, *icmpSilent, *icmpLimit, *flap); eng != nil {
+		world.Net.SetFaults(eng)
+	}
 	if *list {
 		fmt.Println("vantage points: us (remote)")
 		for country := range world.InCountryClients {
@@ -100,9 +117,17 @@ func main() {
 	}
 	if !res.Blocked {
 		fmt.Println("verdict: NOT BLOCKED")
+		fmt.Printf("  confidence: %.2f\n", res.Confidence.Score)
 		return
 	}
-	fmt.Printf("verdict: BLOCKED (%s)\n", res.TermKind)
+	if res.Degraded {
+		fmt.Printf("verdict: BLOCKED (%s) — DEGRADED: hop not localizable\n", res.TermKind)
+	} else {
+		fmt.Printf("verdict: BLOCKED (%s)\n", res.TermKind)
+	}
+	fmt.Printf("  confidence: %.2f (term agreement %.2f, hop support %.2f, retry rate %.2f, dial failures %.2f)\n",
+		res.Confidence.Score, res.Confidence.TermAgreement, res.Confidence.HopSupport,
+		res.Confidence.RetryRate, res.Confidence.DialFailRate)
 	fmt.Printf("  terminating TTL: %d   location: %s   placement: %s\n",
 		res.TermTTL, res.Location, res.Placement)
 	if res.TTLCopyCorrected {
@@ -121,6 +146,94 @@ func main() {
 	}
 }
 
+// buildEngine assembles the impairment engine from the fault flags, or
+// returns nil when none were given.
+func buildEngine(seed int64, loss float64, burstLoss string, dup float64, blackhole, icmpSilent, icmpLimit, flap string) *faults.Engine {
+	eng := faults.NewEngine(seed)
+	active := false
+	die := func(flagName, spec, format string) {
+		fmt.Fprintf(os.Stderr, "bad -%s %q: want %s\n", flagName, spec, format)
+		os.Exit(2)
+	}
+	nums := func(flagName, spec, format string, want int) []float64 {
+		parts := strings.Split(spec, ",")
+		if len(parts) != want {
+			die(flagName, spec, format)
+		}
+		out := make([]float64, want)
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				die(flagName, spec, format)
+			}
+			out[i] = v
+		}
+		return out
+	}
+	if loss > 0 {
+		eng.AddGlobal(faults.UniformLoss(loss))
+		active = true
+	}
+	if burstLoss != "" {
+		v := nums("burst-loss", burstLoss, "pGoodToBad,pBadToGood,lossBad", 3)
+		eng.AddGlobal(faults.GilbertElliott(v[0], v[1], 0, v[2]))
+		active = true
+	}
+	if dup > 0 {
+		eng.AddGlobal(faults.Duplication(dup))
+		active = true
+	}
+	if blackhole != "" {
+		parts := strings.Split(blackhole, ":")
+		if len(parts) != 4 {
+			die("blackhole", blackhole, "from:to:startSec:endSec")
+		}
+		start, err1 := strconv.ParseFloat(parts[2], 64)
+		end, err2 := strconv.ParseFloat(parts[3], 64)
+		if err1 != nil || err2 != nil {
+			die("blackhole", blackhole, "from:to:startSec:endSec")
+		}
+		eng.AddLink(parts[0], parts[1], faults.Blackhole(
+			time.Duration(start*float64(time.Second)), time.Duration(end*float64(time.Second))))
+		active = true
+	}
+	if icmpSilent != "" {
+		for _, id := range strings.Split(icmpSilent, ",") {
+			eng.SilenceICMP(strings.TrimSpace(id))
+		}
+		active = true
+	}
+	if icmpLimit != "" {
+		parts := strings.Split(icmpLimit, ":")
+		if len(parts) != 3 {
+			die("icmp-limit", icmpLimit, "router:burst:perSecond")
+		}
+		burst, err1 := strconv.Atoi(parts[1])
+		perSec, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			die("icmp-limit", icmpLimit, "router:burst:perSecond")
+		}
+		eng.LimitICMP(parts[0], burst, perSec)
+		active = true
+	}
+	if flap != "" {
+		parts := strings.Split(flap, ":")
+		if len(parts) != 2 {
+			die("flap", flap, "router:periodSec")
+		}
+		period, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || period <= 0 {
+			die("flap", flap, "router:periodSec")
+		}
+		eng.FlapRoutes(parts[0], time.Duration(period*float64(time.Second)))
+		active = true
+	}
+	if !active {
+		return nil
+	}
+	return eng
+}
+
 // jsonResult is the machine-readable measurement record, modeled on the
 // JSON the real CenTrace tool emits.
 type jsonResult struct {
@@ -137,6 +250,8 @@ type jsonResult struct {
 	Placement    string    `json:"placement"`
 	DeviceTTL    int       `json:"device_ttl"`
 	TTLCorrected bool      `json:"ttl_copy_corrected"`
+	Degraded     bool      `json:"degraded"`
+	Confidence   float64   `json:"confidence"`
 	BlockingHop  *jsonHop  `json:"blocking_hop,omitempty"`
 	Blockpage    string    `json:"blockpage_vendor,omitempty"`
 	ControlPath  []jsonHop `json:"control_path"`
@@ -165,6 +280,8 @@ func emitJSON(world *experiments.Scenario, client, ep *topology.Host, res *centr
 		Placement:    res.Placement.String(),
 		DeviceTTL:    res.DeviceTTL,
 		TTLCorrected: res.TTLCopyCorrected,
+		Degraded:     res.Degraded,
+		Confidence:   res.Confidence.Score,
 		Blockpage:    res.BlockpageVendor,
 	}
 	if res.Blocked && res.BlockingHop.Addr.IsValid() {

@@ -237,6 +237,14 @@ type Result struct {
 	BlockpageVendor string
 	// BlockpageID is the fingerprint ID of the matched blockpage.
 	BlockpageID string
+	// Confidence scores how well-supported the localization is (see
+	// confidence.go). Populated for blocked and unblocked results alike.
+	Confidence Confidence
+	// Degraded marks a blocked result whose blocking hop could not be
+	// localized consistently: blocking was observed, but BlockingHop (and
+	// the location/placement inference) should not be trusted. Degraded
+	// results always score below HighConfidence.
+	Degraded bool
 
 	Control *Aggregate
 	Test    *Aggregate
@@ -296,6 +304,15 @@ func (p *Prober) infer(res *Result) {
 	}
 	if !res.Blocked || !res.Valid {
 		res.Location = LocUnknown
+		p.scoreConfidence(res)
+		if res.Blocked && !res.Valid {
+			// Blocking signal without a usable control: observed but not
+			// localizable.
+			res.Degraded = true
+			if res.Confidence.Score >= HighConfidence {
+				res.Confidence.Score = HighConfidence - 0.05
+			}
+		}
 		return
 	}
 
@@ -365,6 +382,8 @@ func (p *Prober) infer(res *Result) {
 			break
 		}
 	}
+
+	p.scoreConfidence(res)
 }
 
 // hopInfo resolves a control-trace hop to registry metadata.

@@ -1,0 +1,74 @@
+package centrace
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestTraceNeverTerminates covers the Trace.TermIdx == -1 path: a TTL
+// sweep capped below the endpoint distance sees only ICMP — no terminating
+// response at all.
+func TestTraceNeverTerminates(t *testing.T) {
+	n, client, server := buildNet(t)
+	c := cfg()
+	c.MaxTTL = 3 // endpoint sits at TTL 5; every probe elicits ICMP
+	p := New(n, client, server, c)
+	tr := p.trace(controlDomain)
+	if tr.TermIdx != -1 {
+		t.Fatalf("TermIdx = %d, want -1 (sweep ended on ICMP)", tr.TermIdx)
+	}
+	if tr.Terminating() != nil {
+		t.Error("Terminating() should be nil for a non-terminating sweep")
+	}
+	if len(tr.Obs) != 3 {
+		t.Errorf("observations = %d, want 3", len(tr.Obs))
+	}
+
+	// Defensive branch: an out-of-range index also yields nil.
+	bad := Trace{TermIdx: 99, Obs: tr.Obs}
+	if bad.Terminating() != nil {
+		t.Error("out-of-range TermIdx should yield nil")
+	}
+
+	// And the full pipeline on such a sweep: no endpoint reach → invalid,
+	// modal terminating kind degenerates to timeout → blocking signal with
+	// no usable control → Degraded, never high-confidence.
+	res := New(n, client, server, c).Run()
+	if res.Valid {
+		t.Error("capped sweep should not be Valid")
+	}
+	if res.Blocked {
+		if !res.Degraded {
+			t.Error("blocked-but-invalid result must be Degraded")
+		}
+		if res.Confidence.High() {
+			t.Error("blocked-but-invalid result must not score high confidence")
+		}
+	}
+	if res.Location != LocUnknown {
+		t.Errorf("Location = %s, want Unknown", res.Location)
+	}
+}
+
+// TestBlockingHopsSkipsUnlocalized: results without a valid blocking-hop
+// address (degraded localizations, failed targets) must not appear in the
+// CenProbe-style hop grouping.
+func TestBlockingHopsSkipsUnlocalized(t *testing.T) {
+	addr := netip.MustParseAddr("10.9.9.9")
+	results := []CampaignResult{
+		{Result: &Result{Blocked: true, BlockingHop: HopInfo{TTL: 3, Addr: addr}}},
+		{Result: &Result{Blocked: true, BlockingHop: HopInfo{TTL: 3}}}, // degraded: no address
+		{Result: &Result{Blocked: false, BlockingHop: HopInfo{TTL: 3, Addr: addr}}},
+		{Result: nil, Err: errFake}, // failed target
+	}
+	hops := BlockingHops(results)
+	if len(hops) != 1 {
+		t.Fatalf("groups = %d, want 1", len(hops))
+	}
+	if got := len(hops[addr.String()]); got != 1 {
+		t.Errorf("results at %s = %d, want 1", addr, got)
+	}
+	if got := len(Blocked(results)); got != 2 {
+		t.Errorf("Blocked = %d, want 2 (nil Result skipped, address not required)", got)
+	}
+}

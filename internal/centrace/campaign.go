@@ -1,6 +1,8 @@
 package centrace
 
 import (
+	"fmt"
+
 	"cendev/internal/simnet"
 	"cendev/internal/topology"
 )
@@ -15,10 +17,30 @@ type Target struct {
 	Label string
 }
 
+// Key is the target's stable identity inside a campaign: endpoint ×
+// domain × protocol × label. The journal uses it to recognize already
+// measured targets across resumed runs.
+func (t Target) Key() string {
+	ep := "?"
+	if t.Endpoint != nil {
+		ep = t.Endpoint.ID
+	}
+	return fmt.Sprintf("%s|%s|%s|%s", ep, t.Domain, t.Protocol, t.Label)
+}
+
 // CampaignResult pairs a target with its measurement.
 type CampaignResult struct {
 	Target Target
 	Result *Result
+	// Err records a per-target failure (e.g. a recovered panic). A target
+	// with a non-nil Err may carry a nil Result.
+	Err error
+}
+
+// Failed reports whether the target needs re-measurement: it errored, or
+// its control traceroute never reached the endpoint.
+func (r CampaignResult) Failed() bool {
+	return r.Err != nil || r.Result == nil || !r.Result.Valid
 }
 
 // Campaign runs CenTrace against many targets from one vantage point —
@@ -31,32 +53,94 @@ type Campaign struct {
 	// Base holds the shared configuration; TestDomain and Protocol are
 	// overridden per target.
 	Base Config
-	// Progress, when non-nil, is called after each measurement.
+	// Progress, when non-nil, is called after each target resolves
+	// (measured, restored from the journal, or failed for the last time).
 	Progress func(done, total int, r CampaignResult)
+	// RetryFailedPasses is how many extra passes re-measure targets that
+	// failed (panicked, errored, or never reached the endpoint). Transient
+	// outages — exactly what the fault engine injects — often clear by the
+	// time a later pass comes around.
+	RetryFailedPasses int
+	// Journal, when non-nil, checkpoints every resolved target and lets an
+	// interrupted campaign resume without re-measuring.
+	Journal *Journal
 }
 
-// Run measures every target in order.
+// Run measures every target in order. Each target is measured on a network
+// with freshly reset device state (stateful flow tracking from one
+// target's probes must not contaminate the next — the campaign analog of
+// the §4.1 inter-probe wait), behind a panic barrier: a target that blows
+// up yields an error-bearing CampaignResult and the remaining targets
+// still run. Failed targets are retried in RetryFailedPasses extra passes;
+// journaled targets are restored instead of re-measured.
 func (c *Campaign) Run(targets []Target) []CampaignResult {
-	out := make([]CampaignResult, 0, len(targets))
-	for i, tgt := range targets {
-		cfg := c.Base
-		cfg.TestDomain = tgt.Domain
-		cfg.Protocol = tgt.Protocol
-		res := New(c.Net, c.Client, tgt.Endpoint, cfg).Run()
-		cr := CampaignResult{Target: tgt, Result: res}
-		out = append(out, cr)
+	out := make([]CampaignResult, len(targets))
+	done := make([]bool, len(targets))
+	completed := 0
+	resolve := func(i int, cr CampaignResult, fromJournal bool) {
+		out[i] = cr
+		done[i] = true
+		completed++
+		if c.Journal != nil && !fromJournal {
+			c.Journal.Record(cr)
+		}
 		if c.Progress != nil {
-			c.Progress(i+1, len(targets), cr)
+			c.Progress(completed, len(targets), cr)
+		}
+	}
+
+	if c.Journal != nil {
+		for i, tgt := range targets {
+			if cr, ok := c.Journal.Lookup(tgt); ok {
+				resolve(i, cr, true)
+			}
+		}
+	}
+
+	passes := c.RetryFailedPasses
+	if passes < 0 {
+		passes = 0
+	}
+	for pass := 0; pass <= passes; pass++ {
+		for i, tgt := range targets {
+			if done[i] {
+				continue
+			}
+			cr := c.measure(tgt)
+			if cr.Failed() && pass < passes {
+				out[i] = cr // provisional; re-measured next pass
+				continue
+			}
+			resolve(i, cr, false)
 		}
 	}
 	return out
 }
 
-// Blocked filters a campaign's results to the blocked ones.
+// measure runs one target behind the panic barrier.
+func (c *Campaign) measure(tgt Target) (cr CampaignResult) {
+	cr.Target = tgt
+	defer func() {
+		if r := recover(); r != nil {
+			cr.Result = nil
+			cr.Err = fmt.Errorf("centrace: target %s panicked: %v", tgt.Key(), r)
+		}
+	}()
+	// Independent targets must see independent device state.
+	c.Net.ResetDeviceState()
+	cfg := c.Base
+	cfg.TestDomain = tgt.Domain
+	cfg.Protocol = tgt.Protocol
+	cr.Result = New(c.Net, c.Client, tgt.Endpoint, cfg).Run()
+	return cr
+}
+
+// Blocked filters a campaign's results to the blocked ones. Failed targets
+// (nil Result) are skipped.
 func Blocked(results []CampaignResult) []CampaignResult {
 	var out []CampaignResult
 	for _, r := range results {
-		if r.Result.Blocked {
+		if r.Result != nil && r.Result.Blocked {
 			out = append(out, r)
 		}
 	}
@@ -64,11 +148,13 @@ func Blocked(results []CampaignResult) []CampaignResult {
 }
 
 // BlockingHops groups blocked results by blocking-hop address string,
-// the grouping CenProbe's target discovery uses (§5.2).
+// the grouping CenProbe's target discovery uses (§5.2). Failed targets and
+// blocked results without a valid blocking-hop address (degraded
+// localizations) are excluded.
 func BlockingHops(results []CampaignResult) map[string][]CampaignResult {
 	out := map[string][]CampaignResult{}
 	for _, r := range results {
-		if !r.Result.Blocked || !r.Result.BlockingHop.Addr.IsValid() {
+		if r.Result == nil || !r.Result.Blocked || !r.Result.BlockingHop.Addr.IsValid() {
 			continue
 		}
 		key := r.Result.BlockingHop.Addr.String()

@@ -1,0 +1,236 @@
+package centrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cendev/internal/faults"
+	"cendev/internal/middlebox"
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// TestCampaignResetsDeviceState is the regression test for stateful
+// flow-tracking leaking across independent targets: a device with a huge
+// residual window flags the client↔server pair while the first target is
+// measured, and without a reset the second target's control traceroute is
+// eaten by that residual state.
+func TestCampaignResetsDeviceState(t *testing.T) {
+	build := func() (*simnet.Network, *topology.Host, *topology.Host) {
+		n, client, server := buildNet(t)
+		dev := middlebox.NewDevice("d", middlebox.VendorCisco, []string{blockedDomain}, n.Graph.Router("r3").Addr)
+		dev.ResidualWindow = 1000 * time.Hour // never forgets on its own
+		n.AttachDevice("r2", "r3", dev)
+		return n, client, server
+	}
+
+	// First, establish the hazard: back-to-back Probers without a reset.
+	n, client, server := build()
+	first := New(n, client, server, cfg()).Run()
+	if !first.Blocked {
+		t.Fatal("setup: first target should be blocked")
+	}
+	open := cfg()
+	open.TestDomain = "www.open-other.example"
+	second := New(n, client, server, open).Run()
+	if second.Valid {
+		t.Fatal("setup: residual state should corrupt the follow-up measurement — test premise broken")
+	}
+
+	// The campaign resets device state between targets, so the same pair of
+	// measurements comes out clean.
+	n, client, server = build()
+	results := (&Campaign{
+		Net: n, Client: client,
+		Base: Config{ControlDomain: controlDomain, Repetitions: 3},
+	}).Run([]Target{
+		{Endpoint: server, Domain: blockedDomain, Protocol: HTTP},
+		{Endpoint: server, Domain: "www.open-other.example", Protocol: HTTP},
+	})
+	if !results[0].Result.Blocked {
+		t.Error("first target should still be blocked")
+	}
+	if !results[1].Result.Valid {
+		t.Error("second target invalid: residual device state leaked across targets")
+	}
+	if results[1].Result.Blocked {
+		t.Error("second target blocked: residual device state leaked across targets")
+	}
+}
+
+// TestCampaignPanicRecovery: a target that blows up mid-measurement (nil
+// endpoint → nil dereference) must yield an error-bearing CampaignResult
+// while the remaining targets still run.
+func TestCampaignPanicRecovery(t *testing.T) {
+	n, client, server := buildNet(t)
+	dev := middlebox.NewDevice("d", middlebox.VendorCisco, []string{blockedDomain}, n.Graph.Router("r3").Addr)
+	n.AttachDevice("r2", "r3", dev)
+
+	var progress int
+	results := (&Campaign{
+		Net: n, Client: client,
+		Base:     Config{ControlDomain: controlDomain, Repetitions: 3},
+		Progress: func(done, total int, r CampaignResult) { progress = done },
+	}).Run([]Target{
+		{Endpoint: server, Domain: blockedDomain, Protocol: HTTP},
+		{Endpoint: nil, Domain: blockedDomain, Protocol: HTTP, Label: "bad"},
+		{Endpoint: server, Domain: "www.open-other.example", Protocol: HTTP},
+	})
+	if progress != 3 {
+		t.Errorf("progress = %d, want 3 (every target resolved)", progress)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "panicked") {
+		t.Errorf("panicking target: Err = %v, want recovered panic", results[1].Err)
+	}
+	if results[1].Result != nil {
+		t.Error("panicking target should carry no Result")
+	}
+	if !results[1].Failed() {
+		t.Error("panicking target should report Failed")
+	}
+	// The targets around the panic completed normally.
+	if results[0].Result == nil || !results[0].Result.Blocked {
+		t.Error("target before the panic lost")
+	}
+	if results[2].Result == nil || !results[2].Result.Valid || results[2].Result.Blocked {
+		t.Error("target after the panic lost")
+	}
+}
+
+// TestCampaignRetryFailedPasses: a target measured during a network outage
+// (blackhole on the client access link) fails its first pass and succeeds
+// when the retry pass comes around after the outage window closes.
+func TestCampaignRetryFailedPasses(t *testing.T) {
+	build := func(passes int) CampaignResult {
+		n, client, server := buildNet(t)
+		// Pass 1 runs entirely inside the outage (it ends around t≈2280s
+		// virtual with 1 repetition and no per-probe retries); pass 2 starts
+		// still inside but outlives it.
+		n.SetFaults(faults.NewEngine(1).AddLink("@client", "r1",
+			faults.Blackhole(0, 41*time.Minute)))
+		var progress int
+		results := (&Campaign{
+			Net: n, Client: client,
+			Base:              Config{ControlDomain: controlDomain, Repetitions: 1, Retries: -1},
+			RetryFailedPasses: passes,
+			Progress:          func(done, total int, r CampaignResult) { progress = done },
+		}).Run([]Target{{Endpoint: server, Domain: controlDomain, Protocol: HTTP}})
+		if progress != 1 {
+			t.Errorf("progress = %d, want 1", progress)
+		}
+		return results[0]
+	}
+	if r := build(0); !r.Failed() {
+		t.Error("without retry passes the outage-window target should fail")
+	}
+	if r := build(1); r.Failed() {
+		t.Errorf("retry pass should succeed after the outage (err=%v valid=%v)",
+			r.Err, r.Result != nil && r.Result.Valid)
+	}
+}
+
+// TestCampaignJournalResume: a journaled campaign's results are restored on
+// a later run instead of re-measured — proven by resuming against a network
+// with no device at all and still seeing the blocked verdicts.
+func TestCampaignJournalResume(t *testing.T) {
+	var buf bytes.Buffer
+	n, client, server := buildNet(t)
+	dev := middlebox.NewDevice("d", middlebox.VendorCisco, []string{blockedDomain}, n.Graph.Router("r3").Addr)
+	n.AttachDevice("r2", "r3", dev)
+	targets := []Target{
+		{Endpoint: server, Domain: blockedDomain, Protocol: HTTP, Label: "KZ"},
+		{Endpoint: server, Domain: blockedDomain, Protocol: HTTPS, Label: "KZ"},
+	}
+	j := NewJournal(&buf)
+	first := (&Campaign{
+		Net: n, Client: client,
+		Base:    Config{ControlDomain: controlDomain, Repetitions: 3},
+		Journal: j,
+	}).Run(targets)
+	if len(Blocked(first)) != 2 {
+		t.Fatalf("setup: want 2 blocked results, got %d", len(Blocked(first)))
+	}
+	if j.Err() != nil {
+		t.Fatalf("journal error: %v", j.Err())
+	}
+	if j.Len() != 2 {
+		t.Fatalf("journal entries = %d, want 2", j.Len())
+	}
+
+	// Resume on a deviceless network: only restored results can be blocked.
+	n2, client2, server2 := buildNet(t)
+	j2, err := ResumeJournal(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets2 := []Target{
+		{Endpoint: server2, Domain: blockedDomain, Protocol: HTTP, Label: "KZ"},
+		{Endpoint: server2, Domain: blockedDomain, Protocol: HTTPS, Label: "KZ"},
+	}
+	var progress int
+	second := (&Campaign{
+		Net: n2, Client: client2,
+		Base:     Config{ControlDomain: controlDomain, Repetitions: 3},
+		Journal:  j2,
+		Progress: func(done, total int, r CampaignResult) { progress = done },
+	}).Run(targets2)
+	if progress != 2 {
+		t.Errorf("progress = %d, want 2 (both restored)", progress)
+	}
+	if len(Blocked(second)) != 2 {
+		t.Errorf("restored results lost the blocked verdicts: %d blocked", len(Blocked(second)))
+	}
+}
+
+func TestJournalTornTrailingLine(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Record(CampaignResult{Target: Target{Domain: "a.example", Protocol: HTTP}})
+	j.Record(CampaignResult{Target: Target{Domain: "b.example", Protocol: HTTP}})
+	// The crash artifact: a partially written final line.
+	buf.WriteString(`{"key":"c.exampl`)
+	j2, err := ResumeJournal(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatalf("torn trailing line should be tolerated: %v", err)
+	}
+	if j2.Len() != 2 {
+		t.Errorf("entries = %d, want 2 (torn line re-measured)", j2.Len())
+	}
+
+	// Corruption in the middle of the file is an error, not a shrug.
+	var bad bytes.Buffer
+	bad.WriteString("not json at all\n")
+	bad.WriteString(`{"key":"ok"}` + "\n")
+	if _, err := ResumeJournal(bytes.NewReader(bad.Bytes()), nil); err == nil {
+		t.Error("mid-file corruption should surface an error")
+	}
+}
+
+func TestJournalErrorEntries(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	tgt := Target{Domain: "x.example", Protocol: HTTP}
+	j.Record(CampaignResult{Target: tgt, Err: errFake})
+	j2, err := ResumeJournal(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := j2.Lookup(tgt)
+	if !ok {
+		t.Fatal("error entry not restored")
+	}
+	if cr.Err == nil || cr.Err.Error() != "boom" {
+		t.Errorf("restored Err = %v, want boom", cr.Err)
+	}
+	if !cr.Failed() {
+		t.Error("restored error entry should report Failed")
+	}
+}
+
+var errFake = errFakeType{}
+
+type errFakeType struct{}
+
+func (errFakeType) Error() string { return "boom" }

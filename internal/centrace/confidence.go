@@ -1,0 +1,144 @@
+package centrace
+
+// Confidence scoring: every CenTrace result carries a score in [0,1]
+// summarizing how well-supported its localization is, derived from the
+// agreement of the repeated traceroutes, the control-trace support for the
+// inferred blocking hop, and the retry/dial-failure pressure the
+// measurement ran under. A blocked result whose localization signals are
+// inconsistent is additionally marked Degraded: blocking was observed but
+// the hop is not localizable, which is always preferable to reporting a
+// confidently wrong hop.
+
+// HighConfidence is the score threshold above which a localization is
+// considered well-supported. Degraded results are clamped strictly below
+// it, so `Blocked && !Degraded && Confidence.High()` can never name a hop
+// the measurement did not consistently observe.
+const HighConfidence = 0.7
+
+// Confidence summarizes the evidentiary support behind a Result.
+type Confidence struct {
+	// Score is the overall confidence in [0,1].
+	Score float64
+	// TermAgreement is the fraction of test traces whose terminating
+	// (TTL, kind) matches the modal terminating behaviour.
+	TermAgreement float64
+	// HopSupport is the control-trace support for the inferred blocking
+	// hop: the fraction of repetitions that observed the modal router at
+	// the device TTL (or, for At-E/Past-E, that reached the endpoint).
+	HopSupport float64
+	// RetryRate is retried attempts over total attempts across both
+	// aggregates — how hard the retry machinery had to work.
+	RetryRate float64
+	// DialFailRate is handshake failures over total attempts.
+	DialFailRate float64
+}
+
+// High reports whether the score clears the HighConfidence threshold.
+func (c Confidence) High() bool { return c.Score >= HighConfidence }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// termAgreement measures how many test traces agree with the modal
+// terminating behaviour. Traces that never terminated count against it.
+func termAgreement(a *Aggregate, termTTL int, termKind ResponseKind) float64 {
+	if len(a.Traces) == 0 {
+		return 0
+	}
+	agree := 0
+	for i := range a.Traces {
+		if t := a.Traces[i].Terminating(); t != nil && t.TTL == termTTL && t.Kind == termKind {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(a.Traces))
+}
+
+// hopSupport measures the control-trace evidence for the blocking hop the
+// result names. For on-path blocking (LocPath / LocNoICMP) that is ICMP
+// support for the modal router at the device TTL; for At-E and Past-E —
+// where no router sits at the inferred TTL — it is how consistently the
+// control reached the endpoint at all.
+func (p *Prober) hopSupport(res *Result) float64 {
+	reps := len(res.Control.Traces)
+	if reps == 0 {
+		return 0
+	}
+	endpointReach := func() float64 {
+		n := 0
+		for i := range res.Control.Traces {
+			if t := res.Control.Traces[i].Terminating(); t != nil && t.Kind == KindData {
+				n++
+			}
+		}
+		return float64(n) / float64(reps)
+	}
+	if !res.Blocked || res.Location == LocAtE || res.Location == LocPastE {
+		return endpointReach()
+	}
+	dist := res.Control.HopDist[res.DeviceTTL]
+	modal, ok := res.Control.MostLikelyHop(res.DeviceTTL)
+	if !ok {
+		return 0
+	}
+	return clamp01(float64(dist[modal]) / float64(reps))
+}
+
+// scoreConfidence fills res.Confidence and res.Degraded from the
+// aggregates. Called at the end of inference, for blocked and unblocked
+// results alike.
+func (p *Prober) scoreConfidence(res *Result) {
+	c := Confidence{
+		TermAgreement: termAgreement(res.Test, res.TermTTL, res.TermKind),
+		HopSupport:    p.hopSupport(res),
+	}
+	attempts, retries, dialFails := 0, 0, 0
+	for _, a := range []*Aggregate{res.Control, res.Test} {
+		if a == nil {
+			continue
+		}
+		for i := range a.Traces {
+			attempts += a.Traces[i].Attempts
+			retries += a.Traces[i].Retries
+			dialFails += a.Traces[i].DialFailures
+		}
+	}
+	if attempts > 0 {
+		c.RetryRate = float64(retries) / float64(attempts)
+		c.DialFailRate = float64(dialFails) / float64(attempts)
+	}
+	c.Score = clamp01(0.45*c.TermAgreement + 0.35*c.HopSupport +
+		0.10*(1-clamp01(2*c.RetryRate)) + 0.10*(1-clamp01(2*c.DialFailRate)))
+
+	// Degraded verdict: blocking observed, hop not localizable. Each arm is
+	// a way the localization evidence can fall apart — no address to name,
+	// an ambiguous No-ICMP locus, split terminating behaviour, a path-hop
+	// claim the control barely observed, or a measurement that mostly
+	// failed to even open connections.
+	if res.Blocked {
+		switch {
+		case !res.BlockingHop.Addr.IsValid():
+			res.Degraded = true
+		case res.Location == LocNoICMP:
+			res.Degraded = true
+		case c.TermAgreement < 0.5:
+			res.Degraded = true
+		case (res.Location == LocPath) && c.HopSupport < 0.3:
+			res.Degraded = true
+		case c.DialFailRate > 0.5:
+			res.Degraded = true
+		}
+	}
+	if res.Degraded && c.Score >= HighConfidence {
+		// A degraded localization must never read as high-confidence.
+		c.Score = HighConfidence - 0.05
+	}
+	res.Confidence = c
+}

@@ -1,0 +1,147 @@
+package centrace
+
+// Campaign checkpoint/resume: a Journal is an append-only log of resolved
+// targets, one JSON object per line. A campaign given a journal records
+// each target as it resolves and, on a later run over the same target
+// list, restores recorded results instead of re-measuring — so a crashed
+// or interrupted collection picks up where it left off, the way the
+// paper's multi-week measurement campaigns had to.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// journalEntry is the on-disk form of one resolved target.
+type journalEntry struct {
+	Key      string  `json:"key"`
+	Endpoint string  `json:"endpoint"`
+	Domain   string  `json:"domain"`
+	Protocol string  `json:"protocol"`
+	Label    string  `json:"label,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+}
+
+// Journal is a campaign results log supporting checkpoint and resume.
+type Journal struct {
+	entries map[string]journalEntry
+	w       io.Writer
+	err     error
+}
+
+// NewJournal returns an empty journal appending entries to w.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{entries: make(map[string]journalEntry), w: w}
+}
+
+// ResumeJournal loads previously recorded entries from r (tolerating a
+// truncated final line, the normal crash artifact) and appends new entries
+// to w. Either may be nil: a nil r resumes nothing, a nil w records
+// in memory only.
+func ResumeJournal(r io.Reader, w io.Writer) (*Journal, error) {
+	j := NewJournal(w)
+	if r == nil {
+		return j, nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			// A torn trailing line means the process died mid-write; that
+			// target simply gets re-measured. A torn line in the middle is
+			// corruption worth surfacing.
+			if !sc.Scan() {
+				break
+			}
+			return nil, fmt.Errorf("centrace: journal line %d corrupt: %w", line, err)
+		}
+		j.entries[e.Key] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("centrace: reading journal: %w", err)
+	}
+	return j, nil
+}
+
+// OpenJournalFile opens (creating if needed) a journal file, loads its
+// entries, and positions it for appending. The caller owns closing the
+// returned file.
+func OpenJournalFile(path string) (*Journal, *os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, err := ResumeJournal(f, f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, f, nil
+}
+
+// Lookup returns the recorded result for a target, if any.
+func (j *Journal) Lookup(t Target) (CampaignResult, bool) {
+	e, ok := j.entries[t.Key()]
+	if !ok {
+		return CampaignResult{}, false
+	}
+	cr := CampaignResult{Target: t, Result: e.Result}
+	if e.Error != "" {
+		cr.Err = errors.New(e.Error)
+	}
+	return cr, true
+}
+
+// Record checkpoints one resolved target. Write failures are remembered
+// (see Err) rather than aborting the campaign: losing a checkpoint is
+// strictly better than losing the measurement.
+func (j *Journal) Record(cr CampaignResult) {
+	e := journalEntry{
+		Key:      cr.Target.Key(),
+		Domain:   cr.Target.Domain,
+		Protocol: cr.Target.Protocol.String(),
+		Label:    cr.Target.Label,
+		Result:   cr.Result,
+	}
+	if cr.Target.Endpoint != nil {
+		e.Endpoint = cr.Target.Endpoint.ID
+	}
+	if cr.Err != nil {
+		e.Error = cr.Err.Error()
+	}
+	j.entries[e.Key] = e
+	if j.w == nil {
+		return
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		j.err = fmt.Errorf("centrace: journal marshal: %w", err)
+		return
+	}
+	raw = append(raw, '\n')
+	if _, err := j.w.Write(raw); err != nil {
+		j.err = fmt.Errorf("centrace: journal write: %w", err)
+	}
+}
+
+// Len returns the number of recorded entries.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Err returns the first write/marshal error the journal swallowed, if any.
+func (j *Journal) Err() error { return j.err }

@@ -190,6 +190,9 @@ type Prober struct {
 	Client   *topology.Host
 	Endpoint *topology.Host
 	Config   Config
+	// probed records whether any probe has been sent yet: the inter-probe
+	// wait is only needed *between* probes, never before the first one.
+	probed bool
 }
 
 // New returns a Prober with defaulted configuration.
@@ -287,16 +290,45 @@ func (p *Prober) probeOnce(domain string, ttl int) ProbeObs {
 }
 
 // probe sends one probe with retries for timeouts (§4.1: "we retry the
-// request up to three times to account for transient network failures").
-func (p *Prober) probe(domain string, ttl int) ProbeObs {
+// request up to three times to account for transient network failures"),
+// recording attempt statistics on the trace for the confidence score.
+//
+// The inter-probe wait exists to let stateful devices forget the previous
+// flow (§4.1: the paper waits 120 seconds so residual blocking from one
+// probe cannot contaminate the next), so it is applied between probes
+// only — sleeping before the very first probe of a measurement would
+// waste virtual time with nothing to forget. Retries back off
+// exponentially (2×, 4×, 8× the interval, capped at 8×): a retry fired
+// straight back into a loss burst or an outage window would fail exactly
+// like the original, whereas backing off rides the impairment out while
+// still giving stateful devices their forget window.
+func (p *Prober) probe(domain string, ttl int, tr *Trace) ProbeObs {
 	var obs ProbeObs
+	attempts := 0
 	for attempt := 0; attempt <= p.Config.Retries; attempt++ {
-		p.Net.Sleep(p.Config.ProbeInterval)
+		if p.probed {
+			wait := p.Config.ProbeInterval
+			if attempt > 0 {
+				backoff := attempt
+				if backoff > 3 {
+					backoff = 3
+				}
+				wait *= time.Duration(1 << backoff)
+			}
+			p.Net.Sleep(wait)
+		}
+		p.probed = true
+		attempts++
 		obs = p.probeOnce(domain, ttl)
+		if obs.DialFailed {
+			tr.DialFailures++
+		}
 		if obs.Kind != KindTimeout {
-			return obs
+			break
 		}
 	}
+	tr.Attempts += attempts
+	tr.Retries += attempts - 1
 	return obs
 }
 
@@ -308,6 +340,13 @@ type Trace struct {
 	// sweep ended without one (endpoint never answered and no trailing
 	// timeout run was recorded — should not happen in practice).
 	TermIdx int
+	// Attempts counts every probe transmission in this sweep, retries
+	// included.
+	Attempts int
+	// Retries counts extra attempts spent on timed-out probes (§4.1).
+	Retries int
+	// DialFailures counts attempts whose TCP handshake never completed.
+	DialFailures int
 }
 
 // Terminating returns the terminating observation, or nil.
@@ -327,7 +366,7 @@ func (p *Prober) trace(domain string) Trace {
 	consecutiveTimeouts := 0
 	firstTrailingTimeout := -1
 	for ttl := 1; ttl <= p.Config.MaxTTL; ttl++ {
-		obs := p.probe(domain, ttl)
+		obs := p.probe(domain, ttl, &tr)
 		tr.Obs = append(tr.Obs, obs)
 		switch obs.Kind {
 		case KindRST, KindFIN, KindData:

@@ -1,0 +1,355 @@
+// Package faults is a deterministic, seeded, composable network-impairment
+// engine. The simulator consults it on every hop traversal, on every
+// response delivery, and at every ICMP emission point, which lets tests
+// subject the measurement tools to the structured failures that real
+// Internet paths exhibit — bursty loss, dead links, ICMP-silent and
+// rate-limited routers, duplicated packets, and route churn — instead of
+// only uniform i.i.d. loss.
+//
+// Everything is deterministic given the engine seed: each registered
+// impairment draws from its own generator seeded from (engine seed,
+// registration index), and time-dependent impairments key off the virtual
+// clock, so the same seed and the same sequence of simulator events
+// reproduce byte-identical measurement results.
+//
+// Impairments come in two scopes:
+//
+//   - Global impairments (AddGlobal) are consulted once per forward packet
+//     traversal and once per response delivery — the semantics of the old
+//     simnet.SetLoss, which this package replaces.
+//   - Link impairments (AddLink) are consulted on every crossing of that
+//     link, in either direction, on both the forward and the return path.
+//
+// Router-level behaviours — ICMP silence, ICMP rate limiting, and route
+// flapping — are registered per router ID.
+//
+// Each Impairment value carries its own state (e.g. the Gilbert–Elliott
+// burst state); register a fresh value per attachment.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Outcome is an impairment's decision about one packet event.
+type Outcome struct {
+	// Drop removes the packet.
+	Drop bool
+	// Duplicate delivers the packet twice. It only has an effect on
+	// response deliveries: the client receives two copies.
+	Duplicate bool
+}
+
+// Merge folds another outcome in: any drop drops, any duplicate duplicates.
+func (o *Outcome) Merge(other Outcome) {
+	o.Drop = o.Drop || other.Drop
+	o.Duplicate = o.Duplicate || other.Duplicate
+}
+
+// Impairment decides the fate of packets at one attachment point. Apply is
+// called once per consulted event with the virtual time and the
+// impairment's private seeded generator; implementations may keep state
+// across calls (burst models do).
+type Impairment interface {
+	Apply(now time.Duration, rng *rand.Rand) Outcome
+	fmt.Stringer
+}
+
+// bound is an impairment registered with the engine, paired with its
+// private deterministic generator.
+type bound struct {
+	imp Impairment
+	rng *rand.Rand
+}
+
+func (b *bound) apply(now time.Duration) Outcome { return b.imp.Apply(now, b.rng) }
+
+// linkKey identifies an undirected link between two attachment points
+// (router IDs, or simnet's "@host" client-access pseudo-routers).
+type linkKey struct{ a, b string }
+
+func normLink(a, b string) linkKey {
+	if b < a {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// icmpPolicy is the per-router ICMP emission behaviour.
+type icmpPolicy struct {
+	silent bool
+	// Token bucket (real routers rate-limit ICMP generation in exactly
+	// this shape). Zero burst means unlimited.
+	limited   bool
+	tokens    float64
+	burst     float64
+	perSecond float64
+	last      time.Duration
+}
+
+// flapPolicy makes a router deterministically reselect among its ECMP
+// next hops every period of virtual time.
+type flapPolicy struct {
+	period time.Duration
+	salt   uint64
+}
+
+// Engine is the composable impairment engine. The zero value is unusable;
+// create one with NewEngine. Engines are not safe for concurrent use —
+// the simulator is single-threaded and deterministic by design.
+type Engine struct {
+	seed   int64
+	nextID uint64
+	global []*bound
+	links  map[linkKey][]*bound
+	icmp   map[string]*icmpPolicy
+	flaps  map[string]flapPolicy
+}
+
+// NewEngine creates an empty engine. All randomness derives from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		seed:  seed,
+		links: make(map[linkKey][]*bound),
+		icmp:  make(map[string]*icmpPolicy),
+		flaps: make(map[string]flapPolicy),
+	}
+}
+
+// bind wraps an impairment with a generator derived from the engine seed
+// and the registration order, so adding impairments never perturbs the
+// streams of previously registered ones.
+func (e *Engine) bind(imp Impairment) *bound {
+	e.nextID++
+	return &bound{imp: imp, rng: rand.New(rand.NewSource(int64(splitmix(uint64(e.seed) ^ e.nextID*0x9e3779b97f4a7c15))))}
+}
+
+// AddGlobal registers an impairment consulted once per forward traversal
+// and once per response delivery. Returns the engine for chaining.
+func (e *Engine) AddGlobal(imp Impairment) *Engine {
+	e.global = append(e.global, e.bind(imp))
+	return e
+}
+
+// AddLink registers an impairment on the undirected link between two
+// attachment points, consulted on every crossing in either direction.
+func (e *Engine) AddLink(a, b string, imp Impairment) *Engine {
+	k := normLink(a, b)
+	e.links[k] = append(e.links[k], e.bind(imp))
+	return e
+}
+
+// SilenceICMP makes a router forward packets but never emit ICMP Time
+// Exceeded — the traceroute-invisible hop (§4.3 saw exactly one).
+func (e *Engine) SilenceICMP(routerID string) *Engine {
+	p := e.icmpPolicy(routerID)
+	p.silent = true
+	return e
+}
+
+// LimitICMP installs a token bucket on a router's ICMP generation: burst
+// tokens capacity, refilling at perSecond tokens per virtual second. Each
+// emitted ICMP costs one token.
+func (e *Engine) LimitICMP(routerID string, burst int, perSecond float64) *Engine {
+	p := e.icmpPolicy(routerID)
+	p.limited = true
+	p.burst = float64(burst)
+	p.tokens = float64(burst)
+	p.perSecond = perSecond
+	return e
+}
+
+func (e *Engine) icmpPolicy(routerID string) *icmpPolicy {
+	p := e.icmp[routerID]
+	if p == nil {
+		p = &icmpPolicy{}
+		e.icmp[routerID] = p
+	}
+	return p
+}
+
+// FlapRoutes makes a router reselect among its equal-cost next hops every
+// period of virtual time — deterministic path churn ("A Churn for the
+// Better"): the same flow takes a different downstream path in different
+// epochs, but the same seed and epoch always pick the same path.
+func (e *Engine) FlapRoutes(routerID string, period time.Duration) *Engine {
+	e.flaps[routerID] = flapPolicy{
+		period: period,
+		salt:   splitmix(uint64(e.seed) ^ hashString(routerID)),
+	}
+	return e
+}
+
+// Global consults every global impairment for one traversal event.
+func (e *Engine) Global(now time.Duration) Outcome {
+	var o Outcome
+	for _, b := range e.global {
+		o.Merge(b.apply(now))
+	}
+	return o
+}
+
+// Cross consults the impairments on the link between a and b (either
+// direction) for one crossing.
+func (e *Engine) Cross(a, b string, now time.Duration) Outcome {
+	var o Outcome
+	for _, imp := range e.links[normLink(a, b)] {
+		o.Merge(imp.apply(now))
+	}
+	return o
+}
+
+// AllowICMP reports whether the router may emit an ICMP error now, and
+// consumes a rate-limit token when it does.
+func (e *Engine) AllowICMP(routerID string, now time.Duration) bool {
+	p := e.icmp[routerID]
+	if p == nil {
+		return true
+	}
+	if p.silent {
+		return false
+	}
+	if !p.limited {
+		return true
+	}
+	elapsed := now - p.last
+	p.last = now
+	p.tokens += p.perSecond * elapsed.Seconds()
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+	if p.tokens >= 1 {
+		p.tokens--
+		return true
+	}
+	return false
+}
+
+// RouteSalt returns the ECMP perturbation for a router at the current
+// virtual time: zero (no perturbation) for routers without a flap policy,
+// otherwise a value that is stable within a flap epoch and changes across
+// epochs.
+func (e *Engine) RouteSalt(routerID string, now time.Duration) uint64 {
+	f, ok := e.flaps[routerID]
+	if !ok || f.period <= 0 {
+		return 0
+	}
+	epoch := uint64(now / f.period)
+	if epoch == 0 {
+		// Epoch 0 keeps the unperturbed route so measurements start on the
+		// topology's canonical path; churn begins at the first flap.
+		return 0
+	}
+	return splitmix(f.salt ^ (epoch+1)*0xbf58476d1ce4e5b9)
+}
+
+// ---- Impairment profiles ----
+
+// uniformLoss drops packets i.i.d. at a fixed rate.
+type uniformLoss struct{ rate float64 }
+
+// UniformLoss returns an impairment dropping packets independently at the
+// given per-packet rate — the transient-failure model CenTrace's retries
+// exist for (§4.1).
+func UniformLoss(rate float64) Impairment { return &uniformLoss{rate: rate} }
+
+func (u *uniformLoss) Apply(_ time.Duration, rng *rand.Rand) Outcome {
+	return Outcome{Drop: u.rate > 0 && rng.Float64() < u.rate}
+}
+
+func (u *uniformLoss) String() string { return fmt.Sprintf("uniform-loss(%.3f)", u.rate) }
+
+// gilbertElliott is the classic two-state burst-loss channel: a Good and a
+// Bad state with different loss rates and geometric sojourn times.
+type gilbertElliott struct {
+	pGoodToBad, pBadToGood float64
+	lossGood, lossBad      float64
+	bad                    bool
+}
+
+// GilbertElliott returns a two-state burst-loss impairment. The chain
+// starts Good; on each consulted packet it first transitions (Good→Bad
+// with pGoodToBad, Bad→Good with pBadToGood), then drops the packet with
+// the state's loss rate. Mean burst length is 1/pBadToGood packets.
+func GilbertElliott(pGoodToBad, pBadToGood, lossGood, lossBad float64) Impairment {
+	return &gilbertElliott{
+		pGoodToBad: pGoodToBad, pBadToGood: pBadToGood,
+		lossGood: lossGood, lossBad: lossBad,
+	}
+}
+
+func (g *gilbertElliott) Apply(_ time.Duration, rng *rand.Rand) Outcome {
+	if g.bad {
+		if rng.Float64() < g.pBadToGood {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.pGoodToBad {
+			g.bad = true
+		}
+	}
+	rate := g.lossGood
+	if g.bad {
+		rate = g.lossBad
+	}
+	return Outcome{Drop: rate > 0 && rng.Float64() < rate}
+}
+
+func (g *gilbertElliott) String() string {
+	return fmt.Sprintf("gilbert-elliott(p_gb=%.3f p_bg=%.3f loss=%.3f/%.3f)",
+		g.pGoodToBad, g.pBadToGood, g.lossGood, g.lossBad)
+}
+
+// blackhole kills every packet during a virtual-time window.
+type blackhole struct{ from, to time.Duration }
+
+// Blackhole returns an impairment under which the attachment point is
+// completely dead during [from, to) of virtual time — a link or maintenance
+// outage in the middle of a measurement.
+func Blackhole(from, to time.Duration) Impairment { return &blackhole{from: from, to: to} }
+
+func (b *blackhole) Apply(now time.Duration, _ *rand.Rand) Outcome {
+	return Outcome{Drop: now >= b.from && now < b.to}
+}
+
+func (b *blackhole) String() string { return fmt.Sprintf("blackhole[%s,%s)", b.from, b.to) }
+
+// duplication duplicates packets i.i.d. at a fixed rate.
+type duplication struct{ rate float64 }
+
+// Duplication returns an impairment that duplicates response deliveries at
+// the given rate: the client receives two copies of the same packet, the
+// way routing loops and L2 retransmissions duplicate real traffic.
+func Duplication(rate float64) Impairment { return &duplication{rate: rate} }
+
+func (d *duplication) Apply(_ time.Duration, rng *rand.Rand) Outcome {
+	return Outcome{Duplicate: d.rate > 0 && rng.Float64() < d.rate}
+}
+
+func (d *duplication) String() string { return fmt.Sprintf("duplication(%.3f)", d.rate) }
+
+// ---- deterministic mixing helpers ----
+
+// splitmix is the SplitMix64 finalizer: a fast, well-distributed 64-bit
+// mixer used to derive independent seeds and per-epoch salts.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashString is FNV-1a over a string.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

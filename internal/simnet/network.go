@@ -17,11 +17,11 @@ package simnet
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"time"
 
 	"cendev/internal/endpoint"
+	"cendev/internal/faults"
 	"cendev/internal/geoip"
 	"cendev/internal/middlebox"
 	"cendev/internal/topology"
@@ -32,33 +32,34 @@ type Network struct {
 	Graph *topology.Graph
 	Geo   *geoip.Registry
 
-	clock       time.Duration
-	linkDevices map[topology.LinkID][]*middlebox.Device
-	guards      map[string]*middlebox.Device  // endpoint host ID → At-E device
-	servers     map[string]*endpoint.Server   // endpoint host ID → server
-	resolvers   map[string]*endpoint.Resolver // endpoint host ID → DNS resolver
-	hostsByAddr map[netip.Addr]*topology.Host
-	devices     []*middlebox.Device
-	captures    map[string]*Capture // client host ID → capture buffer
-	httpStreams map[string][]byte   // per-flow HTTP request reassembly
-	nextPort    uint16
-	lossRate    float64
-	lossRng     *rand.Rand
+	clock         time.Duration
+	linkDevices   map[topology.LinkID][]*middlebox.Device
+	guards        map[string]*middlebox.Device  // endpoint host ID → At-E device
+	servers       map[string]*endpoint.Server   // endpoint host ID → server
+	resolvers     map[string]*endpoint.Resolver // endpoint host ID → DNS resolver
+	hostsByAddr   map[netip.Addr]*topology.Host
+	devices       []*middlebox.Device
+	devicesByAddr map[netip.Addr]*middlebox.Device // management address → device
+	captures      map[string]*Capture              // client host ID → capture buffer
+	httpStreams   map[string][]byte                // per-flow HTTP request reassembly
+	nextPort      uint16
+	faults        *faults.Engine
 }
 
 // New creates a network over a topology graph and populates the geo
 // registry from its ASes.
 func New(g *topology.Graph) *Network {
 	n := &Network{
-		Graph:       g,
-		Geo:         geoip.NewRegistry(),
-		linkDevices: make(map[topology.LinkID][]*middlebox.Device),
-		guards:      make(map[string]*middlebox.Device),
-		servers:     make(map[string]*endpoint.Server),
-		resolvers:   make(map[string]*endpoint.Resolver),
-		hostsByAddr: make(map[netip.Addr]*topology.Host),
-		captures:    make(map[string]*Capture),
-		nextPort:    33000,
+		Graph:         g,
+		Geo:           geoip.NewRegistry(),
+		linkDevices:   make(map[topology.LinkID][]*middlebox.Device),
+		guards:        make(map[string]*middlebox.Device),
+		servers:       make(map[string]*endpoint.Server),
+		resolvers:     make(map[string]*endpoint.Resolver),
+		hostsByAddr:   make(map[netip.Addr]*topology.Host),
+		devicesByAddr: make(map[netip.Addr]*middlebox.Device),
+		captures:      make(map[string]*Capture),
+		nextPort:      33000,
 	}
 	for _, as := range g.ASes() {
 		n.Geo.Add(as.Prefix, geoip.Info{ASN: as.ASN, Name: as.Name, Country: as.Country})
@@ -72,19 +73,39 @@ func New(g *topology.Graph) *Network {
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.clock }
 
+// SetFaults installs a composable impairment engine. The network consults
+// it on every forward traversal, every link crossing, every response
+// delivery, and every ICMP emission. Pass nil to restore a perfect
+// network. See the faults package for the available profiles.
+func (n *Network) SetFaults(e *faults.Engine) { n.faults = e }
+
+// Faults returns the installed impairment engine, or nil.
+func (n *Network) Faults() *faults.Engine { return n.faults }
+
 // SetLoss enables random transient packet loss at the given per-packet
 // rate, driven by a seeded generator so runs stay reproducible. Loss
 // applies independently to the forward packet and to each response.
 // CenTrace's retry logic (§4.1: "we retry the request up to three times to
 // account for transient network failures") exists for exactly this.
+//
+// SetLoss is a convenience shim over SetFaults: it replaces any installed
+// engine with one carrying a single global uniform-loss impairment. Rate
+// zero removes the engine entirely.
 func (n *Network) SetLoss(rate float64, seed int64) {
-	n.lossRate = rate
-	n.lossRng = rand.New(rand.NewSource(seed))
+	if rate <= 0 {
+		n.faults = nil
+		return
+	}
+	n.faults = faults.NewEngine(seed).AddGlobal(faults.UniformLoss(rate))
 }
 
-// lose reports whether a packet is randomly dropped.
-func (n *Network) lose() bool {
-	return n.lossRate > 0 && n.lossRng != nil && n.lossRng.Float64() < n.lossRate
+// routeSalt exposes the engine's per-router ECMP perturbation to path
+// computation, or nil when no engine (or no flaps) can perturb routes.
+func (n *Network) routeSalt() func(string) uint64 {
+	if n.faults == nil {
+		return nil
+	}
+	return func(routerID string) uint64 { return n.faults.RouteSalt(routerID, n.clock) }
 }
 
 // Sleep advances the virtual clock.
@@ -99,7 +120,7 @@ func (n *Network) AttachDevice(from, to string, dev *middlebox.Device) {
 	}
 	id := topology.LinkID{From: from, To: to}
 	n.linkDevices[id] = append(n.linkDevices[id], dev)
-	n.devices = append(n.devices, dev)
+	n.indexDevice(dev)
 }
 
 // AttachGuard places a device directly in front of an endpoint host — the
@@ -110,7 +131,20 @@ func (n *Network) AttachGuard(hostID string, dev *middlebox.Device) {
 		panic("simnet: AttachGuard on unknown host " + hostID)
 	}
 	n.guards[hostID] = dev
+	n.indexDevice(dev)
+}
+
+// indexDevice records a device in the flat list and, when it exposes a
+// valid management address, in the address index DeviceByAddr serves from.
+// The first device registered at an address wins, matching the behaviour
+// of the linear scan this index replaced.
+func (n *Network) indexDevice(dev *middlebox.Device) {
 	n.devices = append(n.devices, dev)
+	if dev.Addr.IsValid() {
+		if _, taken := n.devicesByAddr[dev.Addr]; !taken {
+			n.devicesByAddr[dev.Addr] = dev
+		}
+	}
 }
 
 // RegisterServer installs an endpoint server on a host. Hosts added to the
@@ -165,12 +199,12 @@ func (n *Network) AllocPort() uint16 {
 	return p
 }
 
-// DeviceByAddr returns the device with the given management address, if any.
+// DeviceByAddr returns the device with the given management address, if
+// any. Served from an index maintained by the attach methods, so lookups
+// stay O(1) however many devices a country-scale scenario deploys.
 func (n *Network) DeviceByAddr(addr netip.Addr) *middlebox.Device {
-	for _, d := range n.devices {
-		if d.Addr == addr {
-			return d
-		}
+	if !addr.IsValid() {
+		return nil
 	}
-	return nil
+	return n.devicesByAddr[addr]
 }

@@ -54,7 +54,7 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 	default:
 		return out
 	}
-	path := n.Graph.PathForFlow(src, dst, flowHash)
+	path := n.Graph.PathForFlowSalted(src, dst, flowHash, n.routeSalt())
 	if path == nil {
 		return out
 	}
@@ -62,8 +62,26 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 	// deliver queues a response packet originating at hop originHop
 	// (1-based; 0 = client-side) for return-path processing.
 	deliver := func(resp *netem.Packet, originHop int) {
-		if n.lose() {
-			return // transient loss on the return path
+		duplicate := false
+		if n.faults != nil {
+			// Global impairments see the delivery once; link impairments see
+			// it on every reverse crossing back toward the client, so a dead
+			// or lossy link kills responses as well as probes.
+			o := n.faults.Global(n.clock)
+			last := originHop - 1
+			if last > len(path)-1 {
+				last = len(path) - 1 // endpoint-originated: start at the last router link
+			}
+			for i := last; i >= 1 && !o.Drop; i-- {
+				o.Merge(n.faults.Cross(path[i-1].ID, path[i].ID, n.clock))
+			}
+			if !o.Drop && originHop > 0 && len(path) > 0 {
+				o.Merge(n.faults.Cross("@"+src.ID, path[0].ID, n.clock))
+			}
+			if o.Drop {
+				return // impaired on the return path
+			}
+			duplicate = o.Duplicate
 		}
 		hopsBack := originHop // routers between origin and client, inclusive of origin side
 		if hopsBack > 0 {
@@ -80,9 +98,16 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 			At:      n.clock + time.Duration(originHop)*perHopLatency,
 			FromHop: originHop,
 		})
+		if duplicate {
+			out = append(out, Delivery{
+				Packet:  resp.Clone(),
+				At:      n.clock + time.Duration(originHop)*perHopLatency,
+				FromHop: originHop,
+			})
+		}
 	}
 
-	if n.lose() {
+	if n.faults != nil && n.faults.Global(n.clock).Drop {
 		return out // transient loss on the forward path
 	}
 	// throttleDelay accumulates extra latency imposed by throttling
@@ -97,6 +122,11 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 		linkFrom := prev
 		if linkFrom == "" {
 			linkFrom = "@" + src.ID // client access link pseudo-router
+		}
+		// Link impairments act before the link's devices: a packet lost on
+		// the wire never reaches the inspection tap.
+		if n.faults != nil && n.faults.Cross(linkFrom, router.ID, n.clock).Drop {
+			return sortDeliveries(out)
 		}
 		dropped := false
 		for _, dev := range n.linkDevices[topology.LinkID{From: linkFrom, To: router.ID}] {
@@ -116,7 +146,9 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 		ttl--
 		working.IP.TTL = ttl
 		if ttl == 0 {
-			if router.SendsICMP {
+			// The fault engine can silence or rate-limit a router's ICMP
+			// generation on top of the router's own RFC behaviour.
+			if router.SendsICMP && (n.faults == nil || n.faults.AllowICMP(router.ID, n.clock)) {
 				te, err := netem.NewTimeExceeded(router.Addr, working, router.QuoteLen)
 				if err == nil {
 					deliver(te, hop)
@@ -314,5 +346,5 @@ func ClientAccessLink(h *topology.Host) string { return "@" + h.ID }
 func (n *Network) AttachClientSideDevice(h *topology.Host, dev *middlebox.Device) {
 	id := topology.LinkID{From: ClientAccessLink(h), To: h.Router.ID}
 	n.linkDevices[id] = append(n.linkDevices[id], dev)
-	n.devices = append(n.devices, dev)
+	n.indexDevice(dev)
 }

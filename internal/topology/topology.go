@@ -255,6 +255,16 @@ func (g *Graph) NextHops(from, dst string) []string {
 // hash with the hop position (per-flow ECMP: the same flow always takes the
 // same path; different source ports may take different paths).
 func (g *Graph) PathForFlow(src, dst *Host, flowHash uint64) []*Router {
+	return g.PathForFlowSalted(src, dst, flowHash, nil)
+}
+
+// PathForFlowSalted is PathForFlow with a per-router perturbation: at each
+// router making an ECMP choice, salt(routerID) is XORed into the flow hash
+// before the next hop is picked. A nil salt function (or one returning 0)
+// reproduces PathForFlow exactly. The fault engine uses this to model
+// route flaps: a router whose salt changes over virtual time re-rolls its
+// next-hop choice, emulating path churn without touching the topology.
+func (g *Graph) PathForFlowSalted(src, dst *Host, flowHash uint64, salt func(routerID string) uint64) []*Router {
 	if src.Router == nil || dst.Router == nil {
 		return nil
 	}
@@ -278,9 +288,13 @@ func (g *Graph) PathForFlow(src, dst *Host, flowHash uint64) []*Router {
 		if len(hops) == 0 {
 			return nil // disconnected (should not happen after dist check)
 		}
+		h := flowHash
+		if salt != nil {
+			h ^= salt(cur)
+		}
 		// Use the high bits of the mixed hash: low bits can correlate with
 		// the source-port sequence and collapse the ECMP spread.
-		choice := hops[(mix(flowHash, uint64(hop))>>32)%uint64(len(hops))]
+		choice := hops[(mix(h, uint64(hop))>>32)%uint64(len(hops))]
 		path = append(path, g.routers[choice])
 		cur = choice
 		hop++
