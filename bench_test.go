@@ -7,6 +7,7 @@ package cendev
 // via b.ReportMetric so `go test -bench .` doubles as a results table.
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -78,6 +79,45 @@ func BenchmarkCenProbeDevice(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cenprobe.Probe(world.Net, addr)
+	}
+}
+
+// BenchmarkCampaignParallel measures the clone-isolated campaign worker
+// pool at several worker counts over the same target list — the §4.2
+// "multiple endpoints concurrently" collection pattern. Results are
+// byte-identical at every worker count (see TestCampaignWorkerDeterminism);
+// on a multi-core machine the wall-clock time at workers=4 should be a
+// fraction of workers=1. ci.sh records this family to BENCH_parallel.json.
+func BenchmarkCampaignParallel(b *testing.B) {
+	world := experiments.BuildWorld()
+	var targets []centrace.Target
+	for _, e := range world.EndpointsIn("KZ") {
+		for _, domain := range experiments.TestDomainsFor("KZ") {
+			targets = append(targets, centrace.Target{
+				Endpoint: e.Host, Domain: domain, Protocol: centrace.HTTP, Label: "KZ",
+			})
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			blocked := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := (&centrace.Campaign{
+					Net:    world.Net,
+					Client: world.USClient,
+					Base: centrace.Config{
+						ControlDomain: experiments.ControlDomain,
+						Repetitions:   3,
+					},
+					Workers: workers,
+				}).Run(targets)
+				blocked = len(centrace.Blocked(results))
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(targets)), "targets")
+			b.ReportMetric(float64(blocked), "blocked")
+		})
 	}
 }
 

@@ -13,6 +13,14 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Parallel measurement engine: benchmark the campaign worker pool at
+# 1/2/4/8 workers and record the trajectory, then smoke-run a real
+# campaign at -workers=4 (also exercises clone isolation end to end).
+echo "==> parallel campaign benchmarks -> BENCH_parallel.json"
+go test -run '^$' -bench 'BenchmarkCampaignParallel' -benchtime 1x -json . > BENCH_parallel.json
+go run ./cmd/centrace -all -workers 4 > /dev/null
+echo "==> parallel campaign smoke (-workers=4) ok"
+
 # Short fuzz smoke: a few seconds per parser target, enough to catch
 # regressions in the grammar/codec round-trips without holding CI hostage.
 FUZZTIME="${FUZZTIME:-5s}"

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cendev/internal/cenfuzz"
 	"cendev/internal/experiments"
@@ -28,6 +29,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print each permutation verdict")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	extensions := flag.Bool("ext", false, "also run the extension strategies (segmentation, TLS record split)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel strategy workers")
 	flag.Parse()
 
 	world := experiments.BuildWorld()
@@ -76,6 +78,7 @@ func main() {
 	fz := cenfuzz.New(world.Net, client, endpoint, cenfuzz.Config{
 		TestDomain:    *domain,
 		ControlDomain: *control,
+		Workers:       *workers,
 	})
 	res := fz.Run(strategies)
 

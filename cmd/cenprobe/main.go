@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"runtime"
 
 	"cendev/internal/cenprobe"
 	"cendev/internal/experiments"
@@ -22,6 +23,7 @@ import (
 func main() {
 	addr := flag.String("addr", "", "probe a single address instead of running discovery")
 	reps := flag.Int("reps", 3, "CenTrace repetitions during discovery")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for discovery and banner grabs")
 	flag.Parse()
 
 	if *addr != "" {
@@ -36,7 +38,7 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "running CenTrace discovery for potential device IPs...")
-	c := experiments.BuildCorpus(experiments.CorpusConfig{Repetitions: *reps, SkipFuzz: true})
+	c := experiments.BuildCorpus(experiments.CorpusConfig{Repetitions: *reps, SkipFuzz: true, Workers: *workers})
 	fmt.Fprintf(os.Stderr, "found %d potential device IPs\n\n", len(c.PotentialDeviceIPs))
 	for _, a := range c.PotentialDeviceIPs {
 		printResult(c.Probes[a])

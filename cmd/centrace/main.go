@@ -5,7 +5,8 @@
 // Usage:
 //
 //	centrace -client us -endpoint kz-ep-0-0 -domain www.pokerstars.com -proto https
-//	centrace -list   # list clients and endpoints
+//	centrace -all -workers 4   # campaign over every endpoint × domain × protocol
+//	centrace -list             # list clients and endpoints
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -31,6 +33,9 @@ func main() {
 	proto := flag.String("proto", "http", "probe protocol (http|https)")
 	reps := flag.Int("reps", 5, "traceroute repetitions")
 	list := flag.Bool("list", false, "list vantage points and endpoints, then exit")
+	all := flag.Bool("all", false, "run a campaign over every endpoint × domain × protocol")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel measurement workers for -all")
+	retries := flag.Int("retries", 1, "extra retry passes for failed targets in -all")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	// Impairment profiles (see internal/faults); any of these installs a
 	// deterministic fault engine in front of the measurement.
@@ -72,6 +77,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	if *all {
+		runCampaign(world, client, *control, *reps, *workers, *retries)
+		return
+	}
+
 	var endpoint *topology.Host
 	for _, e := range world.Endpoints {
 		if e.Host.ID == *endpointID {
@@ -143,6 +154,56 @@ func main() {
 	}
 	if res.QuoteDelta != nil && res.QuoteDelta.Any() {
 		fmt.Printf("  quote delta at blocking hop: %s\n", res.QuoteDelta)
+	}
+}
+
+// runCampaign measures every endpoint × test domain × protocol from the
+// chosen vantage point across the worker pool and prints a per-country
+// summary — the §4.2 collection pattern at CLI scale.
+func runCampaign(world *experiments.Scenario, client *topology.Host, control string, reps, workers, retries int) {
+	var targets []centrace.Target
+	for _, e := range world.Endpoints {
+		for _, domain := range experiments.TestDomainsFor(e.Country) {
+			for _, proto := range []centrace.Protocol{centrace.HTTP, centrace.HTTPS} {
+				targets = append(targets, centrace.Target{
+					Endpoint: e.Host, Domain: domain, Protocol: proto, Label: e.Country,
+				})
+			}
+		}
+	}
+	camp := &centrace.Campaign{
+		Net:    world.Net,
+		Client: client,
+		Base: centrace.Config{
+			ControlDomain: control,
+			Repetitions:   reps,
+		},
+		Workers:           workers,
+		RetryFailedPasses: retries,
+	}
+	results := camp.Run(targets)
+
+	blockedByCountry := map[string]int{}
+	totalByCountry := map[string]int{}
+	failed := 0
+	for _, r := range results {
+		totalByCountry[r.Target.Label]++
+		switch {
+		case r.Failed():
+			failed++
+		case r.Result.Blocked:
+			blockedByCountry[r.Target.Label]++
+		}
+	}
+	fmt.Printf("campaign: %d targets, %d workers\n", len(targets), workers)
+	for _, country := range experiments.Countries {
+		if totalByCountry[country] == 0 {
+			continue
+		}
+		fmt.Printf("  %s: %d/%d blocked\n", country, blockedByCountry[country], totalByCountry[country])
+	}
+	if failed > 0 {
+		fmt.Printf("  failed targets: %d\n", failed)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -28,6 +29,7 @@ func main() {
 	reps := flag.Int("reps", 5, "CenTrace repetitions per traceroute")
 	maxFuzz := flag.Int("maxfuzz", 12, "max fuzzed devices per country")
 	format := flag.String("format", "ascii", "path-graph format for fig1/fig10-12 (ascii|dot)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel measurement workers")
 	flag.Parse()
 
 	needsFuzz := map[string]bool{
@@ -38,6 +40,7 @@ func main() {
 		Repetitions:                *reps,
 		MaxFuzzEndpointsPerCountry: *maxFuzz,
 		SkipFuzz:                   !needsFuzz[*exp],
+		Workers:                    *workers,
 	}
 	if *exp == "table2" || *exp == "table3" {
 		// Catalog-only experiments need no measurements.

@@ -6,8 +6,10 @@ import (
 
 	"cendev/internal/blockpage"
 	"cendev/internal/endpoint"
+	"cendev/internal/faults"
 	"cendev/internal/httpgram"
 	"cendev/internal/netem"
+	"cendev/internal/parallel"
 	"cendev/internal/simnet"
 	"cendev/internal/tlsgram"
 	"cendev/internal/topology"
@@ -58,6 +60,11 @@ type Config struct {
 	// avoid stateful blocking effects); WaitOK after an unblocked one (3 s).
 	WaitBlocked time.Duration
 	WaitOK      time.Duration
+	// Workers is the number of parallel strategy workers for Run. Each
+	// worker owns a private clone of the network, and every strategy is
+	// measured from the same canonical post-baseline state, so results are
+	// identical for every worker count. Values below 1 mean one worker.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -269,9 +276,16 @@ func (r *Result) Strategy(name string) *StrategyResult {
 }
 
 // Run executes the given strategies (nil = the full Table 2 catalog)
-// against the endpoint: for each strategy, a fresh Normal baseline for the
-// test and control domains, then each permutation for the control domain
-// and the test domain (§6.2).
+// against the endpoint: first a fresh Normal baseline per protocol for the
+// test domain, then, for each strategy, each permutation for the control
+// domain and the test domain (§6.2).
+//
+// Strategies fan out across Config.Workers parallel workers, each owning a
+// private clone of the network. Every strategy is measured from the same
+// canonical post-baseline state (same virtual clock, reset device flow
+// state and port sequence, per-strategy derived fault seed), so the result
+// bytes are identical at every worker count and f.Net is never mutated
+// mid-fan-out — its clock ends at the latest strategy's virtual end time.
 func (f *Fuzzer) Run(strategies []Strategy) *Result {
 	if strategies == nil {
 		strategies = Strategies()
@@ -281,23 +295,55 @@ func (f *Fuzzer) Run(strategies []Strategy) *Result {
 		ControlDomain: f.Config.ControlDomain,
 		NormalBlocked: make(map[Proto]bool),
 	}
-	// Normal baselines per protocol.
+
+	basePort := f.Net.PortSeq()
+	baseFaults := f.Net.Faults()
+
+	// Normal baselines per protocol, on a clone carrying the network's
+	// current state — the canonical prefix every strategy measurement
+	// descends from.
+	baseNet := f.Net.Clone()
+	baseFuzzer := &Fuzzer{Net: baseNet, Client: f.Client, Endpoint: f.Endpoint, Config: f.Config}
 	baseline := map[Proto]Measurement{}
 	for _, proto := range []Proto{ProtoHTTP, ProtoTLS} {
 		normal := normalPayload(proto, f.Config.TestDomain)
-		m := f.Measure(normal, proto.Port())
+		m := baseFuzzer.Measure(normal, proto.Port())
 		baseline[proto] = m
 		res.NormalBlocked[proto] = m.Outcome.Blocked()
 		res.TotalMeasurements++
 	}
-	for _, st := range strategies {
+	postBaseline := baseNet.Now()
+
+	workers := f.Config.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// Worker clones are created serially before the fan-out (Clone freezes
+	// the shared geo registry).
+	nets := make([]*simnet.Network, workers)
+	for w := range nets {
+		nets[w] = f.Net.Clone()
+	}
+
+	results := make([]StrategyResult, len(strategies))
+	counts := make([]int, len(strategies))
+	ends := make([]time.Duration, len(strategies))
+	parallel.ForEach(len(strategies), workers, func(w, i int) {
+		st := strategies[i]
+		n := nets[w]
+		n.BeginMeasurement(postBaseline, basePort)
+		if baseFaults != nil {
+			seed := faults.DeriveSeed(baseFaults.Seed(), "cenfuzz|"+st.Name)
+			n.SetFaults(baseFaults.CloneSeeded(seed))
+		}
+		sf := &Fuzzer{Net: n, Client: f.Client, Endpoint: f.Endpoint, Config: f.Config}
 		sr := StrategyResult{Name: st.Name, Category: st.Category, Proto: st.Proto}
 		normalBlocked := baseline[st.Proto].Outcome.Blocked()
 		for _, perm := range st.Perms() {
 			pr := PermResult{Strategy: st.Name, Desc: perm.Desc}
-			pr.Control = f.measurePerm(perm, f.Config.ControlDomain, st.Proto.Port())
-			pr.Test = f.measurePerm(perm, f.Config.TestDomain, st.Proto.Port())
-			res.TotalMeasurements += 2
+			pr.Control = sf.measurePerm(perm, f.Config.ControlDomain, st.Proto.Port())
+			pr.Test = sf.measurePerm(perm, f.Config.TestDomain, st.Proto.Port())
+			counts[i] += 2
 			pr.Valid = !pr.Control.Outcome.Blocked()
 			if pr.Valid && normalBlocked && !pr.Test.Outcome.Blocked() {
 				pr.Evaded = true
@@ -305,7 +351,19 @@ func (f *Fuzzer) Run(strategies []Strategy) *Result {
 			}
 			sr.Perms = append(sr.Perms, pr)
 		}
-		res.Strategies = append(res.Strategies, sr)
+		results[i] = sr
+		ends[i] = n.Now()
+	})
+	res.Strategies = results
+	maxEnd := postBaseline
+	for i := range strategies {
+		res.TotalMeasurements += counts[i]
+		if ends[i] > maxEnd {
+			maxEnd = ends[i]
+		}
+	}
+	if d := maxEnd - f.Net.Now(); d > 0 {
+		f.Net.Sleep(d)
 	}
 	return res
 }

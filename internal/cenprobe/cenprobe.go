@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"cendev/internal/middlebox"
+	"cendev/internal/parallel"
 	"cendev/internal/simnet"
 )
 
@@ -151,12 +152,22 @@ func matchVendor(banners []ServiceBanner) (vendor, id string) {
 
 // ProbeAll probes a set of addresses and returns results in address order.
 func ProbeAll(n *simnet.Network, addrs []netip.Addr) []*Result {
+	return ProbeAllParallel(n, addrs, 1)
+}
+
+// ProbeAllParallel probes a set of addresses across a pool of workers and
+// returns results in address order. Banner grabs resolve against the
+// device and server registries without walking packets (see the package
+// fidelity notes), so every probe is a pure read — workers share the
+// network directly, no clones needed, and results are identical at every
+// worker count.
+func ProbeAllParallel(n *simnet.Network, addrs []netip.Addr, workers int) []*Result {
 	sorted := append([]netip.Addr(nil), addrs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
-	out := make([]*Result, 0, len(sorted))
-	for _, a := range sorted {
-		out = append(out, Probe(n, a))
-	}
+	out := make([]*Result, len(sorted))
+	parallel.ForEach(len(sorted), workers, func(_, i int) {
+		out[i] = Probe(n, sorted[i])
+	})
 	return out
 }
 

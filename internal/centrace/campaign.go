@@ -2,7 +2,11 @@ package centrace
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
+	"cendev/internal/faults"
+	"cendev/internal/parallel"
 	"cendev/internal/simnet"
 	"cendev/internal/topology"
 )
@@ -64,20 +68,39 @@ type Campaign struct {
 	// Journal, when non-nil, checkpoints every resolved target and lets an
 	// interrupted campaign resume without re-measuring.
 	Journal *Journal
+	// Workers is the number of parallel measurement workers. Each worker
+	// owns a private clone of Net, so targets run concurrently without
+	// sharing device flow state. Values below 1 mean one worker. Results
+	// are identical for every worker count: each target is measured from
+	// the same canonical state regardless of which worker claims it.
+	Workers int
 }
 
-// Run measures every target in order. Each target is measured on a network
-// with freshly reset device state (stateful flow tracking from one
-// target's probes must not contaminate the next — the campaign analog of
-// the §4.1 inter-probe wait), behind a panic barrier: a target that blows
-// up yields an error-bearing CampaignResult and the remaining targets
-// still run. Failed targets are retried in RetryFailedPasses extra passes;
-// journaled targets are restored instead of re-measured.
+// Run measures every target across a pool of workers, each owning a
+// private clone of the network, and returns results in target order
+// regardless of worker count or scheduling.
+//
+// Determinism: every target is measured from the same canonical state —
+// the pass-start virtual clock, a reset port sequence, freshly cleared
+// device flow state (stateful flow tracking from one target's probes must
+// not contaminate the next — the campaign analog of the §4.1 inter-probe
+// wait), and a fault engine re-seeded per (target, pass) — so the result
+// for a target depends only on the target and the pass, never on which
+// worker ran it or what ran before it on that worker's clone.
+//
+// Each target runs behind a panic barrier: a target that blows up yields
+// an error-bearing CampaignResult and the remaining targets still run.
+// Failed targets are retried in RetryFailedPasses extra passes, with each
+// pass starting at the latest virtual end time of the previous pass (the
+// batch analog of serial time passing — transient faults get a chance to
+// clear). Journaled targets are restored instead of re-measured. After the
+// run, Net's clock stands at the campaign's latest virtual end time.
 func (c *Campaign) Run(targets []Target) []CampaignResult {
 	out := make([]CampaignResult, len(targets))
 	done := make([]bool, len(targets))
 	completed := 0
-	resolve := func(i int, cr CampaignResult, fromJournal bool) {
+	var mu sync.Mutex // guards out/done/completed and serializes Progress
+	resolveLocked := func(i int, cr CampaignResult, fromJournal bool) {
 		out[i] = cr
 		done[i] = true
 		completed++
@@ -92,47 +115,100 @@ func (c *Campaign) Run(targets []Target) []CampaignResult {
 	if c.Journal != nil {
 		for i, tgt := range targets {
 			if cr, ok := c.Journal.Lookup(tgt); ok {
-				resolve(i, cr, true)
+				resolveLocked(i, cr, true)
 			}
 		}
+	}
+
+	workers := c.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Canonical origin state every measurement rewinds to.
+	baseClock := c.Net.Now()
+	basePort := c.Net.PortSeq()
+	baseFaults := c.Net.Faults()
+
+	// Worker clones are created serially before the fan-out (Clone freezes
+	// the shared geo registry); a single worker still runs on a clone so
+	// every worker count follows the same protocol and produces the same
+	// bytes.
+	nets := make([]*simnet.Network, workers)
+	for w := range nets {
+		nets[w] = c.Net.Clone()
 	}
 
 	passes := c.RetryFailedPasses
 	if passes < 0 {
 		passes = 0
 	}
+	startClock := baseClock
+	maxEnd := baseClock
 	for pass := 0; pass <= passes; pass++ {
-		for i, tgt := range targets {
-			if done[i] {
-				continue
+		var pending []int
+		for i := range targets {
+			if !done[i] {
+				pending = append(pending, i)
 			}
-			cr := c.measure(tgt)
+		}
+		if len(pending) == 0 {
+			break
+		}
+		passStart := startClock
+		passEnd := passStart
+		parallel.ForEach(len(pending), workers, func(w, k int) {
+			i := pending[k]
+			cr, end := c.measureOn(nets[w], baseFaults, targets[i], pass, passStart, basePort)
+			mu.Lock()
+			defer mu.Unlock()
+			if end > passEnd {
+				passEnd = end
+			}
 			if cr.Failed() && pass < passes {
 				out[i] = cr // provisional; re-measured next pass
-				continue
+				return
 			}
-			resolve(i, cr, false)
+			resolveLocked(i, cr, false)
+		})
+		startClock = passEnd
+		if passEnd > maxEnd {
+			maxEnd = passEnd
 		}
+	}
+	// Leave the campaign network's clock where the longest measurement
+	// ended, so composed experiments keep a monotonic virtual timeline.
+	if d := maxEnd - c.Net.Now(); d > 0 {
+		c.Net.Sleep(d)
 	}
 	return out
 }
 
-// measure runs one target behind the panic barrier.
-func (c *Campaign) measure(tgt Target) (cr CampaignResult) {
+// measureOn runs one target on a worker's private network clone behind the
+// panic barrier, returning the result and the virtual time at which the
+// measurement ended. The clone is rewound to the canonical pass state
+// first; when the campaign network carries a fault engine, the clone gets
+// an independent engine seeded from (base seed, target key, pass) so fault
+// realizations are per-target deterministic.
+func (c *Campaign) measureOn(n *simnet.Network, baseFaults *faults.Engine, tgt Target, pass int, startClock time.Duration, basePort uint16) (cr CampaignResult, end time.Duration) {
 	cr.Target = tgt
 	defer func() {
 		if r := recover(); r != nil {
 			cr.Result = nil
 			cr.Err = fmt.Errorf("centrace: target %s panicked: %v", tgt.Key(), r)
+			end = n.Now()
 		}
 	}()
-	// Independent targets must see independent device state.
-	c.Net.ResetDeviceState()
+	n.BeginMeasurement(startClock, basePort)
+	if baseFaults != nil {
+		seed := faults.DeriveSeed(baseFaults.Seed(), fmt.Sprintf("%s#%d", tgt.Key(), pass))
+		n.SetFaults(baseFaults.CloneSeeded(seed))
+	}
 	cfg := c.Base
 	cfg.TestDomain = tgt.Domain
 	cfg.Protocol = tgt.Protocol
-	cr.Result = New(c.Net, c.Client, tgt.Endpoint, cfg).Run()
-	return cr
+	cr.Result = New(n, c.Client, tgt.Endpoint, cfg).Run()
+	return cr, n.Now()
 }
 
 // Blocked filters a campaign's results to the blocked ones. Failed targets

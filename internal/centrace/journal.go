@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // journalEntry is the on-disk form of one resolved target.
@@ -28,7 +29,12 @@ type journalEntry struct {
 }
 
 // Journal is a campaign results log supporting checkpoint and resume.
+// Journals are safe for concurrent use: parallel campaign workers resolve
+// targets from many goroutines, so the entry map and the JSON-lines
+// writer are guarded by a mutex — each entry reaches the log as one
+// uninterleaved line.
 type Journal struct {
+	mu      sync.Mutex
 	entries map[string]journalEntry
 	w       io.Writer
 	err     error
@@ -97,6 +103,8 @@ func OpenJournalFile(path string) (*Journal, *os.File, error) {
 
 // Lookup returns the recorded result for a target, if any.
 func (j *Journal) Lookup(t Target) (CampaignResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	e, ok := j.entries[t.Key()]
 	if !ok {
 		return CampaignResult{}, false
@@ -125,6 +133,8 @@ func (j *Journal) Record(cr CampaignResult) {
 	if cr.Err != nil {
 		e.Error = cr.Err.Error()
 	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	j.entries[e.Key] = e
 	if j.w == nil {
 		return
@@ -141,7 +151,15 @@ func (j *Journal) Record(cr CampaignResult) {
 }
 
 // Len returns the number of recorded entries.
-func (j *Journal) Len() int { return len(j.entries) }
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
 
 // Err returns the first write/marshal error the journal swallowed, if any.
-func (j *Journal) Err() error { return j.err }
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

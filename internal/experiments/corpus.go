@@ -4,11 +4,15 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
 	"cendev/internal/cenfuzz"
 	"cendev/internal/cenprobe"
 	"cendev/internal/centrace"
+	"cendev/internal/faults"
 	"cendev/internal/features"
+	"cendev/internal/parallel"
+	"cendev/internal/simnet"
 	"cendev/internal/topology"
 )
 
@@ -41,6 +45,12 @@ type CorpusConfig struct {
 	InCountryEndpoints int
 	// SkipFuzz skips the CenFuzz phase (for trace-only experiments).
 	SkipFuzz bool
+	// Workers is the parallel worker count for the trace, probe, and fuzz
+	// phases. Each trace/fuzz worker owns a private clone of the scenario
+	// network and every measurement starts from the same canonical phase
+	// state, so the corpus is identical at every worker count. Values
+	// below 1 mean one worker.
+	Workers int
 }
 
 func (c CorpusConfig) withDefaults() CorpusConfig {
@@ -98,19 +108,30 @@ func BuildCorpus(cfg CorpusConfig) *Corpus {
 	return c
 }
 
+// traceJob is one CenTrace measurement in the corpus work list: the record
+// template plus the vantage point it is measured from.
+type traceJob struct {
+	client *topology.Host
+	rec    TraceRecord // Result filled in by the worker
+}
+
 // runTraces performs remote CenTraces from the US client to every endpoint
 // for every (domain, protocol), plus in-country CenTraces from each
-// vantage point to a subset of same-country endpoints.
+// vantage point to a subset of same-country endpoints. The work list fans
+// out across Config.Workers workers, each owning a private clone of the
+// scenario network; every trace starts from the same canonical phase state
+// (clock, port sequence, per-trace derived fault seed), so c.Traces comes
+// out in enumeration order with identical bytes at every worker count.
 func (c *Corpus) runTraces() {
 	s := c.Scenario
+	var jobs []traceJob
 	for _, ep := range s.Endpoints {
 		for _, domain := range TestDomainsFor(ep.Country) {
 			for _, proto := range []centrace.Protocol{centrace.HTTP, centrace.HTTPS} {
-				res := c.trace(s.USClient, ep, domain, proto)
-				c.Traces = append(c.Traces, TraceRecord{
+				jobs = append(jobs, traceJob{client: s.USClient, rec: TraceRecord{
 					Country: ep.Country, Endpoint: ep,
-					Protocol: proto, Domain: domain, Result: res,
-				})
+					Protocol: proto, Domain: domain,
+				}})
 			}
 		}
 	}
@@ -133,26 +154,56 @@ func (c *Corpus) runTraces() {
 		for _, ep := range eps {
 			for _, domain := range TestDomainsFor(country) {
 				for _, proto := range []centrace.Protocol{centrace.HTTP, centrace.HTTPS} {
-					res := c.trace(client, ep, domain, proto)
-					c.Traces = append(c.Traces, TraceRecord{
+					jobs = append(jobs, traceJob{client: client, rec: TraceRecord{
 						Country: country, InCountry: true, Endpoint: ep,
-						Protocol: proto, Domain: domain, Result: res,
-					})
+						Protocol: proto, Domain: domain,
+					}})
 				}
 			}
 		}
 	}
-}
 
-// trace runs one CenTrace measurement.
-func (c *Corpus) trace(client *topology.Host, ep EndpointInfo, domain string, proto centrace.Protocol) *centrace.Result {
-	p := centrace.New(c.Scenario.Net, client, ep.Host, centrace.Config{
-		ControlDomain: ControlDomain,
-		TestDomain:    domain,
-		Protocol:      proto,
-		Repetitions:   c.Config.Repetitions,
+	workers := c.Config.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	baseClock := s.Net.Now()
+	basePort := s.Net.PortSeq()
+	baseFaults := s.Net.Faults()
+	nets := make([]*simnet.Network, workers)
+	for w := range nets {
+		nets[w] = s.Net.Clone()
+	}
+	results := make([]*centrace.Result, len(jobs))
+	ends := make([]time.Duration, len(jobs))
+	parallel.ForEach(len(jobs), workers, func(w, i int) {
+		j := jobs[i]
+		n := nets[w]
+		n.BeginMeasurement(baseClock, basePort)
+		if baseFaults != nil {
+			seed := faults.DeriveSeed(baseFaults.Seed(), "trace|"+j.client.ID+"|"+j.rec.Key())
+			n.SetFaults(baseFaults.CloneSeeded(seed))
+		}
+		results[i] = centrace.New(n, j.client, j.rec.Endpoint.Host, centrace.Config{
+			ControlDomain: ControlDomain,
+			TestDomain:    j.rec.Domain,
+			Protocol:      j.rec.Protocol,
+			Repetitions:   c.Config.Repetitions,
+		}).Run()
+		ends[i] = n.Now()
 	})
-	return p.Run()
+	maxEnd := baseClock
+	for i := range jobs {
+		rec := jobs[i].rec
+		rec.Result = results[i]
+		c.Traces = append(c.Traces, rec)
+		if ends[i] > maxEnd {
+			maxEnd = ends[i]
+		}
+	}
+	if d := maxEnd - s.Net.Now(); d > 0 {
+		s.Net.Sleep(d)
+	}
 }
 
 // collectDeviceIPs gathers the potential device addresses: the blocking
@@ -176,11 +227,71 @@ func (c *Corpus) collectDeviceIPs() {
 	})
 }
 
-// runProbes banner-grabs every potential device IP.
+// runProbes banner-grabs every potential device IP. Probes are pure reads
+// against the device registry, so workers share the scenario network.
 func (c *Corpus) runProbes() {
-	for _, r := range cenprobe.ProbeAll(c.Scenario.Net, c.PotentialDeviceIPs) {
+	workers := c.Config.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for _, r := range cenprobe.ProbeAllParallel(c.Scenario.Net, c.PotentialDeviceIPs, workers) {
 		c.Probes[r.Addr] = r
 	}
+}
+
+// fuzzJob is one CenFuzz run in the corpus work list.
+type fuzzJob struct {
+	label  string // seed-derivation label, unique per job
+	client *topology.Host
+	host   *topology.Host
+	domain string
+}
+
+// runFuzzJobs executes CenFuzz runs across the worker pool, each on a
+// private clone rewound to the same canonical phase state, and returns
+// results in job order (identical at every worker count). The inner
+// fuzzers run their strategies serially — the corpus parallelizes across
+// endpoints instead.
+func (c *Corpus) runFuzzJobs(jobs []fuzzJob) []*cenfuzz.Result {
+	s := c.Scenario
+	workers := c.Config.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	baseClock := s.Net.Now()
+	basePort := s.Net.PortSeq()
+	baseFaults := s.Net.Faults()
+	nets := make([]*simnet.Network, workers)
+	for w := range nets {
+		nets[w] = s.Net.Clone()
+	}
+	results := make([]*cenfuzz.Result, len(jobs))
+	ends := make([]time.Duration, len(jobs))
+	parallel.ForEach(len(jobs), workers, func(w, i int) {
+		j := jobs[i]
+		n := nets[w]
+		n.BeginMeasurement(baseClock, basePort)
+		if baseFaults != nil {
+			seed := faults.DeriveSeed(baseFaults.Seed(), "fuzz|"+j.label)
+			n.SetFaults(baseFaults.CloneSeeded(seed))
+		}
+		fz := cenfuzz.New(n, j.client, j.host, cenfuzz.Config{
+			TestDomain:    j.domain,
+			ControlDomain: ControlDomain,
+		})
+		results[i] = fz.Run(nil)
+		ends[i] = n.Now()
+	})
+	maxEnd := baseClock
+	for i := range jobs {
+		if ends[i] > maxEnd {
+			maxEnd = ends[i]
+		}
+	}
+	if d := maxEnd - s.Net.Now(); d > 0 {
+		s.Net.Sleep(d)
+	}
+	return results
 }
 
 // runFuzz fuzzes blocked endpoints — one per distinct blocking hop, so
@@ -241,6 +352,9 @@ func (c *Corpus) runFuzz() {
 		return a < b
 	})
 	perCountry := map[string]int{}
+	var jobs []fuzzJob
+	var jobTraces []TraceRecord
+	picked := map[string]bool{}
 	for _, key := range hopKeys {
 		country := chosen[key][0].tr.Country
 		if perCountry[country] >= c.Config.MaxFuzzEndpointsPerCountry {
@@ -250,18 +364,27 @@ func (c *Corpus) runFuzz() {
 		for _, p := range chosen[key] {
 			tr := p.tr
 			id := tr.Endpoint.Host.ID
-			if _, done := c.Fuzz[id]; done {
+			if picked[id] {
 				continue
 			}
-			fz := cenfuzz.New(s.Net, s.USClient, tr.Endpoint.Host, cenfuzz.Config{
-				TestDomain:    tr.Domain,
-				ControlDomain: ControlDomain,
+			picked[id] = true
+			jobs = append(jobs, fuzzJob{
+				label:  "remote|" + id + "|" + tr.Domain,
+				client: s.USClient,
+				host:   tr.Endpoint.Host,
+				domain: tr.Domain,
 			})
-			c.Fuzz[id] = fz.Run(nil)
-			c.FuzzTrace[id] = tr
+			jobTraces = append(jobTraces, tr)
 		}
 	}
+	for i, res := range c.runFuzzJobs(jobs) {
+		id := jobTraces[i].Endpoint.Host.ID
+		c.Fuzz[id] = res
+		c.FuzzTrace[id] = jobTraces[i]
+	}
 	// In-country circumvention runs: client → the blocked domain's origin.
+	var icJobs []fuzzJob
+	var icCountries []string
 	for _, country := range []string{"AZ", "KZ"} {
 		client, ok := s.InCountryClients[country]
 		if !ok {
@@ -272,11 +395,16 @@ func (c *Corpus) runFuzz() {
 		if origin == nil {
 			continue
 		}
-		fz := cenfuzz.New(s.Net, client, origin, cenfuzz.Config{
-			TestDomain:    domain,
-			ControlDomain: ControlDomain,
+		icJobs = append(icJobs, fuzzJob{
+			label:  "incountry|" + country + "|" + domain,
+			client: client,
+			host:   origin,
+			domain: domain,
 		})
-		c.InCountryFuzz[country] = fz.Run(nil)
+		icCountries = append(icCountries, country)
+	}
+	for i, res := range c.runFuzzJobs(icJobs) {
+		c.InCountryFuzz[icCountries[i]] = res
 	}
 }
 

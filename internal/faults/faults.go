@@ -51,17 +51,23 @@ func (o *Outcome) Merge(other Outcome) {
 // Impairment decides the fate of packets at one attachment point. Apply is
 // called once per consulted event with the virtual time and the
 // impairment's private seeded generator; implementations may keep state
-// across calls (burst models do).
+// across calls (burst models do). Clone returns an independent copy with
+// pristine state (a burst chain back in Good, counters zeroed) — engines
+// clone their impairments so parallel measurement workers never share the
+// mutable state.
 type Impairment interface {
 	Apply(now time.Duration, rng *rand.Rand) Outcome
+	Clone() Impairment
 	fmt.Stringer
 }
 
 // bound is an impairment registered with the engine, paired with its
-// private deterministic generator.
+// private deterministic generator. The registration id is retained so a
+// cloned engine can re-derive byte-identical generator streams.
 type bound struct {
 	imp Impairment
 	rng *rand.Rand
+	id  uint64
 }
 
 func (b *bound) apply(now time.Duration) Outcome { return b.imp.Apply(now, b.rng) }
@@ -123,7 +129,12 @@ func NewEngine(seed int64) *Engine {
 // streams of previously registered ones.
 func (e *Engine) bind(imp Impairment) *bound {
 	e.nextID++
-	return &bound{imp: imp, rng: rand.New(rand.NewSource(int64(splitmix(uint64(e.seed) ^ e.nextID*0x9e3779b97f4a7c15))))}
+	return &bound{imp: imp, rng: rngFor(e.seed, e.nextID), id: e.nextID}
+}
+
+// rngFor derives the private generator for a registration id under a seed.
+func rngFor(seed int64, id uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix(uint64(seed) ^ id*0x9e3779b97f4a7c15))))
 }
 
 // AddGlobal registers an impairment consulted once per forward traversal
@@ -245,6 +256,69 @@ func (e *Engine) RouteSalt(routerID string, now time.Duration) uint64 {
 	return splitmix(f.salt ^ (epoch+1)*0xbf58476d1ce4e5b9)
 }
 
+// Seed returns the seed the engine's randomness derives from.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Clone returns an independent engine with the same seed, the same
+// registered impairments (each with pristine state), and byte-identical
+// generator streams: every bound impairment keeps its registration id, so
+// the clone's draws match what a freshly built identical engine would
+// produce. ICMP token buckets refill to their burst and flap policies are
+// copied verbatim. The clone shares no mutable state with the original.
+func (e *Engine) Clone() *Engine {
+	if e == nil {
+		return nil
+	}
+	return e.CloneSeeded(e.seed)
+}
+
+// CloneSeeded is Clone under a different seed: the same impairment
+// structure, pristine state, but generator streams and flap salts derived
+// from seed instead of the original's. Campaign workers use this with
+// per-target derived seeds so every target sees an independent — yet
+// reproducible — realization of the same fault profile.
+func (e *Engine) CloneSeeded(seed int64) *Engine {
+	if e == nil {
+		return nil
+	}
+	c := NewEngine(seed)
+	c.nextID = e.nextID
+	for _, b := range e.global {
+		c.global = append(c.global, &bound{imp: b.imp.Clone(), rng: rngFor(seed, b.id), id: b.id})
+	}
+	for k, bs := range e.links {
+		cp := make([]*bound, 0, len(bs))
+		for _, b := range bs {
+			cp = append(cp, &bound{imp: b.imp.Clone(), rng: rngFor(seed, b.id), id: b.id})
+		}
+		c.links[k] = cp
+	}
+	for id, p := range e.icmp {
+		c.icmp[id] = &icmpPolicy{
+			silent:    p.silent,
+			limited:   p.limited,
+			tokens:    p.burst,
+			burst:     p.burst,
+			perSecond: p.perSecond,
+		}
+	}
+	for id, f := range e.flaps {
+		c.flaps[id] = flapPolicy{
+			period: f.period,
+			salt:   splitmix(uint64(seed) ^ hashString(id)),
+		}
+	}
+	return c
+}
+
+// DeriveSeed deterministically derives a sub-seed from a base seed and a
+// label (e.g. a campaign target key plus pass number), so parallel workers
+// can give every unit of work its own independent randomness stream while
+// the whole run stays reproducible.
+func DeriveSeed(seed int64, label string) int64 {
+	return int64(splitmix(uint64(seed) ^ hashString(label)))
+}
+
 // ---- Impairment profiles ----
 
 // uniformLoss drops packets i.i.d. at a fixed rate.
@@ -258,6 +332,8 @@ func UniformLoss(rate float64) Impairment { return &uniformLoss{rate: rate} }
 func (u *uniformLoss) Apply(_ time.Duration, rng *rand.Rand) Outcome {
 	return Outcome{Drop: u.rate > 0 && rng.Float64() < u.rate}
 }
+
+func (u *uniformLoss) Clone() Impairment { cp := *u; return &cp }
 
 func (u *uniformLoss) String() string { return fmt.Sprintf("uniform-loss(%.3f)", u.rate) }
 
@@ -297,6 +373,12 @@ func (g *gilbertElliott) Apply(_ time.Duration, rng *rand.Rand) Outcome {
 	return Outcome{Drop: rate > 0 && rng.Float64() < rate}
 }
 
+func (g *gilbertElliott) Clone() Impairment {
+	cp := *g
+	cp.bad = false // pristine: the chain starts Good
+	return &cp
+}
+
 func (g *gilbertElliott) String() string {
 	return fmt.Sprintf("gilbert-elliott(p_gb=%.3f p_bg=%.3f loss=%.3f/%.3f)",
 		g.pGoodToBad, g.pBadToGood, g.lossGood, g.lossBad)
@@ -314,6 +396,8 @@ func (b *blackhole) Apply(now time.Duration, _ *rand.Rand) Outcome {
 	return Outcome{Drop: now >= b.from && now < b.to}
 }
 
+func (b *blackhole) Clone() Impairment { cp := *b; return &cp }
+
 func (b *blackhole) String() string { return fmt.Sprintf("blackhole[%s,%s)", b.from, b.to) }
 
 // duplication duplicates packets i.i.d. at a fixed rate.
@@ -327,6 +411,8 @@ func Duplication(rate float64) Impairment { return &duplication{rate: rate} }
 func (d *duplication) Apply(_ time.Duration, rng *rand.Rand) Outcome {
 	return Outcome{Duplicate: d.rate > 0 && rng.Float64() < d.rate}
 }
+
+func (d *duplication) Clone() Impairment { cp := *d; return &cp }
 
 func (d *duplication) String() string { return fmt.Sprintf("duplication(%.3f)", d.rate) }
 

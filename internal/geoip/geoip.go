@@ -38,6 +38,20 @@ func (r *Registry) Add(prefix netip.Prefix, info Info) {
 	r.sorted = false
 }
 
+// Freeze sorts the registry eagerly so that later Lookups are pure reads.
+// Lookup normally sorts lazily on first use, which is a data race when one
+// registry is shared by parallel measurement workers; freezing before the
+// fan-out (simnet.Network.Clone does this) makes sharing safe as long as no
+// further Add calls follow.
+func (r *Registry) Freeze() {
+	if !r.sorted {
+		sort.SliceStable(r.entries, func(i, j int) bool {
+			return r.entries[i].prefix.Bits() > r.entries[j].prefix.Bits()
+		})
+		r.sorted = true
+	}
+}
+
 // Lookup returns the metadata for the longest matching prefix.
 func (r *Registry) Lookup(addr netip.Addr) (Info, bool) {
 	if !r.sorted {

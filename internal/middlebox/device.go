@@ -489,6 +489,50 @@ func (d *Device) buildInjections(trigger *netem.Packet, endpoint netip.Addr) []*
 	}
 }
 
+// Clone returns a deep copy of the device: configuration (rule lists,
+// parser quirks, injection profile, service banners) and runtime flow state
+// (residual windows, injection counters, reassembly buffers) are all
+// copied, so mutating either device never shows through on the other.
+// Parallel measurement workers clone the whole network, device included,
+// to get private flow-tracking state.
+func (d *Device) Clone() *Device {
+	c := *d
+	c.Rules.Domains = append([]string(nil), d.Rules.Domains...)
+	c.Quirks.HTTP.MethodAllowlist = append([]string(nil), d.Quirks.HTTP.MethodAllowlist...)
+	if d.Quirks.TLS.RequireKnownSuite != nil {
+		c.Quirks.TLS.RequireKnownSuite = make(map[uint16]bool, len(d.Quirks.TLS.RequireKnownSuite))
+		for k, v := range d.Quirks.TLS.RequireKnownSuite {
+			c.Quirks.TLS.RequireKnownSuite[k] = v
+		}
+	}
+	c.Inject.Options = append([]netem.TCPOption(nil), d.Inject.Options...)
+	if d.Services != nil {
+		c.Services = make(map[int]string, len(d.Services))
+		for port, banner := range d.Services {
+			c.Services[port] = banner
+		}
+	}
+	if d.residual != nil {
+		c.residual = make(map[hostPair]time.Duration, len(d.residual))
+		for k, v := range d.residual {
+			c.residual[k] = v
+		}
+	}
+	if d.injects != nil {
+		c.injects = make(map[flowKey]int, len(d.injects))
+		for k, v := range d.injects {
+			c.injects[k] = v
+		}
+	}
+	if d.streams != nil {
+		c.streams = make(map[flowKey][]byte, len(d.streams))
+		for k, v := range d.streams {
+			c.streams[k] = append([]byte(nil), v...)
+		}
+	}
+	return &c
+}
+
 // ResetState clears stateful tracking (between independent measurements).
 func (d *Device) ResetState() {
 	d.residual = nil

@@ -1,0 +1,54 @@
+// Package parallel is the minimal worker-pool primitive under the
+// measurement tools' parallel fan-out. Work items are distributed to a
+// fixed set of workers via an atomic counter, so each worker can own
+// per-worker state (a private network clone) while items are claimed
+// dynamically — the fast workers absorb the slow items, and the caller
+// indexes results by item, keeping output deterministic regardless of
+// worker count or scheduling.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(worker, index) for every index in [0, n), using at most
+// `workers` concurrent goroutines (clamped to [1, n]). The worker argument
+// identifies which of the goroutines is running the call — stable per
+// goroutine, in [0, workers) — so callers can give each worker exclusive
+// resources. ForEach returns when every call has finished. Panics inside
+// fn propagate to the caller's goroutine only if fn does not recover;
+// callers that need a panic barrier install their own recover inside fn.
+func ForEach(n, workers int, fn func(worker, index int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

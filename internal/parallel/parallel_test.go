@@ -1,0 +1,55 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(_, i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsExclusive(t *testing.T) {
+	const n, workers = 200, 4
+	// Each worker id must never run two calls concurrently: that is the
+	// contract that lets callers give workers exclusive network clones.
+	var active [workers]atomic.Int32
+	ForEach(n, workers, func(w, _ int) {
+		if active[w].Add(1) != 1 {
+			t.Errorf("worker %d entered concurrently", w)
+		}
+		active[w].Add(-1)
+	})
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(_, _ int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n=0")
+	}
+}
+
+func TestForEachSerialWhenOneWorker(t *testing.T) {
+	order := make([]int, 0, 10)
+	ForEach(10, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("worker id %d with one worker", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}

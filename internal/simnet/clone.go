@@ -1,0 +1,94 @@
+package simnet
+
+import (
+	"net/netip"
+	"time"
+
+	"cendev/internal/middlebox"
+	"cendev/internal/topology"
+)
+
+// Clone returns an independent copy of the network for a parallel
+// measurement worker. The topology graph, every attached device (with its
+// flow state), and the fault engine are deep-copied; immutable
+// configuration — endpoint servers, resolvers, and the geo registry — is
+// shared, with the registry frozen first so concurrent lookups are pure
+// reads. Clones must be created serially (Clone mutates the shared
+// registry via Freeze) before goroutines fan out; after that, each clone
+// is free to run without synchronization.
+func (n *Network) Clone() *Network {
+	n.Geo.Freeze()
+
+	c := &Network{
+		Graph:         n.Graph.Clone(),
+		Geo:           n.Geo,
+		clock:         n.clock,
+		linkDevices:   make(map[topology.LinkID][]*middlebox.Device, len(n.linkDevices)),
+		guards:        make(map[string]*middlebox.Device, len(n.guards)),
+		servers:       n.servers,
+		resolvers:     n.resolvers,
+		hostsByAddr:   make(map[netip.Addr]*topology.Host, len(n.hostsByAddr)),
+		devicesByAddr: make(map[netip.Addr]*middlebox.Device, len(n.devicesByAddr)),
+		captures:      make(map[string]*Capture),
+		nextPort:      n.nextPort,
+	}
+
+	// Clone devices once, in registration order, then rebuild every index
+	// through the alias map so a device attached at several points stays a
+	// single object in the clone too.
+	alias := make(map[*middlebox.Device]*middlebox.Device, len(n.devices))
+	c.devices = make([]*middlebox.Device, 0, len(n.devices))
+	for _, d := range n.devices {
+		cp := d.Clone()
+		alias[d] = cp
+		c.devices = append(c.devices, cp)
+	}
+	for id, devs := range n.linkDevices {
+		cps := make([]*middlebox.Device, 0, len(devs))
+		for _, d := range devs {
+			cps = append(cps, alias[d])
+		}
+		c.linkDevices[id] = cps
+	}
+	for hostID, d := range n.guards {
+		c.guards[hostID] = alias[d]
+	}
+	for addr, d := range n.devicesByAddr {
+		c.devicesByAddr[addr] = alias[d]
+	}
+
+	// Index hosts from the cloned graph so walk code that resolves an
+	// address to a host never reaches back into the original's topology.
+	for _, h := range c.Graph.Hosts() {
+		c.hostsByAddr[h.Addr] = h
+	}
+
+	if len(n.httpStreams) > 0 {
+		c.httpStreams = make(map[string][]byte, len(n.httpStreams))
+		for k, v := range n.httpStreams {
+			c.httpStreams[k] = append([]byte(nil), v...)
+		}
+	}
+
+	if n.faults != nil {
+		c.faults = n.faults.Clone()
+	}
+	return c
+}
+
+// BeginMeasurement rewinds the network to a canonical per-target state:
+// device flow tracking cleared, HTTP reassembly buffers dropped, the
+// virtual clock set to the pass start, and the ephemeral port sequence
+// reset. Workers call this before each target so results are independent
+// of which worker — and in which order — measured it.
+func (n *Network) BeginMeasurement(clock time.Duration, port uint16) {
+	n.ResetDeviceState()
+	n.httpStreams = nil
+	n.clock = clock
+	n.nextPort = port
+}
+
+// PortSeq returns the next ephemeral port AllocPort would hand out,
+// without consuming it — the canonical port-sequence origin clones reset
+// to via BeginMeasurement.
+func (n *Network) PortSeq() uint16 { return n.nextPort }

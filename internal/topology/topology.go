@@ -204,6 +204,54 @@ func (g *Graph) ASes() []*AS {
 	return out
 }
 
+// Clone returns a deep copy of the graph: independent AS, router, and host
+// records (router behaviour pointers like RewriteTOS get their own storage),
+// an independent adjacency map, and a fresh distance cache. Clones exist so
+// parallel measurement workers can each own a private graph — the distance
+// cache is a lazily filled memo, which makes a shared Graph unsafe for
+// concurrent path computation.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		ases:    make(map[uint32]*AS, len(g.ases)),
+		routers: make(map[string]*Router, len(g.routers)),
+		hosts:   make(map[string]*Host, len(g.hosts)),
+		adj:     make(map[string][]string, len(g.adj)),
+		addrSeq: make(map[uint32]int, len(g.addrSeq)),
+	}
+	for asn, a := range g.ases {
+		cp := *a
+		c.ases[asn] = &cp
+	}
+	for asn, seq := range g.addrSeq {
+		c.addrSeq[asn] = seq
+	}
+	for id, r := range g.routers {
+		cp := *r
+		cp.AS = c.ases[r.AS.ASN]
+		if r.RewriteTOS != nil {
+			v := *r.RewriteTOS
+			cp.RewriteTOS = &v
+		}
+		if r.SetIPFlags != nil {
+			v := *r.SetIPFlags
+			cp.SetIPFlags = &v
+		}
+		c.routers[id] = &cp
+	}
+	for id, h := range g.hosts {
+		cp := *h
+		cp.AS = c.ases[h.AS.ASN]
+		if h.Router != nil {
+			cp.Router = c.routers[h.Router.ID]
+		}
+		c.hosts[id] = &cp
+	}
+	for id, neighbors := range g.adj {
+		c.adj[id] = append([]string(nil), neighbors...)
+	}
+	return c
+}
+
 // distancesTo runs BFS from the destination router and returns hop
 // distances for every router that can reach it. Results are memoized
 // until the graph changes.
