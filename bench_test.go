@@ -22,6 +22,7 @@ import (
 	"cendev/internal/features"
 	"cendev/internal/middlebox"
 	"cendev/internal/ml"
+	"cendev/internal/obs"
 	"cendev/internal/simnet"
 	"cendev/internal/topology"
 )
@@ -117,6 +118,57 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(len(targets)), "targets")
 			b.ReportMetric(float64(blocked), "blocked")
+		})
+	}
+}
+
+// BenchmarkCampaignObs measures the cost of the observability layer on the
+// hottest path: the same campaign as BenchmarkCampaignParallel at a fixed
+// worker count, with metrics+tracing off versus fully on (registry wired
+// into the network, fault engine, pool, prober, and campaign, plus a span
+// per target/pass/probe). ci.sh records this family to BENCH_obs.json; the
+// enabled run must stay within a few percent of the disabled one.
+func BenchmarkCampaignObs(b *testing.B) {
+	world := experiments.BuildWorld()
+	var targets []centrace.Target
+	for _, e := range world.EndpointsIn("KZ") {
+		for _, domain := range experiments.TestDomainsFor("KZ") {
+			targets = append(targets, centrace.Target{
+				Endpoint: e.Host, Domain: domain, Protocol: centrace.HTTP, Label: "KZ",
+			})
+		}
+	}
+	const workers = 4
+	for _, enabled := range []bool{false, true} {
+		name := map[bool]string{false: "obs=off", true: "obs=on"}[enabled]
+		b.Run(name, func(b *testing.B) {
+			spans := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var reg *obs.Registry
+				var tr *obs.Tracer
+				if enabled {
+					reg = obs.NewRegistry()
+					tr = obs.NewTracer()
+				}
+				world.Net.SetObs(reg)
+				(&centrace.Campaign{
+					Net:    world.Net,
+					Client: world.USClient,
+					Base: centrace.Config{
+						ControlDomain: experiments.ControlDomain,
+						Repetitions:   3,
+						Obs:           reg,
+						Tracer:        tr,
+					},
+					Workers: workers,
+				}).Run(targets)
+				spans = tr.SpanCount()
+			}
+			b.StopTimer()
+			world.Net.SetObs(nil)
+			b.ReportMetric(float64(len(targets)), "targets")
+			b.ReportMetric(float64(spans), "spans")
 		})
 	}
 }

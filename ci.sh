@@ -21,6 +21,22 @@ go test -run '^$' -bench 'BenchmarkCampaignParallel' -benchtime 1x -json . > BEN
 go run ./cmd/centrace -all -workers 4 > /dev/null
 echo "==> parallel campaign smoke (-workers=4) ok"
 
+# Observability: vet the obs package, benchmark the instrumented campaign
+# against the uninstrumented one (BENCH_obs.json; the enabled run should
+# stay within a few percent), and smoke a real campaign with metrics and
+# trace emission, asserting the core series actually recorded work.
+echo "==> go vet ./internal/obs/"
+go vet ./internal/obs/
+echo "==> obs overhead benchmarks -> BENCH_obs.json"
+go test -run '^$' -bench 'BenchmarkCampaignObs' -benchtime 20x -json . > BENCH_obs.json
+echo "==> obs smoke (-metrics-out/-trace-out)"
+go run ./cmd/centrace -all -workers 4 -metrics-out /tmp/ci_obs_metrics.json -trace-out /tmp/ci_obs_trace.json > /dev/null
+jq -e '.metrics | length > 0' /tmp/ci_obs_metrics.json > /dev/null
+jq -e '[.metrics[] | select(.name == "centrace_targets_total") | .value] | add > 0' /tmp/ci_obs_metrics.json > /dev/null
+jq -e '[.metrics[] | select(.name == "simnet_packets_forwarded_total") | .value] | add > 0' /tmp/ci_obs_metrics.json > /dev/null
+jq -e '.spans | length > 0' /tmp/ci_obs_trace.json > /dev/null
+echo "==> obs smoke ok"
+
 # Short fuzz smoke: a few seconds per parser target, enough to catch
 # regressions in the grammar/codec round-trips without holding CI hostage.
 FUZZTIME="${FUZZTIME:-5s}"

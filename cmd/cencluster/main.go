@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cendev/internal/experiments"
+	"cendev/internal/obs"
 )
 
 func main() {
@@ -21,16 +23,27 @@ func main() {
 	minpts := flag.Int("minpts", 2, "DBSCAN minimum cluster size")
 	eps := flag.Float64("eps", 0, "DBSCAN epsilon override (0 = k-distance estimate)")
 	reps := flag.Int("reps", 3, "CenTrace repetitions")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the measurement study and feature extraction")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	fmt.Fprintln(os.Stderr, "running measurement study (traces + banners + fuzzing)...")
-	c := experiments.BuildCorpus(experiments.CorpusConfig{Repetitions: *reps})
+	c := experiments.BuildCorpus(experiments.CorpusConfig{
+		Repetitions: *reps,
+		Workers:     *workers,
+		Obs:         obsFlags.Registry(),
+		Tracer:      obsFlags.Tracer(),
+	})
 	fmt.Fprintf(os.Stderr, "observations: %d fuzzed blocked endpoints\n\n", len(c.Observations()))
 
 	fmt.Println(experiments.RenderFig9(c))
 	res := experiments.Fig6(c, experiments.Fig6Config{
-		TopK: *topk, MinPts: *minpts, EpsilonOverride: *eps,
+		TopK: *topk, MinPts: *minpts, EpsilonOverride: *eps, Workers: *workers,
 	})
 	fmt.Println(experiments.RenderFig6(res))
 	fmt.Println(experiments.RenderCorrelations(experiments.VendorCorrelations(c)))
+	if err := obsFlags.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

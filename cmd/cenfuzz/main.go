@@ -17,6 +17,7 @@ import (
 
 	"cendev/internal/cenfuzz"
 	"cendev/internal/experiments"
+	"cendev/internal/obs"
 	"cendev/internal/topology"
 )
 
@@ -30,9 +31,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	extensions := flag.Bool("ext", false, "also run the extension strategies (segmentation, TLS record split)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel strategy workers")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	world := experiments.BuildWorld()
+	world.Net.SetObs(obsFlags.Registry())
 	client := world.USClient
 	if *clientID != "us" {
 		client = world.InCountryClients[*clientID]
@@ -79,8 +82,16 @@ func main() {
 		TestDomain:    *domain,
 		ControlDomain: *control,
 		Workers:       *workers,
+		Obs:           obsFlags.Registry(),
+		Tracer:        obsFlags.Tracer(),
 	})
 	res := fz.Run(strategies)
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	if *jsonOut {
 		emitJSON(client.ID, endpoint.ID, res)

@@ -18,27 +18,41 @@ import (
 
 	"cendev/internal/cenprobe"
 	"cendev/internal/experiments"
+	"cendev/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "", "probe a single address instead of running discovery")
 	reps := flag.Int("reps", 3, "CenTrace repetitions during discovery")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for discovery and banner grabs")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	if *addr != "" {
 		world := experiments.BuildWorld()
+		world.Net.SetObs(obsFlags.Registry())
 		a, err := netip.ParseAddr(*addr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bad address %q: %v\n", *addr, err)
 			os.Exit(2)
 		}
-		printResult(cenprobe.Probe(world.Net, a))
+		for _, r := range cenprobe.ProbeAllOpt(world.Net, []netip.Addr{a}, cenprobe.Opts{Tracer: obsFlags.Tracer()}) {
+			printResult(r)
+		}
 		return
 	}
 
 	fmt.Fprintln(os.Stderr, "running CenTrace discovery for potential device IPs...")
-	c := experiments.BuildCorpus(experiments.CorpusConfig{Repetitions: *reps, SkipFuzz: true, Workers: *workers})
+	c := experiments.BuildCorpus(experiments.CorpusConfig{
+		Repetitions: *reps, SkipFuzz: true, Workers: *workers,
+		Obs: obsFlags.Registry(), Tracer: obsFlags.Tracer(),
+	})
 	fmt.Fprintf(os.Stderr, "found %d potential device IPs\n\n", len(c.PotentialDeviceIPs))
 	for _, a := range c.PotentialDeviceIPs {
 		printResult(c.Probes[a])

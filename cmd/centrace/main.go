@@ -22,6 +22,7 @@ import (
 	"cendev/internal/centrace"
 	"cendev/internal/experiments"
 	"cendev/internal/faults"
+	"cendev/internal/obs"
 	"cendev/internal/topology"
 )
 
@@ -47,9 +48,11 @@ func main() {
 	icmpSilent := flag.String("icmp-silent", "", "comma-separated router IDs that never send ICMP")
 	icmpLimit := flag.String("icmp-limit", "", "ICMP token bucket as router:burst:perSecond")
 	flap := flag.String("flap", "", "route flap as router:periodSec")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	world := experiments.BuildWorld()
+	world.Net.SetObs(obsFlags.Registry())
 	if eng := buildEngine(*faultSeed, *loss, *burstLoss, *dup, *blackhole, *icmpSilent, *icmpLimit, *flap); eng != nil {
 		world.Net.SetFaults(eng)
 	}
@@ -79,7 +82,8 @@ func main() {
 	}
 
 	if *all {
-		runCampaign(world, client, *control, *reps, *workers, *retries)
+		runCampaign(world, client, *control, *reps, *workers, *retries, obsFlags)
+		finishObs(obsFlags)
 		return
 	}
 
@@ -107,7 +111,10 @@ func main() {
 		TestDomain:    *domain,
 		Protocol:      p,
 		Repetitions:   *reps,
+		Obs:           obsFlags.Registry(),
+		Tracer:        obsFlags.Tracer(),
 	}).Run()
+	defer finishObs(obsFlags)
 
 	if *jsonOut {
 		emitJSON(world, client, endpoint, res)
@@ -160,7 +167,16 @@ func main() {
 // runCampaign measures every endpoint × test domain × protocol from the
 // chosen vantage point across the worker pool and prints a per-country
 // summary — the §4.2 collection pattern at CLI scale.
-func runCampaign(world *experiments.Scenario, client *topology.Host, control string, reps, workers, retries int) {
+// finishObs writes the requested observability artifacts, dying loudly on
+// I/O failure so a broken -metrics-out path is not silently ignored.
+func finishObs(f *obs.CLIFlags) {
+	if err := f.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runCampaign(world *experiments.Scenario, client *topology.Host, control string, reps, workers, retries int, obsFlags *obs.CLIFlags) {
 	var targets []centrace.Target
 	for _, e := range world.Endpoints {
 		for _, domain := range experiments.TestDomainsFor(e.Country) {
@@ -177,6 +193,8 @@ func runCampaign(world *experiments.Scenario, client *topology.Host, control str
 		Base: centrace.Config{
 			ControlDomain: control,
 			Repetitions:   reps,
+			Obs:           obsFlags.Registry(),
+			Tracer:        obsFlags.Tracer(),
 		},
 		Workers:           workers,
 		RetryFailedPasses: retries,

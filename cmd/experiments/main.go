@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"cendev/internal/experiments"
+	"cendev/internal/obs"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	maxFuzz := flag.Int("maxfuzz", 12, "max fuzzed devices per country")
 	format := flag.String("format", "ascii", "path-graph format for fig1/fig10-12 (ascii|dot)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel measurement workers")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	needsFuzz := map[string]bool{
@@ -41,6 +43,8 @@ func main() {
 		MaxFuzzEndpointsPerCountry: *maxFuzz,
 		SkipFuzz:                   !needsFuzz[*exp],
 		Workers:                    *workers,
+		Obs:                        obsFlags.Registry(),
+		Tracer:                     obsFlags.Tracer(),
 	}
 	if *exp == "table2" || *exp == "table3" {
 		// Catalog-only experiments need no measurements.
@@ -51,6 +55,12 @@ func main() {
 	c := experiments.BuildCorpus(cfg)
 	fmt.Fprintf(os.Stderr, "done: %d traces, %d device IPs, %d fuzzed endpoints\n\n",
 		len(c.Traces), len(c.PotentialDeviceIPs), len(c.Fuzz))
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	run := func(id string) {
 		switch id {

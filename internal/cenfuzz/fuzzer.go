@@ -9,6 +9,7 @@ import (
 	"cendev/internal/faults"
 	"cendev/internal/httpgram"
 	"cendev/internal/netem"
+	"cendev/internal/obs"
 	"cendev/internal/parallel"
 	"cendev/internal/simnet"
 	"cendev/internal/tlsgram"
@@ -65,6 +66,16 @@ type Config struct {
 	// measured from the same canonical post-baseline state, so results are
 	// identical for every worker count. Values below 1 mean one worker.
 	Workers int
+	// Obs, when non-nil, receives measurement-outcome, retry, and
+	// permutation-verdict counters. The recorded series are deterministic
+	// for a given scenario and seed at any worker count.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records run/strategy spans stamped with the
+	// network's virtual clock.
+	Tracer *obs.Tracer
+	// Parent, when non-nil, is the span Run nests under (ignored without a
+	// Tracer).
+	Parent *obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -86,11 +97,62 @@ type Fuzzer struct {
 	Client   *topology.Host
 	Endpoint *topology.Host
 	Config   Config
+	// m holds the pre-resolved metric handles, shared with the per-worker
+	// sub-fuzzers Run derives. Nil when Config.Obs is nil (the no-op path).
+	m *fuzzerMetrics
+}
+
+// fuzzerMetrics are the fuzzing series, resolved once per Fuzzer so the
+// per-permutation loop never takes the registry lock.
+type fuzzerMetrics struct {
+	outcomes [5]*obs.Counter         // cenfuzz_measurements_total{outcome}
+	retries  *obs.Counter            // cenfuzz_retries_total
+	perms    map[string]*obs.Counter // cenfuzz_perms_total{verdict}
+}
+
+// measured accounts one finished measurement; retried counts its extra
+// attempts. Nil-safe.
+func (m *fuzzerMetrics) measured(o Outcome, retried int) {
+	if m == nil {
+		return
+	}
+	m.outcomes[o].Inc()
+	m.retries.Add(int64(retried))
+}
+
+// permDone accounts one permutation verdict. Nil-safe.
+func (m *fuzzerMetrics) permDone(pr PermResult) {
+	if m == nil {
+		return
+	}
+	switch {
+	case !pr.Valid:
+		m.perms["invalid"].Inc()
+	case pr.Circumvented:
+		m.perms["circumvented"].Inc()
+	case pr.Evaded:
+		m.perms["evaded"].Inc()
+	default:
+		m.perms["no-evasion"].Inc()
+	}
 }
 
 // New returns a Fuzzer with defaulted configuration.
 func New(net *simnet.Network, client, ep *topology.Host, cfg Config) *Fuzzer {
-	return &Fuzzer{Net: net, Client: client, Endpoint: ep, Config: cfg.withDefaults()}
+	f := &Fuzzer{Net: net, Client: client, Endpoint: ep, Config: cfg.withDefaults()}
+	if r := f.Config.Obs; r != nil {
+		f.m = &fuzzerMetrics{
+			retries: r.Counter("cenfuzz_retries_total"),
+			perms:   make(map[string]*obs.Counter, 4),
+		}
+		for o := OutcomeOK; o <= OutcomeBlockedPage; o++ {
+			f.m.outcomes[o] = r.Counter("cenfuzz_measurements_total", obs.L("outcome", o.String()))
+		}
+		for _, v := range []string{"invalid", "circumvented", "evaded", "no-evasion"} {
+			f.m.perms[v] = r.Counter("cenfuzz_perms_total", obs.L("verdict", v))
+		}
+	}
+	return f
 }
 
 // Measurement is one raw request/response observation.
@@ -165,13 +227,16 @@ func (f *Fuzzer) Measure(payload []byte, port uint16) Measurement {
 // extension strategy).
 func (f *Fuzzer) MeasureSegments(segments [][]byte, port uint16) Measurement {
 	var m Measurement
+	attempts := 0
 	for attempt := 0; attempt <= f.Config.Retries; attempt++ {
+		attempts++
 		m = f.measureOnce(segments, port)
 		if m.Outcome != OutcomeBlockedDrop {
 			break
 		}
 		f.Net.Sleep(f.Config.WaitBlocked) // wait out stateful blocking before retrying
 	}
+	f.m.measured(m.Outcome, attempts-1)
 	if m.Outcome.Blocked() {
 		f.Net.Sleep(f.Config.WaitBlocked)
 	} else {
@@ -296,6 +361,13 @@ func (f *Fuzzer) Run(strategies []Strategy) *Result {
 		NormalBlocked: make(map[Proto]bool),
 	}
 
+	var root *obs.Span
+	if f.Config.Parent != nil {
+		root = f.Config.Parent.StartChild("cenfuzz.run", f.Net.Now(), obs.L("test", f.Config.TestDomain))
+	} else {
+		root = f.Config.Tracer.Start("cenfuzz.run", f.Net.Now(), obs.L("test", f.Config.TestDomain))
+	}
+
 	basePort := f.Net.PortSeq()
 	baseFaults := f.Net.Faults()
 
@@ -303,7 +375,7 @@ func (f *Fuzzer) Run(strategies []Strategy) *Result {
 	// current state — the canonical prefix every strategy measurement
 	// descends from.
 	baseNet := f.Net.Clone()
-	baseFuzzer := &Fuzzer{Net: baseNet, Client: f.Client, Endpoint: f.Endpoint, Config: f.Config}
+	baseFuzzer := &Fuzzer{Net: baseNet, Client: f.Client, Endpoint: f.Endpoint, Config: f.Config, m: f.m}
 	baseline := map[Proto]Measurement{}
 	for _, proto := range []Proto{ProtoHTTP, ProtoTLS} {
 		normal := normalPayload(proto, f.Config.TestDomain)
@@ -328,15 +400,16 @@ func (f *Fuzzer) Run(strategies []Strategy) *Result {
 	results := make([]StrategyResult, len(strategies))
 	counts := make([]int, len(strategies))
 	ends := make([]time.Duration, len(strategies))
-	parallel.ForEach(len(strategies), workers, func(w, i int) {
+	parallel.ForEachOpt(len(strategies), workers, parallel.Options{Pool: "cenfuzz.strategies", Obs: f.Config.Obs}, func(w, i int) {
 		st := strategies[i]
 		n := nets[w]
+		span := root.StartChild("cenfuzz.strategy", postBaseline, obs.L("strategy", st.Name))
 		n.BeginMeasurement(postBaseline, basePort)
 		if baseFaults != nil {
 			seed := faults.DeriveSeed(baseFaults.Seed(), "cenfuzz|"+st.Name)
 			n.SetFaults(baseFaults.CloneSeeded(seed))
 		}
-		sf := &Fuzzer{Net: n, Client: f.Client, Endpoint: f.Endpoint, Config: f.Config}
+		sf := &Fuzzer{Net: n, Client: f.Client, Endpoint: f.Endpoint, Config: f.Config, m: f.m}
 		sr := StrategyResult{Name: st.Name, Category: st.Category, Proto: st.Proto}
 		normalBlocked := baseline[st.Proto].Outcome.Blocked()
 		for _, perm := range st.Perms() {
@@ -349,10 +422,12 @@ func (f *Fuzzer) Run(strategies []Strategy) *Result {
 				pr.Evaded = true
 				pr.Circumvented = pr.Test.ServedContent
 			}
+			f.m.permDone(pr)
 			sr.Perms = append(sr.Perms, pr)
 		}
 		results[i] = sr
 		ends[i] = n.Now()
+		span.End(n.Now())
 	})
 	res.Strategies = results
 	maxEnd := postBaseline
@@ -365,6 +440,7 @@ func (f *Fuzzer) Run(strategies []Strategy) *Result {
 	if d := maxEnd - f.Net.Now(); d > 0 {
 		f.Net.Sleep(d)
 	}
+	root.End(maxEnd)
 	return res
 }
 

@@ -9,8 +9,10 @@ import (
 	"net/netip"
 	"regexp"
 	"sort"
+	"strconv"
 
 	"cendev/internal/middlebox"
+	"cendev/internal/obs"
 	"cendev/internal/parallel"
 	"cendev/internal/simnet"
 )
@@ -134,6 +136,14 @@ func Probe(n *simnet.Network, addr netip.Addr) *Result {
 	}
 	res.Vendor, res.FingerprintID = matchVendor(res.Banners)
 	res.Personality, res.HasPersonality = n.ProbeTCPPersonality(addr)
+	if r := n.Obs(); r != nil {
+		r.Counter("cenprobe_probes_total").Inc()
+		r.Counter("cenprobe_open_ports_total").Add(int64(len(res.OpenPorts)))
+		r.Counter("cenprobe_banners_total").Add(int64(len(res.Banners)))
+		if res.Vendor != "" {
+			r.Counter("cenprobe_vendor_matches_total", obs.L("vendor", res.Vendor)).Inc()
+		}
+	}
 	return res
 }
 
@@ -162,12 +172,43 @@ func ProbeAll(n *simnet.Network, addrs []netip.Addr) []*Result {
 // network directly, no clones needed, and results are identical at every
 // worker count.
 func ProbeAllParallel(n *simnet.Network, addrs []netip.Addr, workers int) []*Result {
+	return ProbeAllOpt(n, addrs, Opts{Workers: workers})
+}
+
+// Opts parameterizes ProbeAllOpt.
+type Opts struct {
+	// Workers is the parallel probe worker count; values below 1 mean one.
+	Workers int
+	// Tracer, when non-nil, records a scan span with one child per address,
+	// stamped with the network's virtual clock.
+	Tracer *obs.Tracer
+	// Parent, when non-nil, is the span the scan nests under (ignored
+	// without a Tracer).
+	Parent *obs.Span
+}
+
+// ProbeAllOpt is ProbeAllParallel with span recording. Metric counters come
+// from the network's installed registry (simnet.Network.SetObs) — probes
+// are pure reads, so one shared registry serves every worker.
+func ProbeAllOpt(n *simnet.Network, addrs []netip.Addr, o Opts) []*Result {
 	sorted := append([]netip.Addr(nil), addrs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	var root *obs.Span
+	if o.Parent != nil {
+		root = o.Parent.StartChild("cenprobe.scan", n.Now(), obs.L("addrs", strconv.Itoa(len(sorted))))
+	} else {
+		root = o.Tracer.Start("cenprobe.scan", n.Now(), obs.L("addrs", strconv.Itoa(len(sorted))))
+	}
 	out := make([]*Result, len(sorted))
-	parallel.ForEach(len(sorted), workers, func(_, i int) {
+	parallel.ForEachOpt(len(sorted), o.Workers, parallel.Options{Pool: "cenprobe.probes", Obs: n.Obs()}, func(_, i int) {
+		span := root.StartChild("cenprobe.probe", n.Now(), obs.L("addr", sorted[i].String()))
 		out[i] = Probe(n, sorted[i])
+		if v := out[i].Vendor; v != "" {
+			span.SetAttr("vendor", v)
+		}
+		span.End(n.Now())
 	})
+	root.End(n.Now())
 	return out
 }
 

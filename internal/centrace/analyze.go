@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strconv"
 
 	"cendev/internal/blockpage"
 	"cendev/internal/geoip"
 	"cendev/internal/netem"
+	"cendev/internal/obs"
 )
 
 // Aggregate combines the repeated traceroutes for one domain into hop
@@ -64,13 +66,15 @@ func (a *Aggregate) terminatingObs() []*ProbeObs {
 }
 
 // aggregate runs Repetitions traceroutes for one domain.
-func (p *Prober) aggregate(domain string) *Aggregate {
+func (p *Prober) aggregate(domain string, parent *obs.Span) *Aggregate {
+	span := parent.StartChild("centrace.aggregate", p.Net.Now(), obs.L("domain", domain))
+	defer func() { span.End(p.Net.Now()) }()
 	a := &Aggregate{Domain: domain, HopDist: make(map[int]map[netip.Addr]int)}
 	termTTLCount := map[int]int{}
 	termKindCount := map[ResponseKind]int{}
 	endpointTTLCount := map[int]int{}
 	for rep := 0; rep < p.Config.Repetitions; rep++ {
-		tr := p.trace(domain)
+		tr := p.trace(domain, span)
 		a.Traces = append(a.Traces, tr)
 		for _, obs := range tr.Obs {
 			if obs.Kind == KindICMP {
@@ -255,16 +259,21 @@ type Result struct {
 // Control Domain CenTrace probes first and then immediately perform the
 // Test Domain CenTrace probes").
 func (p *Prober) Run() *Result {
+	span := p.startSpan("centrace.measure",
+		obs.L("test", p.Config.TestDomain),
+		obs.L("protocol", p.Config.Protocol.String()))
 	res := &Result{
 		Config:   p.Config,
 		Client:   p.Client.Addr,
 		Endpoint: p.Endpoint.Addr,
 	}
-	res.Control = p.aggregate(p.Config.ControlDomain)
-	res.Test = p.aggregate(p.Config.TestDomain)
+	res.Control = p.aggregate(p.Config.ControlDomain, span)
+	res.Test = p.aggregate(p.Config.TestDomain, span)
 	res.EndpointTTL = res.Control.EndpointTTL
 	res.Valid = res.EndpointTTL > 0
 	p.infer(res)
+	span.SetAttr("blocked", strconv.FormatBool(res.Blocked))
+	span.End(p.Net.Now())
 	return res
 }
 

@@ -13,7 +13,7 @@ func TestTraceNeverTerminates(t *testing.T) {
 	c := cfg()
 	c.MaxTTL = 3 // endpoint sits at TTL 5; every probe elicits ICMP
 	p := New(n, client, server, c)
-	tr := p.trace(controlDomain)
+	tr := p.trace(controlDomain, nil)
 	if tr.TermIdx != -1 {
 		t.Fatalf("TermIdx = %d, want -1 (sweep ended on ICMP)", tr.TermIdx)
 	}

@@ -2,10 +2,12 @@ package centrace
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"cendev/internal/faults"
+	"cendev/internal/obs"
 	"cendev/internal/parallel"
 	"cendev/internal/simnet"
 	"cendev/internal/topology"
@@ -99,11 +101,20 @@ func (c *Campaign) Run(targets []Target) []CampaignResult {
 	out := make([]CampaignResult, len(targets))
 	done := make([]bool, len(targets))
 	completed := 0
+	cm := newCampaignMetrics(c.Base.Obs)
+	var root *obs.Span
+	if c.Base.Parent != nil {
+		root = c.Base.Parent.StartChild("centrace.campaign", c.Net.Now())
+	} else {
+		root = c.Base.Tracer.Start("centrace.campaign", c.Net.Now())
+	}
+	root.SetAttr("targets", strconv.Itoa(len(targets)))
 	var mu sync.Mutex // guards out/done/completed and serializes Progress
 	resolveLocked := func(i int, cr CampaignResult, fromJournal bool) {
 		out[i] = cr
 		done[i] = true
 		completed++
+		cm.record(cr)
 		if c.Journal != nil && !fromJournal {
 			c.Journal.Record(cr)
 		}
@@ -157,9 +168,10 @@ func (c *Campaign) Run(targets []Target) []CampaignResult {
 		}
 		passStart := startClock
 		passEnd := passStart
-		parallel.ForEach(len(pending), workers, func(w, k int) {
+		passSpan := root.StartChild("centrace.pass", passStart, obs.L("pass", strconv.Itoa(pass)))
+		parallel.ForEachOpt(len(pending), workers, parallel.Options{Pool: "centrace.campaign", Obs: c.Base.Obs}, func(w, k int) {
 			i := pending[k]
-			cr, end := c.measureOn(nets[w], baseFaults, targets[i], pass, passStart, basePort)
+			cr, end := c.measureOn(nets[w], baseFaults, targets[i], pass, passStart, basePort, passSpan)
 			mu.Lock()
 			defer mu.Unlock()
 			if end > passEnd {
@@ -171,6 +183,7 @@ func (c *Campaign) Run(targets []Target) []CampaignResult {
 			}
 			resolveLocked(i, cr, false)
 		})
+		passSpan.End(passEnd)
 		startClock = passEnd
 		if passEnd > maxEnd {
 			maxEnd = passEnd
@@ -181,7 +194,61 @@ func (c *Campaign) Run(targets []Target) []CampaignResult {
 	if d := maxEnd - c.Net.Now(); d > 0 {
 		c.Net.Sleep(d)
 	}
+	root.End(maxEnd)
 	return out
+}
+
+// campaignMetrics are the target-level series a campaign records as each
+// target resolves. The zero value (nil registry) is a no-op.
+type campaignMetrics struct {
+	verdicts   map[string]*obs.Counter // centrace_targets_total{verdict}
+	retries    *obs.Histogram          // centrace_target_retries
+	confidence *obs.Histogram          // centrace_confidence
+}
+
+func newCampaignMetrics(r *obs.Registry) campaignMetrics {
+	var m campaignMetrics
+	if r == nil {
+		return m
+	}
+	m.verdicts = make(map[string]*obs.Counter, 4)
+	for _, v := range []string{"blocked", "clean", "degraded", "failed"} {
+		m.verdicts[v] = r.Counter("centrace_targets_total", obs.L("verdict", v))
+	}
+	m.retries = r.Histogram("centrace_target_retries", obs.CountBuckets)
+	m.confidence = r.Histogram("centrace_confidence", obs.ScoreBuckets)
+	return m
+}
+
+// record accounts one finally-resolved target (provisional failures that a
+// later pass re-measures are not counted).
+func (m campaignMetrics) record(cr CampaignResult) {
+	if m.verdicts == nil {
+		return
+	}
+	switch res := cr.Result; {
+	case cr.Failed():
+		m.verdicts["failed"].Inc()
+	case res.Degraded:
+		m.verdicts["degraded"].Inc()
+	case res.Blocked:
+		m.verdicts["blocked"].Inc()
+	default:
+		m.verdicts["clean"].Inc()
+	}
+	if res := cr.Result; res != nil {
+		retries := 0
+		for _, a := range []*Aggregate{res.Control, res.Test} {
+			if a == nil {
+				continue
+			}
+			for i := range a.Traces {
+				retries += a.Traces[i].Retries
+			}
+		}
+		m.retries.Observe(float64(retries))
+		m.confidence.Observe(res.Confidence.Score)
+	}
 }
 
 // measureOn runs one target on a worker's private network clone behind the
@@ -190,14 +257,17 @@ func (c *Campaign) Run(targets []Target) []CampaignResult {
 // first; when the campaign network carries a fault engine, the clone gets
 // an independent engine seeded from (base seed, target key, pass) so fault
 // realizations are per-target deterministic.
-func (c *Campaign) measureOn(n *simnet.Network, baseFaults *faults.Engine, tgt Target, pass int, startClock time.Duration, basePort uint16) (cr CampaignResult, end time.Duration) {
+func (c *Campaign) measureOn(n *simnet.Network, baseFaults *faults.Engine, tgt Target, pass int, startClock time.Duration, basePort uint16, passSpan *obs.Span) (cr CampaignResult, end time.Duration) {
 	cr.Target = tgt
+	span := passSpan.StartChild("centrace.target", startClock, obs.L("target", tgt.Key()))
 	defer func() {
 		if r := recover(); r != nil {
 			cr.Result = nil
 			cr.Err = fmt.Errorf("centrace: target %s panicked: %v", tgt.Key(), r)
 			end = n.Now()
+			span.SetAttr("panic", "true")
 		}
+		span.End(end)
 	}()
 	n.BeginMeasurement(startClock, basePort)
 	if baseFaults != nil {
@@ -207,6 +277,7 @@ func (c *Campaign) measureOn(n *simnet.Network, baseFaults *faults.Engine, tgt T
 	cfg := c.Base
 	cfg.TestDomain = tgt.Domain
 	cfg.Protocol = tgt.Protocol
+	cfg.Parent = span
 	cr.Result = New(n, c.Client, tgt.Endpoint, cfg).Run()
 	return cr, n.Now()
 }

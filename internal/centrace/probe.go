@@ -13,6 +13,7 @@ import (
 
 	"cendev/internal/httpgram"
 	"cendev/internal/netem"
+	"cendev/internal/obs"
 	"cendev/internal/simnet"
 	"cendev/internal/tlsgram"
 	"cendev/internal/topology"
@@ -88,9 +89,19 @@ type Config struct {
 	// consecutive TTLs have timed out (a dropping device never answers
 	// again; the paper simply probes to TTL 64). The default, 10, is high
 	// enough that a TTL-copying injector's first surviving reset — which
-	// appears only at roughly twice the device's hop distance (§4.3) — is
-	// still observed.
+	// appears only at roughly twice the device's hop distance (§4.3) —
+	// is still observed.
 	MaxConsecutiveTimeouts int
+	// Obs, when non-nil, receives probe/retry counters and virtual-RTT
+	// histograms. The recorded series are deterministic for a given
+	// scenario and seed at any worker count.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records measure/trace/probe spans stamped with
+	// the network's virtual clock.
+	Tracer *obs.Tracer
+	// Parent, when non-nil, is the span the measurement nests under (set
+	// by Campaign; ignored without a Tracer).
+	Parent *obs.Span
 }
 
 // withDefaults fills unset fields.
@@ -193,11 +204,42 @@ type Prober struct {
 	// probed records whether any probe has been sent yet: the inter-probe
 	// wait is only needed *between* probes, never before the first one.
 	probed bool
+	// m holds the pre-resolved metric handles (all nil when Config.Obs is
+	// nil — the no-op path).
+	m proberMetrics
+}
+
+// proberMetrics are the probe-level series, resolved once per Prober so
+// the TTL-sweep hot loop never takes the registry lock.
+type proberMetrics struct {
+	probesByKind [5]*obs.Counter // centrace_probes_total{kind}
+	retries      *obs.Counter    // centrace_retries_total
+	dialFailures *obs.Counter    // centrace_dial_failures_total
+	probeSecs    *obs.Histogram  // centrace_probe_virtual_seconds
 }
 
 // New returns a Prober with defaulted configuration.
 func New(net *simnet.Network, client, ep *topology.Host, cfg Config) *Prober {
-	return &Prober{Net: net, Client: client, Endpoint: ep, Config: cfg.withDefaults()}
+	p := &Prober{Net: net, Client: client, Endpoint: ep, Config: cfg.withDefaults()}
+	if r := p.Config.Obs; r != nil {
+		for k := KindTimeout; k <= KindData; k++ {
+			p.m.probesByKind[k] = r.Counter("centrace_probes_total", obs.L("kind", k.String()))
+		}
+		p.m.retries = r.Counter("centrace_retries_total")
+		p.m.dialFailures = r.Counter("centrace_dial_failures_total")
+		p.m.probeSecs = r.Histogram("centrace_probe_virtual_seconds", obs.TimeBuckets)
+	}
+	return p
+}
+
+// startSpan opens the measurement's top-level span: under Config.Parent
+// when the campaign supplied one, as a tracer root otherwise. Returns nil
+// (a no-op span) when the prober is untraced.
+func (p *Prober) startSpan(name string, attrs ...obs.Label) *obs.Span {
+	if p.Config.Parent != nil {
+		return p.Config.Parent.StartChild(name, p.Net.Now(), attrs...)
+	}
+	return p.Config.Tracer.Start(name, p.Net.Now(), attrs...)
 }
 
 // payloadFor renders the probe payload for a domain.
@@ -302,8 +344,9 @@ func (p *Prober) probeOnce(domain string, ttl int) ProbeObs {
 // straight back into a loss burst or an outage window would fail exactly
 // like the original, whereas backing off rides the impairment out while
 // still giving stateful devices their forget window.
-func (p *Prober) probe(domain string, ttl int, tr *Trace) ProbeObs {
-	var obs ProbeObs
+func (p *Prober) probe(domain string, ttl int, tr *Trace, parent *obs.Span) ProbeObs {
+	span := parent.StartChild("centrace.probe", p.Net.Now(), obs.L("ttl", obs.SmallInt(ttl)))
+	var ob ProbeObs
 	attempts := 0
 	for attempt := 0; attempt <= p.Config.Retries; attempt++ {
 		if p.probed {
@@ -319,17 +362,24 @@ func (p *Prober) probe(domain string, ttl int, tr *Trace) ProbeObs {
 		}
 		p.probed = true
 		attempts++
-		obs = p.probeOnce(domain, ttl)
-		if obs.DialFailed {
+		start := p.Net.Now()
+		ob = p.probeOnce(domain, ttl)
+		p.m.probeSecs.Observe((p.Net.Now() - start).Seconds())
+		p.m.probesByKind[ob.Kind].Inc()
+		if ob.DialFailed {
 			tr.DialFailures++
+			p.m.dialFailures.Inc()
 		}
-		if obs.Kind != KindTimeout {
+		if ob.Kind != KindTimeout {
 			break
 		}
 	}
 	tr.Attempts += attempts
 	tr.Retries += attempts - 1
-	return obs
+	p.m.retries.Add(int64(attempts - 1))
+	span.SetAttr("kind", ob.Kind.String())
+	span.End(p.Net.Now())
+	return ob
 }
 
 // Trace is one full TTL sweep for one domain.
@@ -361,12 +411,14 @@ func (t *Trace) Terminating() *ProbeObs {
 // response rules: a TCP response from the endpoint IP terminates
 // immediately; otherwise, once every remaining TTL times out, the first
 // timeout of the trailing run is the terminating response.
-func (p *Prober) trace(domain string) Trace {
+func (p *Prober) trace(domain string, parent *obs.Span) Trace {
+	span := parent.StartChild("centrace.trace", p.Net.Now())
+	defer func() { span.End(p.Net.Now()) }()
 	tr := Trace{Domain: domain, TermIdx: -1}
 	consecutiveTimeouts := 0
 	firstTrailingTimeout := -1
 	for ttl := 1; ttl <= p.Config.MaxTTL; ttl++ {
-		obs := p.probe(domain, ttl, &tr)
+		obs := p.probe(domain, ttl, &tr, span)
 		tr.Obs = append(tr.Obs, obs)
 		switch obs.Kind {
 		case KindRST, KindFIN, KindData:

@@ -11,6 +11,7 @@ import (
 	"cendev/internal/centrace"
 	"cendev/internal/faults"
 	"cendev/internal/features"
+	"cendev/internal/obs"
 	"cendev/internal/parallel"
 	"cendev/internal/simnet"
 	"cendev/internal/topology"
@@ -51,6 +52,13 @@ type CorpusConfig struct {
 	// state, so the corpus is identical at every worker count. Values
 	// below 1 mean one worker.
 	Workers int
+	// Obs, when non-nil, is installed on the scenario network and threaded
+	// through every measurement phase. The deterministic series are
+	// identical at any worker count.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records per-phase and per-measurement spans
+	// stamped with the scenario's virtual clock.
+	Tracer *obs.Tracer
 }
 
 func (c CorpusConfig) withDefaults() CorpusConfig {
@@ -85,12 +93,17 @@ type Corpus struct {
 	PotentialDeviceIPs []netip.Addr
 	// Probes maps device IP → banner grab result.
 	Probes map[netip.Addr]*cenprobe.Result
+	// root is the corpus-wide trace span phases nest under (nil untraced).
+	root *obs.Span
 }
 
 // BuildCorpus creates the world and runs the full measurement study.
 func BuildCorpus(cfg CorpusConfig) *Corpus {
 	cfg = cfg.withDefaults()
 	s := BuildWorld()
+	if cfg.Obs != nil {
+		s.Net.SetObs(cfg.Obs)
+	}
 	c := &Corpus{
 		Scenario:      s,
 		Config:        cfg,
@@ -99,12 +112,14 @@ func BuildCorpus(cfg CorpusConfig) *Corpus {
 		InCountryFuzz: map[string]*cenfuzz.Result{},
 		Probes:        map[netip.Addr]*cenprobe.Result{},
 	}
+	c.root = cfg.Tracer.Start("corpus.build", s.Net.Now())
 	c.runTraces()
 	c.collectDeviceIPs()
 	c.runProbes()
 	if !cfg.SkipFuzz {
 		c.runFuzz()
 	}
+	c.root.End(s.Net.Now())
 	return c
 }
 
@@ -174,11 +189,17 @@ func (c *Corpus) runTraces() {
 	for w := range nets {
 		nets[w] = s.Net.Clone()
 	}
+	phase := c.root.StartChild("corpus.traces", baseClock)
 	results := make([]*centrace.Result, len(jobs))
 	ends := make([]time.Duration, len(jobs))
-	parallel.ForEach(len(jobs), workers, func(w, i int) {
+	parallel.ForEachOpt(len(jobs), workers, parallel.Options{Pool: "corpus.traces", Obs: c.Config.Obs}, func(w, i int) {
 		j := jobs[i]
 		n := nets[w]
+		// The job span's key attribute is unique per job (endpoint ×
+		// protocol × domain × client), which keeps sibling ordering — and
+		// so the serialized trace — canonical even though every job starts
+		// at the same canonical phase clock.
+		span := phase.StartChild("corpus.trace", baseClock, obs.L("job", j.client.ID+"|"+j.rec.Key()))
 		n.BeginMeasurement(baseClock, basePort)
 		if baseFaults != nil {
 			seed := faults.DeriveSeed(baseFaults.Seed(), "trace|"+j.client.ID+"|"+j.rec.Key())
@@ -189,8 +210,12 @@ func (c *Corpus) runTraces() {
 			TestDomain:    j.rec.Domain,
 			Protocol:      j.rec.Protocol,
 			Repetitions:   c.Config.Repetitions,
+			Obs:           c.Config.Obs,
+			Tracer:        c.Config.Tracer,
+			Parent:        span,
 		}).Run()
 		ends[i] = n.Now()
+		span.End(n.Now())
 	})
 	maxEnd := baseClock
 	for i := range jobs {
@@ -204,6 +229,7 @@ func (c *Corpus) runTraces() {
 	if d := maxEnd - s.Net.Now(); d > 0 {
 		s.Net.Sleep(d)
 	}
+	phase.End(maxEnd)
 }
 
 // collectDeviceIPs gathers the potential device addresses: the blocking
@@ -234,9 +260,15 @@ func (c *Corpus) runProbes() {
 	if workers < 1 {
 		workers = 1
 	}
-	for _, r := range cenprobe.ProbeAllParallel(c.Scenario.Net, c.PotentialDeviceIPs, workers) {
+	phase := c.root.StartChild("corpus.probes", c.Scenario.Net.Now())
+	for _, r := range cenprobe.ProbeAllOpt(c.Scenario.Net, c.PotentialDeviceIPs, cenprobe.Opts{
+		Workers: workers,
+		Tracer:  c.Config.Tracer,
+		Parent:  phase,
+	}) {
 		c.Probes[r.Addr] = r
 	}
+	phase.End(c.Scenario.Net.Now())
 }
 
 // fuzzJob is one CenFuzz run in the corpus work list.
@@ -265,11 +297,15 @@ func (c *Corpus) runFuzzJobs(jobs []fuzzJob) []*cenfuzz.Result {
 	for w := range nets {
 		nets[w] = s.Net.Clone()
 	}
+	phase := c.root.StartChild("corpus.fuzz", baseClock)
 	results := make([]*cenfuzz.Result, len(jobs))
 	ends := make([]time.Duration, len(jobs))
-	parallel.ForEach(len(jobs), workers, func(w, i int) {
+	parallel.ForEachOpt(len(jobs), workers, parallel.Options{Pool: "corpus.fuzz", Obs: c.Config.Obs}, func(w, i int) {
 		j := jobs[i]
 		n := nets[w]
+		// Unique job label keeps sibling span ordering canonical (all jobs
+		// start at the same canonical phase clock).
+		span := phase.StartChild("corpus.fuzzjob", baseClock, obs.L("job", j.label))
 		n.BeginMeasurement(baseClock, basePort)
 		if baseFaults != nil {
 			seed := faults.DeriveSeed(baseFaults.Seed(), "fuzz|"+j.label)
@@ -278,9 +314,13 @@ func (c *Corpus) runFuzzJobs(jobs []fuzzJob) []*cenfuzz.Result {
 		fz := cenfuzz.New(n, j.client, j.host, cenfuzz.Config{
 			TestDomain:    j.domain,
 			ControlDomain: ControlDomain,
+			Obs:           c.Config.Obs,
+			Tracer:        c.Config.Tracer,
+			Parent:        span,
 		})
 		results[i] = fz.Run(nil)
 		ends[i] = n.Now()
+		span.End(n.Now())
 	})
 	maxEnd := baseClock
 	for i := range jobs {
@@ -291,6 +331,7 @@ func (c *Corpus) runFuzzJobs(jobs []fuzzJob) []*cenfuzz.Result {
 	if d := maxEnd - s.Net.Now(); d > 0 {
 		s.Net.Sleep(d)
 	}
+	phase.End(maxEnd)
 	return results
 }
 

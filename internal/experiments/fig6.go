@@ -34,6 +34,10 @@ type Fig6Config struct {
 	MinPts int // DBSCAN minimum cluster size (default 2)
 	// EpsilonOverride skips k-distance estimation when > 0.
 	EpsilonOverride float64
+	// Workers is the parallel worker count for feature extraction. Row
+	// extraction is a pure per-observation function, so the matrix is
+	// identical at every worker count. Values below 1 mean one worker.
+	Workers int
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -51,7 +55,7 @@ func (c Fig6Config) withDefaults() Fig6Config {
 func Fig6(c *Corpus, cfg Fig6Config) *Fig6Result {
 	cfg = cfg.withDefaults()
 	obs := c.Observations()
-	m := features.Extract(obs)
+	m := features.ExtractParallel(obs, cfg.Workers, c.Config.Obs)
 
 	// Feature importance from the labeled subset picks the top-K columns.
 	_, importance := Fig9(c)

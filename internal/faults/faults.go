@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"cendev/internal/obs"
 )
 
 // Outcome is an impairment's decision about one packet event.
@@ -63,14 +65,27 @@ type Impairment interface {
 
 // bound is an impairment registered with the engine, paired with its
 // private deterministic generator. The registration id is retained so a
-// cloned engine can re-derive byte-identical generator streams.
+// cloned engine can re-derive byte-identical generator streams. The
+// decision counters are nil until the engine is instrumented.
 type bound struct {
-	imp Impairment
-	rng *rand.Rand
-	id  uint64
+	imp   Impairment
+	rng   *rand.Rand
+	id    uint64
+	scope string // "global" or "link:a-b", for metric labels
+	drops *obs.Counter
+	dups  *obs.Counter
 }
 
-func (b *bound) apply(now time.Duration) Outcome { return b.imp.Apply(now, b.rng) }
+func (b *bound) apply(now time.Duration) Outcome {
+	o := b.imp.Apply(now, b.rng)
+	if o.Drop {
+		b.drops.Inc()
+	}
+	if o.Duplicate {
+		b.dups.Inc()
+	}
+	return o
+}
 
 // linkKey identifies an undirected link between two attachment points
 // (router IDs, or simnet's "@host" client-access pseudo-routers).
@@ -112,6 +127,7 @@ type Engine struct {
 	links  map[linkKey][]*bound
 	icmp   map[string]*icmpPolicy
 	flaps  map[string]flapPolicy
+	reg    *obs.Registry
 }
 
 // NewEngine creates an empty engine. All randomness derives from seed.
@@ -140,7 +156,10 @@ func rngFor(seed int64, id uint64) *rand.Rand {
 // AddGlobal registers an impairment consulted once per forward traversal
 // and once per response delivery. Returns the engine for chaining.
 func (e *Engine) AddGlobal(imp Impairment) *Engine {
-	e.global = append(e.global, e.bind(imp))
+	b := e.bind(imp)
+	b.scope = "global"
+	e.instrumentBound(b)
+	e.global = append(e.global, b)
 	return e
 }
 
@@ -148,8 +167,46 @@ func (e *Engine) AddGlobal(imp Impairment) *Engine {
 // attachment points, consulted on every crossing in either direction.
 func (e *Engine) AddLink(a, b string, imp Impairment) *Engine {
 	k := normLink(a, b)
-	e.links[k] = append(e.links[k], e.bind(imp))
+	bd := e.bind(imp)
+	bd.scope = "link:" + k.a + "-" + k.b
+	e.instrumentBound(bd)
+	e.links[k] = append(e.links[k], bd)
 	return e
+}
+
+// Instrument binds the engine's decision counters to a metrics registry:
+// every impairment's drops and duplicates count per (scope, profile), and
+// suppressed ICMP emissions count per router. Instrumentation survives
+// Clone and CloneSeeded, so a campaign's per-target derived engines all
+// aggregate into the same series. Safe on a nil engine; pass nil to
+// uninstrument. Returns the engine for chaining.
+func (e *Engine) Instrument(r *obs.Registry) *Engine {
+	if e == nil {
+		return nil
+	}
+	e.reg = r
+	for _, b := range e.global {
+		e.instrumentBound(b)
+	}
+	for _, bs := range e.links {
+		for _, b := range bs {
+			e.instrumentBound(b)
+		}
+	}
+	return e
+}
+
+// instrumentBound resolves a bound impairment's counters against the
+// engine's registry, or clears them when uninstrumented.
+func (e *Engine) instrumentBound(b *bound) {
+	if e.reg == nil {
+		b.drops, b.dups = nil, nil
+		return
+	}
+	scope := obs.L("scope", b.scope)
+	profile := obs.L("profile", b.imp.String())
+	b.drops = e.reg.Counter("faults_drops_total", scope, profile)
+	b.dups = e.reg.Counter("faults_duplicates_total", scope, profile)
 }
 
 // SilenceICMP makes a router forward packets but never emit ICMP Time
@@ -220,6 +277,7 @@ func (e *Engine) AllowICMP(routerID string, now time.Duration) bool {
 		return true
 	}
 	if p.silent {
+		e.countICMPSuppressed(routerID)
 		return false
 	}
 	if !p.limited {
@@ -235,7 +293,18 @@ func (e *Engine) AllowICMP(routerID string, now time.Duration) bool {
 		p.tokens--
 		return true
 	}
+	e.countICMPSuppressed(routerID)
 	return false
+}
+
+// countICMPSuppressed records a silenced or rate-limited ICMP emission.
+// Suppressions are rare (they only fire at TTL expiry on an impaired
+// router), so the counter is resolved through the registry per event
+// rather than pre-bound per router.
+func (e *Engine) countICMPSuppressed(routerID string) {
+	if e.reg != nil {
+		e.reg.Counter("faults_icmp_suppressed_total", obs.L("router", routerID)).Inc()
+	}
 }
 
 // RouteSalt returns the ECMP perturbation for a router at the current
@@ -283,13 +352,18 @@ func (e *Engine) CloneSeeded(seed int64) *Engine {
 	}
 	c := NewEngine(seed)
 	c.nextID = e.nextID
+	c.reg = e.reg
 	for _, b := range e.global {
-		c.global = append(c.global, &bound{imp: b.imp.Clone(), rng: rngFor(seed, b.id), id: b.id})
+		cb := &bound{imp: b.imp.Clone(), rng: rngFor(seed, b.id), id: b.id, scope: b.scope}
+		c.instrumentBound(cb)
+		c.global = append(c.global, cb)
 	}
 	for k, bs := range e.links {
 		cp := make([]*bound, 0, len(bs))
 		for _, b := range bs {
-			cp = append(cp, &bound{imp: b.imp.Clone(), rng: rngFor(seed, b.id), id: b.id})
+			cb := &bound{imp: b.imp.Clone(), rng: rngFor(seed, b.id), id: b.id, scope: b.scope}
+			c.instrumentBound(cb)
+			cp = append(cp, cb)
 		}
 		c.links[k] = cp
 	}

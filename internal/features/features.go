@@ -12,6 +12,8 @@ import (
 	"cendev/internal/cenprobe"
 	"cendev/internal/centrace"
 	"cendev/internal/ml"
+	"cendev/internal/obs"
+	"cendev/internal/parallel"
 )
 
 // Observation bundles the measurements for one blocked endpoint.
@@ -96,10 +98,22 @@ func portName(p int) string {
 }
 
 // Extract builds the feature matrix for a set of observations.
-func Extract(obs []*Observation) *Matrix {
-	m := &Matrix{Names: FeatureNames(), Observations: obs}
-	for _, o := range obs {
-		m.X = append(m.X, extractRow(o, m.Names))
+func Extract(observations []*Observation) *Matrix {
+	return ExtractParallel(observations, 1, nil)
+}
+
+// ExtractParallel builds the feature matrix across a pool of workers. Row
+// extraction is a pure function of its observation, so rows land at their
+// observation's index and the matrix is identical at every worker count.
+// The registry, when non-nil, receives per-row extraction counters.
+func ExtractParallel(observations []*Observation, workers int, reg *obs.Registry) *Matrix {
+	m := &Matrix{Names: FeatureNames(), Observations: observations}
+	m.X = make([][]float64, len(observations))
+	parallel.ForEachOpt(len(observations), workers, parallel.Options{Pool: "features.extract", Obs: reg}, func(_, i int) {
+		m.X[i] = extractRow(observations[i], m.Names)
+	})
+	if reg != nil {
+		reg.Counter("features_rows_total").Add(int64(len(observations)))
 	}
 	return m
 }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"flag"
+	"os"
+)
+
+// CLIFlags bundles the observability flags every command registers:
+// -metrics-out, -trace-out, and -obs-report. The registry and tracer are
+// created lazily, only when the matching output was requested, so an
+// unobserved run keeps the nil no-op instrumentation path everywhere.
+type CLIFlags struct {
+	MetricsOut string
+	TraceOut   string
+	Report     bool
+
+	reg *Registry
+	tr  *Tracer
+}
+
+// RegisterCLIFlags registers the observability flags on a flag set
+// (flag.CommandLine for the usual CLI entrypoint) and returns the holder
+// to query after fs.Parse.
+func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	c := &CLIFlags{}
+	fs.StringVar(&c.MetricsOut, "metrics-out", "",
+		"write end-of-run metrics to this path (JSON; .prom/.txt selects Prometheus text format)")
+	fs.StringVar(&c.TraceOut, "trace-out", "",
+		"write the canonical span trace to this path as JSON")
+	fs.BoolVar(&c.Report, "obs-report", false,
+		"print the end-of-run metrics report to stderr")
+	return c
+}
+
+// Registry returns the metrics registry to thread through the run,
+// creating it on first call when -metrics-out or -obs-report was given.
+// Returns nil — the no-op instrumentation path — otherwise.
+func (c *CLIFlags) Registry() *Registry {
+	if c.reg == nil && (c.MetricsOut != "" || c.Report) {
+		c.reg = NewRegistry()
+	}
+	return c.reg
+}
+
+// Tracer returns the span tracer to thread through the run, creating it on
+// first call when -trace-out was given. Returns nil (no-op) otherwise.
+func (c *CLIFlags) Tracer() *Tracer {
+	if c.tr == nil && c.TraceOut != "" {
+		c.tr = NewTracer()
+	}
+	return c.tr
+}
+
+// Finish writes the requested artifacts: the stderr report first, then the
+// metrics and trace files.
+func (c *CLIFlags) Finish() error {
+	if c.Report && c.reg != nil {
+		c.reg.FullSnapshot().WriteReport(os.Stderr)
+	}
+	return DumpFiles(c.reg, c.tr, c.MetricsOut, c.TraceOut)
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format. Histograms render cumulative le-buckets plus _sum and _count;
+// the volatile runtime series are included with a marker comment.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	write := func(ms []MetricSnap) error {
+		lastName := ""
+		for _, m := range ms {
+			if m.Name != lastName {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+					return err
+				}
+				lastName = m.Name
+			}
+			switch m.Kind {
+			case "histogram":
+				cum := int64(0)
+				for _, b := range m.Buckets {
+					cum += b.Count
+					le := "+Inf"
+					if b.Upper != infBucket {
+						le = trimFloat(b.Upper)
+					}
+					ls := append(append([]Label(nil), m.Labels...), L("le", le))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(ls), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(m.Labels), trimFloat(m.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels), m.Count); err != nil {
+					return err
+				}
+			default:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, promLabels(m.Labels), m.Value); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := write(s.Metrics); err != nil {
+		return err
+	}
+	if len(s.Runtime) > 0 {
+		if _, err := fmt.Fprintln(w, "# runtime (scheduling-dependent) series"); err != nil {
+			return err
+		}
+		if err := write(s.Runtime); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promLabels renders a Prometheus label set, empty string when no labels.
+func promLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// trimFloat renders a float without trailing zeros (0.02, not 0.020000).
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// WriteReport writes the human-readable end-of-run report: series grouped
+// by subsystem prefix (the metric name up to the first underscore), with
+// histograms summarized as count/sum/mean. Volatile runtime series are
+// reported in their own section.
+func (s Snapshot) WriteReport(w io.Writer) {
+	fmt.Fprintln(w, "── run report ──────────────────────────────────────")
+	writeGroup(w, s.Metrics)
+	if len(s.Runtime) > 0 {
+		fmt.Fprintln(w, "── runtime (scheduling-dependent) ──────────────────")
+		writeGroup(w, s.Runtime)
+	}
+}
+
+func writeGroup(w io.Writer, ms []MetricSnap) {
+	groups := map[string][]MetricSnap{}
+	var order []string
+	for _, m := range ms {
+		g := m.Name
+		if i := strings.IndexByte(g, '_'); i > 0 {
+			g = g[:i]
+		}
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], m)
+	}
+	sort.Strings(order)
+	for _, g := range order {
+		fmt.Fprintf(w, "%s:\n", g)
+		for _, m := range groups[g] {
+			name := m.Name
+			if lbl := labelString(m.Labels); lbl != "" {
+				name += "{" + lbl + "}"
+			}
+			switch m.Kind {
+			case "histogram":
+				mean := 0.0
+				if m.Count > 0 {
+					mean = m.Sum / float64(m.Count)
+				}
+				fmt.Fprintf(w, "  %-64s count=%d sum=%s mean=%s\n",
+					name, m.Count, trimFloat(m.Sum), trimFloat(mean))
+			default:
+				fmt.Fprintf(w, "  %-64s %d\n", name, m.Value)
+			}
+		}
+	}
+}
+
+// WriteTrace writes the tracer's canonical span forest as indented JSON.
+func WriteTrace(w io.Writer, t *Tracer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	spans := t.Snapshot()
+	if spans == nil {
+		spans = []SpanSnap{}
+	}
+	return enc.Encode(struct {
+		Spans []SpanSnap `json:"spans"`
+	}{spans})
+}
+
+// DumpFiles writes the end-of-run artifacts the CLIs' -metrics-out and
+// -trace-out flags request. Metrics are written as JSON unless the path
+// ends in .prom or .txt, in which case the Prometheus text format is
+// used; traces are always JSON. Empty paths and nil handles are skipped.
+func DumpFiles(reg *Registry, tr *Tracer, metricsPath, tracePath string) error {
+	if reg != nil && metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		snap := reg.FullSnapshot()
+		if strings.HasSuffix(metricsPath, ".prom") || strings.HasSuffix(metricsPath, ".txt") {
+			err = snap.WritePrometheus(f)
+		} else {
+			err = snap.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("obs: writing metrics to %s: %w", metricsPath, err)
+		}
+	}
+	if tr != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		err = WriteTrace(f, tr)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("obs: writing trace to %s: %w", tracePath, err)
+		}
+	}
+	return nil
+}
+
+// TimeBuckets are the default histogram bounds for virtual or wall
+// durations in seconds, spanning microseconds to the paper's 120-second
+// stateful-blocking waits.
+var TimeBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1, 10, 60, 120, 600}
+
+// CountBuckets are the default histogram bounds for small event counts
+// (retries, attempts).
+var CountBuckets = []float64{0, 1, 2, 3, 5, 8, 13, 21}
+
+// ScoreBuckets are the default histogram bounds for [0,1] scores
+// (confidence).
+var ScoreBuckets = []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1}

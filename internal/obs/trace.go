@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer records a run-scoped tree of spans stamped with the simulator's
+// virtual clock. Because every measurement rewinds its worker clone to a
+// canonical virtual start time, the set of spans — names, attributes,
+// start/end times, parent links — is identical at any worker count; only
+// the order goroutines happen to append them varies. Snapshot therefore
+// sorts the tree canonically, making the serialized trace byte-
+// reproducible for the same scenario and seed.
+//
+// A nil *Tracer is a no-op: Start returns a nil *Span, and every method
+// on a nil *Span does nothing, so uninstrumented runs pay only a pointer
+// test per span site.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span is one timed operation in the trace tree. Spans are created via
+// Tracer.Start or Span.StartChild and closed with End; both take virtual
+// timestamps (typically simnet.Network.Now).
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Duration
+	end   time.Duration
+	attrs []Label
+	// buf backs attrs for the common ≤2-attribute span (a probe carries
+	// ttl+kind, a target carries its key), so hot-path spans cost a single
+	// allocation: copying the variadic attrs in here also keeps the
+	// caller's argument slice off the heap.
+	buf      [2]Label
+	children []*Span
+}
+
+// newSpan allocates a span with its attributes copied into the inline
+// buffer when they fit.
+func newSpan(t *Tracer, name string, at time.Duration, attrs []Label) *Span {
+	s := &Span{t: t, name: name, start: at, end: at}
+	s.attrs = append(s.buf[:0:len(s.buf)], attrs...)
+	return s
+}
+
+// Start opens a root span at virtual time `at`.
+func (t *Tracer) Start(name string, at time.Duration, attrs ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	s := newSpan(t, name, at, attrs)
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// StartChild opens a span nested under s at virtual time `at`. Safe to
+// call from concurrent workers sharing the parent.
+func (s *Span) StartChild(name string, at time.Duration, attrs ...Label) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(s.t, name, at, attrs)
+	s.t.mu.Lock()
+	s.children = append(s.children, c)
+	s.t.mu.Unlock()
+	return c
+}
+
+// SetAttr records an attribute on the span. Like End, it may only be
+// called by the goroutine that owns the span (the one that created it):
+// the tracer lock guards only the sibling lists, which concurrent workers
+// share, not the fields of an individual span — each span is mutated by
+// exactly one goroutine, and the pool join before Snapshot publishes the
+// writes.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+}
+
+// End closes the span at virtual time `at`. Owner-only, like SetAttr.
+func (s *Span) End(at time.Duration) {
+	if s == nil {
+		return
+	}
+	s.end = at
+}
+
+// SpanSnap is one span in a canonical trace snapshot. IDs are assigned in
+// pre-order over the sorted tree, so they too are deterministic.
+type SpanSnap struct {
+	ID       int        `json:"id"`
+	Name     string     `json:"name"`
+	StartNS  int64      `json:"start_ns"`
+	EndNS    int64      `json:"end_ns"`
+	Attrs    []Label    `json:"attrs,omitempty"`
+	Children []SpanSnap `json:"children,omitempty"`
+}
+
+// Snapshot returns the canonical span forest: siblings sorted by (start,
+// name, attributes, end), attributes sorted by key, IDs assigned in
+// pre-order. For a deterministic measurement run the result is identical
+// at any worker count. Call it only after the goroutines producing spans
+// have been joined — open spans may still be mutated by their owners.
+func (t *Tracer) Snapshot() []SpanSnap {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next := 0
+	return snapSpans(t.roots, &next)
+}
+
+func snapSpans(spans []*Span, next *int) []SpanSnap {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanSnap, 0, len(spans))
+	for _, s := range spans {
+		attrs := append([]Label(nil), s.attrs...)
+		sort.Slice(attrs, func(i, j int) bool {
+			if attrs[i].Key != attrs[j].Key {
+				return attrs[i].Key < attrs[j].Key
+			}
+			return attrs[i].Value < attrs[j].Value
+		})
+		out = append(out, SpanSnap{
+			Name:    s.name,
+			StartNS: int64(s.start),
+			EndNS:   int64(s.end),
+			Attrs:   attrs,
+			// Children filled after sorting the siblings.
+		})
+	}
+	// Sort siblings canonically, carrying the original span pointers along
+	// via index pairs so children snapshot in sorted parent order.
+	idx := make([]int, len(spans))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		x, y := out[idx[a]], out[idx[b]]
+		if x.StartNS != y.StartNS {
+			return x.StartNS < y.StartNS
+		}
+		if x.Name != y.Name {
+			return x.Name < y.Name
+		}
+		if ax, ay := attrString(x.Attrs), attrString(y.Attrs); ax != ay {
+			return ax < ay
+		}
+		return x.EndNS < y.EndNS
+	})
+	sorted := make([]SpanSnap, len(out))
+	for pos, i := range idx {
+		sorted[pos] = out[i]
+		*next++
+		sorted[pos].ID = *next
+		sorted[pos].Children = snapSpans(spans[i].children, next)
+	}
+	return sorted
+}
+
+// attrString renders attributes for sibling ordering.
+func attrString(ls []Label) string { return labelString(ls) }
+
+// smallInts caches the decimal renderings used by hot-path span attributes
+// (TTLs, pass numbers) so stamping one costs no allocation.
+var smallInts = func() [256]string {
+	var t [256]string
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return t
+}()
+
+// SmallInt renders i in decimal, allocation-free for 0 ≤ i < 256 — for
+// span attributes stamped once per probe.
+func SmallInt(i int) string {
+	if i >= 0 && i < len(smallInts) {
+		return smallInts[i]
+	}
+	return strconv.Itoa(i)
+}
+
+// SpanCount returns the total number of spans recorded (0 for nil).
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	var walk func([]*Span)
+	walk = func(ss []*Span) {
+		for _, s := range ss {
+			n++
+			walk(s.children)
+		}
+	}
+	walk(t.roots)
+	return n
+}

@@ -8,18 +8,51 @@
 package parallel
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"cendev/internal/obs"
 )
 
+// Options instruments a fan-out. The zero value disables instrumentation.
+type Options struct {
+	// Pool labels the fan-out's metric series (e.g. "centrace.campaign").
+	Pool string
+	// Obs receives pool metrics. Deterministic series: parallel_runs_total
+	// and parallel_items_total per pool (identical at every worker count).
+	// Volatile series (scheduling- and wall-clock-dependent, reported in
+	// the runtime section only): the effective worker count, per-worker
+	// item counts and busy time, and the queue wait between pool start and
+	// each item's claim. Nil disables all of them.
+	Obs *obs.Registry
+}
+
 // ForEach runs fn(worker, index) for every index in [0, n), using at most
-// `workers` concurrent goroutines (clamped to [1, n]). The worker argument
-// identifies which of the goroutines is running the call — stable per
-// goroutine, in [0, workers) — so callers can give each worker exclusive
-// resources. ForEach returns when every call has finished. Panics inside
-// fn propagate to the caller's goroutine only if fn does not recover;
-// callers that need a panic barrier install their own recover inside fn.
+// `workers` concurrent goroutines.
+//
+// The worker/index contract:
+//
+//   - workers is clamped to [1, n]: no idle goroutines are ever spawned
+//     for small batches, and worker IDs passed to fn are always in
+//     [0, min(workers, n)).
+//   - The worker argument is stable per goroutine and exclusive: one
+//     worker never runs two calls concurrently, so callers can give each
+//     worker a private resource (a network clone) without locking.
+//   - Indexes are claimed dynamically in ascending order; with one worker
+//     the calls are strictly sequential (0, 1, …, n-1) on the caller's
+//     goroutine.
+//   - ForEach returns when every call has finished. Panics inside fn
+//     propagate to the caller's goroutine only if fn does not recover;
+//     callers that need a panic barrier install their own recover inside
+//     fn.
 func ForEach(n, workers int, fn func(worker, index int)) {
+	ForEachOpt(n, workers, Options{}, fn)
+}
+
+// ForEachOpt is ForEach with pool instrumentation.
+func ForEachOpt(n, workers int, opt Options, fn func(worker, index int)) {
 	if n <= 0 {
 		return
 	}
@@ -29,9 +62,13 @@ func ForEach(n, workers int, fn func(worker, index int)) {
 	if workers > n {
 		workers = n
 	}
+	var ins *poolInstruments
+	if opt.Obs != nil {
+		ins = newPoolInstruments(opt, n, workers)
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(0, i)
+			ins.run(0, i, fn)
 		}
 		return
 	}
@@ -46,9 +83,49 @@ func ForEach(n, workers int, fn func(worker, index int)) {
 				if i >= n {
 					return
 				}
-				fn(worker, i)
+				ins.run(worker, i, fn)
 			}
 		}(w)
 	}
 	wg.Wait()
+}
+
+// poolInstruments carries the pre-resolved metric handles for one
+// instrumented fan-out. A nil *poolInstruments is a no-op.
+type poolInstruments struct {
+	start     time.Time
+	wait      *obs.Histogram // wall seconds from pool start to item claim
+	itemSecs  *obs.Histogram // wall seconds spent inside fn
+	workItems func(worker int) *obs.Counter
+}
+
+func newPoolInstruments(opt Options, n, workers int) *poolInstruments {
+	pool := obs.L("pool", opt.Pool)
+	opt.Obs.Counter("parallel_runs_total", pool).Inc()
+	opt.Obs.Counter("parallel_items_total", pool).Add(int64(n))
+	opt.Obs.VolatileGauge("parallel_pool_workers", pool).Set(int64(workers))
+	reg := opt.Obs
+	return &poolInstruments{
+		start:    time.Now(),
+		wait:     reg.VolatileHistogram("parallel_item_wait_seconds", obs.TimeBuckets, pool),
+		itemSecs: reg.VolatileHistogram("parallel_item_seconds", obs.TimeBuckets, pool),
+		workItems: func(worker int) *obs.Counter {
+			return reg.VolatileCounter("parallel_worker_items_total", pool,
+				obs.L("worker", strconv.Itoa(worker)))
+		},
+	}
+}
+
+// run invokes fn for one item, recording claim wait and busy time when
+// instrumented.
+func (p *poolInstruments) run(worker, index int, fn func(worker, index int)) {
+	if p == nil {
+		fn(worker, index)
+		return
+	}
+	claimed := time.Now()
+	p.wait.Observe(claimed.Sub(p.start).Seconds())
+	fn(worker, index)
+	p.itemSecs.Observe(time.Since(claimed).Seconds())
+	p.workItems(worker).Inc()
 }

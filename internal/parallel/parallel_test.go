@@ -1,8 +1,12 @@
 package parallel
 
 import (
+	"bytes"
+	"encoding/json"
 	"sync/atomic"
 	"testing"
+
+	"cendev/internal/obs"
 )
 
 func TestForEachCoversAllIndexes(t *testing.T) {
@@ -36,6 +40,74 @@ func TestForEachZeroItems(t *testing.T) {
 	ForEach(0, 4, func(_, _ int) { ran = true })
 	if ran {
 		t.Fatal("fn ran for n=0")
+	}
+}
+
+// TestForEachClampsWorkers pins the contract that worker IDs are always in
+// [0, min(workers, n)): asking for more workers than items must not spawn
+// idle goroutines or hand out IDs ≥ n.
+func TestForEachClampsWorkers(t *testing.T) {
+	const n = 3
+	var maxWorker atomic.Int32
+	maxWorker.Store(-1)
+	ForEach(n, 64, func(w, _ int) {
+		for {
+			cur := maxWorker.Load()
+			if int32(w) <= cur || maxWorker.CompareAndSwap(cur, int32(w)) {
+				return
+			}
+		}
+	})
+	if got := maxWorker.Load(); got >= n {
+		t.Errorf("worker id %d handed out with only %d items", got, n)
+	}
+
+	// The clamped count is what instrumentation reports, too.
+	reg := obs.NewRegistry()
+	ForEachOpt(n, 64, Options{Pool: "clamp", Obs: reg}, func(_, _ int) {})
+	g, ok := reg.FullSnapshot().Get("parallel_pool_workers", obs.L("pool", "clamp"))
+	if !ok || g.Value != n {
+		t.Errorf("parallel_pool_workers = %+v, want %d", g, n)
+	}
+}
+
+// TestForEachOptDeterministicSeries: the pool's deterministic counters must
+// be byte-identical at every worker count, and the scheduling-dependent
+// series must stay out of the deterministic snapshot.
+func TestForEachOptDeterministicSeries(t *testing.T) {
+	snapFor := func(workers int) []byte {
+		reg := obs.NewRegistry()
+		for round := 0; round < 2; round++ {
+			ForEachOpt(23, workers, Options{Pool: "det", Obs: reg}, func(_, _ int) {})
+		}
+		raw, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return raw
+	}
+	serial := snapFor(1)
+	for _, workers := range []int{3, 16} {
+		if par := snapFor(workers); !bytes.Equal(serial, par) {
+			t.Errorf("workers=%d deterministic pool series differ:\n%s\n%s", workers, serial, par)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	ForEachOpt(5, 2, Options{Pool: "det", Obs: reg}, func(_, _ int) {})
+	snap := reg.Snapshot()
+	if m, ok := snap.Get("parallel_runs_total", obs.L("pool", "det")); !ok || m.Value != 1 {
+		t.Errorf("parallel_runs_total = %+v, want 1", m)
+	}
+	if m, ok := snap.Get("parallel_items_total", obs.L("pool", "det")); !ok || m.Value != 5 {
+		t.Errorf("parallel_items_total = %+v, want 5", m)
+	}
+	if _, ok := snap.Get("parallel_item_seconds", obs.L("pool", "det")); ok {
+		t.Error("volatile timing series leaked into the deterministic snapshot")
+	}
+	full := reg.FullSnapshot()
+	if m, ok := full.Get("parallel_item_seconds", obs.L("pool", "det")); !ok || m.Count != 5 {
+		t.Errorf("parallel_item_seconds in runtime section = %+v, want count 5", m)
 	}
 }
 

@@ -31,6 +31,11 @@ func (n *Network) Clone() *Network {
 		devicesByAddr: make(map[netip.Addr]*middlebox.Device, len(n.devicesByAddr)),
 		captures:      make(map[string]*Capture),
 		nextPort:      n.nextPort,
+		// The registry and its pre-resolved counters are shared: metrics
+		// are campaign-scoped aggregates with atomic series, so worker
+		// clones all account into the same snapshot.
+		obs: n.obs,
+		m:   n.m,
 	}
 
 	// Clone devices once, in registration order, then rebuild every index

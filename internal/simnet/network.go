@@ -24,6 +24,7 @@ import (
 	"cendev/internal/faults"
 	"cendev/internal/geoip"
 	"cendev/internal/middlebox"
+	"cendev/internal/obs"
 	"cendev/internal/topology"
 )
 
@@ -44,6 +45,20 @@ type Network struct {
 	httpStreams   map[string][]byte                // per-flow HTTP request reassembly
 	nextPort      uint16
 	faults        *faults.Engine
+	obs           *obs.Registry
+	m             netMetrics
+}
+
+// netMetrics are the pre-resolved counters the packet-forwarding hot path
+// increments. The zero value (all nil) is the uninstrumented no-op path:
+// each site costs one pointer test.
+type netMetrics struct {
+	packets    *obs.Counter // simnet_packets_forwarded_total
+	deliveries *obs.Counter // simnet_deliveries_total
+	icmp       *obs.Counter // simnet_icmp_emitted_total
+	injections *obs.Counter // simnet_device_injections_total
+	devDrops   *obs.Counter // simnet_device_drops_total
+	ttlExpired *obs.Counter // simnet_ttl_expired_total
 }
 
 // New creates a network over a topology graph and populates the geo
@@ -76,8 +91,43 @@ func (n *Network) Now() time.Duration { return n.clock }
 // SetFaults installs a composable impairment engine. The network consults
 // it on every forward traversal, every link crossing, every response
 // delivery, and every ICMP emission. Pass nil to restore a perfect
-// network. See the faults package for the available profiles.
-func (n *Network) SetFaults(e *faults.Engine) { n.faults = e }
+// network. See the faults package for the available profiles. When the
+// network is instrumented (SetObs), the engine's per-profile decision
+// counters are bound to the same registry.
+func (n *Network) SetFaults(e *faults.Engine) {
+	n.faults = e
+	if n.obs != nil {
+		e.Instrument(n.obs)
+	}
+}
+
+// SetObs installs a metrics registry: the forwarding hot path counts
+// packets, deliveries, ICMP emissions, device injections/drops, and TTL
+// expiries into it, and any installed (or later-installed) fault engine
+// counts its per-profile decisions. Clones share the registry, so a
+// campaign's worker pools aggregate into one set of series. Pass nil to
+// uninstrument.
+func (n *Network) SetObs(r *obs.Registry) {
+	n.obs = r
+	if r == nil {
+		n.m = netMetrics{}
+		return
+	}
+	n.m = netMetrics{
+		packets:    r.Counter("simnet_packets_forwarded_total"),
+		deliveries: r.Counter("simnet_deliveries_total"),
+		icmp:       r.Counter("simnet_icmp_emitted_total"),
+		injections: r.Counter("simnet_device_injections_total"),
+		devDrops:   r.Counter("simnet_device_drops_total"),
+		ttlExpired: r.Counter("simnet_ttl_expired_total"),
+	}
+	if n.faults != nil {
+		n.faults.Instrument(r)
+	}
+}
+
+// Obs returns the installed metrics registry, or nil.
+func (n *Network) Obs() *obs.Registry { return n.obs }
 
 // Faults returns the installed impairment engine, or nil.
 func (n *Network) Faults() *faults.Engine { return n.faults }

@@ -37,12 +37,14 @@ type Delivery struct {
 func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Delivery {
 	n.clock += perHopLatency
 	n.recordCapture(src, pkt, true)
+	n.m.packets.Inc()
 
 	var out []Delivery
 	defer func() {
 		for _, d := range out {
 			n.recordCapture(src, d.Packet, false)
 		}
+		n.m.deliveries.Add(int64(len(out)))
 	}()
 
 	var flowHash uint64
@@ -132,6 +134,7 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 		for _, dev := range n.linkDevices[topology.LinkID{From: linkFrom, To: router.ID}] {
 			v := dev.Inspect(working, dst.Addr, n.clock)
 			for _, inj := range v.Injected {
+				n.m.injections.Inc()
 				deliver(inj.Clone(), hop)
 			}
 			if v.DropOriginal {
@@ -140,17 +143,20 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 			throttleDelay += v.ThrottleDelay
 		}
 		if dropped {
+			n.m.devDrops.Inc()
 			return sortDeliveries(out)
 		}
 		// Router decrements TTL; on expiry it may answer with ICMP.
 		ttl--
 		working.IP.TTL = ttl
 		if ttl == 0 {
+			n.m.ttlExpired.Inc()
 			// The fault engine can silence or rate-limit a router's ICMP
 			// generation on top of the router's own RFC behaviour.
 			if router.SendsICMP && (n.faults == nil || n.faults.AllowICMP(router.ID, n.clock)) {
 				te, err := netem.NewTimeExceeded(router.Addr, working, router.QuoteLen)
 				if err == nil {
+					n.m.icmp.Inc()
 					deliver(te, hop)
 				}
 			}
@@ -171,9 +177,11 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 	if guard := n.guards[dst.ID]; guard != nil {
 		v := guard.Inspect(working, dst.Addr, n.clock)
 		for _, inj := range v.Injected {
+			n.m.injections.Inc()
 			deliver(inj.Clone(), endpointHop)
 		}
 		if v.Triggered && v.DropOriginal {
+			n.m.devDrops.Inc()
 			return sortDeliveries(out)
 		}
 	}
