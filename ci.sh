@@ -37,6 +37,43 @@ jq -e '[.metrics[] | select(.name == "simnet_packets_forwarded_total") | .value]
 jq -e '.spans | length > 0' /tmp/ci_obs_trace.json > /dev/null
 echo "==> obs smoke ok"
 
+# Orchestration service: build the daemon, start it on loopback, drive a
+# seeded centrace job through submit → poll → result, assert the payload
+# and the service counters, then SIGTERM and assert a clean drain (exit 0,
+# no torn store segments).
+echo "==> censerved smoke"
+go build -o /tmp/ci_censerved ./cmd/censerved
+CENSERVED_STORE=$(mktemp -d /tmp/ci_censerved_store.XXXXXX)
+CENSERVED_ADDR=127.0.0.1:8377
+/tmp/ci_censerved -listen "$CENSERVED_ADDR" -store "$CENSERVED_STORE" -workers 2 &
+CENSERVED_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "http://$CENSERVED_ADDR/healthz" > /dev/null && break
+  sleep 0.1
+  if ! kill -0 "$CENSERVED_PID" 2>/dev/null; then echo "censerved died on startup"; exit 1; fi
+done
+JOB=$(curl -sf -X POST "http://$CENSERVED_ADDR/v1/jobs" \
+  -d '{"kind":"centrace","endpoint":"az-ep-0-0","domain":"www.globalblocked.example","seed":7}' | jq -r .id)
+for i in $(seq 1 100); do
+  STATE=$(curl -sf "http://$CENSERVED_ADDR/v1/jobs/$JOB" | jq -r .state)
+  [ "$STATE" = done ] && break
+  [ "$STATE" = failed ] && { echo "censerved job failed"; curl -s "http://$CENSERVED_ADDR/v1/jobs/$JOB"; exit 1; }
+  sleep 0.1
+done
+[ "$STATE" = done ] || { echo "censerved job not done after 10s (state=$STATE)"; exit 1; }
+curl -sf "http://$CENSERVED_ADDR/v1/results/$JOB" | jq -e '.valid == true and .blocked == true' > /dev/null
+curl -sf "http://$CENSERVED_ADDR/metrics" | grep -q 'censerved_jobs_submitted_total{tenant="default"} 1'
+curl -sf "http://$CENSERVED_ADDR/metrics" | grep -q 'censerved_jobs_done_total{kind="centrace"} 1'
+kill -TERM "$CENSERVED_PID"
+if ! wait "$CENSERVED_PID"; then echo "censerved drain exited nonzero"; exit 1; fi
+# No torn segments: every store line must be complete JSON.
+for seg in "$CENSERVED_STORE"/shard-*.jsonl; do
+  [ -s "$seg" ] || continue
+  jq -ce . < "$seg" > /dev/null || { echo "torn record in $seg"; exit 1; }
+done
+rm -rf /tmp/ci_censerved "$CENSERVED_STORE"
+echo "==> censerved smoke ok"
+
 # Short fuzz smoke: a few seconds per parser target, enough to catch
 # regressions in the grammar/codec round-trips without holding CI hostage.
 FUZZTIME="${FUZZTIME:-5s}"

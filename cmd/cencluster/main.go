@@ -26,6 +26,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the measurement study and feature extraction")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	obsFlags.FlushOnSignal()
 
 	fmt.Fprintln(os.Stderr, "running measurement study (traces + banners + fuzzing)...")
 	c := experiments.BuildCorpus(experiments.CorpusConfig{

@@ -78,6 +78,7 @@ func main() {
 		strategies = append(strategies, cenfuzz.ExtensionStrategies()...)
 	}
 
+	obsFlags.FlushOnSignal()
 	fz := cenfuzz.New(world.Net, client, endpoint, cenfuzz.Config{
 		TestDomain:    *domain,
 		ControlDomain: *control,

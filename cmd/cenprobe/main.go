@@ -27,6 +27,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for discovery and banner grabs")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	obsFlags.FlushOnSignal()
 	defer func() {
 		if err := obsFlags.Finish(); err != nil {
 			fmt.Fprintln(os.Stderr, err)

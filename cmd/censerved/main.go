@@ -1,0 +1,105 @@
+// Command censerved runs the measurement-orchestration service: an HTTP
+// JSON API (submit / status / result / healthz / metrics) over a
+// priority job queue with per-tenant admission control, scheduler
+// workers dispatching onto clone-isolated simulated networks, and a
+// sharded crash-safe result store.
+//
+// Usage:
+//
+//	censerved -listen 127.0.0.1:8377 -store /var/lib/censerved
+//
+// Submit a job, poll it, fetch the result:
+//
+//	curl -s -X POST localhost:8377/v1/jobs \
+//	    -d '{"kind":"centrace","domain":"www.blocked.example","seed":7}'
+//	curl -s localhost:8377/v1/jobs/j-00000001
+//	curl -s localhost:8377/v1/results/j-00000001
+//
+// SIGINT/SIGTERM triggers a graceful drain: new submissions get 503,
+// in-flight jobs finish, queued jobs stay persisted for the next start,
+// and the store is compacted and closed before exit 0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cendev/internal/obs"
+	"cendev/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8377", "host:port to serve the API on")
+	storeDir := flag.String("store", "censerved-store", "result-store directory")
+	shards := flag.Int("shards", serve.DefaultShards, "result-store segment shards")
+	workers := flag.Int("workers", 2, "concurrent scheduler workers")
+	queueCap := flag.Int("queue", 64, "job-queue capacity (beyond it submissions get 429)")
+	burst := flag.Int("admit-burst", 8, "per-tenant admission token-bucket burst")
+	rate := flag.Float64("admit-rate", 1, "per-tenant admission refill rate (tokens/second)")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	// The daemon always carries a registry: /metrics is part of the API.
+	reg := obs.NewRegistry()
+
+	srv, err := serve.New(serve.Options{
+		StoreDir:      *storeDir,
+		Shards:        *shards,
+		Workers:       *workers,
+		QueueCapacity: *queueCap,
+		AdmitBurst:    *burst,
+		AdmitRate:     *rate,
+		Obs:           reg,
+		Logf:          logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("censerved listening on %s (store %s, %d workers, queue %d)",
+		ln.Addr(), *storeDir, *workers, *queueCap)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v; draining", sig)
+		// Drain before closing the listener so in-flight status polls keep
+		// answering (submissions already get 503 the moment drain starts).
+		if err := srv.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			httpSrv.Close()
+			os.Exit(1)
+		}
+		httpSrv.Close()
+		log.Printf("drain complete; exiting")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

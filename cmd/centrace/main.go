@@ -37,6 +37,7 @@ func main() {
 	all := flag.Bool("all", false, "run a campaign over every endpoint × domain × protocol")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel measurement workers for -all")
 	retries := flag.Int("retries", 1, "extra retry passes for failed targets in -all")
+	journalPath := flag.String("journal", "", "campaign journal file for -all: checkpoint every target, resume on restart")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	// Impairment profiles (see internal/faults); any of these installs a
 	// deterministic fault engine in front of the measurement.
@@ -82,10 +83,11 @@ func main() {
 	}
 
 	if *all {
-		runCampaign(world, client, *control, *reps, *workers, *retries, obsFlags)
+		runCampaign(world, client, *control, *reps, *workers, *retries, *journalPath, obsFlags)
 		finishObs(obsFlags)
 		return
 	}
+	obsFlags.FlushOnSignal()
 
 	var endpoint *topology.Host
 	for _, e := range world.Endpoints {
@@ -176,7 +178,29 @@ func finishObs(f *obs.CLIFlags) {
 	}
 }
 
-func runCampaign(world *experiments.Scenario, client *topology.Host, control string, reps, workers, retries int, obsFlags *obs.CLIFlags) {
+func runCampaign(world *experiments.Scenario, client *topology.Host, control string, reps, workers, retries int, journalPath string, obsFlags *obs.CLIFlags) {
+	var journal *centrace.Journal
+	if journalPath != "" {
+		j, f, err := centrace.OpenJournalFile(journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		journal = j
+		for _, w := range journal.Warnings() {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+		if n := journal.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming campaign: %d targets restored from %s\n", n, journalPath)
+		}
+		// An interrupt must leave the journal durable so the next run
+		// resumes instead of remeasuring.
+		obsFlags.FlushOnSignal(f.Sync)
+	} else {
+		obsFlags.FlushOnSignal()
+	}
+
 	var targets []centrace.Target
 	for _, e := range world.Endpoints {
 		for _, domain := range experiments.TestDomainsFor(e.Country) {
@@ -198,6 +222,7 @@ func runCampaign(world *experiments.Scenario, client *topology.Host, control str
 		},
 		Workers:           workers,
 		RetryFailedPasses: retries,
+		Journal:           journal,
 	}
 	results := camp.Run(targets)
 

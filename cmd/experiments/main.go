@@ -33,6 +33,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel measurement workers")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	obsFlags.FlushOnSignal()
 
 	needsFuzz := map[string]bool{
 		"fig5": true, "fig6": true, "fig9": true, "report": true,

@@ -1,0 +1,107 @@
+package cenfuzz
+
+// Service job entrypoint: internal/serve dispatches CenFuzz jobs onto
+// clone-isolated networks through RunJob, which distills the full Result
+// into a canonical JSON-stable payload (fixed field order, sorted
+// protocols, no timing) so identical specs yield identical bytes.
+
+import (
+	"fmt"
+	"sort"
+
+	"cendev/internal/simnet"
+	"cendev/internal/topology"
+)
+
+// JobSpec parameterizes one service-dispatched CenFuzz run.
+type JobSpec struct {
+	TestDomain    string
+	ControlDomain string
+	// Strategy restricts the run to one named strategy; empty runs the
+	// full Table 2 catalog.
+	Strategy string
+	// Extensions appends the extension strategies (segmentation, TLS
+	// record split).
+	Extensions bool
+	Workers    int
+}
+
+// StrategyPayload is one strategy row in a fuzz job payload.
+type StrategyPayload struct {
+	Strategy      string  `json:"strategy"`
+	Category      string  `json:"category"`
+	Protocol      string  `json:"protocol"`
+	Permutations  int     `json:"permutations"`
+	Evasion       float64 `json:"evasion_rate"`
+	Circumvention float64 `json:"circumvention_rate"`
+}
+
+// JobResult is the canonical payload of one CenFuzz job.
+type JobResult struct {
+	TestDomain    string            `json:"test_domain"`
+	ControlDomain string            `json:"control_domain"`
+	NormalBlocked map[string]bool   `json:"normal_blocked"`
+	Measurements  int               `json:"measurements"`
+	Strategies    []StrategyPayload `json:"strategies"`
+}
+
+// RunJob executes the spec's strategies against ep on n and returns the
+// canonical payload. The caller owns n — the run mutates its clock and
+// device state. An unknown strategy name is an error.
+func RunJob(n *simnet.Network, client, ep *topology.Host, spec JobSpec) (JobResult, error) {
+	var strategies []Strategy
+	if spec.Strategy != "" {
+		for _, st := range Strategies() {
+			if st.Name == spec.Strategy {
+				strategies = append(strategies, st)
+			}
+		}
+		for _, st := range ExtensionStrategies() {
+			if st.Name == spec.Strategy {
+				strategies = append(strategies, st)
+			}
+		}
+		if len(strategies) == 0 {
+			return JobResult{}, fmt.Errorf("cenfuzz: unknown strategy %q", spec.Strategy)
+		}
+	} else if spec.Extensions {
+		strategies = append(Strategies(), ExtensionStrategies()...)
+	}
+	res := New(n, client, ep, Config{
+		TestDomain:    spec.TestDomain,
+		ControlDomain: spec.ControlDomain,
+		Workers:       spec.Workers,
+		Obs:           n.Obs(),
+	}).Run(strategies)
+
+	out := JobResult{
+		TestDomain:    res.TestDomain,
+		ControlDomain: res.ControlDomain,
+		NormalBlocked: map[string]bool{},
+		Measurements:  res.TotalMeasurements,
+	}
+	for proto, blocked := range res.NormalBlocked {
+		out.NormalBlocked[proto.String()] = blocked
+	}
+	for i := range res.Strategies {
+		sr := &res.Strategies[i]
+		out.Strategies = append(out.Strategies, StrategyPayload{
+			Strategy:      sr.Name,
+			Category:      sr.Category,
+			Protocol:      sr.Proto.String(),
+			Permutations:  len(sr.Perms),
+			Evasion:       sr.SuccessRate(),
+			Circumvention: sr.CircumventionRate(),
+		})
+	}
+	// Run returns strategies in catalog order already; sort defensively so
+	// the payload stays canonical even if the catalog order ever becomes
+	// worker-dependent.
+	sort.SliceStable(out.Strategies, func(i, j int) bool {
+		if out.Strategies[i].Strategy != out.Strategies[j].Strategy {
+			return out.Strategies[i].Strategy < out.Strategies[j].Strategy
+		}
+		return out.Strategies[i].Protocol < out.Strategies[j].Protocol
+	})
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package cenprobe
+
+// Service job entrypoint: internal/serve dispatches CenProbe banner-grab
+// jobs through RunJob, which probes a set of addresses and returns a
+// canonical JSON-stable payload in sorted address order.
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"cendev/internal/simnet"
+)
+
+// JobSpec parameterizes one service-dispatched banner-grab sweep.
+type JobSpec struct {
+	// Addrs are the addresses to probe, in any order; the payload is
+	// always in sorted address order.
+	Addrs   []netip.Addr
+	Workers int
+}
+
+// BannerPayload is one grabbed banner in a probe payload.
+type BannerPayload struct {
+	Port     int    `json:"port"`
+	Protocol string `json:"protocol"`
+	Banner   string `json:"banner"`
+}
+
+// ProbePayload is one probed address in a probe payload.
+type ProbePayload struct {
+	Addr          string          `json:"addr"`
+	OpenPorts     []int           `json:"open_ports,omitempty"`
+	Vendor        string          `json:"vendor,omitempty"`
+	FingerprintID string          `json:"fingerprint_id,omitempty"`
+	Banners       []BannerPayload `json:"banners,omitempty"`
+}
+
+// JobResult is the canonical payload of one CenProbe job.
+type JobResult struct {
+	Probes  []ProbePayload `json:"probes"`
+	Labeled int            `json:"labeled"`
+}
+
+// ParseAddrs parses the wire-level address strings of a probe spec.
+func ParseAddrs(raw []string) ([]netip.Addr, error) {
+	out := make([]netip.Addr, 0, len(raw))
+	for _, s := range raw {
+		a, err := netip.ParseAddr(s)
+		if err != nil {
+			return nil, fmt.Errorf("cenprobe: bad address %q: %w", s, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunJob probes every address in the spec across spec.Workers workers and
+// returns the canonical payload. Banner grabs are pure reads against the
+// device and server registries, so n may be shared — but service jobs
+// still run on private clones for uniformity with the other kinds.
+func RunJob(n *simnet.Network, spec JobSpec) JobResult {
+	results := ProbeAllOpt(n, spec.Addrs, Opts{Workers: spec.Workers})
+	out := JobResult{Probes: make([]ProbePayload, 0, len(results))}
+	for _, r := range results {
+		p := ProbePayload{
+			Addr:          r.Addr.String(),
+			OpenPorts:     r.OpenPorts,
+			Vendor:        r.Vendor,
+			FingerprintID: r.FingerprintID,
+		}
+		for _, b := range r.Banners {
+			p.Banners = append(p.Banners, BannerPayload{Port: b.Port, Protocol: b.Protocol, Banner: b.Banner})
+		}
+		sort.Slice(p.Banners, func(i, j int) bool { return p.Banners[i].Port < p.Banners[j].Port })
+		if r.Vendor != "" {
+			out.Labeled++
+		}
+		out.Probes = append(out.Probes, p)
+	}
+	return out
+}

@@ -2,6 +2,8 @@ package centrace
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -198,13 +200,87 @@ func TestJournalTornTrailingLine(t *testing.T) {
 	if j2.Len() != 2 {
 		t.Errorf("entries = %d, want 2 (torn line re-measured)", j2.Len())
 	}
+	if w := j2.Warnings(); len(w) != 1 {
+		t.Errorf("warnings = %v, want exactly one for the torn line", w)
+	}
+}
 
-	// Corruption in the middle of the file is an error, not a shrug.
-	var bad bytes.Buffer
-	bad.WriteString("not json at all\n")
-	bad.WriteString(`{"key":"ok"}` + "\n")
-	if _, err := ResumeJournal(bytes.NewReader(bad.Bytes()), nil); err == nil {
-		t.Error("mid-file corruption should surface an error")
+// TestJournalTornSegmentMidFile: a record torn in the middle of the
+// journal (write reordering around a crash) is skipped with a warning;
+// every record around it is still restored — the resume must not fail.
+func TestJournalTornSegmentMidFile(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	tgtA := Target{Domain: "a.example", Protocol: HTTP}
+	tgtB := Target{Domain: "b.example", Protocol: HTTPS}
+	j.Record(CampaignResult{Target: tgtA})
+	// The torn segment: half a JSON object where a full record should be.
+	buf.WriteString(`{"key":"b.exa` + "\n")
+	j.Record(CampaignResult{Target: tgtB})
+
+	j2, err := ResumeJournal(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatalf("mid-file torn segment should be skipped, not fatal: %v", err)
+	}
+	if j2.Len() != 2 {
+		t.Errorf("entries = %d, want 2 (records around the tear restored)", j2.Len())
+	}
+	for _, tgt := range []Target{tgtA, tgtB} {
+		if _, ok := j2.Lookup(tgt); !ok {
+			t.Errorf("target %s lost around the torn segment", tgt.Key())
+		}
+	}
+	w := j2.Warnings()
+	if len(w) != 1 {
+		t.Fatalf("warnings = %v, want exactly one for the torn segment", w)
+	}
+	if !strings.Contains(w[0], "line 2") {
+		t.Errorf("warning should name the torn line: %q", w[0])
+	}
+}
+
+// TestOpenJournalFileTornTailAppend: appending to a journal whose final
+// line was torn by a crash must not glue the new record onto the torn
+// tail — both records must survive the next resume.
+func TestOpenJournalFileTornTailAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	var buf bytes.Buffer
+	NewJournal(&buf).Record(CampaignResult{Target: Target{Domain: "a.example", Protocol: HTTP}})
+	buf.WriteString(`{"key":"b.exa`) // torn tail, no newline
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, f, err := OpenJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("restored %d entries, want 1", j.Len())
+	}
+	if len(j.Warnings()) != 1 {
+		t.Fatalf("warnings = %v, want one for the torn tail", j.Warnings())
+	}
+	tgtC := Target{Domain: "c.example", Protocol: HTTPS}
+	j.Record(CampaignResult{Target: tgtC})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, f2, err := OpenJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("after append past torn tail: %d entries, want 2", j2.Len())
+	}
+	if _, ok := j2.Lookup(tgtC); !ok {
+		t.Error("record appended after a torn tail was lost")
+	}
+	if len(j2.Warnings()) != 1 {
+		t.Errorf("warnings = %v, want exactly one (the original tear, not the new record)", j2.Warnings())
 	}
 }
 

@@ -34,10 +34,11 @@ type journalEntry struct {
 // writer are guarded by a mutex — each entry reaches the log as one
 // uninterleaved line.
 type Journal struct {
-	mu      sync.Mutex
-	entries map[string]journalEntry
-	w       io.Writer
-	err     error
+	mu       sync.Mutex
+	entries  map[string]journalEntry
+	w        io.Writer
+	err      error
+	warnings []string
 }
 
 // NewJournal returns an empty journal appending entries to w.
@@ -45,10 +46,16 @@ func NewJournal(w io.Writer) *Journal {
 	return &Journal{entries: make(map[string]journalEntry), w: w}
 }
 
-// ResumeJournal loads previously recorded entries from r (tolerating a
-// truncated final line, the normal crash artifact) and appends new entries
-// to w. Either may be nil: a nil r resumes nothing, a nil w records
-// in memory only.
+// ResumeJournal loads previously recorded entries from r and appends new
+// entries to w. Either may be nil: a nil r resumes nothing, a nil w
+// records in memory only.
+//
+// A line that fails to parse — the truncated final line a crash
+// mid-Record leaves behind, or an interior record torn by a filesystem
+// that reordered writes around a power cut — is skipped with a warning
+// (see Warnings) instead of failing the whole resume: every parseable
+// record is still restored, and the skipped target is simply
+// re-measured. Only an I/O error reading the journal aborts the resume.
 func ResumeJournal(r io.Reader, w io.Writer) (*Journal, error) {
 	j := NewJournal(w)
 	if r == nil {
@@ -65,13 +72,9 @@ func ResumeJournal(r io.Reader, w io.Writer) (*Journal, error) {
 		}
 		var e journalEntry
 		if err := json.Unmarshal(raw, &e); err != nil {
-			// A torn trailing line means the process died mid-write; that
-			// target simply gets re-measured. A torn line in the middle is
-			// corruption worth surfacing.
-			if !sc.Scan() {
-				break
-			}
-			return nil, fmt.Errorf("centrace: journal line %d corrupt: %w", line, err)
+			j.warnings = append(j.warnings, fmt.Sprintf(
+				"centrace: journal line %d: skipping unparseable record (torn write?): %v", line, err))
+			continue
 		}
 		j.entries[e.Key] = e
 	}
@@ -79,6 +82,15 @@ func ResumeJournal(r io.Reader, w io.Writer) (*Journal, error) {
 		return nil, fmt.Errorf("centrace: reading journal: %w", err)
 	}
 	return j, nil
+}
+
+// Warnings returns the resume-time warnings: one per journal line that was
+// skipped as unparseable. Callers surface them so a silently shrinking
+// journal does not go unnoticed.
+func (j *Journal) Warnings() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.warnings...)
 }
 
 // OpenJournalFile opens (creating if needed) a journal file, loads its
@@ -94,9 +106,27 @@ func OpenJournalFile(path string) (*Journal, *os.File, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, nil, err
+	}
+	// A crash mid-Record can leave the final line without its newline. New
+	// records must not be glued onto that torn tail — the concatenation
+	// would corrupt them too — so terminate it first; the torn line itself
+	// is skipped (with a warning) on every later resume.
+	if off > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], off-1); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
 	}
 	return j, f, nil
 }

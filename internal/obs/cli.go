@@ -2,7 +2,10 @@ package obs
 
 import (
 	"flag"
+	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 // CLIFlags bundles the observability flags every command registers:
@@ -58,4 +61,34 @@ func (c *CLIFlags) Finish() error {
 		c.reg.FullSnapshot().WriteReport(os.Stderr)
 	}
 	return DumpFiles(c.reg, c.tr, c.MetricsOut, c.TraceOut)
+}
+
+// FlushOnSignal installs a SIGINT/SIGTERM handler that flushes the
+// observability artifacts — plus any extra flush funcs the caller needs
+// durable, such as an open campaign journal — before exiting nonzero with
+// the conventional 128+signal code. Without it, interrupting a long
+// campaign loses the partially collected -metrics-out/-trace-out files
+// and the unsynced journal tail. The registry and tracer are safe to
+// snapshot concurrently with a still-running measurement, so the handler
+// flushes whatever has been recorded up to the interrupt.
+func (c *CLIFlags) FlushOnSignal(extra ...func() error) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "\ninterrupted (%v); flushing journal and observability artifacts\n", sig)
+		code := 130 // 128+SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		for _, f := range extra {
+			if err := f(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		if err := c.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(code)
+	}()
 }

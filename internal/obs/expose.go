@@ -78,9 +78,35 @@ func promLabels(ls []Label) string {
 	}
 	parts := make([]string, len(ls))
 	for i, l := range ls {
-		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+		parts[i] = l.Key + `="` + promEscape(l.Value) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promEscape escapes a label value per the Prometheus text exposition
+// format: exactly backslash, double-quote, and line-feed are escaped.
+// Go's %q is close but not conformant — it also escapes tabs and
+// non-printable bytes as \t/\xNN, sequences a Prometheus parser reads as
+// a literal backslash followed by junk.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // trimFloat renders a float without trailing zeros (0.02, not 0.020000).

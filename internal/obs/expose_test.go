@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPromLabelEscaping: the text exposition format escapes exactly
+// backslash, double-quote, and line-feed in label values — and nothing
+// else. A tab must pass through raw (Go's %q would corrupt it to \t).
+func TestPromLabelEscaping(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`plain`, `plain`},
+		{"line\nbreak", `line\nbreak`},
+		{`say "hi"`, `say \"hi\"`},
+		{`back\slash`, `back\\slash`},
+		{"tab\there", "tab\there"},
+		{"\\\"\n", `\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := promEscape(c.in); got != c.want {
+			t.Errorf("promEscape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPromExpositionEscapedSeries: a counter whose label value carries all
+// three escapable characters renders as a parseable exposition line.
+func TestPromExpositionEscapedSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("evil_total", L("path", "a\\b\"c\nd")).Add(3)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `evil_total{path="a\\b\"c\nd"} 3` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing escaped series:\nwant %q\ngot:\n%s", want, b.String())
+	}
+}
+
+// TestPromExpositionEmptyLabel: an empty label value is legal and must
+// render as key="" rather than being dropped.
+func TestPromExpositionEmptyLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sparse_total", L("tenant", "")).Inc()
+	r.Counter("bare_total").Inc()
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `sparse_total{tenant=""} 1`+"\n") {
+		t.Errorf("empty-valued label not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "bare_total 1\n") {
+		t.Errorf("label-free series should render without braces:\n%s", out)
+	}
+}
+
+// TestMetricsHandler: the /metrics handler serves the version 0.0.4 text
+// format content type and the full snapshot body (including histogram
+// buckets), so the service endpoint is scrapeable as-is.
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", L("kind", "centrace")).Add(2)
+	r.Histogram("lat_seconds", []float64{0.1, 1}).Observe(0.5)
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		`jobs_total{kind="centrace"} 2`,
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("handler body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsHandlerNilRegistry: a nil registry serves an empty but
+// correctly typed exposition instead of panicking.
+func TestMetricsHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("nil registry body = %q, want empty", rec.Body.String())
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+import "net/http"
+
+// PromContentType is the content type of the Prometheus text exposition
+// format, version 0.0.4 — what a scraping Prometheus expects from a
+// /metrics endpoint.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry's full snapshot
+// (deterministic plus runtime series) in the Prometheus text exposition
+// format — the /metrics endpoint of the orchestration service. A nil
+// registry serves an empty, still well-formed exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		if r == nil {
+			return
+		}
+		// A write error here means the scraper hung up; it sees a short
+		// read and retries next interval.
+		_ = r.FullSnapshot().WritePrometheus(w)
+	})
+}

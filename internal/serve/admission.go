@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Admission is the per-tenant token-bucket gate in front of the queue.
+// Each tenant owns an independent bucket of burst tokens refilled at rate
+// tokens/second; a submission spends one token. An empty bucket is the
+// saturation signal the API turns into 429 + Retry-After — admission
+// rejects rather than queueing unboundedly, so one noisy tenant cannot
+// starve the rest or balloon the daemon's memory.
+type Admission struct {
+	mu      sync.Mutex
+	burst   float64
+	rate    float64
+	now     func() time.Time
+	tenants map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewAdmission creates a gate giving each tenant burst tokens refilled at
+// rate tokens/second. now is the clock source (nil means time.Now);
+// injectable so tests drive refill deterministically.
+func NewAdmission(burst int, rate float64, now func() time.Time) *Admission {
+	if burst < 1 {
+		burst = 1
+	}
+	if rate <= 0 {
+		rate = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Admission{
+		burst:   float64(burst),
+		rate:    rate,
+		now:     now,
+		tenants: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one of tenant's tokens. When the bucket is empty it
+// reports ok=false and how long until a full token has refilled — the
+// Retry-After the API sends back.
+func (a *Admission) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.now()
+	b, found := a.tenants[tenant]
+	if !found {
+		b = &bucket{tokens: a.burst, last: t}
+		a.tenants[tenant] = b
+	}
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(a.burst, b.tokens+dt*a.rate)
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	missing := 1 - b.tokens
+	return false, time.Duration(math.Ceil(missing/a.rate)) * time.Second
+}

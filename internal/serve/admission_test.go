@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable admission clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestAdmissionBurstThenReject(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := NewAdmission(3, 1, clk.now)
+	for i := 0; i < 3; i++ {
+		if ok, _ := a.Allow("t1"); !ok {
+			t.Fatalf("submission %d rejected inside burst", i)
+		}
+	}
+	ok, retry := a.Allow("t1")
+	if ok {
+		t.Fatal("submission beyond burst admitted")
+	}
+	if retry != time.Second {
+		t.Fatalf("retryAfter = %v, want 1s (rate 1 token/s, bucket empty)", retry)
+	}
+}
+
+func TestAdmissionRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := NewAdmission(2, 0.5, clk.now) // one token every 2s
+	a.Allow("t1")
+	a.Allow("t1")
+	if ok, retry := a.Allow("t1"); ok || retry != 2*time.Second {
+		t.Fatalf("empty bucket: ok=%v retry=%v, want reject with 2s", ok, retry)
+	}
+	clk.advance(2 * time.Second)
+	if ok, _ := a.Allow("t1"); !ok {
+		t.Fatal("token not refilled after 2s at rate 0.5")
+	}
+	// Refill never exceeds burst.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.Allow("t1"); !ok {
+			t.Fatalf("refill-to-burst: submission %d rejected", i)
+		}
+	}
+	if ok, _ := a.Allow("t1"); ok {
+		t.Fatal("bucket refilled beyond burst")
+	}
+}
+
+func TestAdmissionTenantsIsolated(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := NewAdmission(1, 1, clk.now)
+	if ok, _ := a.Allow("noisy"); !ok {
+		t.Fatal("first noisy submission rejected")
+	}
+	if ok, _ := a.Allow("noisy"); ok {
+		t.Fatal("noisy tenant not throttled")
+	}
+	// A different tenant still has its full burst.
+	if ok, _ := a.Allow("quiet"); !ok {
+		t.Fatal("quiet tenant throttled by noisy tenant's bucket")
+	}
+}

@@ -1,0 +1,166 @@
+// Package serve is the measurement-orchestration service behind the
+// censerved daemon: an HTTP JSON API over a priority job queue with
+// per-tenant token-bucket admission control, a scheduler that dispatches
+// centrace/cenfuzz/cenprobe/cencluster jobs onto clone-isolated simnet
+// networks, and a sharded append-only result store with crash-safe
+// recovery. The paper's tools are one-shot batch pipelines; serve is the
+// long-running fleet layer that real deployments (Censored Planet's
+// longitudinal scans, Pathfinder-style campaigns) run them under.
+//
+// Determinism contract: a job's result payload is a pure function of its
+// normalized spec. The scheduler gives every job a private clone of the
+// canonical base world, rewound to the same origin state, with a fault
+// engine seeded from the spec alone — so the same spec submitted twice,
+// at any queue interleaving, concurrency, or in-job worker count, yields
+// byte-identical bytes from GET /v1/results/{id}.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Job kinds the scheduler can dispatch.
+const (
+	KindCenTrace         = "centrace"          // one measurement, needs endpoint+domain
+	KindCenTraceCampaign = "centrace.campaign" // every endpoint × domain × protocol
+	KindCenFuzz          = "cenfuzz"           // strategy catalog against one endpoint
+	KindCenProbe         = "cenprobe"          // banner grabs (given addrs or all devices)
+	KindCenCluster       = "cencluster"        // full §7 corpus + clustering study
+)
+
+// JobSpec is the wire-level description of one measurement job — the body
+// of POST /v1/jobs. Zero values take the documented defaults so a minimal
+// submission is just {"kind":"centrace","endpoint":...,"domain":...}.
+type JobSpec struct {
+	Kind string `json:"kind"`
+	// Tenant names the admission-control bucket the job debits. Default
+	// "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a
+	// priority.
+	Priority int `json:"priority,omitempty"`
+	// Seed roots the job's derived fault seed (and any other randomness).
+	// Default 1. Same spec + same seed → byte-identical payload.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Measurement parameters (kind-dependent; unknown-for-kind fields are
+	// rejected only when they would silently change the result).
+	Client      string   `json:"client,omitempty"`       // vantage: us, AZ, KZ, RU (default us)
+	Endpoint    string   `json:"endpoint,omitempty"`     // endpoint host ID
+	Domain      string   `json:"domain,omitempty"`       // test domain
+	Control     string   `json:"control,omitempty"`      // control domain
+	Protocol    string   `json:"protocol,omitempty"`     // http | https (default http)
+	Repetitions int      `json:"repetitions,omitempty"`  // traceroute repetitions (default 3)
+	Workers     int      `json:"workers,omitempty"`      // in-job parallel workers (default 1)
+	RetryPasses int      `json:"retry_passes,omitempty"` // campaign retry passes
+	Strategy    string   `json:"strategy,omitempty"`     // cenfuzz: run one strategy
+	Extensions  bool     `json:"extensions,omitempty"`   // cenfuzz: include extension strategies
+	Addrs       []string `json:"addrs,omitempty"`        // cenprobe: addresses (default: all devices)
+	TopK        int      `json:"topk,omitempty"`         // cencluster: top-importance features
+	MinPts      int      `json:"minpts,omitempty"`       // cencluster: DBSCAN min cluster size
+
+	// Fault profile, applied through a per-job engine seeded from
+	// (Seed, canonical spec) so realizations are job-deterministic.
+	Loss float64 `json:"loss,omitempty"` // uniform packet-loss rate [0,1]
+}
+
+// Normalize fills defaults in place. Called once at admission so the
+// stored spec, the derived seed, and the scheduler all see the same
+// values.
+func (s *JobSpec) Normalize() {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Client == "" {
+		s.Client = "us"
+	}
+	if s.Protocol == "" {
+		s.Protocol = "http"
+	}
+	if s.Repetitions <= 0 {
+		s.Repetitions = 3
+	}
+	if s.Workers <= 0 {
+		s.Workers = 1
+	}
+}
+
+// Validate rejects specs the scheduler could not run. Host existence is
+// checked at dispatch time (the world belongs to the scheduler); this is
+// the shape-level check admission performs before persisting anything.
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case KindCenTrace, KindCenFuzz:
+		if s.Domain == "" {
+			return fmt.Errorf("serve: %s job needs a domain", s.Kind)
+		}
+	case KindCenTraceCampaign, KindCenProbe, KindCenCluster:
+	default:
+		return fmt.Errorf("serve: unknown job kind %q", s.Kind)
+	}
+	if s.Protocol != "http" && s.Protocol != "https" {
+		return fmt.Errorf("serve: unknown protocol %q (want http or https)", s.Protocol)
+	}
+	if s.Loss < 0 || s.Loss >= 1 {
+		return fmt.Errorf("serve: loss %v out of [0,1)", s.Loss)
+	}
+	return nil
+}
+
+// CanonKey renders the measurement-relevant part of a normalized spec as
+// a stable string — the label the per-job fault seed is derived from.
+// Tenant and Priority are deliberately excluded: who submitted a job and
+// how urgently must not change its result bytes.
+func (s JobSpec) CanonKey() string {
+	c := s
+	c.Tenant = ""
+	c.Priority = 0
+	raw, err := json.Marshal(c)
+	if err != nil {
+		// JobSpec is a plain struct of marshalable types; this cannot
+		// happen short of memory corruption.
+		panic(fmt.Sprintf("serve: canonicalizing spec: %v", err))
+	}
+	return string(raw)
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+	// Attempts counts dispatches, including re-runs after a crash
+	// recovery.
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// submitResponse is the body of a successful POST /v1/jobs.
+type submitResponse struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+}
+
+// errorResponse is the JSON error body every non-2xx response carries.
+type errorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSec mirrors the Retry-After header on 429s.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+
+	"cendev/internal/obs"
+)
+
+// ErrQueueFull is returned by Reserve when the queue (admitted plus
+// reserved slots) is at capacity — the backpressure signal the API turns
+// into a 429.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrQueueClosed is returned by Reserve once the queue is draining.
+var ErrQueueClosed = errors.New("serve: job queue closed")
+
+// queueItem is one admitted job waiting for a scheduler worker.
+type queueItem struct {
+	id       string
+	priority int
+	seq      int64 // admission order; FIFO tiebreak within a priority
+}
+
+// Queue is the bounded priority queue between admission and the
+// scheduler workers: higher priority first, FIFO within a priority.
+// Admission is two-phase — Reserve a slot (can fail with ErrQueueFull),
+// persist the job, then Push (cannot fail) — so a job is never enqueued
+// before it is durable and never rejected after.
+type Queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    itemHeap
+	reserved int
+	capacity int
+	closed   bool
+	depth    *obs.Gauge
+}
+
+// NewQueue creates a queue holding at most capacity jobs. depth, when
+// non-nil, tracks the instantaneous queue length.
+func NewQueue(capacity int, depth *obs.Gauge) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{capacity: capacity, depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Reserve claims a queue slot for a job about to be persisted. It fails
+// fast with ErrQueueFull when queued+reserved is at capacity, and with
+// ErrQueueClosed while draining. Every successful Reserve must be paired
+// with exactly one Push or Release.
+func (q *Queue) Reserve() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.items)+q.reserved >= q.capacity {
+		return ErrQueueFull
+	}
+	q.reserved++
+	return nil
+}
+
+// Release returns an unused reservation (persist failed).
+func (q *Queue) Release() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.reserved > 0 {
+		q.reserved--
+	}
+}
+
+// Push enqueues a persisted job into its reserved slot and wakes one
+// worker. Pushing into a closed queue is a silent no-op: the job is
+// already durable as queued, so the next start recovers it.
+func (q *Queue) Push(id string, priority int, seq int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.reserved > 0 {
+		q.reserved--
+	}
+	if q.closed {
+		return
+	}
+	heap.Push(&q.items, queueItem{id: id, priority: priority, seq: seq})
+	q.depth.Set(int64(len(q.items)))
+	q.cond.Signal()
+}
+
+// Pop blocks until a job is available and returns it, or returns ok=false
+// once the queue has been closed. Jobs still queued at close time stay in
+// the store as queued and are recovered by the next start — drain
+// deliberately does not run them.
+func (q *Queue) Pop() (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return "", false
+	}
+	it := heap.Pop(&q.items).(queueItem)
+	q.depth.Set(int64(len(q.items)))
+	return it.id, true
+}
+
+// Len returns the number of queued (not reserved, not running) jobs.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close begins the drain: every blocked and future Pop returns ok=false,
+// Reserve fails, and queued items are left for recovery.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// itemHeap orders by priority descending, then admission sequence
+// ascending.
+type itemHeap []queueItem
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *itemHeap) Push(x any) { *h = append(*h, x.(queueItem)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := NewQueue(8, nil)
+	push := func(id string, prio int, seq int64) {
+		if err := q.Reserve(); err != nil {
+			t.Fatalf("Reserve: %v", err)
+		}
+		q.Push(id, prio, seq)
+	}
+	push("low-1", 0, 1)
+	push("high-1", 5, 2)
+	push("low-2", 0, 3)
+	push("high-2", 5, 4)
+
+	want := []string{"high-1", "high-2", "low-1", "low-2"}
+	for i, w := range want {
+		id, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d: queue closed unexpectedly", i)
+		}
+		if id != w {
+			t.Fatalf("Pop %d = %q, want %q", i, id, w)
+		}
+	}
+}
+
+func TestQueueCapacityCountsReservations(t *testing.T) {
+	q := NewQueue(2, nil)
+	if err := q.Reserve(); err != nil {
+		t.Fatalf("Reserve 1: %v", err)
+	}
+	if err := q.Reserve(); err != nil {
+		t.Fatalf("Reserve 2: %v", err)
+	}
+	// Two reserved slots, zero queued items: still full.
+	if err := q.Reserve(); err != ErrQueueFull {
+		t.Fatalf("Reserve 3 = %v, want ErrQueueFull", err)
+	}
+	q.Release()
+	if err := q.Reserve(); err != nil {
+		t.Fatalf("Reserve after Release: %v", err)
+	}
+	// Converting a reservation into an item must not free capacity.
+	q.Push("a", 0, 1)
+	if err := q.Reserve(); err != ErrQueueFull {
+		t.Fatalf("Reserve after Push = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := NewQueue(4, nil)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	// Give the popper a moment to block.
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Pop on closed queue returned ok=true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not unblock on Close")
+	}
+	if err := q.Reserve(); err != ErrQueueClosed {
+		t.Fatalf("Reserve after Close = %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestQueueCloseLeavesItemsForRecovery(t *testing.T) {
+	q := NewQueue(4, nil)
+	if err := q.Reserve(); err != nil {
+		t.Fatal(err)
+	}
+	q.Push("a", 0, 1)
+	q.Close()
+	// Drain semantics: queued items are NOT handed out after close; the
+	// durable store is their path back.
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned an item after Close; drain must leave queued jobs for recovery")
+	}
+	// Pushing a durable job into a closed queue is a silent no-op.
+	q.Push("b", 0, 2)
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue(128, nil)
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			if err := q.Reserve(); err != nil {
+				t.Errorf("Reserve: %v", err)
+				return
+			}
+			q.Push("job", i%3, int64(i))
+		}(i)
+	}
+	seen := make(chan string, n)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for {
+				id, ok := q.Pop()
+				if !ok {
+					return
+				}
+				seen <- id
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		select {
+		case <-seen:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("consumed %d/%d items before timeout", i, n)
+		}
+	}
+	q.Close()
+}

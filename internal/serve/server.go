@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cendev/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// StoreDir is the result-store directory (required).
+	StoreDir string
+	// Shards is the segment-file count (default DefaultShards).
+	Shards int
+	// QueueCapacity bounds queued jobs; beyond it submissions get 429
+	// (default 64).
+	QueueCapacity int
+	// Workers is the number of concurrent scheduler workers (default 2).
+	Workers int
+	// AdmitBurst and AdmitRate shape each tenant's token bucket
+	// (default 8 tokens, 1 token/s).
+	AdmitBurst int
+	AdmitRate  float64
+	// Now is the admission clock (nil means time.Now); injectable so
+	// tests drive refill deterministically.
+	Now func() time.Time
+	// Obs, when non-nil, receives the service's own series plus the
+	// aggregated measurement series of every job.
+	Obs *obs.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.AdmitBurst <= 0 {
+		o.AdmitBurst = 8
+	}
+	if o.AdmitRate <= 0 {
+		o.AdmitRate = 1
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the orchestration service: admission gate, priority queue,
+// scheduler workers, and result store behind an HTTP JSON API.
+type Server struct {
+	opts  Options
+	store *Store
+	queue *Queue
+	admit *Admission
+	sched *Scheduler
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+	workers  sync.WaitGroup
+
+	mRunning *obs.Gauge
+}
+
+// New opens the store, recovers persisted jobs, builds the scheduler
+// world, and starts the worker pool. Jobs found queued or running from a
+// previous process are re-enqueued in their original admission order —
+// re-running an interrupted job is safe because payloads are pure
+// functions of the spec.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	store, err := OpenStore(opts.StoreDir, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range store.Warnings() {
+		opts.Logf("store recovery: %s", w)
+	}
+
+	s := &Server{
+		opts:     opts,
+		store:    store,
+		admit:    NewAdmission(opts.AdmitBurst, opts.AdmitRate, opts.Now),
+		mRunning: opts.Obs.Gauge("censerved_jobs_running"),
+	}
+	s.queue = NewQueue(opts.QueueCapacity, opts.Obs.Gauge("censerved_queue_depth"))
+	s.sched = NewScheduler(opts.Obs)
+
+	// Recovery: pending entries in admission order. A job caught mid-run
+	// by a crash is still recorded as running; flip it back to queued so
+	// status reporting matches reality, then requeue. Recovery bypasses
+	// the capacity check — these jobs were admitted before.
+	for _, e := range store.Pending() {
+		if e.State == StateRunning {
+			if err := store.UpdateState(e.ID, StateQueued, e.Attempts, "", nil); err != nil {
+				store.Close()
+				return nil, fmt.Errorf("serve: recovering %s: %w", e.ID, err)
+			}
+			opts.Logf("recovered interrupted job %s (attempt %d); requeued", e.ID, e.Attempts)
+		} else {
+			opts.Logf("recovered queued job %s", e.ID)
+		}
+		s.queue.Push(e.ID, e.Spec.Priority, e.Seq)
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", obs.Handler(opts.Obs))
+
+	s.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// countSubmitted, countRejected, countDone, countFailed bump the
+// service's labeled series; label values bind at lookup, so series are
+// resolved on demand (the registry dedups by name+labels).
+func (s *Server) countSubmitted(tenant string) {
+	s.opts.Obs.Counter("censerved_jobs_submitted_total", obs.L("tenant", tenant)).Inc()
+}
+
+func (s *Server) countRejected(reason string) {
+	s.opts.Obs.Counter("censerved_jobs_rejected_total", obs.L("reason", reason)).Inc()
+}
+
+func (s *Server) countDone(kind string) {
+	s.opts.Obs.Counter("censerved_jobs_done_total", obs.L("kind", kind)).Inc()
+}
+
+func (s *Server) countFailed(kind string) {
+	s.opts.Obs.Counter("censerved_jobs_failed_total", obs.L("kind", kind)).Inc()
+}
+
+// Store exposes the underlying store (read-side, for tests and drain
+// verification).
+func (s *Server) Store() *Store { return s.store }
+
+// worker pops jobs until the queue closes.
+func (s *Server) worker(id int) {
+	defer s.workers.Done()
+	for {
+		jobID, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.runJob(id, jobID)
+	}
+}
+
+func (s *Server) runJob(workerID int, jobID string) {
+	e, ok := s.store.Get(jobID)
+	if !ok {
+		s.opts.Logf("worker %d: job %s vanished from store", workerID, jobID)
+		return
+	}
+	attempts := e.Attempts + 1
+	if err := s.store.UpdateState(jobID, StateRunning, attempts, "", nil); err != nil {
+		s.opts.Logf("worker %d: job %s: mark running: %v", workerID, jobID, err)
+		return
+	}
+	s.mRunning.Add(1)
+	defer s.mRunning.Add(-1)
+
+	payload, err := func() (p json.RawMessage, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: job panicked: %v", r)
+			}
+		}()
+		return s.sched.Run(e.Spec)
+	}()
+
+	if err != nil {
+		s.countFailed(e.Spec.Kind)
+		if uerr := s.store.UpdateState(jobID, StateFailed, attempts, err.Error(), nil); uerr != nil {
+			s.opts.Logf("worker %d: job %s: mark failed: %v", workerID, jobID, uerr)
+		}
+		s.opts.Logf("worker %d: job %s (%s) failed: %v", workerID, jobID, e.Spec.Kind, err)
+		return
+	}
+	s.countDone(e.Spec.Kind)
+	if uerr := s.store.UpdateState(jobID, StateDone, attempts, "", payload); uerr != nil {
+		s.opts.Logf("worker %d: job %s: mark done: %v", workerID, jobID, uerr)
+		return
+	}
+	s.opts.Logf("worker %d: job %s (%s) done, %d payload bytes", workerID, jobID, e.Spec.Kind, len(payload))
+}
+
+// Drain performs the graceful shutdown sequence: stop admitting (new
+// submissions get 503), close the queue (queued jobs stay persisted for
+// the next start), wait for in-flight jobs to finish, compact, and close
+// the store. Idempotent.
+func (s *Server) Drain() error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	s.opts.Logf("draining: admission stopped, waiting for in-flight jobs")
+	s.queue.Close()
+	s.workers.Wait()
+	if err := s.store.Compact(); err != nil {
+		s.store.Close()
+		return fmt.Errorf("serve: drain compact: %w", err)
+	}
+	if err := s.store.Close(); err != nil {
+		return fmt.Errorf("serve: drain close: %w", err)
+	}
+	s.opts.Logf("drain complete: %d jobs persisted", s.store.Len())
+	return nil
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		s.countRejected("invalid")
+		writeError(w, http.StatusBadRequest, "decoding job spec: "+err.Error())
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		s.countRejected("invalid")
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if ok, retry := s.admit.Allow(spec.Tenant); !ok {
+		s.countRejected("admission")
+		sec := int(retry / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error:         "tenant rate limit exceeded",
+			RetryAfterSec: sec,
+		})
+		return
+	}
+
+	if err := s.queue.Reserve(); err != nil {
+		if errors.Is(err, ErrQueueClosed) {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		s.countRejected("queue_full")
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error:         "queue full",
+			RetryAfterSec: 1,
+		})
+		return
+	}
+
+	entry, err := s.store.AppendQueued(spec)
+	if err != nil {
+		s.queue.Release()
+		writeError(w, http.StatusInternalServerError, "persisting job: "+err.Error())
+		return
+	}
+	s.queue.Push(entry.ID, spec.Priority, entry.Seq)
+	s.countSubmitted(spec.Tenant)
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: entry.ID, State: StateQueued})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Status())
+}
+
+// handleResult serves the raw payload bytes — deliberately not
+// re-encoded, so byte-identity across submissions is observable at the
+// API boundary.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	switch e.State {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(e.Payload)
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: e.Error})
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; retry later", e.State))
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

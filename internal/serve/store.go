@@ -1,0 +1,508 @@
+package serve
+
+// The result store is a sharded append-only journal, the service-scale
+// descendant of the centrace campaign Journal: every job-state transition
+// is one JSON line appended (and fsynced) to the shard its job ID hashes
+// to, an in-memory index holds the merged latest view, and reopening a
+// directory replays every shard — tolerating the torn final line a
+// kill -9 mid-append leaves behind by truncating it away — so a crashed
+// daemon restarts into exactly the set of durable jobs. Shards bound
+// compaction work and spread append fsyncs across files; when a shard
+// accumulates more superseded records than live ones it is rewritten in
+// place (write-temp, rename) from the merged index.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// storeRecord is the on-disk form of one job-state transition. Queued
+// records carry the spec; done records carry the payload; compaction
+// writes fully merged records carrying both.
+type storeRecord struct {
+	Seq int64 `json:"seq"`
+	// Merged, set on compacted records, is the highest record seq folded
+	// into the merged state. Replay compares states by max(Seq, Merged),
+	// so a compacted record beats stale pre-compaction records that
+	// survive in legacy segments, while Seq keeps the job's admission
+	// order.
+	Merged   int64           `json:"merged,omitempty"`
+	ID       string          `json:"id"`
+	State    JobState        `json:"state"`
+	Spec     *JobSpec        `json:"spec,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+}
+
+// JobEntry is the merged in-memory view of one job.
+type JobEntry struct {
+	ID       string
+	Seq      int64 // seq of the job's first (queued) record: admission order
+	State    JobState
+	Spec     JobSpec
+	Attempts int
+	Error    string
+	Payload  json.RawMessage
+	// mergedSeq is the highest record seq folded in — replay may visit a
+	// job's records out of order when they span segments (a shard-count
+	// change between runs), and only the newest record decides the state.
+	mergedSeq int64
+}
+
+// Status renders the entry as the API's job status body.
+func (e *JobEntry) Status() JobStatus {
+	return JobStatus{ID: e.ID, State: e.State, Spec: e.Spec, Attempts: e.Attempts, Error: e.Error}
+}
+
+// storeShard is one append-only segment file plus its compaction
+// accounting.
+type storeShard struct {
+	f    *os.File
+	path string
+	// records counts lines in the file; live is the number of jobs whose
+	// merged state lives here. The gap is compactable garbage.
+	records int
+	live    int
+}
+
+// Store is the crash-safe job/result store.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	shards  []*storeShard
+	index   map[string]*JobEntry
+	seq     int64
+	nextID  int64
+	// compactMinRecords is the per-shard garbage floor below which
+	// compaction is not worth a rewrite.
+	compactMinRecords int
+	warnings          []string
+}
+
+// DefaultShards is the default shard count for a store directory.
+const DefaultShards = 4
+
+// OpenStore opens (creating if needed) a store directory with nShards
+// segment files, replays every segment present — including segments from
+// runs with a different shard count — and repairs torn tails. The merged
+// index is ready immediately after.
+func OpenStore(dir string, nShards int) (*Store, error) {
+	if nShards < 1 {
+		nShards = DefaultShards
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store dir: %w", err)
+	}
+	s := &Store{
+		dir:               dir,
+		index:             make(map[string]*JobEntry),
+		compactMinRecords: 64,
+	}
+
+	// Replay every segment on disk, not just the first nShards: a
+	// restart with a smaller -shards must not orphan jobs.
+	paths, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nShards; i++ {
+		p := s.shardPath(i)
+		found := false
+		for _, q := range paths {
+			if q == p {
+				found = true
+			}
+		}
+		if !found {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	type replayed struct {
+		path    string
+		records int
+	}
+	var segs []replayed
+	for _, p := range paths {
+		n, err := s.replaySegment(p)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, replayed{path: p, records: n})
+	}
+
+	// Open the first nShards for appending. Legacy segments beyond
+	// nShards stay on disk read-only: their jobs are in the index and new
+	// records for them append to the shard their ID now hashes to.
+	for i := 0; i < nShards; i++ {
+		p := s.shardPath(i)
+		f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.closeAll()
+			return nil, err
+		}
+		sh := &storeShard{f: f, path: p}
+		for _, seg := range segs {
+			if seg.path == p {
+				sh.records = seg.records
+			}
+		}
+		s.shards = append(s.shards, sh)
+	}
+	for _, e := range s.index {
+		s.shards[s.shardFor(e.ID)].live++
+	}
+	return s, nil
+}
+
+func (s *Store) shardPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%02d.jsonl", i))
+}
+
+// shardFor hashes a job ID to its owning shard.
+func (s *Store) shardFor(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// replaySegment scans one segment file, merging records into the index in
+// seq order (within a file, append order is seq order) and repairing a
+// torn final line by truncating the file back to the last record
+// boundary. Returns the number of good records.
+func (s *Store) replaySegment(path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var pos, lastGoodEnd int64 // byte offsets: current scan position, end of last good line
+	records := 0
+	line := 0
+	tornTail := false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		pos += int64(len(raw)) + 1 // +1 for the newline (over-counts a final
+		// unterminated line, which only ever matters when that line is torn —
+		// and then truncation uses lastGoodEnd, not pos)
+		if len(raw) == 0 {
+			lastGoodEnd = pos
+			continue
+		}
+		var rec storeRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			s.warnings = append(s.warnings, fmt.Sprintf(
+				"serve: %s line %d: skipping torn record: %v", filepath.Base(path), line, err))
+			tornTail = true
+			continue
+		}
+		tornTail = false
+		lastGoodEnd = pos
+		s.mergeRecord(&rec)
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("serve: reading %s: %w", path, err)
+	}
+	if tornTail {
+		// The file ends in a torn record — the kill -9 mid-append
+		// artifact. Truncate back to the last record boundary so the
+		// segment is clean for appending. (An interior tear followed by
+		// good records is merely skipped: truncating would drop the good
+		// tail too.)
+		if err := os.Truncate(path, lastGoodEnd); err != nil {
+			return 0, fmt.Errorf("serve: repairing %s: %w", path, err)
+		}
+		s.warnings = append(s.warnings, fmt.Sprintf(
+			"serve: %s: truncated torn tail at byte %d", filepath.Base(path), lastGoodEnd))
+	}
+	return records, nil
+}
+
+// mergeRecord folds one replayed record into the index. Records may
+// arrive out of seq order across segments; the newest record wins the
+// state, while spec and payload are kept from whichever record carried
+// them.
+func (s *Store) mergeRecord(rec *storeRecord) {
+	e, ok := s.index[rec.ID]
+	if !ok {
+		e = &JobEntry{ID: rec.ID, Seq: rec.Seq}
+		s.index[rec.ID] = e
+	}
+	if rec.Seq < e.Seq {
+		e.Seq = rec.Seq // admission order = the job's earliest record
+	}
+	if rec.Spec != nil {
+		e.Spec = *rec.Spec
+	}
+	if rec.Payload != nil {
+		e.Payload = rec.Payload
+	}
+	eff := rec.Seq
+	if rec.Merged > eff {
+		eff = rec.Merged
+	}
+	if eff >= e.mergedSeq {
+		e.mergedSeq = eff
+		e.State = rec.State
+		e.Error = rec.Error
+		if rec.Attempts > 0 {
+			e.Attempts = rec.Attempts
+		}
+	}
+	if eff > s.seq {
+		s.seq = eff
+	}
+	if eff >= s.nextID {
+		s.nextID = eff
+	}
+}
+
+// AppendQueued persists a new job and returns its entry (ID assigned from
+// the store sequence, so IDs survive restarts without collision).
+func (s *Store) AppendQueued(spec JobSpec) (*JobEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("j-%08d", s.nextID)
+	e := &JobEntry{ID: id, State: StateQueued, Spec: spec}
+	rec := storeRecord{ID: id, State: StateQueued, Spec: &spec}
+	if err := s.appendLocked(&rec); err != nil {
+		return nil, err
+	}
+	e.Seq = rec.Seq
+	e.mergedSeq = rec.Seq
+	s.index[id] = e
+	s.shards[s.shardFor(id)].live++
+	return e, nil
+}
+
+// UpdateState persists a state transition for an existing job. payload
+// accompanies StateDone; errMsg accompanies StateFailed.
+func (s *Store) UpdateState(id string, state JobState, attempts int, errMsg string, payload json.RawMessage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[id]
+	if !ok {
+		return fmt.Errorf("serve: unknown job %s", id)
+	}
+	rec := storeRecord{ID: id, State: state, Attempts: attempts, Error: errMsg, Payload: payload}
+	if err := s.appendLocked(&rec); err != nil {
+		return err
+	}
+	e.State = state
+	e.Attempts = attempts
+	e.Error = errMsg
+	e.mergedSeq = rec.Seq
+	if payload != nil {
+		e.Payload = payload
+	}
+	return s.maybeCompactLocked(s.shardFor(id))
+}
+
+// appendLocked assigns the next sequence number, writes the record as one
+// line, and fsyncs the shard so an acknowledged transition survives a
+// kill -9.
+func (s *Store) appendLocked(rec *storeRecord) error {
+	s.seq++
+	rec.Seq = s.seq
+	if rec.Seq > s.nextID {
+		s.nextID = rec.Seq
+	}
+	sh := s.shards[s.shardFor(rec.ID)]
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: marshal record: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := sh.f.Write(raw); err != nil {
+		return fmt.Errorf("serve: append %s: %w", sh.path, err)
+	}
+	if err := sh.f.Sync(); err != nil {
+		return fmt.Errorf("serve: sync %s: %w", sh.path, err)
+	}
+	sh.records++
+	return nil
+}
+
+// maybeCompactLocked rewrites a shard when it holds more garbage than
+// live state: one merged record per job, written to a temp file and
+// renamed over the segment, so a crash at any point leaves either the
+// old or the new segment intact.
+func (s *Store) maybeCompactLocked(i int) error {
+	sh := s.shards[i]
+	garbage := sh.records - sh.live
+	if garbage <= sh.live || sh.records < s.compactMinRecords {
+		return nil
+	}
+	return s.compactLocked(i)
+}
+
+func (s *Store) compactLocked(i int) error {
+	sh := s.shards[i]
+	// Collect this shard's jobs in seq order for a stable segment layout.
+	var entries []*JobEntry
+	for _, e := range s.index {
+		if s.shardFor(e.ID) == i {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Seq < entries[b].Seq })
+
+	tmp := sh.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, e := range entries {
+		spec := e.Spec
+		rec := storeRecord{
+			Seq: e.Seq, ID: e.ID, State: e.State, Spec: &spec,
+			Attempts: e.Attempts, Error: e.Error, Payload: e.Payload,
+		}
+		if e.mergedSeq > e.Seq {
+			rec.Merged = e.mergedSeq
+		}
+		raw, err := json.Marshal(&rec)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		raw = append(raw, '\n')
+		if _, err := w.Write(raw); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, sh.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	sh.f.Close()
+	nf, err := os.OpenFile(sh.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: reopening compacted %s: %w", sh.path, err)
+	}
+	sh.f = nf
+	sh.records = len(entries)
+	sh.live = len(entries)
+	return nil
+}
+
+// Get returns a copy of the job's merged entry.
+func (s *Store) Get(id string) (JobEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[id]
+	if !ok {
+		return JobEntry{}, false
+	}
+	return *e, true
+}
+
+// Pending returns the jobs whose latest durable state is queued or
+// running, in admission order — what a restart re-enqueues. A job that
+// was mid-flight when the daemon died is simply re-run: results are a
+// pure function of the spec, so a re-run converges on the same bytes.
+func (s *Store) Pending() []JobEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []JobEntry
+	for _, e := range s.index {
+		if e.State == StateQueued || e.State == StateRunning {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Len returns the number of indexed jobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Warnings returns the replay-time warnings (torn records dropped,
+// segments repaired).
+func (s *Store) Warnings() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.warnings...)
+}
+
+// Compact force-compacts every shard — part of the drain sequence, so a
+// long-lived daemon hands the next start minimal segments.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.shards {
+		if s.shards[i].records > s.shards[i].live {
+			if err := s.compactLocked(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes every shard.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, sh := range s.shards {
+		if sh.f == nil {
+			continue
+		}
+		if err := sh.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := sh.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		sh.f = nil
+	}
+	return first
+}
+
+func (s *Store) closeAll() {
+	for _, sh := range s.shards {
+		if sh.f != nil {
+			sh.f.Close()
+		}
+	}
+}
