@@ -7,8 +7,23 @@ cd "$(dirname "$0")"
 echo "==> go build ./..."
 go build ./...
 
+echo "==> gofmt gate"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+  echo "gofmt needed on:"; echo "$UNFORMATTED"; exit 1
+fi
+
+# Unified static-analysis stage: stock vet over everything (this
+# includes internal/obs, whose ad-hoc `go vet ./internal/obs/` line was
+# promoted here), then cenlint — the repo's own go/analysis-style suite
+# enforcing the determinism and persistence invariants (wall-clock
+# reads, global rand, unsorted map-fed output, rename-without-fsync,
+# %w error wrapping). Built once, fails on any diagnostic.
 echo "==> go vet ./..."
 go vet ./...
+echo "==> cenlint ./..."
+go build -o /tmp/ci_cenlint ./cmd/cenlint
+/tmp/ci_cenlint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
@@ -21,12 +36,10 @@ go test -run '^$' -bench 'BenchmarkCampaignParallel' -benchtime 1x -json . > BEN
 go run ./cmd/centrace -all -workers 4 > /dev/null
 echo "==> parallel campaign smoke (-workers=4) ok"
 
-# Observability: vet the obs package, benchmark the instrumented campaign
-# against the uninstrumented one (BENCH_obs.json; the enabled run should
-# stay within a few percent), and smoke a real campaign with metrics and
-# trace emission, asserting the core series actually recorded work.
-echo "==> go vet ./internal/obs/"
-go vet ./internal/obs/
+# Observability: benchmark the instrumented campaign against the
+# uninstrumented one (BENCH_obs.json; the enabled run should stay within
+# a few percent), and smoke a real campaign with metrics and trace
+# emission, asserting the core series actually recorded work.
 echo "==> obs overhead benchmarks -> BENCH_obs.json"
 go test -run '^$' -bench 'BenchmarkCampaignObs' -benchtime 20x -json . > BENCH_obs.json
 echo "==> obs smoke (-metrics-out/-trace-out)"
@@ -82,5 +95,8 @@ go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/httpgram
 go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/tlsgram
 go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/dnsgram
 go test -run=^$ -fuzz=FuzzDecodePacket -fuzztime="$FUZZTIME" ./internal/netem
+go test -run=^$ -fuzz=FuzzJournalReplay -fuzztime="$FUZZTIME" ./internal/centrace
+go test -run=^$ -fuzz=FuzzStoreReplay -fuzztime="$FUZZTIME" ./internal/serve
+go test -run=^$ -fuzz=FuzzPromEscape -fuzztime="$FUZZTIME" ./internal/obs
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,71 @@
+// Command cenlint machine-checks the repo's determinism and persistence
+// invariants: no wall-clock reads or global randomness in deterministic
+// packages, no unsorted map iteration feeding canonical output, fsync
+// before rename in the journal/store packages, and %w error wrapping.
+//
+// Usage:
+//
+//	go run ./cmd/cenlint ./...      # lint the whole repo (CI gate)
+//	go run ./cmd/cenlint -list      # describe the analyzers
+//
+// Exit status is 0 when clean, 1 when any diagnostic is reported, and 2
+// on load/type-check failure. Suppress an intentional finding with a
+// trailing or preceding `//cenlint:volatile <justification>` comment;
+// the justification is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cendev/internal/lint"
+	"cendev/internal/lint/driver"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cenlint [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && len(rel) < len(pos.Filename) {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: %s (%s)\n", pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cenlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

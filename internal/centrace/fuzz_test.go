@@ -1,0 +1,48 @@
+package centrace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJournalReplay drives arbitrary bytes through the torn-tail-tolerant
+// journal parser. Whatever the input, ResumeJournal must not panic, and
+// appending one more torn line must change nothing but the warning count
+// — the exact situation a kill -9 mid-Record creates on top of an
+// already-messy file.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"key":"az-ep-0-0|example.com|HTTP","endpoint":"az-ep-0-0","domain":"example.com","protocol":"HTTP"}` + "\n"))
+	f.Add([]byte(`{"key":"a","error":"timeout"}` + "\n" + `{"key":"b"` + "\n")) // torn tail
+	f.Add([]byte(`{"key":"dup"}` + "\n" + `{"key":"dup","error":"later"}` + "\n"))
+	f.Add([]byte(`not json at all` + "\n" + `{"key":"after-tear"}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := ResumeJournal(bytes.NewReader(data), nil)
+		if err != nil {
+			// Only scanner-level I/O failures (e.g. a line beyond the 16MB
+			// buffer) may error; they must not yield a half-built journal.
+			if j != nil {
+				t.Fatalf("ResumeJournal returned both a journal and error %v", err)
+			}
+			return
+		}
+		entries, warnings := j.Len(), len(j.Warnings())
+
+		// A fresh torn tail on the same bytes: every previously parseable
+		// line parses identically (the suffix starts with a newline, so it
+		// terminates a previously unterminated last line without altering
+		// its bytes), and exactly one more warning appears.
+		torn := append(append([]byte(nil), data...), []byte("\n{\"key\":\"torn")...)
+		j2, err := ResumeJournal(bytes.NewReader(torn), nil)
+		if err != nil {
+			t.Fatalf("ResumeJournal on torn variant errored: %v", err)
+		}
+		if j2.Len() != entries {
+			t.Fatalf("torn tail changed entry count: %d -> %d", entries, j2.Len())
+		}
+		if got := len(j2.Warnings()); got != warnings+1 {
+			t.Fatalf("torn tail: want %d warnings, got %d", warnings+1, got)
+		}
+	})
+}

@@ -101,8 +101,13 @@ func RenderBannerStats(s BannerStats) string {
 	for _, v := range vendors {
 		fmt.Fprintf(&b, "  %-14s %d device(s)\n", v, s.Summary.VendorCounts[v])
 	}
-	for v, n := range s.BlockpageOnlyVendors {
-		fmt.Fprintf(&b, "  %-14s %d device(s) labeled by blockpage only\n", v, n)
+	var bpOnly []string
+	for v := range s.BlockpageOnlyVendors {
+		bpOnly = append(bpOnly, v)
+	}
+	sort.Strings(bpOnly)
+	for _, v := range bpOnly {
+		fmt.Fprintf(&b, "  %-14s %d device(s) labeled by blockpage only\n", v, s.BlockpageOnlyVendors[v])
 	}
 	return b.String()
 }

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+
+	"cendev/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package-level time functions that read or wait
+// on the wall clock. time.Duration arithmetic and time.Time values
+// threaded in from callers are fine; only acquiring wall time inside a
+// deterministic package is the bug.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// DetClock forbids wall-clock reads in deterministic packages. The
+// simnet virtual clock (and the injectable now-func pattern used by
+// serve admission) is the approved time source: a single stray
+// time.Now() in a hot path silently breaks the byte-identical-replay
+// promise, the failure mode strict measurement hygiene exists to catch.
+var DetClock = &analysis.Analyzer{
+	Name: "detclock",
+	Doc: "forbid time.Now/Since/Sleep/NewTimer and friends in deterministic packages; " +
+		"thread the virtual clock or an injected now-func, or annotate //cenlint:volatile <why>",
+	Run: runDetClock,
+}
+
+func runDetClock(pass *analysis.Pass) error {
+	if !isDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass.TypesInfo, sel.Sel)
+			if fn == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock in deterministic package %s; thread the virtual clock or an injected now-func instead (or annotate //cenlint:volatile <why> for intentionally wall-clock series)",
+				fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

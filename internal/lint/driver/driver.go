@@ -1,0 +1,262 @@
+// Package driver loads type-checked packages for the cenlint analyzers
+// without golang.org/x/tools (the build environment is offline): package
+// metadata and compiled export data come from `go list -export -deps
+// -json`, syntax from go/parser, and types from go/types with a gc
+// importer reading the export files. The driver also owns the
+// //cenlint:volatile suppression directive, so every analyzer gets the
+// same escape hatch with the same justification rule.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cendev/internal/lint/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Finding is one resolved diagnostic: position plus the analyzer that
+// produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load resolves patterns with `go list` (run in dir; "" means the
+// current directory) and returns the matched non-test packages,
+// type-checked against the export data of their dependencies. Test files
+// are deliberately out of scope: the determinism invariants cenlint
+// enforces are about measurement outputs, and tests may use the wall
+// clock freely.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, p := range targets {
+		var files []*ast.File
+		for _, gf := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", gf, err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: imp}
+		info := NewInfo()
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path: p.ImportPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// RunPackage applies the analyzers to one package, resolves positions,
+// drops diagnostics suppressed by //cenlint:volatile directives, and
+// appends the driver's own directive-hygiene findings (a directive with
+// no justification is itself reported, so a bare annotation cannot
+// silently green the gate).
+func RunPackage(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	suppressed, directiveFindings := scanDirectives(pkg)
+
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if suppressed[lineKey{pos.Filename, pos.Line}] {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	out = append(out, directiveFindings...)
+	sortFindings(out)
+	return out, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// directivePrefix introduces every cenlint control comment.
+const directivePrefix = "//cenlint:"
+
+// scanDirectives walks every comment for //cenlint: directives. A
+// //cenlint:volatile directive suppresses all diagnostics on its own
+// line and the line below it (so it works both as a trailing comment and
+// as a standalone line above the statement). The directive must carry a
+// justification after the keyword; a bare one, and any unknown
+// //cenlint: verb, is reported as a finding of the pseudo-analyzer
+// "cenlint" — those findings are exempt from suppression.
+func scanDirectives(pkg *Package) (map[lineKey]bool, []Finding) {
+	suppressed := map[lineKey]bool{}
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				if !strings.HasPrefix(rest, "volatile") {
+					verb := rest
+					if i := strings.IndexAny(verb, " \t"); i >= 0 {
+						verb = verb[:i]
+					}
+					findings = append(findings, Finding{
+						Analyzer: "cenlint", Pos: pos,
+						Message: fmt.Sprintf("unknown cenlint directive %q (only //cenlint:volatile is defined)", verb),
+					})
+					continue
+				}
+				suppressed[lineKey{pos.Filename, pos.Line}] = true
+				suppressed[lineKey{pos.Filename, pos.Line + 1}] = true
+				just := strings.Trim(strings.TrimPrefix(rest, "volatile"), " \t:—-")
+				if just == "" {
+					findings = append(findings, Finding{
+						Analyzer: "cenlint", Pos: pos,
+						Message: "//cenlint:volatile needs a justification (write //cenlint:volatile <why wall-clock or unordered output is intended here>)",
+					})
+				}
+			}
+		}
+	}
+	return suppressed, findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

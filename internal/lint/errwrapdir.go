@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"cendev/internal/lint/analysis"
+)
+
+// ErrWrapDir requires %w — not %v or %s — when an fmt.Errorf format
+// string formats an error operand. %v flattens the error into text, so
+// callers lose errors.Is/errors.As through the wrap; in the campaign
+// retry paths that means fault-injected transient errors can no longer
+// be distinguished from terminal ones. Applies to every package (it is
+// general hygiene, not a determinism invariant).
+var ErrWrapDir = &analysis.Analyzer{
+	Name: "errwrapdir",
+	Doc:  "require %w (not %v/%s) when fmt.Errorf formats an error operand",
+	Run:  runErrWrapDir,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runErrWrapDir(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !calleeIs(pass.TypesInfo, call, "fmt", "Errorf") {
+				return true
+			}
+			// A spread call (Errorf(f, args...)) has no per-verb operands to
+			// inspect.
+			if call.Ellipsis.IsValid() || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for _, ref := range formatVerbs(format) {
+				if ref.verb != 'v' && ref.verb != 's' {
+					continue
+				}
+				argIdx := 1 + ref.arg
+				if argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok || tv.Type == nil || !types.Implements(tv.Type, errorIface) {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"fmt.Errorf formats an error operand with %%%c; use %%w so callers can errors.Is/As through the wrap",
+					ref.verb)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// verbRef is one formatting verb and the operand index it consumes
+// (0-based over the variadic arguments).
+type verbRef struct {
+	verb byte
+	arg  int
+}
+
+// formatVerbs maps each verb in a printf format string to its operand,
+// handling %%, flags, *-widths (which consume an operand) and explicit
+// [n] argument indexes.
+func formatVerbs(format string) []verbRef {
+	var out []verbRef
+	arg := 0
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && (format[i] == '+' || format[i] == '-' || format[i] == '#' ||
+			format[i] == ' ' || format[i] == '0') {
+			i++
+		}
+		explicit := -1
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				explicit = n - 1
+				i = j + 1
+			}
+		}
+		// Width, possibly *.
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		i++
+		idx := arg
+		if explicit >= 0 {
+			idx = explicit
+			arg = explicit
+		}
+		out = append(out, verbRef{verb: verb, arg: idx})
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cendev/internal/lint/analysis"
+)
+
+// FsyncRename enforces the temp+rename durability contract in the
+// journal/store packages (internal/serve, internal/centrace): a file
+// handle that a function creates and writes must be Sync()ed before any
+// os.Rename in that function publishes it. Rename-before-fsync is the
+// classic crash bug — the metadata operation can reach disk before the
+// data, so a power cut publishes an empty or torn segment that replay
+// then trusts.
+//
+// The check is per-function and deliberately conservative: it only
+// fires when the function both creates an os.File (os.Create /
+// os.OpenFile) that is written — directly or by being handed to a
+// wrapper like bufio.NewWriter — and never Sync()ed, *and* calls
+// os.Rename. Renames of files written elsewhere are out of scope.
+var FsyncRename = &analysis.Analyzer{
+	Name: "fsyncrename",
+	Doc: "in journal/store packages, require Sync() on written file handles before " +
+		"os.Rename publishes them (temp+rename compaction contract)",
+	Run: runFsyncRename,
+}
+
+// fileState tracks one created *os.File within a function.
+type fileState struct {
+	written bool
+	synced  bool
+}
+
+func runFsyncRename(pass *analysis.Pass) error {
+	if !pathIn(pass.Pkg.Path(), journalPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncRenames(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFuncRenames(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	files := map[types.Object]*fileState{}
+	var renames []*ast.CallExpr
+
+	// Pass 1: find created file handles.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !calleeIs(info, call, "os", "Create") && !calleeIs(info, call, "os", "OpenFile") {
+			return true
+		}
+		if len(as.Lhs) == 0 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			files[obj] = &fileState{}
+		}
+		return true
+	})
+	if len(files) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use of each handle, and collect renames.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if calleeIs(info, call, "os", "Rename") {
+			renames = append(renames, call)
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if st, tracked := files[info.Uses[id]]; tracked {
+					switch sel.Sel.Name {
+					case "Sync":
+						st.synced = true
+					case "Close", "Name", "Stat", "Seek":
+						// neutral
+					default:
+						st.written = true
+					}
+					return true
+				}
+			}
+		}
+		// A handle passed as an argument (bufio.NewWriter(f),
+		// json.NewEncoder(f), io.Copy(f, r), …) is presumed written.
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if st, tracked := files[info.Uses[id]]; tracked {
+					st.written = true
+				}
+			}
+		}
+		return true
+	})
+	if len(renames) == 0 {
+		return
+	}
+
+	for obj, st := range files {
+		if st.written && !st.synced {
+			pass.Reportf(renames[0].Pos(),
+				"os.Rename publishes a file in a function that writes %s without %s.Sync(); fsync before rename, or a crash can publish an empty or torn segment",
+				obj.Name(), obj.Name())
+		}
+	}
+}

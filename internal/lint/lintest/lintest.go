@@ -1,0 +1,255 @@
+// Package lintest is an offline analysistest equivalent: it runs one
+// cenlint analyzer over a fixture package under testdata and compares
+// the diagnostics against `want` annotations in the fixture source.
+//
+// Annotation syntax (a subset of x/tools analysistest):
+//
+//	x := time.Now() // want "time.Now"
+//
+// Each quoted string is a regexp that must match the message of exactly
+// one finding reported on that line; lines without annotations must
+// report nothing. A `/* want "..." */` block comment form exists so a
+// want can share a line with a //-directive under test (a // comment
+// would swallow it):
+//
+//	x := time.Now() /* want "justification" */ //cenlint:volatile
+//
+// Fixture packages are plain directories of .go files (not nested under
+// a module); the package's import path — which decides whether the
+// deterministic-package analyzers apply — is set with a
+// `//lintest:importpath <path>` comment in any file, defaulting to
+// "fixture/<dirname>". Imports are limited to the standard library and
+// are type-checked against export data resolved once per process via
+// `go list -export`.
+package lintest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cendev/internal/lint/analysis"
+	"cendev/internal/lint/driver"
+)
+
+// Run type-checks the fixture package in dir, applies the analyzers
+// through the driver (directive suppression included), and diffs the
+// findings against the fixture's want annotations.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	got, err := driver.RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(got))
+	for _, w := range wants {
+		found := false
+		for i, f := range got {
+			if matched[i] {
+				continue
+			}
+			if filepath.Base(f.Pos.Filename) == w.file && f.Pos.Line == w.line && w.re.MatchString(f.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no finding matching %q", filepath.Join(dir, w.file), w.line, w.re)
+		}
+	}
+	for i, f := range got {
+		if !matched[i] {
+			t.Errorf("%s: unexpected finding: %s (%s)", dir, f, f.Analyzer)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants extracts want annotations from every comment in the
+// fixture.
+func collectWants(t *testing.T, pkg *driver.Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := wantPayload(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for {
+					rest = strings.TrimLeft(rest, " \t")
+					if rest == "" || rest[0] != '"' {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want annotation %q", pos.Filename, pos.Line, c.Text)
+					}
+					expr, _ := strconv.Unquote(q)
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					out = append(out, want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// wantPayload strips comment markers and returns the text after a
+// leading "want" keyword, if the comment is a want annotation.
+func wantPayload(text string) (string, bool) {
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	text = strings.TrimLeft(text, " \t")
+	if !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want\t") {
+		return "", false
+	}
+	return text[len("want "):], true
+}
+
+// loadFixture parses and type-checks the fixture directory as one
+// package.
+func loadFixture(dir string) (*driver.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importPath := "fixture/" + filepath.Base(dir)
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[p] = true
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//lintest:importpath "); ok {
+					importPath = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	lookup, err := stdlibExports(imports)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := driver.NewInfo()
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", dir, err)
+	}
+	return &driver.Package{
+		Path: importPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+	}, nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{} // import path -> export data file
+)
+
+// stdlibExports resolves export data for the given stdlib import paths
+// (plus transitive deps) with one `go list -export` call per new batch,
+// cached for the life of the test process.
+func stdlibExports(paths map[string]bool) (func(string) (io.ReadCloser, error), error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for p := range paths {
+		if _, ok := exportFiles[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %w\n%s", strings.Join(missing, " "), err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exportFiles[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		f, ok := exportFiles[path]
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("lintest: no export data for %q (fixtures may import only the standard library)", path)
+		}
+		return os.Open(f)
+	}, nil
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"cendev/internal/lint/analysis"
+)
+
+// SeededRand forbids the two unseedable randomness sources in
+// deterministic packages: the process-global math/rand generator (its
+// state is shared across goroutines, so results depend on scheduling)
+// and crypto/rand (never reproducible). Constructors — rand.New,
+// rand.NewSource, rand.NewZipf, rand.NewPCG — stay legal: a *rand.Rand
+// threaded from faults.DeriveSeed or an engine seed is exactly the
+// approved pattern.
+var SeededRand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions and crypto/rand in deterministic packages; " +
+		"thread a *rand.Rand derived from the engine seed (faults.DeriveSeed)",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *analysis.Pass) error {
+	if !isDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p != "crypto/rand" {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"crypto/rand imported in deterministic package %s; results must be reproducible from the spec seed — derive a *math/rand.Rand via faults.DeriveSeed instead",
+				pass.Pkg.Path())
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass.TypesInfo, sel.Sel)
+			if fn == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			// New* constructors build private seeded generators — the fix,
+			// not the bug.
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"math/rand.%s uses the process-global generator in deterministic package %s; thread a *rand.Rand seeded from the spec (faults.DeriveSeed) so results replay byte-identically",
+				fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Package wrap exercises errwrapdir, which applies to every package:
+// fmt.Errorf formatting an error operand with %v or %s loses the error
+// chain; %w keeps errors.Is/As working through the wrap.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+func badVerbV(err error) error {
+	return fmt.Errorf("reading config: %v", err) // want "use %w"
+}
+
+func badVerbS(err error) error {
+	return fmt.Errorf("dial failed: %s", err) // want "use %w"
+}
+
+func badPlusV(err error) error {
+	return fmt.Errorf("campaign aborted: %+v", err) // want "use %w"
+}
+
+func badExplicitIndex(err error) error {
+	return fmt.Errorf("retry %[2]d failed: %[1]v", err, 3) // want "use %w"
+}
+
+func badMixed(cause, tail error) error {
+	return fmt.Errorf("outer: %v inner: %w", cause, tail) // want "use %w"
+}
+
+func okWrap(err error) error {
+	return fmt.Errorf("reading config: %w", err)
+}
+
+func okMultiWrap(a, b error) error {
+	return fmt.Errorf("both failed: %w / %w", a, b)
+}
+
+func okNonError(n int) error {
+	return fmt.Errorf("bad shard count: %v", n)
+}
+
+func okRecovered(r any) error {
+	// recover() yields interface{}, not error — flattening is the only
+	// option, and the analyzer must not fire.
+	return fmt.Errorf("job panicked: %v", r)
+}
+
+func okErrorsNew() error {
+	return errors.New("plain")
+}
+
+func okSprintf(err error) string {
+	return fmt.Sprintf("log line: %v", err) // Sprintf is display, not wrapping
+}
+
+func okStarWidth(err error, w int) error {
+	return fmt.Errorf("padded %*d then: %w", w, 0, err)
+}
+
+func okVolatile(err error) error {
+	return fmt.Errorf("terminal boundary: %v", err) //cenlint:volatile fixture: chain deliberately cut at the API boundary
+}
+
+func badBareDirective(err error) error {
+	return fmt.Errorf("terminal boundary: %v", err) /* want "justification" */ //cenlint:volatile
+}

@@ -1,0 +1,96 @@
+//lintest:importpath cendev/internal/serve
+
+// Package journal exercises fsyncrename inside a journal/store package:
+// temp+rename publication without a Sync on the written handle is a
+// finding.
+package journal
+
+import (
+	"bufio"
+	"os"
+)
+
+func badCompact(dir string) error {
+	f, err := os.Create(dir + "/seg.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("record\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/seg.tmp", dir+"/seg.jsonl") // want "without f.Sync"
+}
+
+func badBufferedCompact(dir string) error {
+	f, err := os.OpenFile(dir+"/seg.tmp", os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString("record\n"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/seg.tmp", dir+"/seg.jsonl") // want "without f.Sync"
+}
+
+func okSyncedCompact(dir string) error {
+	f, err := os.Create(dir + "/seg.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("record\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/seg.tmp", dir+"/seg.jsonl")
+}
+
+func okNoRename(dir string) error {
+	f, err := os.Create(dir + "/scratch")
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("scratch\n"))
+	return f.Close()
+}
+
+func okVolatile(dir string) error {
+	f, err := os.Create(dir + "/cache.tmp")
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("cache\n"))
+	f.Close()
+	//cenlint:volatile fixture: advisory cache file, losing it on crash is fine
+	return os.Rename(dir+"/cache.tmp", dir+"/cache")
+}
+
+func badBareDirective(dir string) error {
+	f, err := os.Create(dir + "/cache.tmp")
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("cache\n"))
+	f.Close()
+	/* want "justification" */ //cenlint:volatile
+	return os.Rename(dir+"/cache.tmp", dir+"/cache")
+}

@@ -1,0 +1,104 @@
+//lintest:importpath cendev/internal/obs
+
+// Package det exercises maprange inside a deterministic package path:
+// map iteration feeding ordered output (appends left unsorted, stream
+// writes, string building) is a finding; order-insensitive bodies and
+// the collect-keys-then-sort idiom are not.
+package det
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appends to keys, which is never sorted"
+	}
+	return keys
+}
+
+func okAppendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okAppendSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func badFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want "map iteration calls fmt.Fprintf"
+	}
+}
+
+func badEncoder(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k := range m {
+		enc.Encode(k) // want "map iteration calls Encode"
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "map iteration calls WriteString"
+	}
+	return b.String()
+}
+
+func badConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "concatenates onto out"
+	}
+	return out
+}
+
+func okCounting(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // integer accumulation is order-insensitive
+	}
+	return sum
+}
+
+func okMapToMap(m map[string]int) map[string]int {
+	inverted := make(map[string]int, len(m))
+	for k, v := range m {
+		inverted[k] = v * 2
+	}
+	return inverted
+}
+
+func okSliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x) // slices iterate in index order; no finding
+	}
+}
+
+func okVolatile(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) //cenlint:volatile fixture: debug dump read by humans, order irrelevant
+	}
+}
+
+func badBareDirective(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) /* want "justification" */ //cenlint:volatile
+	}
+}

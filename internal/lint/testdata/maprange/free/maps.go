@@ -1,0 +1,16 @@
+//lintest:importpath cendev/internal/topology
+
+// Package free shows maprange staying silent outside the deterministic
+// package set.
+package free
+
+import (
+	"fmt"
+	"io"
+)
+
+func fineDump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}

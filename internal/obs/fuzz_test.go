@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPromEscape checks the Prometheus label escaper against the text
+// exposition format's grammar: the escaped value must contain no raw
+// newline and no unescaped double-quote (either would tear the series
+// line), every backslash must introduce one of the three legal
+// sequences, and unescaping must round-trip to the original value.
+func FuzzPromEscape(f *testing.F) {
+	f.Add("")
+	f.Add("plain")
+	f.Add(`back\slash`)
+	f.Add("with \"quotes\" and\nnewline")
+	f.Add("tab\tand\rcarriage")
+	f.Add(`trailing backslash \`)
+	f.Add("\\n") // literal backslash-n, must not collide with escaped newline
+	f.Fuzz(func(t *testing.T, s string) {
+		e := promEscape(s)
+		if strings.ContainsRune(e, '\n') {
+			t.Fatalf("escaped value contains raw newline: %q", e)
+		}
+		var un strings.Builder
+		for i := 0; i < len(e); i++ {
+			c := e[i]
+			switch c {
+			case '"':
+				t.Fatalf("escaped value contains unescaped quote: %q", e)
+			case '\\':
+				i++
+				if i >= len(e) {
+					t.Fatalf("escaped value ends mid-escape: %q", e)
+				}
+				switch e[i] {
+				case '\\':
+					un.WriteByte('\\')
+				case '"':
+					un.WriteByte('"')
+				case 'n':
+					un.WriteByte('\n')
+				default:
+					t.Fatalf("illegal escape sequence \\%c in %q", e[i], e)
+				}
+			default:
+				un.WriteByte(c)
+			}
+		}
+		if un.String() != s {
+			t.Fatalf("escape does not round-trip: %q -> %q -> %q", s, e, un.String())
+		}
+		if !strings.ContainsAny(s, "\\\"\n") && e != s {
+			t.Fatalf("value without specials was rewritten: %q -> %q", s, e)
+		}
+	})
+}

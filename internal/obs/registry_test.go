@@ -189,7 +189,7 @@ func TestTracerCanonicalSnapshot(t *testing.T) {
 		tr := NewTracer()
 		root := tr.Start("root", 0)
 		for _, i := range order {
-			attrs := []Label{L("target", string(rune('a' + i)))}
+			attrs := []Label{L("target", string(rune('a'+i)))}
 			s := root.StartChild("child", time.Duration(0), attrs...)
 			s.StartChild("grand", time.Duration(i+1)*time.Millisecond).End(time.Duration(i+2) * time.Millisecond)
 			s.End(time.Duration(i+10) * time.Millisecond)

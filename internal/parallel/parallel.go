@@ -106,7 +106,7 @@ func newPoolInstruments(opt Options, n, workers int) *poolInstruments {
 	opt.Obs.VolatileGauge("parallel_pool_workers", pool).Set(int64(workers))
 	reg := opt.Obs
 	return &poolInstruments{
-		start:    time.Now(),
+		start:    time.Now(), //cenlint:volatile pool wait/busy gauges are wall-clock by design; they feed VolatileHistogram series only, never canonical snapshots
 		wait:     reg.VolatileHistogram("parallel_item_wait_seconds", obs.TimeBuckets, pool),
 		itemSecs: reg.VolatileHistogram("parallel_item_seconds", obs.TimeBuckets, pool),
 		workItems: func(worker int) *obs.Counter {
@@ -123,9 +123,9 @@ func (p *poolInstruments) run(worker, index int, fn func(worker, index int)) {
 		fn(worker, index)
 		return
 	}
-	claimed := time.Now()
+	claimed := time.Now() //cenlint:volatile per-item latency is wall-clock by design; recorded in volatile runtime series only
 	p.wait.Observe(claimed.Sub(p.start).Seconds())
 	fn(worker, index)
-	p.itemSecs.Observe(time.Since(claimed).Seconds())
+	p.itemSecs.Observe(time.Since(claimed).Seconds()) //cenlint:volatile same wall-clock latency series as above
 	p.workItems(worker).Inc()
 }

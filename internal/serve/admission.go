@@ -36,7 +36,7 @@ func NewAdmission(burst int, rate float64, now func() time.Time) *Admission {
 		rate = 1
 	}
 	if now == nil {
-		now = time.Now
+		now = time.Now //cenlint:volatile admission rate limiting is wall-clock by design; tests inject a deterministic now-func, and buckets never touch job results
 	}
 	return &Admission{
 		burst:   float64(burst),

@@ -196,11 +196,11 @@ func TestServerQueueFull429(t *testing.T) {
 func TestServerValidation(t *testing.T) {
 	_, ts := startServer(t, Options{})
 	for name, body := range map[string]string{
-		"unknown kind":  `{"kind":"nope"}`,
+		"unknown kind":   `{"kind":"nope"}`,
 		"missing domain": `{"kind":"centrace"}`,
-		"bad loss":      `{"kind":"cenprobe","loss":1.5}`,
-		"unknown field": `{"kind":"cenprobe","bogus":1}`,
-		"not json":      `{{{`,
+		"bad loss":       `{"kind":"cenprobe","loss":1.5}`,
+		"unknown field":  `{"kind":"cenprobe","bogus":1}`,
+		"not json":       `{{{`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {

@@ -74,12 +74,12 @@ type storeShard struct {
 
 // Store is the crash-safe job/result store.
 type Store struct {
-	mu      sync.Mutex
-	dir     string
-	shards  []*storeShard
-	index   map[string]*JobEntry
-	seq     int64
-	nextID  int64
+	mu     sync.Mutex
+	dir    string
+	shards []*storeShard
+	index  map[string]*JobEntry
+	seq    int64
+	nextID int64
 	// compactMinRecords is the per-shard garbage floor below which
 	// compaction is not worth a rewrite.
 	compactMinRecords int

@@ -62,7 +62,7 @@ func trip(n *Network, client, server *topology.Host) {
 		return
 	}
 	defer conn.Close()
-	conn.SendPayload([]byte("GET / HTTP/1.1\r\nHost: " + cloneBlocked + "\r\n\r\n"), 64)
+	conn.SendPayload([]byte("GET / HTTP/1.1\r\nHost: "+cloneBlocked+"\r\n\r\n"), 64)
 }
 
 // TestCloneDeviceStateIndependent: tripping residual blocking on the clone
