@@ -87,6 +87,15 @@ done
 rm -rf /tmp/ci_censerved "$CENSERVED_STORE"
 echo "==> censerved smoke ok"
 
+# Crash matrix: every filesystem operation of the store and journal
+# workloads is an injection point, for every fault mode (EIO, ENOSPC,
+# torn write, durability-lost rename, power cut), across a widened seed
+# range. Zero invariant violations — no acknowledged write lost, no torn
+# record surfacing, recovery idempotent — is the gate (DESIGN.md §13).
+echo "==> crash matrix (CRASH_MATRIX_SEEDS=${CRASH_MATRIX_SEEDS:-50})"
+CRASH_MATRIX_SEEDS="${CRASH_MATRIX_SEEDS:-50}" \
+  go test -race -run 'TestCrashMatrix' ./internal/serve ./internal/centrace ./internal/vfs/...
+
 # Short fuzz smoke: a few seconds per parser target, enough to catch
 # regressions in the grammar/codec round-trips without holding CI hostage.
 FUZZTIME="${FUZZTIME:-5s}"

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"cendev/internal/obs"
 	"cendev/internal/serve"
@@ -43,6 +44,9 @@ func main() {
 	queueCap := flag.Int("queue", 64, "job-queue capacity (beyond it submissions get 429)")
 	burst := flag.Int("admit-burst", 8, "per-tenant admission token-bucket burst")
 	rate := flag.Float64("admit-rate", 1, "per-tenant admission refill rate (tokens/second)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job watchdog timeout (hung jobs are abandoned and retried)")
+	retryBudget := flag.Int("retry-budget", 2, "retries per transiently failing job before dead-lettering (negative: none)")
+	degradeAfter := flag.Int("degrade-after", 3, "consecutive store write failures before degraded read-only mode (negative: never)")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
 	flag.Parse()
 
@@ -61,6 +65,9 @@ func main() {
 		QueueCapacity: *queueCap,
 		AdmitBurst:    *burst,
 		AdmitRate:     *rate,
+		JobTimeout:    *jobTimeout,
+		RetryBudget:   *retryBudget,
+		DegradeAfter:  *degradeAfter,
 		Obs:           reg,
 		Logf:          logf,
 	})

@@ -2,7 +2,11 @@ package centrace
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"testing"
+
+	"cendev/internal/vfs"
 )
 
 // FuzzJournalReplay drives arbitrary bytes through the torn-tail-tolerant
@@ -10,14 +14,18 @@ import (
 // appending one more torn line must change nothing but the warning count
 // — the exact situation a kill -9 mid-Record creates on top of an
 // already-messy file.
+//
+// The same bytes then seed a chaos filesystem with a fuzz-chosen fault
+// schedule under a live record+sync workload: every checkpoint the
+// journal acknowledged as durable must survive the crash+reboot.
 func FuzzJournalReplay(f *testing.F) {
-	f.Add([]byte(nil))
-	f.Add([]byte("\n\n"))
-	f.Add([]byte(`{"key":"az-ep-0-0|example.com|HTTP","endpoint":"az-ep-0-0","domain":"example.com","protocol":"HTTP"}` + "\n"))
-	f.Add([]byte(`{"key":"a","error":"timeout"}` + "\n" + `{"key":"b"` + "\n")) // torn tail
-	f.Add([]byte(`{"key":"dup"}` + "\n" + `{"key":"dup","error":"later"}` + "\n"))
-	f.Add([]byte(`not json at all` + "\n" + `{"key":"after-tear"}` + "\n"))
-	f.Fuzz(func(t *testing.T, data []byte) {
+	f.Add([]byte(nil), int64(1), uint8(0), uint8(0))
+	f.Add([]byte("\n\n"), int64(2), uint8(0), uint8(0))
+	f.Add([]byte(`{"key":"az-ep-0-0|example.com|HTTP","endpoint":"az-ep-0-0","domain":"example.com","protocol":"HTTP"}`+"\n"), int64(3), uint8(4), uint8(0))
+	f.Add([]byte(`{"key":"a","error":"timeout"}`+"\n"+`{"key":"b"`+"\n"), int64(4), uint8(0), uint8(6)) // torn tail
+	f.Add([]byte(`{"key":"dup"}`+"\n"+`{"key":"dup","error":"later"}`+"\n"), int64(5), uint8(2), uint8(8))
+	f.Add([]byte(`not json at all`+"\n"+`{"key":"after-tear"}`+"\n"), int64(6), uint8(3), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, failA, failB uint8) {
 		j, err := ResumeJournal(bytes.NewReader(data), nil)
 		if err != nil {
 			// Only scanner-level I/O failures (e.g. a line beyond the 16MB
@@ -43,6 +51,53 @@ func FuzzJournalReplay(f *testing.F) {
 		}
 		if got := len(j2.Warnings()); got != warnings+1 {
 			t.Fatalf("torn tail: want %d warnings, got %d", warnings+1, got)
+		}
+
+		// Chaos phase: same pre-existing bytes as an on-disk journal,
+		// fuzz-chosen faults under live records, then a crash.
+		c := vfs.NewChaos(seed)
+		c.Install("campaign.jsonl", data)
+		if failA > 0 {
+			c.FailOp(int(failA), vfs.ErrIO)
+		}
+		if failB > 0 {
+			c.ShortWriteOp(int(failB))
+		}
+		acked := map[string]string{}
+		if cj, cf, err := OpenJournalFileFS(c, "campaign.jsonl"); err == nil {
+			for i := 0; i < 3; i++ {
+				tgt := matrixTarget(i)
+				msg := fmt.Sprintf("probe: unreachable %d", i)
+				cj.Record(CampaignResult{Target: tgt, Err: errors.New(msg)})
+				if cj.Err() == nil && cf.Sync() == nil {
+					acked[tgt.Key()] = msg
+				}
+			}
+			cf.Close()
+		}
+		c.Crash()
+		c.Reboot()
+		rj, rf, err := OpenJournalFileFS(c, "campaign.jsonl")
+		if err != nil {
+			if len(acked) > 0 {
+				t.Fatalf("post-crash resume failed with %d acknowledged checkpoints at stake: %v", len(acked), err)
+			}
+			return
+		}
+		rf.Close()
+		for i := 0; i < 3; i++ {
+			tgt := matrixTarget(i)
+			want, wasAcked := acked[tgt.Key()]
+			if !wasAcked {
+				continue
+			}
+			cr, found := rj.Lookup(tgt)
+			if !found {
+				t.Fatalf("acknowledged checkpoint %s lost after chaos crash (seed=%d failA=%d failB=%d)", tgt.Key(), seed, failA, failB)
+			}
+			if cr.Err == nil || cr.Err.Error() != want {
+				t.Fatalf("checkpoint %s resumed with %v, acknowledged %q", tgt.Key(), cr.Err, want)
+			}
 		}
 	})
 }

@@ -15,6 +15,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"cendev/internal/vfs"
 )
 
 // journalEntry is the on-disk form of one resolved target.
@@ -93,11 +95,18 @@ func (j *Journal) Warnings() []string {
 	return append([]string(nil), j.warnings...)
 }
 
-// OpenJournalFile opens (creating if needed) a journal file, loads its
+// OpenJournalFile opens (creating if needed) a journal file on the real
+// filesystem. See OpenJournalFileFS.
+func OpenJournalFile(path string) (*Journal, vfs.File, error) {
+	return OpenJournalFileFS(vfs.OS(), path)
+}
+
+// OpenJournalFileFS opens (creating if needed) a journal file, loads its
 // entries, and positions it for appending. The caller owns closing the
-// returned file.
-func OpenJournalFile(path string) (*Journal, *os.File, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+// returned file. All I/O goes through fsys so the crash matrix can run
+// resume against an injected-fault filesystem.
+func OpenJournalFileFS(fsys vfs.FS, path string) (*Journal, vfs.File, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}

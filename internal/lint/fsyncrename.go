@@ -16,16 +16,21 @@ import (
 // then trusts.
 //
 // The check is per-function and deliberately conservative: it only
-// fires when the function both creates an os.File (os.Create /
-// os.OpenFile) that is written — directly or by being handed to a
-// wrapper like bufio.NewWriter — and never Sync()ed, *and* calls
-// os.Rename. Renames of files written elsewhere are out of scope.
+// fires when the function both creates a file handle — os.Create /
+// os.OpenFile, or Create / OpenFile on the internal/vfs filesystem
+// seam — that is written (directly or by being handed to a wrapper
+// like bufio.NewWriter) and never Sync()ed, *and* calls os.Rename or a
+// vfs Rename. Renames of files written elsewhere are out of scope.
 var FsyncRename = &analysis.Analyzer{
 	Name: "fsyncrename",
 	Doc: "in journal/store packages, require Sync() on written file handles before " +
-		"os.Rename publishes them (temp+rename compaction contract)",
+		"a rename (os.Rename or vfs.FS.Rename) publishes them (temp+rename compaction contract)",
 	Run: runFsyncRename,
 }
+
+// vfsPkg is the filesystem seam whose Create/OpenFile/Rename methods
+// fsyncrename tracks exactly like their package-os counterparts.
+const vfsPkg = "cendev/internal/vfs"
 
 // fileState tracks one created *os.File within a function.
 type fileState struct {
@@ -64,7 +69,8 @@ func checkFuncRenames(pass *analysis.Pass, body *ast.BlockStmt) {
 		if !ok {
 			return true
 		}
-		if !calleeIs(info, call, "os", "Create") && !calleeIs(info, call, "os", "OpenFile") {
+		if !calleeIs(info, call, "os", "Create") && !calleeIs(info, call, "os", "OpenFile") &&
+			!calleeIsMethod(info, call, vfsPkg, "Create", "OpenFile") {
 			return true
 		}
 		if len(as.Lhs) == 0 {
@@ -93,7 +99,7 @@ func checkFuncRenames(pass *analysis.Pass, body *ast.BlockStmt) {
 		if !ok {
 			return true
 		}
-		if calleeIs(info, call, "os", "Rename") {
+		if calleeIs(info, call, "os", "Rename") || calleeIsMethod(info, call, vfsPkg, "Rename") {
 			renames = append(renames, call)
 			return true
 		}
@@ -130,7 +136,7 @@ func checkFuncRenames(pass *analysis.Pass, body *ast.BlockStmt) {
 	for obj, st := range files {
 		if st.written && !st.synced {
 			pass.Reportf(renames[0].Pos(),
-				"os.Rename publishes a file in a function that writes %s without %s.Sync(); fsync before rename, or a crash can publish an empty or torn segment",
+				"a rename publishes a file in a function that writes %s without %s.Sync(); fsync before rename, or a crash can publish an empty or torn segment",
 				obj.Name(), obj.Name())
 		}
 	}

@@ -39,14 +39,19 @@ var deterministicPkgs = []string{
 	"cendev/internal/obs",
 	"cendev/internal/parallel",
 	"cendev/internal/serve",
+	"cendev/internal/vfs",
 }
 
 // journalPkgs are the packages bound by the fsync-before-rename
-// persistence contract (the censerved sharded store and the centrace
-// campaign journal).
+// persistence contract: the censerved sharded store, the centrace
+// campaign journal, the vfs seam they write through (WriteFileDurable
+// is itself a temp+fsync+rename implementation), and obs, whose
+// -metrics-out/-trace-out artifacts publish by rename.
 var journalPkgs = []string{
 	"cendev/internal/serve",
 	"cendev/internal/centrace",
+	"cendev/internal/vfs",
+	"cendev/internal/obs",
 }
 
 func pathIn(path string, set []string) bool {
@@ -87,4 +92,37 @@ func calleeIs(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
 	}
 	fn := pkgFunc(info, sel.Sel)
 	return fn != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// methodOf resolves a selector identifier to the method it invokes —
+// interface or concrete receiver alike (pkgFunc deliberately rejects
+// receivers) — and returns it, or nil for non-methods.
+func methodOf(info *types.Info, id *ast.Ident) *types.Func {
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return nil
+	}
+	return fn
+}
+
+// calleeIsMethod reports whether call invokes a method declared in
+// pkgPath with one of the given names.
+func calleeIsMethod(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn := methodOf(info, sel.Sel)
+	if fn == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
 }

@@ -30,6 +30,7 @@ func TestMapRangeFixtures(t *testing.T) {
 
 func TestFsyncRenameFixtures(t *testing.T) {
 	lintest.Run(t, "testdata/fsyncrename/journal", lint.FsyncRename)
+	lintest.Run(t, "testdata/fsyncrename/vfsjournal", lint.FsyncRename)
 	lintest.Run(t, "testdata/fsyncrename/other", lint.FsyncRename)
 }
 

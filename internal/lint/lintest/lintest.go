@@ -19,8 +19,8 @@
 // deterministic-package analyzers apply — is set with a
 // `//lintest:importpath <path>` comment in any file, defaulting to
 // "fixture/<dirname>". Imports are limited to the standard library and
-// are type-checked against export data resolved once per process via
-// `go list -export`.
+// this module's own packages, type-checked against export data resolved
+// once per process via `go list -export`.
 package lintest
 
 import (
@@ -248,7 +248,7 @@ func stdlibExports(paths map[string]bool) (func(string) (io.ReadCloser, error), 
 		f, ok := exportFiles[path]
 		exportMu.Unlock()
 		if !ok {
-			return nil, fmt.Errorf("lintest: no export data for %q (fixtures may import only the standard library)", path)
+			return nil, fmt.Errorf("lintest: no export data for %q (fixtures may import only the standard library and this module's packages)", path)
 		}
 		return os.Open(f)
 	}, nil

@@ -1,0 +1,91 @@
+//lintest:importpath cendev/internal/serve
+
+// Package vfsjournal exercises fsyncrename's vfs awareness: a handle
+// opened through the internal/vfs filesystem seam is tracked exactly
+// like an os handle, and a vfs Rename publishes exactly like os.Rename.
+package vfsjournal
+
+import (
+	"os"
+
+	"cendev/internal/vfs"
+)
+
+func badVFSCompact(fsys vfs.FS, dir string) error {
+	f, err := fsys.Create(dir + "/seg.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("record\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(dir+"/seg.tmp", dir+"/seg.jsonl") // want "without f.Sync"
+}
+
+func badVFSOpenFile(fsys vfs.FS, dir string) error {
+	f, err := fsys.OpenFile(dir+"/seg.tmp", os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("record\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(dir+"/seg.tmp", dir+"/seg.jsonl") // want "without f.Sync"
+}
+
+func badVFSHandlePublishedByOSRename(fsys vfs.FS, dir string) error {
+	f, err := fsys.Create(dir + "/seg.tmp")
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("record\n"))
+	f.Close()
+	return os.Rename(dir+"/seg.tmp", dir+"/seg.jsonl") // want "without f.Sync"
+}
+
+func okVFSSyncedCompact(fsys vfs.FS, dir string) error {
+	f, err := fsys.Create(dir + "/seg.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("record\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(dir+"/seg.tmp", dir+"/seg.jsonl")
+}
+
+func okVFSNoRename(fsys vfs.FS, dir string) error {
+	f, err := fsys.Create(dir + "/scratch")
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("scratch\n"))
+	return f.Close()
+}
+
+func okVFSVolatile(fsys vfs.FS, dir string) error {
+	f, err := fsys.Create(dir + "/cache.tmp")
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("cache\n"))
+	f.Close()
+	//cenlint:volatile fixture: advisory cache file, losing it on crash is fine
+	return fsys.Rename(dir+"/cache.tmp", dir+"/cache")
+}

@@ -4,9 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"strings"
+
+	"cendev/internal/vfs"
 )
 
 // WriteJSON writes the snapshot as indented JSON.
@@ -178,37 +179,35 @@ func WriteTrace(w io.Writer, t *Tracer) error {
 }
 
 // DumpFiles writes the end-of-run artifacts the CLIs' -metrics-out and
-// -trace-out flags request. Metrics are written as JSON unless the path
-// ends in .prom or .txt, in which case the Prometheus text format is
-// used; traces are always JSON. Empty paths and nil handles are skipped.
+// -trace-out flags request to the real filesystem. See DumpFilesFS.
 func DumpFiles(reg *Registry, tr *Tracer, metricsPath, tracePath string) error {
+	return DumpFilesFS(vfs.OS(), reg, tr, metricsPath, tracePath)
+}
+
+// DumpFilesFS writes the end-of-run artifacts. Metrics are written as
+// JSON unless the path ends in .prom or .txt, in which case the
+// Prometheus text format is used; traces are always JSON. Empty paths
+// and nil handles are skipped. Both artifacts go through the
+// temp+fsync+rename recipe: these dumps often run from a signal handler
+// on the way down, and a consumer must never scrape a torn file — it
+// sees the previous complete artifact or the new one, nothing between.
+func DumpFilesFS(fsys vfs.FS, reg *Registry, tr *Tracer, metricsPath, tracePath string) error {
 	if reg != nil && metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
 		snap := reg.FullSnapshot()
-		if strings.HasSuffix(metricsPath, ".prom") || strings.HasSuffix(metricsPath, ".txt") {
-			err = snap.WritePrometheus(f)
-		} else {
-			err = snap.WriteJSON(f)
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		err := vfs.WriteFileDurable(fsys, metricsPath, func(w io.Writer) error {
+			if strings.HasSuffix(metricsPath, ".prom") || strings.HasSuffix(metricsPath, ".txt") {
+				return snap.WritePrometheus(w)
+			}
+			return snap.WriteJSON(w)
+		})
 		if err != nil {
 			return fmt.Errorf("obs: writing metrics to %s: %w", metricsPath, err)
 		}
 	}
 	if tr != nil && tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return err
-		}
-		err = WriteTrace(f, tr)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		err := vfs.WriteFileDurable(fsys, tracePath, func(w io.Writer) error {
+			return WriteTrace(w, tr)
+		})
 		if err != nil {
 			return fmt.Errorf("obs: writing trace to %s: %w", tracePath, err)
 		}

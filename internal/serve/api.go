@@ -136,10 +136,24 @@ const (
 	StateRunning JobState = "running"
 	StateDone    JobState = "done"
 	StateFailed  JobState = "failed"
+	// StateDead is the dead-letter state: the job failed transiently and
+	// exhausted its retry budget. Dead jobs stay persisted and queryable
+	// (GET /v1/jobs?state=dead) so an operator can inspect what the
+	// service gave up on.
+	StateDead JobState = "dead"
 )
 
 // Terminal reports whether the state is final.
-func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed || s == StateDead }
+
+// validListState reports whether state is usable as a ?state= filter.
+func validListState(s JobState) bool {
+	switch s {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateDead:
+		return true
+	}
+	return false
+}
 
 // JobStatus is the body of GET /v1/jobs/{id}.
 type JobStatus struct {
@@ -150,6 +164,11 @@ type JobStatus struct {
 	// recovery.
 	Attempts int    `json:"attempts,omitempty"`
 	Error    string `json:"error,omitempty"`
+}
+
+// jobsResponse is the body of GET /v1/jobs.
+type jobsResponse struct {
+	Jobs []JobStatus `json:"jobs"`
 }
 
 // submitResponse is the body of a successful POST /v1/jobs.

@@ -1,0 +1,351 @@
+package serve
+
+// Tests for the graceful-degradation layer: transient-vs-permanent retry
+// classification, seeded backoff, the watchdog, the dead-letter state
+// and its query endpoint, and degraded read-only mode under persistent
+// store write failures. All of them use the RunHook seam — building the
+// real measurement world is expensive and irrelevant to this layer.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cendev/internal/obs"
+	"cendev/internal/vfs"
+)
+
+// hookOpts returns Options with a scripted executor and a fast watchdog.
+func hookOpts(hook func(JobSpec) (json.RawMessage, error)) Options {
+	return Options{
+		Workers: 1,
+		Obs:     obs.NewRegistry(),
+		RunHook: hook,
+	}
+}
+
+func TestRetryTransientThenSucceed(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := startServer(t, hookOpts(func(spec JobSpec) (json.RawMessage, error) {
+		if calls.Add(1) <= 2 {
+			return nil, Transient(errors.New("upstream flaked"))
+		}
+		return json.RawMessage(`{"ok":true}`), nil
+	}))
+	id, _ := submit(t, ts, JobSpec{Kind: KindCenProbe})
+	st := waitDone(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", st.State, st.Error)
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", st.Attempts)
+	}
+	if got := fetchResult(t, ts, id); string(got) != `{"ok":true}` {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+func TestTransientExhaustedGoesDead(t *testing.T) {
+	_, ts := startServer(t, hookOpts(func(spec JobSpec) (json.RawMessage, error) {
+		return nil, Transient(errors.New("always flaky"))
+	}))
+	id, _ := submit(t, ts, JobSpec{Kind: KindCenProbe})
+	st := waitDone(t, ts, id)
+	if st.State != StateDead {
+		t.Fatalf("state = %s, want dead", st.State)
+	}
+	if st.Attempts != 3 { // 1 + default budget 2
+		t.Fatalf("attempts = %d, want 3", st.Attempts)
+	}
+	if !strings.Contains(st.Error, "always flaky") {
+		t.Fatalf("error = %q", st.Error)
+	}
+
+	// The dead-letter query must surface it.
+	resp, err := http.Get(ts.URL + "/v1/jobs?state=dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr jobsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Jobs) != 1 || jr.Jobs[0].ID != id || jr.Jobs[0].State != StateDead {
+		t.Fatalf("GET /v1/jobs?state=dead = %+v", jr.Jobs)
+	}
+
+	// Results of a dead job report its error, like a failed one.
+	rresp, err := http.Get(ts.URL + "/v1/results/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("GET /v1/results of dead job = %d, want 500", rresp.StatusCode)
+	}
+}
+
+func TestPermanentFailureSpendsNoRetries(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := startServer(t, hookOpts(func(spec JobSpec) (json.RawMessage, error) {
+		calls.Add(1)
+		return nil, errors.New("spec resolves to nothing")
+	}))
+	id, _ := submit(t, ts, JobSpec{Kind: KindCenProbe})
+	st := waitDone(t, ts, id)
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if st.Attempts != 1 || calls.Load() != 1 {
+		t.Fatalf("attempts = %d, calls = %d; permanent errors must not retry", st.Attempts, calls.Load())
+	}
+}
+
+func TestDeadJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := hookOpts(func(spec JobSpec) (json.RawMessage, error) {
+		return nil, Transient(errors.New("flaky"))
+	})
+	opts.StoreDir = dir
+	srv, ts := startServer(t, opts)
+	id, _ := submit(t, ts, JobSpec{Kind: KindCenProbe})
+	waitDone(t, ts, id)
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same store: the dead job must come back dead — not
+	// requeued, not forgotten.
+	opts2 := hookOpts(func(spec JobSpec) (json.RawMessage, error) {
+		t.Error("restart re-ran a dead job")
+		return nil, nil
+	})
+	opts2.StoreDir = dir
+	srv2, _ := startServer(t, opts2)
+	e, ok := srv2.Store().Get(id)
+	if !ok || e.State != StateDead {
+		t.Fatalf("after restart job = %+v ok=%v, want dead", e, ok)
+	}
+	if err := srv2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchdogTimesOutHungJob(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	opts := hookOpts(func(spec JobSpec) (json.RawMessage, error) {
+		<-release // hung until the test tears down
+		return nil, errors.New("released")
+	})
+	opts.JobTimeout = 20 * time.Millisecond
+	opts.RetryBudget = -1 // no retries: go straight to the dead letter
+	_, ts := startServer(t, opts)
+	id, _ := submit(t, ts, JobSpec{Kind: KindCenProbe})
+	st := waitDone(t, ts, id)
+	if st.State != StateDead {
+		t.Fatalf("state = %s (error %q), want dead", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "watchdog") {
+		t.Fatalf("error = %q, want watchdog timeout", st.Error)
+	}
+}
+
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	for attempt := 1; attempt <= 10; attempt++ {
+		a := retryDelay(7, "j-00000001", attempt)
+		b := retryDelay(7, "j-00000001", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: nondeterministic delay %d vs %d", attempt, a, b)
+		}
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		base := int64(1) << shift
+		if a < base || a >= 2*base {
+			t.Fatalf("attempt %d: delay %d outside [%d, %d)", attempt, a, base, 2*base)
+		}
+	}
+	if retryDelay(7, "j-00000001", 1) == retryDelay(8, "j-00000001", 1) &&
+		retryDelay(7, "j-00000002", 1) == retryDelay(7, "j-00000003", 1) {
+		t.Fatal("jitter ignores both seed and job ID")
+	}
+}
+
+// flakyFS delegates to a chaos filesystem and, once tripped, fails every
+// write and sync — the persistent store failure that must degrade the
+// server rather than kill it.
+type flakyFS struct {
+	vfs.FS
+	failing atomic.Bool
+}
+
+func (f *flakyFS) wrap(h vfs.File, err error) (vfs.File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: h, fs: f}, nil
+}
+
+func (f *flakyFS) OpenFile(name string, flag int, perm iofs.FileMode) (vfs.File, error) {
+	return f.wrap(f.FS.OpenFile(name, flag, perm))
+}
+func (f *flakyFS) Open(name string) (vfs.File, error)   { return f.wrap(f.FS.Open(name)) }
+func (f *flakyFS) Create(name string) (vfs.File, error) { return f.wrap(f.FS.Create(name)) }
+
+type flakyFile struct {
+	vfs.File
+	fs *flakyFS
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	if f.fs.failing.Load() {
+		return 0, vfs.ErrIO
+	}
+	return f.File.Write(p)
+}
+
+func (f *flakyFile) Sync() error {
+	if f.fs.failing.Load() {
+		return vfs.ErrIO
+	}
+	return f.File.Sync()
+}
+
+func TestDegradedReadOnlyMode(t *testing.T) {
+	fsys := &flakyFS{FS: vfs.NewChaos(1)}
+	opts := hookOpts(func(spec JobSpec) (json.RawMessage, error) {
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+	opts.FS = fsys
+	opts.StoreDir = "store"
+	opts.DegradeAfter = 3
+	srv, ts := startServer(t, opts)
+
+	// Healthy phase: a job runs end to end.
+	id, _ := submit(t, ts, JobSpec{Kind: KindCenProbe})
+	waitDone(t, ts, id)
+
+	// Store starts failing every write. Each rejected submission is one
+	// consecutive failure; the third trips degraded mode.
+	fsys.failing.Store(true)
+	for i := 0; i < 3; i++ {
+		body := strings.NewReader(`{"kind":"cenprobe"}`)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("submit %d with failing store = %d", i, resp.StatusCode)
+		}
+	}
+	if !srv.Degraded() {
+		t.Fatal("server not degraded after 3 consecutive store write failures")
+	}
+
+	// Degraded: submissions 503, health 503, reads still work.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"kind":"cenprobe"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(raw), "degraded") {
+		t.Fatalf("submit while degraded = %d %s, want 503 degraded", resp.StatusCode, raw)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while degraded = %d, want 503", hresp.StatusCode)
+	}
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("status read while degraded = %d, want 200", sresp.StatusCode)
+	}
+
+	// And the obs gauge says so.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mraw), "censerved_degraded 1") {
+		t.Fatalf("/metrics missing censerved_degraded 1:\n%s", mraw)
+	}
+}
+
+func TestJobsListEndpoint(t *testing.T) {
+	_, ts := startServer(t, hookOpts(func(spec JobSpec) (json.RawMessage, error) {
+		return json.RawMessage(fmt.Sprintf(`{"seed":%d}`, spec.Seed)), nil
+	}))
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, _ := submit(t, ts, JobSpec{Kind: KindCenProbe, Seed: int64(i + 1)})
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		waitDone(t, ts, id)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr jobsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Jobs) != 3 {
+		t.Fatalf("GET /v1/jobs returned %d jobs, want 3", len(jr.Jobs))
+	}
+	for i, js := range jr.Jobs { // admission order
+		if js.ID != ids[i] {
+			t.Fatalf("jobs[%d] = %s, want %s", i, js.ID, ids[i])
+		}
+	}
+
+	dresp, err := http.Get(ts.URL + "/v1/jobs?state=dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var dead jobsResponse
+	if err := json.NewDecoder(dresp.Body).Decode(&dead); err != nil {
+		t.Fatal(err)
+	}
+	if len(dead.Jobs) != 0 {
+		t.Fatalf("?state=dead = %+v, want empty", dead.Jobs)
+	}
+
+	bresp, err := http.Get(ts.URL + "/v1/jobs?state=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?state=bogus = %d, want 400", bresp.StatusCode)
+	}
+}

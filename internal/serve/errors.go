@@ -1,0 +1,59 @@
+package serve
+
+// Transient-vs-permanent error classification for the retry path. The
+// scheduler runs jobs against a deterministic simulated world, so a
+// scheduler error (unknown endpoint, invalid spec combination, a
+// measurement-level failure) would recur identically on every retry:
+// those are permanent and fail the job on first occurrence. Transient
+// errors are infrastructure-level — a watchdog timeout, or anything a
+// run hook explicitly wraps with Transient — and are the only thing the
+// retry budget spends on.
+
+import (
+	"errors"
+	"hash/fnv"
+)
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether any error in the chain was wrapped by
+// Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// retryDelay is the backoff, in queue virtual time (successful pops),
+// before a transiently failed job becomes eligible again: an exponential
+// window (1, 2, 4, ... capped at 64) plus jitter hashed from
+// (seed, job ID, attempt). No wall clock anywhere in the decision path —
+// the same failure history always yields the same requeue positions.
+func retryDelay(seed int64, id string, attempt int) int64 {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	base := int64(1) << shift
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(id))
+	b[0], b[1] = byte(attempt), byte(attempt>>8)
+	h.Write(b[:2])
+	return base + int64(h.Sum64()%uint64(base))
+}

@@ -3,8 +3,11 @@ package serve
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"cendev/internal/vfs"
 )
 
 // FuzzStoreReplay feeds arbitrary bytes to the sharded store's segment
@@ -13,14 +16,19 @@ import (
 // the segment (truncating any torn tail), a second open of the same
 // directory rebuilds exactly the same merged index and finds nothing
 // left to repair.
+//
+// The same bytes then seed a chaos filesystem, with a fuzz-chosen fault
+// schedule (one hard failure, one torn write) layered on top of a live
+// append workload: whatever the faults do, every append the store
+// acknowledged must survive the crash+reboot that follows.
 func FuzzStoreReplay(f *testing.F) {
-	f.Add([]byte(nil))
-	f.Add([]byte(`{"seq":1,"id":"j-00000001","state":"queued","spec":{"kind":"centrace"}}` + "\n"))
-	f.Add([]byte(`{"seq":1,"id":"j-1","state":"queued"}` + "\n" + `{"seq":2,"id":"j-1","state":"done"}` + "\n"))
-	f.Add([]byte(`{"seq":1,"id":"j-1","state":"queued"}` + "\n" + `{"seq":2,"id":"j-1","st`)) // torn tail
-	f.Add([]byte("garbage\n" + `{"seq":3,"id":"j-2","state":"running"}` + "\n"))
-	f.Add([]byte(`{"seq":9,"merged":12,"id":"j-3","state":"done","payload":{"x":1}}` + "\n"))
-	f.Fuzz(func(t *testing.T, data []byte) {
+	f.Add([]byte(nil), int64(1), uint8(0), uint8(0))
+	f.Add([]byte(`{"seq":1,"id":"j-00000001","state":"queued","spec":{"kind":"centrace"}}`+"\n"), int64(2), uint8(0), uint8(0))
+	f.Add([]byte(`{"seq":1,"id":"j-1","state":"queued"}`+"\n"+`{"seq":2,"id":"j-1","state":"done"}`+"\n"), int64(3), uint8(5), uint8(0))
+	f.Add([]byte(`{"seq":1,"id":"j-1","state":"queued"}`+"\n"+`{"seq":2,"id":"j-1","st`), int64(4), uint8(0), uint8(9)) // torn tail
+	f.Add([]byte("garbage\n"+`{"seq":3,"id":"j-2","state":"running"}`+"\n"), int64(5), uint8(7), uint8(12))
+	f.Add([]byte(`{"seq":9,"merged":12,"id":"j-3","state":"done","payload":{"x":1}}`+"\n"), int64(6), uint8(3), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, failA, failB uint8) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, "shard-00.jsonl"), data, 0o644); err != nil {
 			t.Fatal(err)
@@ -55,6 +63,55 @@ func FuzzStoreReplay(f *testing.F) {
 		for _, w := range s2.Warnings() {
 			if strings.Contains(w, "truncated torn tail") {
 				t.Fatalf("first open left a torn tail for the second to repair: %s", w)
+			}
+		}
+
+		// Chaos phase: same pre-existing bytes, fuzz-chosen faults, live
+		// appends, then a crash. Acknowledged means durable.
+		c := vfs.NewChaos(seed)
+		c.Install("store/shard-00.jsonl", data)
+		if failA > 0 {
+			c.FailOp(int(failA), vfs.ErrIO)
+		}
+		if failB > 0 {
+			c.ShortWriteOp(int(failB))
+		}
+		acked := map[string]JobState{}
+		if st, err := OpenStoreFS(c, "store", 2); err == nil {
+			for i := 0; i < 3; i++ {
+				if e, err := st.AppendQueued(matrixSpec(i)); err == nil {
+					acked[e.ID] = StateQueued
+				}
+			}
+			var ids []string
+			for id := range acked {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			if len(ids) > 0 {
+				if err := st.UpdateState(ids[0], StateDone, 1, "", nil); err == nil {
+					acked[ids[0]] = StateDone
+				}
+			}
+			st.Close()
+		}
+		c.Crash()
+		c.Reboot()
+		st2, err := OpenStoreFS(c, "store", 2)
+		if err != nil {
+			if len(acked) > 0 {
+				t.Fatalf("post-crash open failed with %d acknowledged jobs at stake: %v", len(acked), err)
+			}
+			return
+		}
+		defer st2.Close()
+		for id, state := range acked {
+			e, ok := st2.Get(id)
+			if !ok {
+				t.Fatalf("acknowledged job %s lost after chaos crash (seed=%d failA=%d failB=%d)", id, seed, failA, failB)
+			}
+			if stateRank(e.State) < stateRank(state) {
+				t.Fatalf("job %s recovered as %s, behind its acknowledged %s", id, e.State, state)
 			}
 		}
 	})

@@ -32,6 +32,11 @@ type Queue struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	items    itemHeap
+	deferred deferredHeap
+	// pops is the queue's virtual clock: it advances once per successful
+	// Pop, and deferred (retry-backoff) items become eligible at a pop
+	// count — never at a wall time, which would poison determinism.
+	pops     int64
 	reserved int
 	capacity int
 	closed   bool
@@ -59,7 +64,7 @@ func (q *Queue) Reserve() error {
 	if q.closed {
 		return ErrQueueClosed
 	}
-	if len(q.items)+q.reserved >= q.capacity {
+	if len(q.items)+len(q.deferred)+q.reserved >= q.capacity {
 		return ErrQueueFull
 	}
 	q.reserved++
@@ -88,7 +93,29 @@ func (q *Queue) Push(id string, priority int, seq int64) {
 		return
 	}
 	heap.Push(&q.items, queueItem{id: id, priority: priority, seq: seq})
-	q.depth.Set(int64(len(q.items)))
+	q.depth.Set(int64(len(q.items) + len(q.deferred)))
+	q.cond.Signal()
+}
+
+// PushDelayed re-enqueues a job that becomes eligible after delay more
+// successful Pops — the seeded-backoff retry path. It takes no
+// reservation: the job was admitted (and is durable) already, so a full
+// queue must not turn a retry into a loss. Like Push, it is a no-op on a
+// closed queue; the job stays durable as queued for the next start.
+func (q *Queue) PushDelayed(id string, priority int, seq int64, delay int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	heap.Push(&q.deferred, deferredItem{
+		queueItem:  queueItem{id: id, priority: priority, seq: seq},
+		eligibleAt: q.pops + delay,
+	})
+	q.depth.Set(int64(len(q.items) + len(q.deferred)))
 	q.cond.Signal()
 }
 
@@ -99,22 +126,40 @@ func (q *Queue) Push(id string, priority int, seq int64) {
 func (q *Queue) Pop() (id string, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for {
+		if q.closed {
+			// Drain: queued and deferred items alike stay for recovery.
+			return "", false
+		}
+		// Promote every deferred item whose backoff has elapsed.
+		for len(q.deferred) > 0 && q.deferred[0].eligibleAt <= q.pops {
+			heap.Push(&q.items, heap.Pop(&q.deferred).(deferredItem).queueItem)
+		}
+		if len(q.items) > 0 {
+			break
+		}
+		if len(q.deferred) > 0 {
+			// Only backed-off items remain. The virtual clock ticks on
+			// pops, and an otherwise idle queue has nothing left to tick
+			// it — so jump to the earliest retry's eligibility instead of
+			// stalling forever.
+			q.pops = q.deferred[0].eligibleAt
+			continue
+		}
 		q.cond.Wait()
 	}
-	if q.closed {
-		return "", false
-	}
 	it := heap.Pop(&q.items).(queueItem)
-	q.depth.Set(int64(len(q.items)))
+	q.pops++
+	q.depth.Set(int64(len(q.items) + len(q.deferred)))
 	return it.id, true
 }
 
-// Len returns the number of queued (not reserved, not running) jobs.
+// Len returns the number of queued (not reserved, not running) jobs,
+// including retries waiting out their backoff.
 func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return len(q.items) + len(q.deferred)
 }
 
 // Close begins the drain: every blocked and future Pop returns ok=false,
@@ -141,6 +186,34 @@ func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
 func (h *itemHeap) Push(x any) { *h = append(*h, x.(queueItem)) }
 func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// deferredItem is a retry waiting for the virtual clock to reach its
+// eligibility.
+type deferredItem struct {
+	queueItem
+	eligibleAt int64
+}
+
+// deferredHeap orders by eligibility ascending, then admission sequence.
+type deferredHeap []deferredItem
+
+func (h deferredHeap) Len() int { return len(h) }
+func (h deferredHeap) Less(i, j int) bool {
+	if h[i].eligibleAt != h[j].eligibleAt {
+		return h[i].eligibleAt < h[j].eligibleAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deferredHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *deferredHeap) Push(x any) { *h = append(*h, x.(deferredItem)) }
+func (h *deferredHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]

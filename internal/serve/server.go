@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cendev/internal/obs"
+	"cendev/internal/vfs"
 )
 
 // Options configures a Server.
@@ -36,6 +37,25 @@ type Options struct {
 	Obs *obs.Registry
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// FS is the filesystem the store persists through (nil means the real
+	// one); the crash matrix and degradation tests inject faults here.
+	FS vfs.FS
+	// JobTimeout is the per-job watchdog: a job still running after this
+	// wall time is abandoned with a transient timeout error (default
+	// 10m). The timeout only decides liveness, never result bytes.
+	JobTimeout time.Duration
+	// RetryBudget is how many retries a transiently failing job gets
+	// after its first attempt (default 2; negative means none). Budget
+	// exhausted, the job goes to the dead-letter state.
+	RetryBudget int
+	// DegradeAfter is the consecutive store-write-failure count that trips
+	// the server into degraded read-only mode (default 3; negative
+	// disables degradation).
+	DegradeAfter int
+	// RunHook, when non-nil, replaces the scheduler as the job executor —
+	// a test seam that skips building the (expensive) measurement world
+	// and lets tests script failures.
+	RunHook func(JobSpec) (json.RawMessage, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +77,21 @@ func (o Options) withDefaults() Options {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.FS == nil {
+		o.FS = vfs.OS()
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 10 * time.Minute
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 2
+	}
+	if o.RetryBudget < 0 {
+		o.RetryBudget = 0
+	}
+	if o.DegradeAfter == 0 {
+		o.DegradeAfter = 3
+	}
 	return o
 }
 
@@ -68,12 +103,20 @@ type Server struct {
 	queue *Queue
 	admit *Admission
 	sched *Scheduler
+	run   func(JobSpec) (json.RawMessage, error)
 	mux   *http.ServeMux
 
 	draining atomic.Bool
 	workers  sync.WaitGroup
 
-	mRunning *obs.Gauge
+	// degraded trips when the store persistently fails writes (see
+	// noteStoreWrite): the server stops accepting and running jobs but
+	// keeps serving reads — degraded beats dead for a fleet service.
+	degraded      atomic.Bool
+	storeFailures atomic.Int64 // consecutive store-write failures
+
+	mRunning  *obs.Gauge
+	mDegraded *obs.Gauge
 }
 
 // New opens the store, recovers persisted jobs, builds the scheduler
@@ -83,7 +126,7 @@ type Server struct {
 // functions of the spec.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	store, err := OpenStore(opts.StoreDir, opts.Shards)
+	store, err := OpenStoreFS(opts.FS, opts.StoreDir, opts.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -92,13 +135,19 @@ func New(opts Options) (*Server, error) {
 	}
 
 	s := &Server{
-		opts:     opts,
-		store:    store,
-		admit:    NewAdmission(opts.AdmitBurst, opts.AdmitRate, opts.Now),
-		mRunning: opts.Obs.Gauge("censerved_jobs_running"),
+		opts:      opts,
+		store:     store,
+		admit:     NewAdmission(opts.AdmitBurst, opts.AdmitRate, opts.Now),
+		mRunning:  opts.Obs.Gauge("censerved_jobs_running"),
+		mDegraded: opts.Obs.Gauge("censerved_degraded"),
 	}
 	s.queue = NewQueue(opts.QueueCapacity, opts.Obs.Gauge("censerved_queue_depth"))
-	s.sched = NewScheduler(opts.Obs)
+	if opts.RunHook != nil {
+		s.run = opts.RunHook
+	} else {
+		s.sched = NewScheduler(opts.Obs)
+		s.run = s.sched.Run
+	}
 
 	// Recovery: pending entries in admission order. A job caught mid-run
 	// by a crash is still recorded as running; flip it back to queued so
@@ -119,6 +168,7 @@ func New(opts Options) (*Server, error) {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -153,6 +203,46 @@ func (s *Server) countFailed(kind string) {
 	s.opts.Obs.Counter("censerved_jobs_failed_total", obs.L("kind", kind)).Inc()
 }
 
+func (s *Server) countRetried(kind string) {
+	s.opts.Obs.Counter("censerved_jobs_retried_total", obs.L("kind", kind)).Inc()
+}
+
+func (s *Server) countDead(kind string) {
+	s.opts.Obs.Counter("censerved_jobs_dead_total", obs.L("kind", kind)).Inc()
+}
+
+// noteStoreWrite feeds the degradation trigger: consecutive store-write
+// failures trip degraded read-only mode; any success resets the streak.
+func (s *Server) noteStoreWrite(err error) {
+	if err == nil {
+		s.storeFailures.Store(0)
+		return
+	}
+	s.opts.Obs.Counter("censerved_store_write_failures_total").Inc()
+	n := s.storeFailures.Add(1)
+	if s.opts.DegradeAfter > 0 && n >= int64(s.opts.DegradeAfter) {
+		s.enterDegraded()
+	}
+}
+
+// enterDegraded flips the server into degraded read-only mode: new
+// submissions get 503, /healthz reports degraded, workers stop picking
+// up jobs (the queue closes; queued jobs are already durable and recover
+// on the next start), and reads keep working. There is deliberately no
+// automatic way back — a store that failed writes repeatedly needs an
+// operator, and flapping would be worse than staying read-only.
+func (s *Server) enterDegraded() {
+	if s.degraded.Swap(true) {
+		return
+	}
+	s.mDegraded.Set(1)
+	s.opts.Logf("entering DEGRADED read-only mode: %d consecutive store write failures", s.storeFailures.Load())
+	s.queue.Close()
+}
+
+// Degraded reports whether the server is in degraded read-only mode.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
 // Store exposes the underlying store (read-side, for tests and drain
 // verification).
 func (s *Server) Store() *Store { return s.store }
@@ -177,35 +267,93 @@ func (s *Server) runJob(workerID int, jobID string) {
 	}
 	attempts := e.Attempts + 1
 	if err := s.store.UpdateState(jobID, StateRunning, attempts, "", nil); err != nil {
+		s.noteStoreWrite(err)
 		s.opts.Logf("worker %d: job %s: mark running: %v", workerID, jobID, err)
 		return
 	}
+	s.noteStoreWrite(nil)
 	s.mRunning.Add(1)
 	defer s.mRunning.Add(-1)
 
-	payload, err := func() (p json.RawMessage, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("serve: job panicked: %v", r)
-			}
-		}()
-		return s.sched.Run(e.Spec)
-	}()
+	payload, err := s.execute(e.Spec)
 
 	if err != nil {
-		s.countFailed(e.Spec.Kind)
-		if uerr := s.store.UpdateState(jobID, StateFailed, attempts, err.Error(), nil); uerr != nil {
-			s.opts.Logf("worker %d: job %s: mark failed: %v", workerID, jobID, uerr)
-		}
-		s.opts.Logf("worker %d: job %s (%s) failed: %v", workerID, jobID, e.Spec.Kind, err)
+		s.finishFailed(workerID, jobID, &e, attempts, err)
 		return
 	}
 	s.countDone(e.Spec.Kind)
-	if uerr := s.store.UpdateState(jobID, StateDone, attempts, "", payload); uerr != nil {
+	uerr := s.store.UpdateState(jobID, StateDone, attempts, "", payload)
+	s.noteStoreWrite(uerr)
+	if uerr != nil {
 		s.opts.Logf("worker %d: job %s: mark done: %v", workerID, jobID, uerr)
 		return
 	}
 	s.opts.Logf("worker %d: job %s (%s) done, %d payload bytes", workerID, jobID, e.Spec.Kind, len(payload))
+}
+
+// execute runs one job under the watchdog, with a panic barrier. A job
+// that outlives the watchdog is abandoned (its goroutine keeps running;
+// a buffered channel swallows the late result) and reported as a
+// transient timeout — re-runnable, because payloads are pure functions
+// of the spec.
+func (s *Server) execute(spec JobSpec) (json.RawMessage, error) {
+	type result struct {
+		payload json.RawMessage
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- result{err: fmt.Errorf("serve: job panicked: %v", r)}
+			}
+		}()
+		p, err := s.run(spec)
+		ch <- result{payload: p, err: err}
+	}()
+	//cenlint:volatile watchdog liveness timeout: wall time decides only whether a hung job is abandoned, never any result bytes
+	timer := time.NewTimer(s.opts.JobTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.payload, r.err
+	case <-timer.C:
+		return nil, Transient(fmt.Errorf("serve: job exceeded %s watchdog timeout", s.opts.JobTimeout))
+	}
+}
+
+// finishFailed routes a failed attempt: transient failures with budget
+// left requeue with seeded backoff; transient failures out of budget go
+// to the dead-letter state; permanent failures fail immediately.
+func (s *Server) finishFailed(workerID int, jobID string, e *JobEntry, attempts int, err error) {
+	if IsTransient(err) && attempts <= s.opts.RetryBudget {
+		s.countRetried(e.Spec.Kind)
+		uerr := s.store.UpdateState(jobID, StateQueued, attempts, err.Error(), nil)
+		s.noteStoreWrite(uerr)
+		if uerr != nil {
+			s.opts.Logf("worker %d: job %s: mark requeued: %v", workerID, jobID, uerr)
+			return
+		}
+		delay := retryDelay(e.Spec.Seed, jobID, attempts)
+		s.queue.PushDelayed(jobID, e.Spec.Priority, e.Seq, delay)
+		s.opts.Logf("worker %d: job %s (%s) attempt %d failed transiently, retrying after %d pops: %v",
+			workerID, jobID, e.Spec.Kind, attempts, delay, err)
+		return
+	}
+	state := StateFailed
+	if IsTransient(err) {
+		state = StateDead
+		s.countDead(e.Spec.Kind)
+	} else {
+		s.countFailed(e.Spec.Kind)
+	}
+	uerr := s.store.UpdateState(jobID, state, attempts, err.Error(), nil)
+	s.noteStoreWrite(uerr)
+	if uerr != nil {
+		s.opts.Logf("worker %d: job %s: mark %s: %v", workerID, jobID, state, uerr)
+	}
+	s.opts.Logf("worker %d: job %s (%s) %s after %d attempts: %v",
+		workerID, jobID, e.Spec.Kind, state, attempts, err)
 }
 
 // Drain performs the graceful shutdown sequence: stop admitting (new
@@ -245,6 +393,10 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.degraded.Load() {
+		writeError(w, http.StatusServiceUnavailable, "degraded (read-only): store writes failing")
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -291,6 +443,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	entry, err := s.store.AppendQueued(spec)
+	s.noteStoreWrite(err)
 	if err != nil {
 		s.queue.Release()
 		writeError(w, http.StatusInternalServerError, "persisting job: "+err.Error())
@@ -299,6 +452,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.queue.Push(entry.ID, spec.Priority, entry.Seq)
 	s.countSubmitted(spec.Tenant)
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: entry.ID, State: StateQueued})
+}
+
+// handleJobs lists jobs in admission order, optionally filtered by
+// ?state= — the dead-letter query GET /v1/jobs?state=dead in particular.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	state := JobState(r.URL.Query().Get("state"))
+	if !validListState(state) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", state))
+		return
+	}
+	entries := s.store.List(state)
+	resp := jobsResponse{Jobs: make([]JobStatus, 0, len(entries))}
+	for i := range entries {
+		resp.Jobs = append(resp.Jobs, entries[i].Status())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -324,7 +493,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(e.Payload)
-	case StateFailed:
+	case StateFailed, StateDead:
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: e.Error})
 	default:
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; retry later", e.State))
@@ -334,6 +503,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.degraded.Load() {
+		writeError(w, http.StatusServiceUnavailable, "degraded (read-only): store writes failing")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -16,10 +16,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"cendev/internal/vfs"
 )
 
 // storeRecord is the on-disk form of one job-state transition. Queued
@@ -64,17 +67,31 @@ func (e *JobEntry) Status() JobStatus {
 // storeShard is one append-only segment file plus its compaction
 // accounting.
 type storeShard struct {
-	f    *os.File
+	f    vfs.File
 	path string
 	// records counts lines in the file; live is the number of jobs whose
 	// merged state lives here. The gap is compactable garbage.
 	records int
 	live    int
+	// foreign is the set of jobs with records in this file that hash to a
+	// different shard under the current shard count (a restart changed
+	// -shards). Compaction must carry their merged state along: this file
+	// may be the only durable home their records have, and a rewrite that
+	// kept only currently-hashing jobs would silently drop them — a loss
+	// the crash matrix catches the first time the power goes out.
+	foreign map[string]bool
+	// dirty means the file's live tail is not newline-terminated — a
+	// failed append left a partial record, or a pre-existing segment ends
+	// in a parseable line missing its newline. The next append must start
+	// on a fresh line, or its (synced, acknowledged) record would glue
+	// onto the tail and be unparseable at replay.
+	dirty bool
 }
 
 // Store is the crash-safe job/result store.
 type Store struct {
 	mu     sync.Mutex
+	fsys   vfs.FS
 	dir    string
 	shards []*storeShard
 	index  map[string]*JobEntry
@@ -83,24 +100,36 @@ type Store struct {
 	// compactMinRecords is the per-shard garbage floor below which
 	// compaction is not worth a rewrite.
 	compactMinRecords int
-	warnings          []string
+	// compactSkipSync, settable only from same-package tests, elides the
+	// pre-rename fsync during compaction — the deliberately broken store
+	// the crash matrix must catch (its sensitivity check).
+	compactSkipSync bool
+	warnings        []string
 }
 
 // DefaultShards is the default shard count for a store directory.
 const DefaultShards = 4
 
-// OpenStore opens (creating if needed) a store directory with nShards
+// OpenStore opens (creating if needed) a store directory on the real
+// filesystem. See OpenStoreFS.
+func OpenStore(dir string, nShards int) (*Store, error) {
+	return OpenStoreFS(vfs.OS(), dir, nShards)
+}
+
+// OpenStoreFS opens (creating if needed) a store directory with nShards
 // segment files, replays every segment present — including segments from
 // runs with a different shard count — and repairs torn tails. The merged
-// index is ready immediately after.
-func OpenStore(dir string, nShards int) (*Store, error) {
+// index is ready immediately after. All I/O goes through fsys, which is
+// how the crash matrix substitutes its fault-injecting filesystem.
+func OpenStoreFS(fsys vfs.FS, dir string, nShards int) (*Store, error) {
 	if nShards < 1 {
 		nShards = DefaultShards
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: store dir: %w", err)
 	}
 	s := &Store{
+		fsys:              fsys,
 		dir:               dir,
 		index:             make(map[string]*JobEntry),
 		compactMinRecords: 64,
@@ -108,7 +137,7 @@ func OpenStore(dir string, nShards int) (*Store, error) {
 
 	// Replay every segment on disk, not just the first nShards: a
 	// restart with a smaller -shards must not orphan jobs.
-	paths, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	paths, err := vfs.Glob(fsys, dir, "shard-*.jsonl")
 	if err != nil {
 		return nil, err
 	}
@@ -127,16 +156,18 @@ func OpenStore(dir string, nShards int) (*Store, error) {
 	sort.Strings(paths)
 
 	type replayed struct {
-		path    string
-		records int
+		path         string
+		records      int
+		ids          map[string]bool
+		unterminated bool
 	}
 	var segs []replayed
 	for _, p := range paths {
-		n, err := s.replaySegment(p)
+		n, ids, unterminated, err := s.replaySegment(p)
 		if err != nil {
 			return nil, err
 		}
-		segs = append(segs, replayed{path: p, records: n})
+		segs = append(segs, replayed{path: p, records: n, ids: ids, unterminated: unterminated})
 	}
 
 	// Open the first nShards for appending. Legacy segments beyond
@@ -144,21 +175,41 @@ func OpenStore(dir string, nShards int) (*Store, error) {
 	// records for them append to the shard their ID now hashes to.
 	for i := 0; i < nShards; i++ {
 		p := s.shardPath(i)
-		f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			s.closeAll()
 			return nil, err
 		}
-		sh := &storeShard{f: f, path: p}
+		sh := &storeShard{f: f, path: p, foreign: make(map[string]bool)}
 		for _, seg := range segs {
 			if seg.path == p {
 				sh.records = seg.records
+				sh.dirty = seg.unterminated
 			}
 		}
 		s.shards = append(s.shards, sh)
 	}
+	// A job hashes to a shard under the *current* count, but its records
+	// sit wherever an earlier run put them. Mark those residents foreign so
+	// compaction preserves them; legacy segments beyond nShards are never
+	// rewritten, so their residents are safe as-is.
+	for i, sh := range s.shards {
+		for _, seg := range segs {
+			if seg.path != sh.path {
+				continue
+			}
+			for id := range seg.ids {
+				if _, ok := s.index[id]; ok && s.shardFor(id) != i {
+					sh.foreign[id] = true
+				}
+			}
+		}
+	}
 	for _, e := range s.index {
 		s.shards[s.shardFor(e.ID)].live++
+	}
+	for _, sh := range s.shards {
+		sh.live += len(sh.foreign)
 	}
 	return s, nil
 }
@@ -177,14 +228,17 @@ func (s *Store) shardFor(id string) int {
 // replaySegment scans one segment file, merging records into the index in
 // seq order (within a file, append order is seq order) and repairing a
 // torn final line by truncating the file back to the last record
-// boundary. Returns the number of good records.
-func (s *Store) replaySegment(path string) (int, error) {
-	f, err := os.Open(path)
+// boundary. Returns the number of good records, the set of job IDs with
+// records in this file (for foreign-resident accounting), and whether
+// the file ends in a parseable line missing its newline — the caller
+// must mark the shard dirty so the next append does not glue onto it.
+func (s *Store) replaySegment(path string) (int, map[string]bool, bool, error) {
+	f, err := s.fsys.Open(path)
 	if os.IsNotExist(err) {
-		return 0, nil
+		return 0, nil, false, nil
 	}
 	if err != nil {
-		return 0, err
+		return 0, nil, false, err
 	}
 	defer f.Close()
 
@@ -194,6 +248,7 @@ func (s *Store) replaySegment(path string) (int, error) {
 	records := 0
 	line := 0
 	tornTail := false
+	ids := make(map[string]bool)
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -214,10 +269,11 @@ func (s *Store) replaySegment(path string) (int, error) {
 		tornTail = false
 		lastGoodEnd = pos
 		s.mergeRecord(&rec)
+		ids[rec.ID] = true
 		records++
 	}
 	if err := sc.Err(); err != nil {
-		return 0, fmt.Errorf("serve: reading %s: %w", path, err)
+		return 0, nil, false, fmt.Errorf("serve: reading %s: %w", path, err)
 	}
 	if tornTail {
 		// The file ends in a torn record — the kill -9 mid-append
@@ -225,13 +281,23 @@ func (s *Store) replaySegment(path string) (int, error) {
 		// segment is clean for appending. (An interior tear followed by
 		// good records is merely skipped: truncating would drop the good
 		// tail too.)
-		if err := os.Truncate(path, lastGoodEnd); err != nil {
-			return 0, fmt.Errorf("serve: repairing %s: %w", path, err)
+		if err := s.fsys.Truncate(path, lastGoodEnd); err != nil {
+			return 0, nil, false, fmt.Errorf("serve: repairing %s: %w", path, err)
 		}
 		s.warnings = append(s.warnings, fmt.Sprintf(
 			"serve: %s: truncated torn tail at byte %d", filepath.Base(path), lastGoodEnd))
+		return records, ids, false, nil // truncation ends the file at a line boundary
 	}
-	return records, nil
+	// A final line that parses but lacks its newline is not torn — no
+	// truncation — yet appending straight after it would glue two records
+	// into one unparseable line and silently lose both at the next
+	// replay. pos charges +1 per line for the newline, so it overshoots
+	// the real size by exactly 1 in that case.
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("serve: sizing %s: %w", path, err)
+	}
+	return records, ids, pos == size+1, nil
 }
 
 // mergeRecord folds one replayed record into the index. Records may
@@ -330,9 +396,18 @@ func (s *Store) appendLocked(rec *storeRecord) error {
 		return fmt.Errorf("serve: marshal record: %w", err)
 	}
 	raw = append(raw, '\n')
-	if _, err := sh.f.Write(raw); err != nil {
+	if sh.dirty {
+		// A previous append tore mid-record: open a fresh line so this
+		// record stays parseable (replay skips the garbage line).
+		raw = append([]byte{'\n'}, raw...)
+	}
+	if n, err := sh.f.Write(raw); err != nil {
+		if n > 0 {
+			sh.dirty = true
+		}
 		return fmt.Errorf("serve: append %s: %w", sh.path, err)
 	}
+	sh.dirty = false
 	if err := sh.f.Sync(); err != nil {
 		return fmt.Errorf("serve: sync %s: %w", sh.path, err)
 	}
@@ -355,17 +430,21 @@ func (s *Store) maybeCompactLocked(i int) error {
 
 func (s *Store) compactLocked(i int) error {
 	sh := s.shards[i]
-	// Collect this shard's jobs in seq order for a stable segment layout.
+	// Collect this shard's jobs in seq order for a stable segment layout:
+	// the jobs hashing here plus the foreign residents a shard-count change
+	// stranded in this file. Dropping a foreign resident would erase its
+	// only durable records — the compaction-across-reshard loss the crash
+	// matrix exists to catch.
 	var entries []*JobEntry
 	for _, e := range s.index {
-		if s.shardFor(e.ID) == i {
+		if s.shardFor(e.ID) == i || sh.foreign[e.ID] {
 			entries = append(entries, e)
 		}
 	}
 	sort.Slice(entries, func(a, b int) bool { return entries[a].Seq < entries[b].Seq })
 
 	tmp := sh.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := s.fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -382,42 +461,52 @@ func (s *Store) compactLocked(i int) error {
 		raw, err := json.Marshal(&rec)
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			s.fsys.Remove(tmp)
 			return err
 		}
 		raw = append(raw, '\n')
 		if _, err := w.Write(raw); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			s.fsys.Remove(tmp)
 			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fsys.Remove(tmp)
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	if !s.compactSkipSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			s.fsys.Remove(tmp)
+			return err
+		}
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, sh.path); err != nil {
-		os.Remove(tmp)
+	if err := s.fsys.Rename(tmp, sh.path); err != nil {
+		s.fsys.Remove(tmp)
 		return err
 	}
 	sh.f.Close()
-	nf, err := os.OpenFile(sh.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	nf, err := s.fsys.OpenFile(sh.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("serve: reopening compacted %s: %w", sh.path, err)
 	}
 	sh.f = nf
 	sh.records = len(entries)
 	sh.live = len(entries)
+	sh.dirty = false
+	// Make the rename itself durable before any record is acknowledged
+	// against the new segment: on filesystems that don't order metadata
+	// behind file fsyncs, a crash could otherwise revert the name to the
+	// old segment and orphan everything appended after the swap.
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("serve: syncing dir after compacting %s: %w", sh.path, err)
+	}
 	return nil
 }
 
@@ -442,6 +531,22 @@ func (s *Store) Pending() []JobEntry {
 	var out []JobEntry
 	for _, e := range s.index {
 		if e.State == StateQueued || e.State == StateRunning {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// List returns every job in admission order, optionally filtered to one
+// state (empty state means all) — the backing for GET /v1/jobs and its
+// ?state=dead dead-letter query.
+func (s *Store) List(state JobState) []JobEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []JobEntry
+	for _, e := range s.index {
+		if state == "" || e.State == state {
 			out = append(out, *e)
 		}
 	}

@@ -1,0 +1,671 @@
+package vfs
+
+// Chaos is an in-memory filesystem with a seeded, deterministic fault
+// model, built to answer one question: does the persistence layer keep
+// its promises when the storage under it misbehaves? It can fail any
+// single operation (EIO, ENOSPC), tear a write short, lose a rename's
+// durability, and — the centerpiece — simulate a power cut: freeze the
+// virtual disk at its last-synced state (plus seeded torn tails of
+// unsynced data), then "reboot" so recovery code can replay against
+// exactly what a real crash would have left behind.
+//
+// The durability model mirrors a journaling filesystem in ordered mode
+// (the contract the fsync+rename recipe relies on in practice):
+//
+//   - File CONTENT is durable up to the last successful Sync of its
+//     handle. At crash time, a seeded prefix of the unsynced suffix may
+//     additionally survive — the torn tail a kill -9 mid-append leaves.
+//   - Metadata operations (create, rename, remove) enter a pending
+//     journal in order. ANY successful Sync commits the whole pending
+//     journal — one sequential journal per filesystem, exactly like
+//     ext4 — and at crash time a seeded PREFIX of the still-pending
+//     journal commits, modeling a background journal flush racing the
+//     power cut.
+//   - A rename marked lost (LoseRenameOp) is passed over by ordinary
+//     file Syncs and never commits at crash time: the injected
+//     "rename-without-durability" fault. Only an explicit SyncDir — the
+//     fsync-the-parent-directory defense — makes it durable.
+//
+// Every operation — opens, reads, writes, syncs, renames — increments a
+// global operation counter; the crash-matrix harness enumerates those
+// indices as injection points. All behavior derives from the seed: the
+// same seed and the same operation sequence produce the same faults,
+// the same torn tails, and the same post-crash disk, byte for byte.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Injected and crash errors. ErrCrashed is what every operation returns
+// once the virtual power is cut (and what stale pre-reboot handles
+// return forever).
+var (
+	ErrCrashed  = errors.New("chaosfs: simulated crash (virtual power cut)")
+	ErrIO       = errors.New("chaosfs: injected I/O error (EIO)")
+	ErrDiskFull = errors.New("chaosfs: injected disk full (ENOSPC)")
+)
+
+// chaosNode is one file's storage: live content (what reads observe) and
+// durable content (what survives a crash, last successful Sync).
+type chaosNode struct {
+	data    []byte
+	durable []byte
+}
+
+// metaOp is one pending metadata-journal entry.
+type metaOp struct {
+	kind   string // "create" | "rename" | "remove"
+	name   string // create/remove target, rename new path
+	old    string // rename old path
+	node   *chaosNode
+	doomed bool // a LoseRenameOp victim: only SyncDir commits it
+}
+
+// fault is a scheduled single-operation fault.
+type fault struct {
+	err        error
+	short      bool // tear the write instead of failing it outright
+	loseRename bool // rename applies live but never becomes durable
+}
+
+// Chaos implements FS. The zero value is not usable; construct with
+// NewChaos.
+type Chaos struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	live    map[string]*chaosNode
+	durable map[string]*chaosNode // durable namespace: name -> node
+	dirs    map[string]bool
+	pending []metaOp
+	faults  map[int]fault
+	ops     int
+	opLog   []string
+	crashAt int
+	crashed bool
+	gen     int // bumped on Reboot; stale handles are fenced off
+}
+
+// NewChaos returns an empty chaos filesystem whose every nondeterministic
+// choice — torn-tail lengths, journal-flush races — derives from seed.
+func NewChaos(seed int64) *Chaos {
+	return &Chaos{
+		rng:     rand.New(rand.NewSource(seed)),
+		live:    map[string]*chaosNode{},
+		durable: map[string]*chaosNode{},
+		dirs:    map[string]bool{},
+		faults:  map[int]fault{},
+	}
+}
+
+// SetCrashAtOp schedules the virtual power cut at the k-th operation
+// (1-based). That operation fails with ErrCrashed — a write applies a
+// seeded partial prefix first — and every later operation fails the same
+// way until Reboot.
+func (c *Chaos) SetCrashAtOp(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashAt = k
+}
+
+// FailOp schedules operation k (1-based) to fail with err; the operation
+// has no effect. Use ErrIO or ErrDiskFull for the classic cases.
+func (c *Chaos) FailOp(k int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults[k] = fault{err: err}
+}
+
+// ShortWriteOp schedules operation k to tear: if it is a write, a seeded
+// strict prefix of the bytes is applied and the write returns ErrIO with
+// the short count. Non-write operations fail with ErrIO.
+func (c *Chaos) ShortWriteOp(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults[k] = fault{err: ErrIO, short: true}
+}
+
+// LoseRenameOp schedules operation k to be a durability-lost rename: the
+// rename succeeds and is visible live, but ordinary file Syncs pass it
+// over and a crash never commits it — after a crash it is as if it never
+// happened, unless an explicit SyncDir made it durable first. Non-rename
+// operations at k are unaffected.
+func (c *Chaos) LoseRenameOp(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults[k] = fault{loseRename: true}
+}
+
+// Crash cuts the virtual power immediately: every subsequent operation
+// (and every operation on existing handles) fails with ErrCrashed until
+// Reboot. Idempotent.
+func (c *Chaos) Crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = true
+}
+
+// Crashed reports whether the virtual power is currently cut.
+func (c *Chaos) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Ops returns the number of operations performed so far — the injection
+// index space the crash matrix enumerates.
+func (c *Chaos) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// OpAt describes operation k (1-based) of the log, for violation
+// messages.
+func (c *Chaos) OpAt(k int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k < 1 || k > len(c.opLog) {
+		return fmt.Sprintf("op %d (beyond recorded log of %d)", k, len(c.opLog))
+	}
+	return c.opLog[k-1]
+}
+
+// Reboot restores the disk to what survived the crash — durable content
+// plus seeded torn tails, with a seeded prefix of the pending metadata
+// journal committed — and brings the filesystem back online. Handles
+// opened before the reboot stay dead. Scheduled faults are cleared so
+// recovery code runs against a healthy (post-crash) disk. If no crash
+// happened, Reboot first cuts the power, so "whatever was unsynced is
+// gone" holds unconditionally.
+func (c *Chaos) Reboot() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = true
+
+	// A seeded prefix of the pending journal made it to disk.
+	if n := len(c.pending); n > 0 {
+		c.commitPendingLocked(c.rng.Intn(n+1), false)
+	}
+	c.pending = nil
+
+	// Rebuild the namespace from the durable view; unsynced suffixes
+	// survive as seeded torn tails.
+	survivors := map[string]*chaosNode{}
+	names := make([]string, 0, len(c.durable))
+	for name := range c.durable {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic rng consumption order
+	for _, name := range names {
+		node := c.durable[name]
+		content := append([]byte(nil), node.durable...)
+		if len(node.data) > len(node.durable) && bytes.HasPrefix(node.data, node.durable) {
+			tail := node.data[len(node.durable):]
+			content = append(content, tail[:c.rng.Intn(len(tail)+1)]...)
+		}
+		survivors[name] = &chaosNode{data: content, durable: append([]byte(nil), content...)}
+	}
+	c.live = survivors
+	c.durable = map[string]*chaosNode{}
+	for name, n := range survivors {
+		c.durable[name] = n
+	}
+	c.faults = map[int]fault{}
+	c.crashAt = 0
+	c.crashed = false
+	c.gen++
+}
+
+// Install places a file on the disk, fully durable, without consuming an
+// operation — for seeding pre-existing state (a prior run's segments)
+// before the measured workload begins.
+func (c *Chaos) Install(name string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = filepath.Clean(name)
+	n := &chaosNode{data: append([]byte(nil), data...), durable: append([]byte(nil), data...)}
+	c.live[name] = n
+	c.durable[name] = n
+	c.dirs[filepath.Dir(name)] = true
+}
+
+// ReadFile returns the live content of a file, for test assertions.
+func (c *Chaos) ReadFile(name string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.live[filepath.Clean(name)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), n.data...), true
+}
+
+// enter charges one operation: it bumps the counter, logs the op, and
+// returns the injected fault for this index, or ErrCrashed once the
+// power is cut. Callers must hold mu.
+func (c *Chaos) enter(desc string) (fault, error) {
+	if c.crashed {
+		return fault{}, ErrCrashed
+	}
+	c.ops++
+	c.opLog = append(c.opLog, desc)
+	if c.crashAt != 0 && c.ops == c.crashAt {
+		c.crashed = true
+		return fault{}, ErrCrashed
+	}
+	if f, ok := c.faults[c.ops]; ok {
+		return f, nil
+	}
+	return fault{}, nil
+}
+
+// commitPendingLocked applies the first n pending metadata ops to the
+// durable namespace, in journal order. Doomed (durability-lost) renames
+// are passed over: without force they stay pending, committable only by
+// a later SyncDir (force=true) — a crash-time flush (Reboot) discards
+// whatever stayed pending, so a doomed rename never commits at crash.
+func (c *Chaos) commitPendingLocked(n int, force bool) {
+	var kept []metaOp
+	for _, op := range c.pending[:n] {
+		if op.doomed && !force {
+			kept = append(kept, op)
+			continue
+		}
+		switch op.kind {
+		case "create":
+			c.durable[op.name] = op.node
+		case "rename":
+			if c.durable[op.old] == op.node {
+				delete(c.durable, op.old)
+			}
+			c.durable[op.name] = op.node
+		case "remove":
+			if c.durable[op.name] == op.node {
+				delete(c.durable, op.name)
+			}
+		}
+	}
+	c.pending = append(kept, c.pending[n:]...)
+}
+
+// --- FS implementation ---
+
+func (c *Chaos) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = filepath.Clean(name)
+	f, err := c.enter("openfile " + name)
+	if err != nil {
+		return nil, err
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	node, exists := c.live[name]
+	switch {
+	case !exists && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case exists && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrExist}
+	case !exists:
+		node = &chaosNode{}
+		c.live[name] = node
+		c.dirs[filepath.Dir(name)] = true
+		c.pending = append(c.pending, metaOp{kind: "create", name: name, node: node})
+	}
+	if flag&os.O_TRUNC != 0 {
+		node.data = nil
+	}
+	h := &chaosHandle{
+		fs: c, gen: c.gen, name: name, node: node,
+		appendMode: flag&os.O_APPEND != 0,
+		readable:   flag&os.O_WRONLY == 0,
+		writable:   flag&(os.O_WRONLY|os.O_RDWR) != 0,
+	}
+	return h, nil
+}
+
+func (c *Chaos) Open(name string) (File, error) {
+	return c.OpenFile(name, os.O_RDONLY, 0)
+}
+
+func (c *Chaos) Create(name string) (File, error) {
+	return c.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (c *Chaos) Rename(oldpath, newpath string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	f, err := c.enter("rename " + oldpath + " -> " + newpath)
+	if err != nil {
+		return err
+	}
+	if f.err != nil {
+		return f.err
+	}
+	node, ok := c.live[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(c.live, oldpath)
+	c.live[newpath] = node
+	c.pending = append(c.pending, metaOp{
+		kind: "rename", name: newpath, old: oldpath, node: node, doomed: f.loseRename,
+	})
+	return nil
+}
+
+func (c *Chaos) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = filepath.Clean(name)
+	f, err := c.enter("remove " + name)
+	if err != nil {
+		return err
+	}
+	if f.err != nil {
+		return f.err
+	}
+	node, ok := c.live[name]
+	if !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(c.live, name)
+	c.pending = append(c.pending, metaOp{kind: "remove", name: name, node: node})
+	return nil
+}
+
+// Truncate shrinks both the live and durable views: size changes and the
+// data they discard commit together on a journaling filesystem, and the
+// store only truncates during torn-tail repair, which is immediately
+// followed by synced appends.
+func (c *Chaos) Truncate(name string, size int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = filepath.Clean(name)
+	f, err := c.enter(fmt.Sprintf("truncate %s to %d", name, size))
+	if err != nil {
+		return err
+	}
+	if f.err != nil {
+		return f.err
+	}
+	node, ok := c.live[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if int64(len(node.data)) > size {
+		node.data = node.data[:size]
+	} else {
+		node.data = append(node.data, make([]byte, size-int64(len(node.data)))...)
+	}
+	if int64(len(node.durable)) > size {
+		node.durable = node.durable[:size]
+	}
+	return nil
+}
+
+func (c *Chaos) MkdirAll(dir string, perm fs.FileMode) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dir = filepath.Clean(dir)
+	f, err := c.enter("mkdirall " + dir)
+	if err != nil {
+		return err
+	}
+	if f.err != nil {
+		return f.err
+	}
+	c.dirs[dir] = true
+	return nil
+}
+
+// SyncDir is the explicit directory-durability barrier: it commits the
+// entire pending metadata journal, including durability-lost renames —
+// exactly what fsyncing the parent directory buys on a real filesystem.
+func (c *Chaos) SyncDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dir = filepath.Clean(dir)
+	f, err := c.enter("syncdir " + dir)
+	if err != nil {
+		return err
+	}
+	if f.err != nil {
+		return f.err
+	}
+	c.commitPendingLocked(len(c.pending), true)
+	return nil
+}
+
+func (c *Chaos) ReadDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dir = filepath.Clean(dir)
+	f, err := c.enter("readdir " + dir)
+	if err != nil {
+		return nil, err
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	var names []string
+	for name := range c.live {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	if len(names) == 0 && !c.dirs[dir] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// --- File handle ---
+
+type chaosHandle struct {
+	fs         *Chaos
+	gen        int
+	name       string
+	node       *chaosNode
+	pos        int64
+	appendMode bool
+	readable   bool
+	writable   bool
+	closed     bool
+}
+
+// guard charges the operation and fences off closed or pre-reboot
+// handles. Caller must hold fs.mu.
+func (h *chaosHandle) guard(desc string) (fault, error) {
+	if h.closed {
+		return fault{}, fs.ErrClosed
+	}
+	if h.gen != h.fs.gen {
+		return fault{}, ErrCrashed
+	}
+	return h.fs.enter(desc + " " + h.name)
+}
+
+func (h *chaosHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.guard("read")
+	if err != nil {
+		return 0, err
+	}
+	if f.err != nil {
+		return 0, f.err
+	}
+	if !h.readable {
+		return 0, &fs.PathError{Op: "read", Path: h.name, Err: errors.New("write-only handle")}
+	}
+	if h.pos >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *chaosHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.guard("readat")
+	if err != nil {
+		return 0, err
+	}
+	if f.err != nil {
+		return 0, f.err
+	}
+	if off < 0 || off >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *chaosHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.guard(fmt.Sprintf("write(%dB)", len(p)))
+	if err != nil {
+		if errors.Is(err, ErrCrashed) && !h.closed && h.gen == h.fs.gen {
+			// The power cut mid-write: a seeded prefix reached the page
+			// cache (and may yet survive as part of the torn tail).
+			h.applyWriteLocked(p[:h.fs.rng.Intn(len(p)+1)])
+		}
+		return 0, err
+	}
+	if !h.writable {
+		return 0, &fs.PathError{Op: "write", Path: h.name, Err: errors.New("read-only handle")}
+	}
+	if f.err != nil {
+		if f.short && len(p) > 0 {
+			n := h.fs.rng.Intn(len(p)) // strict prefix: the injected torn write
+			h.applyWriteLocked(p[:n])
+			return n, f.err
+		}
+		return 0, f.err
+	}
+	h.applyWriteLocked(p)
+	return len(p), nil
+}
+
+// applyWriteLocked lands bytes at the handle's position (or the end, in
+// append mode) in the live view only.
+func (h *chaosHandle) applyWriteLocked(p []byte) {
+	if h.appendMode {
+		h.pos = int64(len(h.node.data))
+	}
+	if grow := h.pos + int64(len(p)) - int64(len(h.node.data)); grow > 0 {
+		h.node.data = append(h.node.data, make([]byte, grow)...)
+	}
+	copy(h.node.data[h.pos:], p)
+	h.pos += int64(len(p))
+}
+
+func (h *chaosHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.guard("seek")
+	if err != nil {
+		return 0, err
+	}
+	if f.err != nil {
+		return 0, f.err
+	}
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.node.data)) + offset
+	default:
+		return 0, fmt.Errorf("chaosfs: bad whence %d", whence)
+	}
+	if h.pos < 0 {
+		h.pos = 0
+	}
+	return h.pos, nil
+}
+
+// Sync makes the file's current content durable and — like a sequential
+// filesystem journal — commits every pending metadata operation along
+// with it.
+func (h *chaosHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.guard("sync")
+	if err != nil {
+		return err
+	}
+	if f.err != nil {
+		return f.err
+	}
+	h.node.durable = append([]byte(nil), h.node.data...)
+	h.fs.commitPendingLocked(len(h.fs.pending), false)
+	return nil
+}
+
+func (h *chaosHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.gen != h.fs.gen || h.fs.crashed {
+		h.closed = true
+		return ErrCrashed
+	}
+	h.fs.ops++
+	h.fs.opLog = append(h.fs.opLog, "close "+h.name)
+	if f, ok := h.fs.faults[h.fs.ops]; ok && f.err != nil {
+		h.closed = true
+		return f.err
+	}
+	if h.fs.crashAt != 0 && h.fs.ops == h.fs.crashAt {
+		h.fs.crashed = true
+		h.closed = true
+		return ErrCrashed
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *chaosHandle) Name() string { return h.name }
+
+// String summarizes the disk for debugging.
+func (c *Chaos) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.live))
+	for n := range c.live {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaosfs{ops=%d crashed=%v pending=%d", c.ops, c.crashed, len(c.pending))
+	for _, n := range names {
+		node := c.live[n]
+		fmt.Fprintf(&b, " %s(%d/%dB)", n, len(node.durable), len(node.data))
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,243 @@
+// Package crashtest is the crash-matrix harness: it runs a storage
+// workload once fault-free to count its filesystem operations, then
+// re-runs it once per (seed, fault mode, operation index) cell with that
+// single fault injected, cuts the virtual power at the end of every run,
+// reboots, and hands the survivors to a verifier. The verifier owns the
+// invariants — typically "no acknowledged write lost, no torn record
+// surfaces after recovery" — and any cell whose verifier fails becomes a
+// Violation naming the seed, the mode, and the exact operation hit.
+//
+// The harness is exhaustive by construction: every operation the
+// workload performs — every open, append, sync, rename, truncate —
+// is an injection point, so a durability bug cannot hide between two
+// hand-picked fault sites. Everything is deterministic: a reported
+// (seed, mode, point) triple replays byte-for-byte under a debugger.
+package crashtest
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"cendev/internal/vfs"
+)
+
+// Mode is a fault flavor injected at one operation index.
+type Mode string
+
+const (
+	// ModeCrash cuts the power at the operation (a seeded prefix of a
+	// torn write may survive).
+	ModeCrash Mode = "crash"
+	// ModeEIO fails the operation with an I/O error.
+	ModeEIO Mode = "eio"
+	// ModeENOSPC fails the operation with a disk-full error.
+	ModeENOSPC Mode = "enospc"
+	// ModeShortWrite tears the operation if it is a write: a seeded
+	// strict prefix lands, then ErrIO.
+	ModeShortWrite Mode = "short-write"
+	// ModeRenameLost lets the operation succeed but, if it is a rename,
+	// it never becomes durable.
+	ModeRenameLost Mode = "rename-lost"
+)
+
+// AllModes is every fault flavor the harness knows.
+var AllModes = []Mode{ModeCrash, ModeEIO, ModeENOSPC, ModeShortWrite, ModeRenameLost}
+
+// Acks records what the workload considers acknowledged: state a client
+// was told is durable. Verify receives the final snapshot; anything in
+// it that recovery cannot reproduce is a lost acknowledged write.
+type Acks struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// Ack records (or supersedes) the acknowledged value for key.
+func (a *Acks) Ack(key, value string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.m == nil {
+		a.m = map[string]string{}
+	}
+	a.m[key] = value
+}
+
+// Snapshot returns a copy of the acknowledged state.
+func (a *Acks) Snapshot() map[string]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]string, len(a.m))
+	for k, v := range a.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Config describes one crash matrix.
+type Config struct {
+	// Seeds drive every nondeterministic choice (torn-tail lengths,
+	// journal-flush races). Empty means DefaultSeeds().
+	Seeds []int64
+	// Modes are the fault flavors to enumerate. Empty means AllModes.
+	Modes []Mode
+	// Workload runs the system under test against fsys, acknowledging
+	// via ack exactly what it believes is durable. It may return an
+	// error once faults start landing — the matrix only cares what the
+	// verifier finds afterwards — but must succeed in the fault-free
+	// probe run.
+	Workload func(fsys vfs.FS, ack *Acks) error
+	// Verify reopens the system against the post-reboot fsys and checks
+	// the invariants against the acknowledged state. It must pass in the
+	// fault-free probe run.
+	Verify func(fsys vfs.FS, acked map[string]string) error
+}
+
+// Violation is one failed cell.
+type Violation struct {
+	Seed  int64
+	Mode  Mode
+	Point int    // 1-based operation index the fault was scheduled at
+	Op    string // description of that operation in the probe run
+	Err   error  // what the verifier reported
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seed=%d mode=%s point=%d (%s): %v", v.Seed, v.Mode, v.Point, v.Op, v.Err)
+}
+
+// Result summarizes a matrix run.
+type Result struct {
+	Points     int // operation count of the fault-free probe
+	Cells      int // seed × mode × point cells executed
+	Violations []Violation
+}
+
+// DefaultSeeds returns seeds 1..n where n comes from CRASH_MATRIX_SEEDS
+// (the CI gate sets 50) and defaults to 8 to keep plain `go test` quick.
+func DefaultSeeds() []int64 {
+	n := 8
+	if s := os.Getenv("CRASH_MATRIX_SEEDS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// Run executes the matrix. It returns an error only when the harness
+// itself is misconfigured or the fault-free probe fails — invariant
+// failures under fault land in Result.Violations.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workload == nil || cfg.Verify == nil {
+		return Result{}, fmt.Errorf("crashtest: Config needs both Workload and Verify")
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds()
+	}
+	modes := cfg.Modes
+	if len(modes) == 0 {
+		modes = AllModes
+	}
+
+	// Probe run: no injected faults (but still a crash at the end — the
+	// baseline invariant is that a clean shutdown's acks survive).
+	probe := vfs.NewChaos(seeds[0])
+	acks := &Acks{}
+	if err := cfg.Workload(probe, acks); err != nil {
+		return Result{}, fmt.Errorf("crashtest: fault-free workload failed: %w", err)
+	}
+	points := probe.Ops()
+	if points == 0 {
+		return Result{}, fmt.Errorf("crashtest: workload performed no filesystem operations")
+	}
+	opDesc := make([]string, points+1)
+	for i := 1; i <= points; i++ {
+		opDesc[i] = probe.OpAt(i)
+	}
+	probe.Reboot()
+	if err := cfg.Verify(probe, acks.Snapshot()); err != nil {
+		return Result{}, fmt.Errorf("crashtest: fault-free verify failed: %w", err)
+	}
+
+	res := Result{Points: points}
+	for _, seed := range seeds {
+		for _, mode := range modes {
+			for point := 1; point <= points; point++ {
+				c := vfs.NewChaos(seed)
+				switch mode {
+				case ModeCrash:
+					c.SetCrashAtOp(point)
+				case ModeEIO:
+					c.FailOp(point, vfs.ErrIO)
+				case ModeENOSPC:
+					c.FailOp(point, vfs.ErrDiskFull)
+				case ModeShortWrite:
+					c.ShortWriteOp(point)
+				case ModeRenameLost:
+					c.LoseRenameOp(point)
+				default:
+					return res, fmt.Errorf("crashtest: unknown mode %q", mode)
+				}
+				acks := &Acks{}
+				// The workload may error once the fault lands; the
+				// verifier is the judge.
+				_ = cfg.Workload(c, acks)
+				// Power cut at the end of every cell: acknowledged means
+				// durable NOW, not durable eventually.
+				c.Crash()
+				c.Reboot()
+				res.Cells++
+				if err := cfg.Verify(c, acks.Snapshot()); err != nil {
+					res.Violations = append(res.Violations, Violation{
+						Seed: seed, Mode: mode, Point: point, Op: opDesc[point], Err: err,
+					})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunT runs the matrix under a test, failing it on harness errors or any
+// violation (the first few are printed in full).
+func RunT(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("crash matrix: %v", err)
+	}
+	const show = 10
+	for i, v := range res.Violations {
+		if i == show {
+			t.Errorf("... and %d more violations", len(res.Violations)-show)
+			break
+		}
+		t.Errorf("crash matrix violation: %s", v)
+	}
+	if len(res.Violations) == 0 {
+		t.Logf("crash matrix clean: %d cells (%d points × %d seeds × %d modes)",
+			res.Cells, res.Points, len(seedsOf(cfg)), len(modesOf(cfg)))
+	}
+	return res
+}
+
+func seedsOf(cfg Config) []int64 {
+	if len(cfg.Seeds) > 0 {
+		return cfg.Seeds
+	}
+	return DefaultSeeds()
+}
+
+func modesOf(cfg Config) []Mode {
+	if len(cfg.Modes) > 0 {
+		return cfg.Modes
+	}
+	return AllModes
+}

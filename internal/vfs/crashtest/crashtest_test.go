@@ -1,0 +1,134 @@
+package crashtest_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"cendev/internal/vfs"
+	"cendev/internal/vfs/crashtest"
+)
+
+// The toy system under test: a key=value line log. The correct variant
+// syncs before acknowledging; the broken variant acknowledges first.
+func logWorkload(ackBeforeSync bool) func(fsys vfs.FS, ack *crashtest.Acks) error {
+	return func(fsys vfs.FS, ack *crashtest.Acks) error {
+		if err := fsys.MkdirAll("d", 0o755); err != nil {
+			return err
+		}
+		f, err := fsys.OpenFile("d/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for i := 0; i < 4; i++ {
+			k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+			if _, err := fmt.Fprintf(f, "%s=%s\n", k, v); err != nil {
+				return err
+			}
+			if ackBeforeSync {
+				ack.Ack(k, v)
+				if err := f.Sync(); err != nil {
+					return err
+				}
+			} else {
+				if err := f.Sync(); err != nil {
+					return err
+				}
+				ack.Ack(k, v)
+			}
+		}
+		return nil
+	}
+}
+
+// logVerify replays the log and checks every acknowledged pair is
+// recoverable; a torn last line is tolerated, torn interior lines are
+// not.
+func logVerify(fsys vfs.FS, acked map[string]string) error {
+	got := map[string]string{}
+	f, err := fsys.Open("d/log")
+	if err != nil {
+		if os.IsNotExist(err) && len(acked) == 0 {
+			return nil
+		}
+		if os.IsNotExist(err) {
+			return fmt.Errorf("log missing with %d acks", len(acked))
+		}
+		return err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok || !strings.HasPrefix(k, "k") {
+			if i == len(lines)-1 {
+				continue // torn tail: acceptable, repairable
+			}
+			return fmt.Errorf("torn interior line %d: %q", i, line)
+		}
+		got[k] = v
+	}
+	for k, v := range acked {
+		if got[k] != v {
+			return fmt.Errorf("acked %s=%s lost (recovered %q)", k, v, got[k])
+		}
+	}
+	return nil
+}
+
+func TestHarnessPassesCorrectLog(t *testing.T) {
+	res := crashtest.RunT(t, crashtest.Config{
+		Seeds:    []int64{1, 2, 3, 4},
+		Workload: logWorkload(false),
+		Verify:   logVerify,
+	})
+	if res.Cells == 0 || res.Points == 0 {
+		t.Fatalf("matrix ran no cells: %+v", res)
+	}
+}
+
+// TestHarnessCatchesAckBeforeSync: acknowledging before the sync must
+// produce violations — if the matrix cannot see this bug it cannot see
+// any.
+func TestHarnessCatchesAckBeforeSync(t *testing.T) {
+	res, err := crashtest.Run(crashtest.Config{
+		Seeds:    []int64{1, 2, 3, 4},
+		Modes:    []crashtest.Mode{crashtest.ModeCrash, crashtest.ModeEIO},
+		Workload: logWorkload(true),
+		Verify:   logVerify,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("ack-before-sync log passed the crash matrix: harness has no teeth")
+	}
+	t.Logf("caught %d violations, e.g. %s", len(res.Violations), res.Violations[0])
+}
+
+// TestHarnessRejectsBrokenProbe: a workload that cannot even pass
+// fault-free is a harness-usage error, not a violation.
+func TestHarnessRejectsBrokenProbe(t *testing.T) {
+	_, err := crashtest.Run(crashtest.Config{
+		Seeds: []int64{1},
+		Workload: func(fsys vfs.FS, ack *crashtest.Acks) error {
+			ack.Ack("ghost", "never-written")
+			return nil
+		},
+		Verify: logVerify,
+	})
+	if err == nil {
+		t.Fatal("probe with unrecoverable ack should fail Run")
+	}
+}

@@ -1,0 +1,56 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// osFS is the passthrough implementation over package os.
+type osFS struct{}
+
+// OS returns the real-filesystem implementation every production code
+// path uses.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+func (osFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

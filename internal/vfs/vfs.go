@@ -1,0 +1,118 @@
+// Package vfs is the narrow filesystem seam under every durable artifact
+// this repository writes: the censerved sharded result store, the
+// centrace campaign journal, and the obs -metrics-out/-trace-out dumps.
+// Production code writes through the passthrough OS() implementation;
+// crash-safety tests write through Chaos, a seeded deterministic fault
+// injector that can fail or tear any operation and simulate a power cut
+// (freeze the virtual disk at last-synced state, "reboot", replay
+// recovery). The interface is deliberately small — exactly the
+// operations the persistence layers use — so the chaos model stays
+// faithful and the crash matrix in vfs/crashtest can enumerate every
+// injection point.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"path"
+	"path/filepath"
+	"sort"
+)
+
+// File is the subset of *os.File the persistence layers use. Sync is the
+// durability barrier: bytes written before a successful Sync survive a
+// crash, bytes after it may not.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's content to stable storage.
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem operations seam. Implementations: OS()
+// (passthrough to package os) and NewChaos (seeded fault injector).
+type FS interface {
+	// OpenFile is the generalized open; flag is the os.O_* bitmask.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// Create truncate-creates a file for writing.
+	Create(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath. Durability of the
+	// rename itself is a separate property from the data's — publishing
+	// an unsynced file via Rename is the classic crash bug chaosfs
+	// exists to catch.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// SyncDir flushes a directory's entries to stable storage — the
+	// fsync-the-parent step that makes a preceding Rename durable on
+	// filesystems that do not order metadata behind file fsyncs. Code
+	// that must not lose a rename calls this right after it.
+	SyncDir(dir string) error
+	// ReadDir returns the sorted base names of the files in dir.
+	ReadDir(dir string) ([]string, error)
+}
+
+// Glob returns the full paths of files in dir whose base name matches
+// pattern (path.Match syntax), sorted — the vfs equivalent of
+// filepath.Glob(dir/pattern).
+func Glob(fsys FS, dir, pattern string) ([]string, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		ok, err := path.Match(pattern, n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, filepath.Join(dir, n))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// WriteFileDurable writes a whole artifact with the temp+fsync+rename
+// recipe: content lands in path+".tmp", is synced, and only then renamed
+// over path — so a crash at any point leaves either the old complete
+// artifact or the new complete artifact, never a torn one. The write
+// callback receives the temp file's writer.
+func WriteFileDurable(fsys FS, path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package vfs_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cendev/internal/vfs"
+)
+
+// TestFSContract runs the same basic read/write/rename/readdir exercise
+// against both implementations: chaosfs (fault-free) must be
+// indistinguishable from the real filesystem.
+func TestFSContract(t *testing.T) {
+	impls := map[string]func(t *testing.T) (vfs.FS, string){
+		"os": func(t *testing.T) (vfs.FS, string) {
+			return vfs.OS(), t.TempDir()
+		},
+		"chaos": func(t *testing.T) (vfs.FS, string) {
+			return vfs.NewChaos(1), "/virt"
+		},
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			fsys, dir := mk(t)
+			if err := fsys.MkdirAll(dir, 0o755); err != nil {
+				t.Fatalf("MkdirAll: %v", err)
+			}
+			p := filepath.Join(dir, "a.jsonl")
+
+			if _, err := fsys.Open(p); err == nil || !os.IsNotExist(err) {
+				t.Fatalf("Open(missing) = %v, want not-exist", err)
+			}
+
+			f, err := fsys.OpenFile(p, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatalf("OpenFile: %v", err)
+			}
+			for _, line := range []string{"one\n", "two\n"} {
+				if n, err := f.Write([]byte(line)); err != nil || n != len(line) {
+					t.Fatalf("Write = (%d, %v)", n, err)
+				}
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			// ReadAt does not disturb the append position.
+			buf := make([]byte, 3)
+			if _, err := f.ReadAt(buf, 4); err != nil && err != io.EOF {
+				t.Fatalf("ReadAt: %v", err)
+			}
+			if string(buf) != "two" {
+				t.Fatalf("ReadAt = %q, want %q", buf, "two")
+			}
+			if _, err := f.Write([]byte("three\n")); err != nil {
+				t.Fatalf("append after ReadAt: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			// Seek + sequential read through a fresh handle.
+			r, err := fsys.Open(p)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if off, err := r.Seek(4, io.SeekStart); err != nil || off != 4 {
+				t.Fatalf("Seek = (%d, %v)", off, err)
+			}
+			rest, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatalf("ReadAll: %v", err)
+			}
+			if string(rest) != "two\nthree\n" {
+				t.Fatalf("read = %q", rest)
+			}
+			r.Close()
+
+			// Rename, Remove, ReadDir, Glob.
+			if err := fsys.Rename(p, filepath.Join(dir, "b.jsonl")); err != nil {
+				t.Fatalf("Rename: %v", err)
+			}
+			g, err := fsys.Create(filepath.Join(dir, "c.tmp"))
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			g.Close()
+			names, err := fsys.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("ReadDir: %v", err)
+			}
+			if want := []string{"b.jsonl", "c.tmp"}; strings.Join(names, ",") != strings.Join(want, ",") {
+				t.Fatalf("ReadDir = %v, want %v", names, want)
+			}
+			matches, err := vfs.Glob(fsys, dir, "*.jsonl")
+			if err != nil {
+				t.Fatalf("Glob: %v", err)
+			}
+			if len(matches) != 1 || filepath.Base(matches[0]) != "b.jsonl" {
+				t.Fatalf("Glob = %v", matches)
+			}
+			if err := fsys.Remove(filepath.Join(dir, "c.tmp")); err != nil {
+				t.Fatalf("Remove: %v", err)
+			}
+			if _, err := fsys.Open(filepath.Join(dir, "c.tmp")); !os.IsNotExist(err) {
+				t.Fatalf("Open(removed) = %v, want not-exist", err)
+			}
+		})
+	}
+}
+
+// TestChaosDurability: synced bytes survive a reboot; unsynced bytes
+// survive at most as a torn prefix of what was written after the sync.
+func TestChaosDurability(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := vfs.NewChaos(seed)
+		f, err := c.OpenFile("d/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("synced|"))
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("unsynced"))
+		c.Reboot()
+
+		got, ok := c.ReadFile("d/log")
+		if !ok {
+			t.Fatalf("seed %d: file lost entirely despite sync", seed)
+		}
+		if !bytes.HasPrefix(got, []byte("synced|")) {
+			t.Fatalf("seed %d: synced prefix lost: %q", seed, got)
+		}
+		if !bytes.HasPrefix([]byte("synced|unsynced"), got) {
+			t.Fatalf("seed %d: survivor %q is not a prefix of what was written", seed, got)
+		}
+	}
+}
+
+// TestChaosRenameDurability: a rename is pending until some Sync commits
+// the journal; after that it survives any crash. A LoseRenameOp rename
+// never commits even across syncs.
+func TestChaosRenameDurability(t *testing.T) {
+	write := func(c *vfs.Chaos, path, content string, sync bool) {
+		f, err := c.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte(content))
+		if sync {
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+
+	t.Run("committed-by-any-sync", func(t *testing.T) {
+		c := vfs.NewChaos(7)
+		write(c, "dir/old", "old-content", true)
+		write(c, "dir/new.tmp", "new-content", true)
+		if err := c.Rename("dir/new.tmp", "dir/old"); err != nil {
+			t.Fatal(err)
+		}
+		// Sync an unrelated file: the sequential journal carries the
+		// rename with it.
+		write(c, "dir/other", "x", true)
+		c.Reboot()
+		got, ok := c.ReadFile("dir/old")
+		if !ok || string(got) != "new-content" {
+			t.Fatalf("rename did not survive despite later sync: %q ok=%v", got, ok)
+		}
+	})
+
+	t.Run("uncommitted-may-roll-back", func(t *testing.T) {
+		rolledBack := false
+		for seed := int64(0); seed < 32; seed++ {
+			c := vfs.NewChaos(seed)
+			write(c, "dir/old", "old-content", true)
+			write(c, "dir/new.tmp", "new-content", true)
+			if err := c.Rename("dir/new.tmp", "dir/old"); err != nil {
+				t.Fatal(err)
+			}
+			c.Reboot()
+			got, ok := c.ReadFile("dir/old")
+			if !ok {
+				t.Fatalf("seed %d: target vanished entirely", seed)
+			}
+			switch string(got) {
+			case "new-content": // journal flushed in time
+			case "old-content":
+				rolledBack = true
+			default:
+				t.Fatalf("seed %d: torn rename target %q", seed, got)
+			}
+		}
+		if !rolledBack {
+			t.Fatal("no seed ever rolled the uncommitted rename back")
+		}
+	})
+
+	t.Run("lost-rename-never-commits", func(t *testing.T) {
+		c := vfs.NewChaos(7)
+		write(c, "dir/old", "old-content", true)
+		write(c, "dir/new.tmp", "new-content", true)
+		c.LoseRenameOp(c.Ops() + 1)
+		if err := c.Rename("dir/new.tmp", "dir/old"); err != nil {
+			t.Fatal(err)
+		}
+		// Live view sees the rename...
+		if got, ok := c.ReadFile("dir/old"); !ok || string(got) != "new-content" {
+			t.Fatalf("live view = %q ok=%v", got, ok)
+		}
+		write(c, "dir/other", "x", true) // journal commit — skips the doomed op
+		c.Reboot()
+		if got, ok := c.ReadFile("dir/old"); !ok || string(got) != "old-content" {
+			t.Fatalf("lost rename committed anyway: %q ok=%v", got, ok)
+		}
+	})
+}
+
+// TestChaosInjection: FailOp, ShortWriteOp and SetCrashAtOp hit exactly
+// the scheduled operation.
+func TestChaosInjection(t *testing.T) {
+	t.Run("fail-sync", func(t *testing.T) {
+		c := vfs.NewChaos(1)
+		f, _ := c.Create("f") // op 1
+		f.Write([]byte("x"))  // op 2
+		c.FailOp(3, vfs.ErrDiskFull)
+		if err := f.Sync(); !errors.Is(err, vfs.ErrDiskFull) {
+			t.Fatalf("Sync = %v, want ErrDiskFull", err)
+		}
+		if err := f.Sync(); err != nil { // next op is healthy again
+			t.Fatalf("second Sync = %v", err)
+		}
+	})
+
+	t.Run("short-write", func(t *testing.T) {
+		c := vfs.NewChaos(3)
+		f, _ := c.Create("f")
+		c.ShortWriteOp(2)
+		payload := []byte("0123456789")
+		n, err := f.Write(payload)
+		if !errors.Is(err, vfs.ErrIO) {
+			t.Fatalf("Write = (%d, %v), want ErrIO", n, err)
+		}
+		if n >= len(payload) {
+			t.Fatalf("short write applied %d of %d bytes", n, len(payload))
+		}
+		got, _ := c.ReadFile("f")
+		if !bytes.Equal(got, payload[:n]) {
+			t.Fatalf("file = %q, want %q", got, payload[:n])
+		}
+	})
+
+	t.Run("crash-at-op", func(t *testing.T) {
+		c := vfs.NewChaos(5)
+		f, _ := c.Create("f")
+		f.Write([]byte("a"))
+		f.Sync()
+		c.SetCrashAtOp(c.Ops() + 1)
+		if _, err := f.Write([]byte("b")); !errors.Is(err, vfs.ErrCrashed) {
+			t.Fatalf("Write = %v, want ErrCrashed", err)
+		}
+		if !c.Crashed() {
+			t.Fatal("not crashed")
+		}
+		if _, err := c.Open("f"); !errors.Is(err, vfs.ErrCrashed) {
+			t.Fatalf("Open after crash = %v, want ErrCrashed", err)
+		}
+		c.Reboot()
+		// Pre-crash handle stays dead after reboot.
+		if _, err := f.Write([]byte("c")); !errors.Is(err, vfs.ErrCrashed) {
+			t.Fatalf("stale handle Write = %v, want ErrCrashed", err)
+		}
+		got, ok := c.ReadFile("f")
+		if !ok || !bytes.HasPrefix(got, []byte("a")) {
+			t.Fatalf("synced byte lost: %q ok=%v", got, ok)
+		}
+	})
+}
+
+// TestWriteFileDurable: the artifact is either absent (crash before the
+// rename committed) or complete — never torn — and no .tmp debris is
+// left behind on the happy path.
+func TestWriteFileDurable(t *testing.T) {
+	payload := "complete-artifact-payload"
+	writeIt := func(fsys vfs.FS) error {
+		return vfs.WriteFileDurable(fsys, "out/metrics.json", func(w io.Writer) error {
+			_, err := io.WriteString(w, payload)
+			return err
+		})
+	}
+
+	t.Run("happy-path", func(t *testing.T) {
+		c := vfs.NewChaos(1)
+		if err := c.MkdirAll("out", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeIt(c); err != nil {
+			t.Fatal(err)
+		}
+		names, _ := c.ReadDir("out")
+		if len(names) != 1 || names[0] != "metrics.json" {
+			t.Fatalf("ReadDir = %v, want just metrics.json", names)
+		}
+	})
+
+	t.Run("never-torn", func(t *testing.T) {
+		// Crash at every op index the flow uses, on several seeds: the
+		// published artifact must be all-or-nothing.
+		for seed := int64(0); seed < 10; seed++ {
+			probe := vfs.NewChaos(seed)
+			probe.MkdirAll("out", 0o755)
+			if err := writeIt(probe); err != nil {
+				t.Fatal(err)
+			}
+			n := probe.Ops()
+			for at := 2; at <= n+1; at++ { // op 1 is the probe's MkdirAll
+				c := vfs.NewChaos(seed)
+				c.MkdirAll("out", 0o755)
+				c.SetCrashAtOp(at)
+				writeIt(c)
+				c.Reboot()
+				// Absent is fine (crash before the rename committed);
+				// present means byte-for-byte complete.
+				if got, ok := c.ReadFile("out/metrics.json"); ok && string(got) != payload {
+					t.Fatalf("seed %d crash@%d (%s): torn artifact %q",
+						seed, at, c.OpAt(at), got)
+				}
+			}
+		}
+	})
+}
+
+// TestChaosInstall: installed state is durable and costs no operations.
+func TestChaosInstall(t *testing.T) {
+	c := vfs.NewChaos(1)
+	c.Install("d/seeded.jsonl", []byte("pre-existing\n"))
+	if c.Ops() != 0 {
+		t.Fatalf("Install consumed %d ops", c.Ops())
+	}
+	c.Reboot()
+	got, ok := c.ReadFile("d/seeded.jsonl")
+	if !ok || string(got) != "pre-existing\n" {
+		t.Fatalf("installed file = %q ok=%v", got, ok)
+	}
+	names, err := c.ReadDir("d")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+}
