@@ -7,7 +7,9 @@ package cendev
 // via b.ReportMetric so `go test -bench .` doubles as a results table.
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -22,7 +24,9 @@ import (
 	"cendev/internal/features"
 	"cendev/internal/middlebox"
 	"cendev/internal/ml"
+	"cendev/internal/netem"
 	"cendev/internal/obs"
+	"cendev/internal/serve"
 	"cendev/internal/simnet"
 	"cendev/internal/topology"
 )
@@ -595,7 +599,9 @@ func isFuzz(n string) bool   { return len(n) > 5 && n[:5] == "Fuzz:" }
 func isBanner(n string) bool { return n == "NumOpenPorts" || (len(n) > 9 && n[:9] == "PortOpen:") }
 
 // BenchmarkSimnetTransmit measures the raw forwarding engine: one payload
-// packet crossing the full four-country world.
+// packet crossing the full four-country world. allocs/op is the headline
+// number — the pooled packet plane targets zero steady-state allocations
+// (ci.sh gates on it).
 func BenchmarkSimnetTransmit(b *testing.B) {
 	world := experiments.BuildWorld()
 	ep := world.EndpointsIn("RU")[0]
@@ -604,9 +610,94 @@ func BenchmarkSimnetTransmit(b *testing.B) {
 		b.Fatal(err)
 	}
 	payload := []byte("GET / HTTP/1.1\r\nHost: www.control.example\r\n\r\n")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conn.SendPayload(payload, 64)
+	}
+}
+
+// BenchmarkStoreAppend measures one durable store append — binary record
+// encode, frame, write, fsync — through the public API (ns/op is
+// fsync-dominated; allocs/op is the number that must stay flat).
+func BenchmarkStoreAppend(b *testing.B) {
+	st, err := serve.OpenStore(b.TempDir(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	spec := serve.JobSpec{Kind: serve.KindCenTrace, Domain: "bench.example", Seed: 7}
+	spec.Normalize()
+	e, err := st.AppendQueued(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := json.RawMessage(`{"blocked":true,"ttl":7,"vendor":"bench"}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.UpdateState(e.ID, serve.StateRunning, i+1, "", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalAppend measures one campaign checkpoint: the full
+// Result tree hand-encoded into a reused scratch buffer and framed —
+// no reflection, no fsync (the campaign syncs at its own cadence).
+func BenchmarkJournalAppend(b *testing.B) {
+	j := centrace.NewJournal(io.Discard)
+	cr := centrace.CampaignResult{
+		Target: centrace.Target{Domain: "bench.example", Protocol: centrace.HTTP, Label: "bench"},
+		Result: benchResult(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Record(cr)
+	}
+	if err := j.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchResult builds a representative measurement result: two aggregates
+// of three traces with quotes, deltas, and hop distributions — the shape
+// a blocked HTTP measurement actually journals.
+func benchResult() *centrace.Result {
+	mkTrace := func() centrace.Trace {
+		return centrace.Trace{
+			Domain: "bench.example",
+			Obs: []centrace.ProbeObs{
+				{TTL: 1, Kind: centrace.KindICMP, From: netip.MustParseAddr("10.0.0.1"),
+					Quote: &netem.QuotedPacket{IP: netem.IPv4{TTL: 1, Protocol: netem.ProtoTCP,
+						Src: netip.MustParseAddr("10.0.0.100"), Dst: netip.MustParseAddr("192.0.2.9")}},
+					QuoteDelta: &netem.QuoteDelta{TTLAtQuote: 1, QuotedPayloadLen: 8}},
+				{TTL: 2, Kind: centrace.KindICMP, From: netip.MustParseAddr("10.0.0.2")},
+				{TTL: 3, Kind: centrace.KindRST, From: netip.MustParseAddr("192.0.2.9"),
+					Injected: &centrace.InjectedFeatures{TTL: 64, TCPFlags: netem.TCPRst}},
+			},
+			TermIdx: 2, Attempts: 4, Retries: 1,
+		}
+	}
+	agg := &centrace.Aggregate{
+		Domain: "bench.example",
+		Traces: []centrace.Trace{mkTrace(), mkTrace(), mkTrace()},
+		HopDist: map[int]map[netip.Addr]int{
+			1: {netip.MustParseAddr("10.0.0.1"): 3},
+			2: {netip.MustParseAddr("10.0.0.2"): 3},
+			3: {netip.MustParseAddr("192.0.2.9"): 3},
+		},
+		TermTTL: 3, TermKind: centrace.KindRST, EndpointTTL: 3,
+	}
+	return &centrace.Result{
+		Config:   centrace.Config{ControlDomain: "control.example", TestDomain: "bench.example", MaxTTL: 30},
+		Client:   netip.MustParseAddr("10.0.0.100"),
+		Endpoint: netip.MustParseAddr("192.0.2.9"),
+		Valid:    true, Blocked: true,
+		TermKind: centrace.KindRST, TermTTL: 3, EndpointTTL: 3, DeviceTTL: 3,
+		BlockingHop: centrace.HopInfo{TTL: 3, Addr: netip.MustParseAddr("10.0.0.2"), ASN: 64500},
+		Control:     agg, Test: agg,
 	}
 }
 

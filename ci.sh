@@ -36,6 +36,22 @@ go test -run '^$' -bench 'BenchmarkCampaignParallel' -benchtime 1x -json . > BEN
 go run ./cmd/centrace -all -workers 4 > /dev/null
 echo "==> parallel campaign smoke (-workers=4) ok"
 
+# Hot-path allocation gate: the pooled packet plane and binary record
+# codecs must stay allocation-flat. Record the three hot-path benches
+# (packet forward, store append, journal append) with -benchmem, then
+# fail if packet forwarding regresses above 8 allocs/op (steady state is
+# 0; the headroom absorbs one-off pool growth under -benchtime 2000x).
+echo "==> hot-path benchmarks -> BENCH_hotpath.json"
+go test -run '^$' -bench 'Benchmark(SimnetTransmit|StoreAppend|JournalAppend)$' \
+  -benchmem -benchtime 2000x -json . > BENCH_hotpath.json
+TRANSMIT_ALLOCS=$(jq -r 'select(.Action == "output") | .Output' BENCH_hotpath.json \
+  | awk '/^BenchmarkSimnetTransmit/ { print $(NF-1) }')
+if [ -z "$TRANSMIT_ALLOCS" ] || [ "$TRANSMIT_ALLOCS" -gt 8 ]; then
+  echo "packet-forward allocation regression: ${TRANSMIT_ALLOCS:-missing} allocs/op (gate: 8)"
+  exit 1
+fi
+echo "==> packet forward at $TRANSMIT_ALLOCS allocs/op (gate: 8)"
+
 # Observability: benchmark the instrumented campaign against the
 # uninstrumented one (BENCH_obs.json; the enabled run should stay within
 # a few percent), and smoke a real campaign with metrics and trace
@@ -79,12 +95,17 @@ curl -sf "http://$CENSERVED_ADDR/metrics" | grep -q 'censerved_jobs_submitted_to
 curl -sf "http://$CENSERVED_ADDR/metrics" | grep -q 'censerved_jobs_done_total{kind="centrace"} 1'
 kill -TERM "$CENSERVED_PID"
 if ! wait "$CENSERVED_PID"; then echo "censerved drain exited nonzero"; exit 1; fi
-# No torn segments: every store line must be complete JSON.
-for seg in "$CENSERVED_STORE"/shard-*.jsonl; do
-  [ -s "$seg" ] || continue
-  jq -ce . < "$seg" > /dev/null || { echo "torn record in $seg"; exit 1; }
-done
-rm -rf /tmp/ci_censerved "$CENSERVED_STORE"
+# No torn segments: the export view must replay the binary segments with
+# no repair warnings, as clean JSON, and still hold the finished job.
+/tmp/ci_censerved -export-store -store "$CENSERVED_STORE" \
+  > /tmp/ci_store_export.jsonl 2> /tmp/ci_store_export.err
+if grep -q . /tmp/ci_store_export.err; then
+  echo "store export warned:"; cat /tmp/ci_store_export.err; exit 1
+fi
+jq -ce . < /tmp/ci_store_export.jsonl > /dev/null || { echo "torn record in store export"; exit 1; }
+jq -se --arg id "$JOB" 'map(select(.id == $id and .state == "done")) | length == 1' \
+  < /tmp/ci_store_export.jsonl > /dev/null || { echo "job $JOB missing from store export"; exit 1; }
+rm -rf /tmp/ci_censerved "$CENSERVED_STORE" /tmp/ci_store_export.jsonl /tmp/ci_store_export.err
 echo "==> censerved smoke ok"
 
 # Crash matrix: every filesystem operation of the store and journal
@@ -104,6 +125,7 @@ go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/httpgram
 go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/tlsgram
 go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/dnsgram
 go test -run=^$ -fuzz=FuzzDecodePacket -fuzztime="$FUZZTIME" ./internal/netem
+go test -run=^$ -fuzz=FuzzFrameReader -fuzztime="$FUZZTIME" ./internal/wire
 go test -run=^$ -fuzz=FuzzJournalReplay -fuzztime="$FUZZTIME" ./internal/centrace
 go test -run=^$ -fuzz=FuzzStoreReplay -fuzztime="$FUZZTIME" ./internal/serve
 go test -run=^$ -fuzz=FuzzPromEscape -fuzztime="$FUZZTIME" ./internal/obs

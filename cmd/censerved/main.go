@@ -48,7 +48,30 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 2, "retries per transiently failing job before dead-lettering (negative: none)")
 	degradeAfter := flag.Int("degrade-after", 3, "consecutive store write failures before degraded read-only mode (negative: never)")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	exportStore := flag.Bool("export-store", false,
+		"dump the result store as JSON lines on stdout and exit (the debug view of the binary segments)")
 	flag.Parse()
+
+	if *exportStore {
+		st, err := serve.OpenStore(*storeDir, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, w := range st.Warnings() {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+		if err := st.ExportJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			st.Close()
+			os.Exit(1)
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	logf := log.Printf
 	if *quiet {

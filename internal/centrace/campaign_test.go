@@ -214,7 +214,8 @@ func TestJournalTornSegmentMidFile(t *testing.T) {
 	tgtA := Target{Domain: "a.example", Protocol: HTTP}
 	tgtB := Target{Domain: "b.example", Protocol: HTTPS}
 	j.Record(CampaignResult{Target: tgtA})
-	// The torn segment: half a JSON object where a full record should be.
+	// The torn segment: a stretch of non-frame bytes where a record
+	// should be.
 	buf.WriteString(`{"key":"b.exa` + "\n")
 	j.Record(CampaignResult{Target: tgtB})
 
@@ -234,20 +235,26 @@ func TestJournalTornSegmentMidFile(t *testing.T) {
 	if len(w) != 1 {
 		t.Fatalf("warnings = %v, want exactly one for the torn segment", w)
 	}
-	if !strings.Contains(w[0], "line 2") {
-		t.Errorf("warning should name the torn line: %q", w[0])
+	if !strings.Contains(w[0], "garbage") {
+		t.Errorf("warning should describe the skipped region: %q", w[0])
+	}
+	if _, torn := j2.Torn(); torn {
+		t.Error("interior tear misreported as a torn tail")
 	}
 }
 
 // TestOpenJournalFileTornTailAppend: appending to a journal whose final
-// line was torn by a crash must not glue the new record onto the torn
-// tail — both records must survive the next resume.
+// record was torn by a crash must not glue the new record onto the torn
+// tail — OpenJournalFile truncates back to the last frame boundary, so
+// the surviving record and the new one both outlive the next resume.
 func TestOpenJournalFileTornTailAppend(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	path := filepath.Join(t.TempDir(), "campaign.journal")
 	var buf bytes.Buffer
 	NewJournal(&buf).Record(CampaignResult{Target: Target{Domain: "a.example", Protocol: HTTP}})
-	buf.WriteString(`{"key":"b.exa`) // torn tail, no newline
-	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+	whole := buf.Len()
+	NewJournal(&buf).Record(CampaignResult{Target: Target{Domain: "b.example", Protocol: HTTP}})
+	torn := buf.Bytes()[:whole+(buf.Len()-whole)/2] // second frame cut mid-write
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -258,8 +265,14 @@ func TestOpenJournalFileTornTailAppend(t *testing.T) {
 	if j.Len() != 1 {
 		t.Fatalf("restored %d entries, want 1", j.Len())
 	}
-	if len(j.Warnings()) != 1 {
-		t.Fatalf("warnings = %v, want one for the torn tail", j.Warnings())
+	var truncated bool
+	for _, w := range j.Warnings() {
+		if strings.Contains(w, "truncated torn tail") {
+			truncated = true
+		}
+	}
+	if !truncated {
+		t.Fatalf("warnings = %v, want a torn-tail truncation", j.Warnings())
 	}
 	tgtC := Target{Domain: "c.example", Protocol: HTTPS}
 	j.Record(CampaignResult{Target: tgtC})
@@ -279,8 +292,58 @@ func TestOpenJournalFileTornTailAppend(t *testing.T) {
 	if _, ok := j2.Lookup(tgtC); !ok {
 		t.Error("record appended after a torn tail was lost")
 	}
-	if len(j2.Warnings()) != 1 {
-		t.Errorf("warnings = %v, want exactly one (the original tear, not the new record)", j2.Warnings())
+	if len(j2.Warnings()) != 0 {
+		t.Errorf("warnings = %v, want none (the tear was repaired on the first open)", j2.Warnings())
+	}
+}
+
+// TestJournalLegacyJSONLResumeAndAppend: a journal written by an earlier
+// version holds JSON lines. Resume must restore it, keep appending JSON
+// (one file, one format), and apply the newline repair to a torn tail.
+func TestJournalLegacyJSONLResumeAndAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	legacy := `{"key":"a.example|http","domain":"a.example","protocol":"http"}` + "\n" +
+		`{"key":"b.exa` // torn tail, no newline
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, f, err := OpenJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("restored %d entries, want 1", j.Len())
+	}
+	if len(j.Warnings()) != 1 {
+		t.Fatalf("warnings = %v, want one for the torn line", j.Warnings())
+	}
+	tgtC := Target{Domain: "c.example", Protocol: HTTPS}
+	j.Record(CampaignResult{Target: tgtC})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The appended record must be JSON — the file stays single-format.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte{0xC5}) {
+		t.Fatal("binary frame appended to a legacy JSONL journal")
+	}
+
+	j2, f2, err := OpenJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("after legacy append: %d entries, want 2", j2.Len())
+	}
+	if _, ok := j2.Lookup(tgtC); !ok {
+		t.Error("record appended to a legacy journal was lost")
 	}
 }
 

@@ -16,8 +16,17 @@ func (p *Prober) probeOnceDNS(domain string, ttl int) ProbeObs {
 	obs := ProbeObs{TTL: ttl, Kind: KindTimeout}
 	query := dnsgram.NewQuery(uint16(ttl), domain)
 	payload := query.Serialize()
-	sent := netem.NewUDPPacket(p.Client.Addr, p.Endpoint.Addr, 0, 53, payload)
-	sent.IP.TTL = uint8(ttl)
+	// The as-sent template is only needed to diff ICMP quotes against, so
+	// it is built lazily in the prober's scratch packet.
+	var sent *netem.Packet
+	sentTemplate := func() *netem.Packet {
+		if sent == nil {
+			sent = &p.sentUDP
+			sent.FillUDP(p.Client.Addr, p.Endpoint.Addr, 0, 53, payload)
+			sent.IP.TTL = uint8(ttl)
+		}
+		return sent
+	}
 	ds := p.Net.SendUDP(p.Client, p.Endpoint, 53, payload, uint8(ttl))
 	for _, d := range ds {
 		pkt := d.Packet
@@ -28,7 +37,7 @@ func (p *Prober) probeOnceDNS(domain string, ttl int) ProbeObs {
 				obs.From = pkt.IP.Src
 				if q, err := pkt.ICMP.QuotedPacket(); err == nil {
 					obs.Quote = q
-					delta := netem.CompareQuote(sent, q)
+					delta := netem.CompareQuote(sentTemplate(), q)
 					obs.QuoteDelta = &delta
 				}
 			} else {

@@ -7,13 +7,15 @@ import (
 	"testing"
 
 	"cendev/internal/vfs"
+	"cendev/internal/wire"
 )
 
-// FuzzJournalReplay drives arbitrary bytes through the torn-tail-tolerant
-// journal parser. Whatever the input, ResumeJournal must not panic, and
-// appending one more torn line must change nothing but the warning count
-// — the exact situation a kill -9 mid-Record creates on top of an
-// already-messy file.
+// FuzzJournalReplay drives arbitrary bytes through the format-sniffing
+// journal parser (binary frames or legacy JSON lines). Whatever the
+// input, ResumeJournal must not panic; a legacy journal must tolerate one
+// more torn line with nothing but an extra warning, and a torn binary
+// journal must be repairable by truncating to the reported boundary —
+// the exact situations a kill -9 mid-Record creates.
 //
 // The same bytes then seed a chaos filesystem with a fuzz-chosen fault
 // schedule under a live record+sync workload: every checkpoint the
@@ -25,6 +27,15 @@ func FuzzJournalReplay(f *testing.F) {
 	f.Add([]byte(`{"key":"a","error":"timeout"}`+"\n"+`{"key":"b"`+"\n"), int64(4), uint8(0), uint8(6)) // torn tail
 	f.Add([]byte(`{"key":"dup"}`+"\n"+`{"key":"dup","error":"later"}`+"\n"), int64(5), uint8(2), uint8(8))
 	f.Add([]byte(`not json at all`+"\n"+`{"key":"after-tear"}`+"\n"), int64(6), uint8(3), uint8(3))
+	// Binary seeds: a clean frame, two frames with the second torn
+	// mid-write, and a frame followed by interior garbage plus another.
+	entA := journalEntry{Key: "bin-a|x|http", Domain: "x", Protocol: "http"}
+	entB := journalEntry{Key: "bin-b|y|https", Domain: "y", Protocol: "https", Error: "unreachable"}
+	frameA := wire.AppendFrame(nil, appendJournalEntry(nil, &entA))
+	frameB := wire.AppendFrame(nil, appendJournalEntry(nil, &entB))
+	f.Add(append([]byte(nil), frameA...), int64(7), uint8(0), uint8(0))
+	f.Add(append(append([]byte(nil), frameA...), frameB[:len(frameB)/2]...), int64(8), uint8(0), uint8(7))
+	f.Add(append(append(append([]byte(nil), frameA...), "mid-file damage"...), frameB...), int64(9), uint8(5), uint8(0))
 	f.Fuzz(func(t *testing.T, data []byte, seed int64, failA, failB uint8) {
 		j, err := ResumeJournal(bytes.NewReader(data), nil)
 		if err != nil {
@@ -37,20 +48,39 @@ func FuzzJournalReplay(f *testing.F) {
 		}
 		entries, warnings := j.Len(), len(j.Warnings())
 
-		// A fresh torn tail on the same bytes: every previously parseable
-		// line parses identically (the suffix starts with a newline, so it
-		// terminates a previously unterminated last line without altering
-		// its bytes), and exactly one more warning appears.
-		torn := append(append([]byte(nil), data...), []byte("\n{\"key\":\"torn")...)
-		j2, err := ResumeJournal(bytes.NewReader(torn), nil)
-		if err != nil {
-			t.Fatalf("ResumeJournal on torn variant errored: %v", err)
-		}
-		if j2.Len() != entries {
-			t.Fatalf("torn tail changed entry count: %d -> %d", entries, j2.Len())
-		}
-		if got := len(j2.Warnings()); got != warnings+1 {
-			t.Fatalf("torn tail: want %d warnings, got %d", warnings+1, got)
+		if wire.SniffMarker(data) {
+			// Binary: repairing a torn tail by truncating to the reported
+			// boundary must yield the same entries with no tear left.
+			if tornAt, torn := j.Torn(); torn {
+				repaired := append([]byte(nil), data[:tornAt]...)
+				j2, err := ResumeJournal(bytes.NewReader(repaired), nil)
+				if err != nil {
+					t.Fatalf("ResumeJournal on repaired journal errored: %v", err)
+				}
+				if j2.Len() != entries {
+					t.Fatalf("torn-tail repair changed entry count: %d -> %d", entries, j2.Len())
+				}
+				if _, stillTorn := j2.Torn(); stillTorn {
+					t.Fatal("journal still torn after truncating to the reported boundary")
+				}
+			}
+		} else {
+			// Legacy: a fresh torn tail on the same bytes — every previously
+			// parseable line parses identically (the suffix starts with a
+			// newline, so it terminates a previously unterminated last line
+			// without altering its bytes), and exactly one more warning
+			// appears.
+			torn := append(append([]byte(nil), data...), []byte("\n{\"key\":\"torn")...)
+			j2, err := ResumeJournal(bytes.NewReader(torn), nil)
+			if err != nil {
+				t.Fatalf("ResumeJournal on torn variant errored: %v", err)
+			}
+			if j2.Len() != entries {
+				t.Fatalf("torn tail changed entry count: %d -> %d", entries, j2.Len())
+			}
+			if got := len(j2.Warnings()); got != warnings+1 {
+				t.Fatalf("torn tail: want %d warnings, got %d", warnings+1, got)
+			}
 		}
 
 		// Chaos phase: same pre-existing bytes as an on-disk journal,

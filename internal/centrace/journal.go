@@ -1,22 +1,32 @@
 package centrace
 
 // Campaign checkpoint/resume: a Journal is an append-only log of resolved
-// targets, one JSON object per line. A campaign given a journal records
-// each target as it resolves and, on a later run over the same target
-// list, restores recorded results instead of re-measuring — so a crashed
-// or interrupted collection picks up where it left off, the way the
-// paper's multi-week measurement campaigns had to.
+// targets, one length-prefixed binary frame per record (internal/wire;
+// DESIGN.md §14). A campaign given a journal records each target as it
+// resolves and, on a later run over the same target list, restores
+// recorded results instead of re-measuring — so a crashed or interrupted
+// collection picks up where it left off, the way the paper's multi-week
+// measurement campaigns had to.
+//
+// Journals written by earlier versions are JSON lines. Resume sniffs the
+// frame marker to pick the format; a legacy journal keeps appending JSON
+// (mixing formats inside one file would break both readers), while new
+// and empty journals write binary frames. ExportJSON renders either as
+// the JSON-lines debug view.
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"cendev/internal/vfs"
+	"cendev/internal/wire"
 )
 
 // journalEntry is the on-disk form of one resolved target.
@@ -32,15 +42,27 @@ type journalEntry struct {
 
 // Journal is a campaign results log supporting checkpoint and resume.
 // Journals are safe for concurrent use: parallel campaign workers resolve
-// targets from many goroutines, so the entry map and the JSON-lines
-// writer are guarded by a mutex — each entry reaches the log as one
-// uninterleaved line.
+// targets from many goroutines, so the entry map, the writer, and the
+// encoding scratch buffers are guarded by a mutex — each entry reaches
+// the log as one uninterleaved frame (or, on legacy journals, line).
 type Journal struct {
 	mu       sync.Mutex
 	entries  map[string]journalEntry
 	w        io.Writer
 	err      error
 	warnings []string
+	// legacy is true when the resumed file held JSON lines: appends stay
+	// JSON so the file remains single-format.
+	legacy bool
+	// recBuf/encBuf are the append path's scratch buffers (record payload
+	// and framed record); they grow to the high-water record size and are
+	// reused, so steady-state appends do not allocate. Guarded by mu.
+	recBuf, encBuf []byte
+	// tornAt/torn report a torn final frame found during a binary resume:
+	// the offset to truncate back to so the next append starts on a clean
+	// frame boundary. OpenJournalFileFS performs the truncation.
+	tornAt int64
+	torn   bool
 }
 
 // NewJournal returns an empty journal appending entries to w.
@@ -52,7 +74,10 @@ func NewJournal(w io.Writer) *Journal {
 // entries to w. Either may be nil: a nil r resumes nothing, a nil w
 // records in memory only.
 //
-// A line that fails to parse — the truncated final line a crash
+// The journal's format is sniffed from its first bytes: the wire frame
+// marker selects the binary format, anything else is a legacy JSON-lines
+// journal (which then keeps appending JSON — see the package comment). A
+// record that fails to parse — the truncated final record a crash
 // mid-Record leaves behind, or an interior record torn by a filesystem
 // that reordered writes around a power cut — is skipped with a warning
 // (see Warnings) instead of failing the whole resume: every parseable
@@ -63,17 +88,59 @@ func ResumeJournal(r io.Reader, w io.Writer) (*Journal, error) {
 	if r == nil {
 		return j, nil
 	}
-	sc := bufio.NewScanner(r)
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("centrace: reading journal: %w", err)
+	}
+	if len(raw) == 0 {
+		return j, nil
+	}
+	if wire.SniffMarker(raw) {
+		j.resumeBinary(raw)
+	} else {
+		j.legacy = true
+		if err := j.resumeJSONL(raw); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// resumeBinary restores entries from a binary frame stream.
+func (j *Journal) resumeBinary(raw []byte) {
+	rd := wire.NewReader(raw)
+	for {
+		payload, ok := rd.Next()
+		if !ok {
+			break
+		}
+		e, err := decodeJournalEntry(payload)
+		if err != nil {
+			j.warnings = append(j.warnings, fmt.Sprintf(
+				"centrace: journal: skipping undecodable record: %v", err))
+			continue
+		}
+		j.entries[e.Key] = e
+	}
+	for _, w := range rd.Warnings() {
+		j.warnings = append(j.warnings, "centrace: journal: "+w)
+	}
+	j.tornAt, j.torn = rd.Torn()
+}
+
+// resumeJSONL restores entries from a legacy JSON-lines journal.
+func (j *Journal) resumeJSONL(raw []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(raw))
 	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
 	line := 0
 	for sc.Scan() {
 		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
+		b := sc.Bytes()
+		if len(b) == 0 {
 			continue
 		}
 		var e journalEntry
-		if err := json.Unmarshal(raw, &e); err != nil {
+		if err := json.Unmarshal(b, &e); err != nil {
 			j.warnings = append(j.warnings, fmt.Sprintf(
 				"centrace: journal line %d: skipping unparseable record (torn write?): %v", line, err))
 			continue
@@ -81,9 +148,9 @@ func ResumeJournal(r io.Reader, w io.Writer) (*Journal, error) {
 		j.entries[e.Key] = e
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("centrace: reading journal: %w", err)
+		return fmt.Errorf("centrace: reading journal: %w", err)
 	}
-	return j, nil
+	return nil
 }
 
 // Warnings returns the resume-time warnings: one per journal line that was
@@ -115,16 +182,26 @@ func OpenJournalFileFS(fsys vfs.FS, path string) (*Journal, vfs.File, error) {
 		f.Close()
 		return nil, nil, err
 	}
+	// A crash mid-Record leaves a torn tail. On a binary journal the torn
+	// frame is cut back to the last good frame boundary so the next append
+	// starts clean (the dropped target is simply re-measured). On a legacy
+	// journal the tail is a line missing its newline: new records must not
+	// be glued onto it — the concatenation would corrupt them too — so
+	// terminate it; the torn line itself is skipped on every later resume.
+	if _, torn := j.Torn(); torn {
+		if err := fsys.Truncate(path, j.tornAt); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		j.warnings = append(j.warnings, fmt.Sprintf(
+			"centrace: journal: truncated torn tail at byte %d", j.tornAt))
+	}
 	off, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	// A crash mid-Record can leave the final line without its newline. New
-	// records must not be glued onto that torn tail — the concatenation
-	// would corrupt them too — so terminate it first; the torn line itself
-	// is skipped (with a warning) on every later resume.
-	if off > 0 {
+	if j.legacy && off > 0 {
 		var last [1]byte
 		if _, err := f.ReadAt(last[:], off-1); err != nil {
 			f.Close()
@@ -138,6 +215,16 @@ func OpenJournalFileFS(fsys vfs.FS, path string) (*Journal, vfs.File, error) {
 		}
 	}
 	return j, f, nil
+}
+
+// Torn reports whether a binary resume found a torn final frame, and the
+// offset of the last good frame boundary. OpenJournalFileFS uses it to
+// repair the file; callers resuming from a bare reader can use it to do
+// the same.
+func (j *Journal) Torn() (truncateTo int64, torn bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tornAt, j.torn
 }
 
 // Lookup returns the recorded result for a target, if any.
@@ -178,15 +265,46 @@ func (j *Journal) Record(cr CampaignResult) {
 	if j.w == nil {
 		return
 	}
-	raw, err := json.Marshal(e)
-	if err != nil {
-		j.err = fmt.Errorf("centrace: journal marshal: %w", err)
+	if j.legacy {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			j.err = fmt.Errorf("centrace: journal marshal: %w", err)
+			return
+		}
+		raw = append(raw, '\n')
+		if _, err := j.w.Write(raw); err != nil {
+			j.err = fmt.Errorf("centrace: journal write: %w", err)
+		}
 		return
 	}
-	raw = append(raw, '\n')
-	if _, err := j.w.Write(raw); err != nil {
+	j.recBuf = appendJournalEntry(j.recBuf[:0], &e)
+	j.encBuf = wire.AppendFrame(j.encBuf[:0], j.recBuf)
+	if _, err := j.w.Write(j.encBuf); err != nil {
 		j.err = fmt.Errorf("centrace: journal write: %w", err)
 	}
+}
+
+// ExportJSON writes the journal's entries as JSON lines in sorted key
+// order — the debug/export view of the binary format.
+func (j *Journal) ExportJSON(w io.Writer) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keys := make([]string, 0, len(j.entries))
+	for k := range j.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		e := j.entries[k]
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("centrace: journal export: %w", err)
+		}
+		bw.Write(raw)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
 }
 
 // Len returns the number of recorded entries.

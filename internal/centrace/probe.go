@@ -204,6 +204,16 @@ type Prober struct {
 	// probed records whether any probe has been sent yet: the inter-probe
 	// wait is only needed *between* probes, never before the first one.
 	probed bool
+	// payloads caches rendered probe payloads per domain — a trace sends
+	// the same request bytes dozens of times across the TTL sweep. Callers
+	// must treat the returned bytes as immutable.
+	payloads map[string][]byte
+	// sentPkt/sentUDP are the scratch as-sent templates ICMP quotes are
+	// diffed against (TCP and DNS probes respectively). CompareQuote only
+	// reads them and nothing retains them past the probe, so one of each
+	// per prober suffices.
+	sentPkt netem.Packet
+	sentUDP netem.Packet
 	// m holds the pre-resolved metric handles (all nil when Config.Obs is
 	// nil — the no-op path).
 	m proberMetrics
@@ -242,8 +252,22 @@ func (p *Prober) startSpan(name string, attrs ...obs.Label) *obs.Span {
 	return p.Config.Tracer.Start(name, p.Net.Now(), attrs...)
 }
 
-// payloadFor renders the probe payload for a domain.
+// payloadFor renders the probe payload for a domain, memoized per domain
+// for the life of the prober.
 func (p *Prober) payloadFor(domain string) []byte {
+	if cached, ok := p.payloads[domain]; ok {
+		return cached
+	}
+	rendered := p.renderPayload(domain)
+	if p.payloads == nil {
+		p.payloads = make(map[string][]byte)
+	}
+	p.payloads[domain] = rendered
+	return rendered
+}
+
+// renderPayload renders the probe payload for a domain.
+func (p *Prober) renderPayload(domain string) []byte {
 	switch p.Config.Protocol {
 	case HTTPS:
 		return tlsgram.NewClientHello(domain).Serialize()
@@ -272,10 +296,19 @@ func (p *Prober) probeOnce(domain string, ttl int) ProbeObs {
 	}
 	defer conn.Close()
 	payload := p.payloadFor(domain)
-	sent := netem.NewTCPPacket(p.Client.Addr, p.Endpoint.Addr, conn.SrcPort, conn.DstPort,
-		netem.TCPPsh|netem.TCPAck, 2, 1001, payload)
-	sent.IP.TTL = uint8(ttl)
-	sent.IP.ID = 2
+	// The as-sent template is only needed to diff ICMP quotes against, so
+	// it is built lazily — most probes never see a quote.
+	var sent *netem.Packet
+	sentTemplate := func() *netem.Packet {
+		if sent == nil {
+			sent = &p.sentPkt
+			sent.FillTCP(p.Client.Addr, p.Endpoint.Addr, conn.SrcPort, conn.DstPort,
+				netem.TCPPsh|netem.TCPAck, 2, 1001, payload)
+			sent.IP.TTL = uint8(ttl)
+			sent.IP.ID = 2
+		}
+		return sent
+	}
 	ds := conn.SendPayload(payload, uint8(ttl))
 
 	for _, d := range ds {
@@ -287,7 +320,7 @@ func (p *Prober) probeOnce(domain string, ttl int) ProbeObs {
 				obs.From = pkt.IP.Src
 				if q, err := pkt.ICMP.QuotedPacket(); err == nil {
 					obs.Quote = q
-					delta := netem.CompareQuote(sent, q)
+					delta := netem.CompareQuote(sentTemplate(), q)
 					obs.QuoteDelta = &delta
 				}
 			} else {

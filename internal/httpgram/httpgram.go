@@ -7,6 +7,7 @@
 package httpgram
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 )
@@ -263,28 +264,93 @@ type ScanOptions struct {
 	RequireCanonicalDelimiters bool
 }
 
+// cutLine splits off the first line of raw, mirroring one iteration of
+// splitLines: \r\n is canonical, bare \n and bare \r are tolerated but
+// non-canonical, and an unterminated final line is non-canonical. raw must
+// be non-empty. The returned slices alias raw; nothing is allocated.
+func cutLine(raw []byte) (line, rest []byte, canonical bool) {
+	iN := bytes.IndexByte(raw, '\n')
+	iR := bytes.IndexByte(raw, '\r')
+	switch {
+	case iR >= 0 && iN == iR+1: // \r\n
+		return raw[:iR], raw[iN+1:], true
+	case iN >= 0 && (iR < 0 || iN < iR): // bare \n
+		return raw[:iN], raw[iN+1:], false
+	case iR >= 0: // bare \r
+		return raw[:iR], raw[iR+1:], false
+	default: // unterminated final line
+		return raw, nil, false
+	}
+}
+
+// allCanonical reports whether every line of raw ends with \r\n — the
+// whole-input property splitLines reports, computed without splitting.
+func allCanonical(raw []byte) bool {
+	for len(raw) > 0 {
+		_, rest, canon := cutLine(raw)
+		if !canon {
+			return false
+		}
+		raw = rest
+	}
+	return true
+}
+
+// RequestLineFields returns the three space-separated tokens of the first
+// line of raw without allocating. The returned slices alias raw. Mirroring
+// Parse, path and version are nil unless the line has at least two spaces
+// (the version token absorbs any further spaces).
+func RequestLineFields(raw []byte) (method, path, version []byte) {
+	if len(raw) == 0 {
+		return nil, nil, nil
+	}
+	line, _, _ := cutLine(raw)
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 < 0 {
+		return line, nil, nil
+	}
+	method = line[:sp1]
+	rest := line[sp1+1:]
+	sp2 := bytes.IndexByte(rest, ' ')
+	if sp2 < 0 {
+		return method, nil, nil
+	}
+	return method, rest[:sp2], rest[sp2+1:]
+}
+
+var (
+	hostPrefixExact = []byte("Host: ")
+	spaceSep        = []byte(" ")
+)
+
 // ExtractHost scans raw request bytes the way a censorship device would and
 // returns the hostname the device keys its rules on. ok is false when the
 // device's parser fails to find a hostname at all — which means the request
 // evades a hostname-based rule.
+//
+// The scan itself never allocates; only a successful extraction copies the
+// hostname out of raw (so callers may reuse the payload buffer).
 func ExtractHost(raw []byte, opts ScanOptions) (host string, ok bool) {
-	s := string(raw)
-	lines, canonical := splitLines(s)
-	if opts.RequireCanonicalDelimiters && !canonical {
+	if opts.RequireCanonicalDelimiters && !allCanonical(raw) {
 		return "", false
 	}
-	if len(lines) == 0 {
+	if len(raw) == 0 {
 		return "", false
 	}
-	parts := strings.SplitN(lines[0], " ", 3)
-	if opts.RequireParseableRequestLine && len(strings.Split(lines[0], " ")) != 3 {
+	line0, after, _ := cutLine(raw)
+	// strings.Split(line0, " ") != 3 parts ⇔ the line does not contain
+	// exactly two spaces.
+	if opts.RequireParseableRequestLine && bytes.Count(line0, spaceSep) != 2 {
 		return "", false
 	}
 	if len(opts.MethodAllowlist) > 0 {
-		method := parts[0]
+		method := line0
+		if sp := bytes.IndexByte(line0, ' '); sp >= 0 {
+			method = line0[:sp]
+		}
 		allowed := false
 		for _, m := range opts.MethodAllowlist {
-			if strings.EqualFold(method, m) {
+			if strings.EqualFold(string(method), m) {
 				allowed = true
 				break
 			}
@@ -295,42 +361,38 @@ func ExtractHost(raw []byte, opts ScanOptions) (host string, ok bool) {
 	}
 	switch opts.Mode {
 	case ScanExactHostWord:
-		for _, line := range lines[1:] {
-			if rest, found := strings.CutPrefix(line, "Host: "); found {
-				return strings.TrimSpace(rest), true
+		for len(after) > 0 {
+			var line []byte
+			line, after, _ = cutLine(after)
+			if rest, found := bytes.CutPrefix(line, hostPrefixExact); found {
+				return string(bytes.TrimSpace(rest)), true
 			}
 		}
 	case ScanCaseInsensitiveHostWord:
-		for _, line := range lines[1:] {
-			if len(line) >= 5 && strings.EqualFold(line[:5], "Host:") {
-				return strings.TrimSpace(line[5:]), true
+		for len(after) > 0 {
+			var line []byte
+			line, after, _ = cutLine(after)
+			if len(line) >= 5 && strings.EqualFold(string(line[:5]), "Host:") {
+				return string(bytes.TrimSpace(line[5:])), true
 			}
 		}
 	case ScanSubstring:
-		// ASCII-only lowering: strings.ToLower can change the byte length
-		// on invalid UTF-8, which would desynchronize the index below.
-		lower := asciiLower(s)
-		idx := strings.Index(lower, "host:")
-		if idx >= 0 {
-			rest := s[idx+5:]
-			if end := strings.IndexAny(rest, "\r\n"); end >= 0 {
-				rest = rest[:end]
+		// ASCII-case-insensitive search for "host:" anywhere in the raw
+		// bytes, including the request line. Byte-wise lowering (only
+		// 'A'-'Z') keeps indices aligned on invalid UTF-8, exactly like
+		// lowering a copy of the input and searching that.
+		for i := 0; i+5 <= len(raw); i++ {
+			if raw[i]|0x20 == 'h' && raw[i+1]|0x20 == 'o' && raw[i+2]|0x20 == 's' &&
+				raw[i+3]|0x20 == 't' && raw[i+4] == ':' {
+				rest := raw[i+5:]
+				if end := bytes.IndexAny(rest, "\r\n"); end >= 0 {
+					rest = rest[:end]
+				}
+				return string(bytes.TrimSpace(rest)), true
 			}
-			return strings.TrimSpace(rest), true
 		}
 	}
 	return "", false
-}
-
-// asciiLower lowercases ASCII letters byte-wise, preserving length.
-func asciiLower(s string) string {
-	b := []byte(s)
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			b[i] = c - 'A' + 'a'
-		}
-	}
-	return string(b)
 }
 
 // ParseStatus extracts the status code from a raw HTTP/1.x response,

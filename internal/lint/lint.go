@@ -40,15 +40,18 @@ var deterministicPkgs = []string{
 	"cendev/internal/parallel",
 	"cendev/internal/serve",
 	"cendev/internal/vfs",
+	"cendev/internal/wire",
 }
 
 // journalPkgs are the packages bound by the fsync-before-rename
 // persistence contract: the censerved sharded store, the centrace
-// campaign journal, the vfs seam they write through (WriteFileDurable
-// is itself a temp+fsync+rename implementation), and obs, whose
+// campaign journal, the shared wire framing they encode through, the
+// vfs seam they write through (WriteFileDurable is itself a
+// temp+fsync+rename implementation), and obs, whose
 // -metrics-out/-trace-out artifacts publish by rename.
 var journalPkgs = []string{
 	"cendev/internal/serve",
+	"cendev/internal/wire",
 	"cendev/internal/centrace",
 	"cendev/internal/vfs",
 	"cendev/internal/obs",

@@ -7,6 +7,7 @@
 package middlebox
 
 import (
+	"bytes"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -289,10 +290,20 @@ type Device struct {
 	residual map[hostPair]time.Duration
 	injects  map[flowKey]int
 	streams  map[flowKey][]byte
+
+	// trigMemo caches the pure payload→triggered decision (hostname
+	// extraction + rule matching), which depends only on the device's
+	// immutable configuration. Devices are configured before traffic
+	// flows; mutating Rules or Quirks afterwards is not supported.
+	trigMemo map[string]bool
 }
 
 // maxStreamBuffer bounds per-flow reassembly state, as real DPI does.
 const maxStreamBuffer = 8 << 10
+
+// maxTrigMemo bounds the payload→triggered memo; fuzzing campaigns send
+// unbounded distinct payloads, so the memo is cleared when full.
+const maxTrigMemo = 1024
 
 type hostPair struct{ a, b netip.Addr }
 
@@ -327,6 +338,10 @@ type Verdict struct {
 	ThrottleDelay time.Duration
 }
 
+// httpVersionPrefix is hoisted so the RequireVersionWordExact check does
+// not allocate per packet.
+var httpVersionPrefix = []byte("HTTP/")
+
 // extractHostname pulls the hostname the device keys on from the packet
 // payload, honoring the device's parser quirks. ok is false when the
 // payload carries no hostname this device can see.
@@ -350,11 +365,11 @@ func (d *Device) extractHostname(payload []byte) (string, bool) {
 		return "", false
 	}
 	if d.Quirks.PathSensitive || d.Quirks.RequireVersionWordExact {
-		p := httpgram.Parse(payload)
-		if d.Quirks.PathSensitive && p.Path != "/" {
+		_, path, version := httpgram.RequestLineFields(payload)
+		if d.Quirks.PathSensitive && string(path) != "/" {
 			return "", false
 		}
-		if d.Quirks.RequireVersionWordExact && !strings.HasPrefix(p.Version, "HTTP/") {
+		if d.Quirks.RequireVersionWordExact && !bytes.HasPrefix(version, httpVersionPrefix) {
 			return "", false
 		}
 	}
@@ -394,13 +409,28 @@ func (d *Device) Inspect(pkt *netem.Packet, endpoint netip.Addr, now time.Durati
 		d.streams[key] = buf
 		payload = buf
 	}
+	// Bare SYN/ACK/FIN segments carry nothing to match: no rule or
+	// protocol check can trigger on an empty payload.
+	if len(payload) == 0 {
+		return Verdict{}
+	}
 	triggered := false
 	if d.Quirks.BlockSSHProtocol && len(payload) >= 4 && string(payload[:4]) == "SSH-" {
 		triggered = true
 	}
 	if !triggered {
-		host, ok := d.extractHostname(payload)
-		if !ok || !d.Rules.Matches(host) {
+		trig, seen := d.trigMemo[string(payload)]
+		if !seen {
+			host, ok := d.extractHostname(payload)
+			trig = ok && d.Rules.Matches(host)
+			if d.trigMemo == nil {
+				d.trigMemo = make(map[string]bool)
+			} else if len(d.trigMemo) >= maxTrigMemo {
+				clear(d.trigMemo)
+			}
+			d.trigMemo[string(payload)] = trig
+		}
+		if !trig {
 			return Verdict{}
 		}
 	}
@@ -530,6 +560,10 @@ func (d *Device) Clone() *Device {
 			c.streams[k] = append([]byte(nil), v...)
 		}
 	}
+	// The trigger memo is a pure function of the device's configuration,
+	// but sharing the map across clones would race between workers; each
+	// clone rebuilds its own.
+	c.trigMemo = nil
 	return &c
 }
 

@@ -3,13 +3,27 @@ package netem
 // Checksum computes the Internet checksum (RFC 1071) over data.
 // The returned value is ready to be stored in a header checksum field.
 func Checksum(data []byte) uint16 {
-	var sum uint32
+	return foldSum(addToSum(0, data))
+}
+
+// addToSum accumulates data into a running ones-complement partial sum
+// without finalizing it. Chaining addToSum over consecutive chunks equals
+// summing their concatenation as long as every chunk but the last has even
+// length (all header lengths here are multiples of 4, so the payload always
+// starts on an even offset).
+func addToSum(sum uint32, data []byte) uint32 {
 	for i := 0; i+1 < len(data); i += 2 {
 		sum += uint32(data[i])<<8 | uint32(data[i+1])
 	}
 	if len(data)%2 == 1 {
 		sum += uint32(data[len(data)-1]) << 8
 	}
+	return sum
+}
+
+// foldSum folds a partial sum to 16 bits and complements it, producing the
+// final checksum field value.
+func foldSum(sum uint32) uint16 {
 	for sum>>16 != 0 {
 		sum = (sum & 0xffff) + (sum >> 16)
 	}
@@ -32,15 +46,5 @@ func pseudoHeaderSum(src, dst [4]byte, protocol uint8, tcpLen int) uint32 {
 // checksumWithInitial computes the Internet checksum over data starting from
 // an initial partial sum (used for pseudo-header inclusion).
 func checksumWithInitial(initial uint32, data []byte) uint16 {
-	sum := initial
-	for i := 0; i+1 < len(data); i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
-	}
-	if len(data)%2 == 1 {
-		sum += uint32(data[len(data)-1]) << 8
-	}
-	for sum>>16 != 0 {
-		sum = (sum & 0xffff) + (sum >> 16)
-	}
-	return ^uint16(sum)
+	return foldSum(addToSum(initial, data))
 }

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -22,64 +23,247 @@ var errNoTransport = errors.New("netem: packet has no transport layer")
 // Serialize renders the packet to wire bytes, computing lengths and
 // checksums in both headers.
 func (p *Packet) Serialize() ([]byte, error) {
+	return p.SerializeTo(nil)
+}
+
+// SerializeTo appends the full wire representation of the packet to b and
+// returns the extended slice, computing lengths and checksums in both
+// headers. Passing a scratch buffer (b[:0]) serializes with zero
+// allocations once the buffer has grown to packet size.
+func (p *Packet) SerializeTo(b []byte) ([]byte, error) {
+	return p.serializeTo(b, -1)
+}
+
+// serializeTo appends the IP header plus the transport segment to b. When
+// maxSeg >= 0 only the first maxSeg bytes of the transport segment are
+// emitted, but lengths and checksums are still those of the full packet —
+// the output is byte-identical to the same range of a full serialization,
+// which is exactly what an ICMP quote of a packet prefix must carry.
+func (p *Packet) serializeTo(b []byte, maxSeg int) ([]byte, error) {
 	switch {
 	case p.TCP != nil:
-		src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
-		seg := p.TCP.SerializeTo(nil, src, dst, p.Payload)
+		t := p.TCP
 		p.IP.Protocol = ProtoTCP
-		out := p.IP.SerializeTo(nil, len(seg))
-		return append(out, seg...), nil
-	case p.UDP != nil:
+		segLen := t.headerLen() + len(p.Payload)
+		b = p.IP.SerializeTo(b, segLen)
+		segStart := len(b)
+		b = t.serializeHeaderTo(b)
 		src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
-		seg := p.UDP.SerializeTo(nil, src, dst, p.Payload)
+		sum := pseudoHeaderSum(src, dst, uint8(ProtoTCP), segLen)
+		sum = addToSum(sum, b[segStart:])
+		sum = addToSum(sum, p.Payload)
+		t.Checksum = foldSum(sum)
+		binary.BigEndian.PutUint16(b[segStart+16:], t.Checksum)
+		return appendSegTail(b, segStart, p.Payload, maxSeg), nil
+	case p.UDP != nil:
+		u := p.UDP
 		p.IP.Protocol = ProtoUDP
-		out := p.IP.SerializeTo(nil, len(seg))
-		return append(out, seg...), nil
+		segLen := UDPHeaderLen + len(p.Payload)
+		u.Length = uint16(segLen)
+		b = p.IP.SerializeTo(b, segLen)
+		segStart := len(b)
+		b = append(b, make([]byte, UDPHeaderLen)...)
+		hdr := b[segStart:]
+		binary.BigEndian.PutUint16(hdr[0:], u.SrcPort)
+		binary.BigEndian.PutUint16(hdr[2:], u.DstPort)
+		binary.BigEndian.PutUint16(hdr[4:], u.Length)
+		src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
+		sum := pseudoHeaderSum(src, dst, uint8(ProtoUDP), segLen)
+		sum = addToSum(sum, hdr)
+		sum = addToSum(sum, p.Payload)
+		u.Checksum = foldSum(sum)
+		if u.Checksum == 0 {
+			u.Checksum = 0xffff // RFC 768: zero means "no checksum"
+		}
+		binary.BigEndian.PutUint16(hdr[6:], u.Checksum)
+		return appendSegTail(b, segStart, p.Payload, maxSeg), nil
 	case p.ICMP != nil:
-		msg := p.ICMP.SerializeTo(nil)
+		m := p.ICMP
 		p.IP.Protocol = ProtoICMP
-		out := p.IP.SerializeTo(nil, len(msg))
-		return append(out, msg...), nil
+		segLen := icmpHeaderLenBytes + len(m.Quoted)
+		b = p.IP.SerializeTo(b, segLen)
+		segStart := len(b)
+		b = append(b, make([]byte, icmpHeaderLenBytes)...)
+		msg := b[segStart:]
+		msg[0] = uint8(m.Type)
+		msg[1] = m.Code
+		binary.BigEndian.PutUint32(msg[4:], m.Rest)
+		sum := addToSum(0, msg)
+		sum = addToSum(sum, m.Quoted)
+		m.Checksum = foldSum(sum)
+		binary.BigEndian.PutUint16(msg[2:], m.Checksum)
+		return appendSegTail(b, segStart, m.Quoted, maxSeg), nil
 	default:
 		return nil, errNoTransport
 	}
 }
 
-// DecodePacket parses wire bytes into a Packet.
+// appendSegTail appends the transport payload (or quote) tail to b, whose
+// transport segment began at segStart, truncating the segment to maxSeg
+// bytes when maxSeg >= 0.
+func appendSegTail(b []byte, segStart int, tail []byte, maxSeg int) []byte {
+	if maxSeg < 0 {
+		return append(b, tail...)
+	}
+	hdrLen := len(b) - segStart
+	if maxSeg <= hdrLen {
+		return b[:segStart+maxSeg]
+	}
+	if want := maxSeg - hdrLen; want < len(tail) {
+		tail = tail[:want]
+	}
+	return append(b, tail...)
+}
+
+// DecodePacket parses wire bytes into a Packet. Payload, quoted bytes, and
+// option data are copied, so the packet stays valid after data is reused.
 func DecodePacket(data []byte) (*Packet, error) {
 	var p Packet
+	if err := p.decode(data, false); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DecodePacketAliased parses wire bytes into a Packet without copying:
+// Payload, ICMP quoted bytes, and TCP option data alias data. The caller
+// must keep data alive and unmodified for as long as the packet is in use,
+// and must not call Reset or CloneInto-into this packet while the aliased
+// buffers could still be read through it.
+func DecodePacketAliased(data []byte) (*Packet, error) {
+	var p Packet
+	if err := p.decode(data, true); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DecodeAliased parses wire bytes into p without copying (see
+// DecodePacketAliased). p's existing transport headers are reused when
+// their type matches, so a pooled Packet decodes with zero allocations in
+// steady state.
+func (p *Packet) DecodeAliased(data []byte) error {
+	return p.decode(data, true)
+}
+
+func (p *Packet) decode(data []byte, alias bool) error {
 	n, err := p.IP.DecodeFromBytes(data)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rest := data[n:]
 	switch p.IP.Protocol {
 	case ProtoTCP:
-		var tcp TCP
-		hl, err := tcp.DecodeFromBytes(rest)
-		if err != nil {
-			return nil, err
+		if p.TCP == nil {
+			p.TCP = &TCP{}
 		}
-		p.TCP = &tcp
-		p.Payload = append([]byte(nil), rest[hl:]...)
+		hl, err := p.TCP.decodeFromBytes(rest, alias)
+		if err != nil {
+			p.TCP = nil
+			return err
+		}
+		p.UDP, p.ICMP = nil, nil
+		payload := rest[hl:len(rest):len(rest)]
+		if !alias {
+			payload = append([]byte(nil), payload...)
+		}
+		p.Payload = payload
 	case ProtoUDP:
-		var udp UDP
-		hl, err := udp.DecodeFromBytes(rest)
+		if p.UDP == nil {
+			p.UDP = &UDP{}
+		}
+		hl, err := p.UDP.DecodeFromBytes(rest)
 		if err != nil {
-			return nil, err
+			p.UDP = nil
+			return err
 		}
-		p.UDP = &udp
-		p.Payload = append([]byte(nil), rest[hl:]...)
+		p.TCP, p.ICMP = nil, nil
+		payload := rest[hl:len(rest):len(rest)]
+		if !alias {
+			payload = append([]byte(nil), payload...)
+		}
+		p.Payload = payload
 	case ProtoICMP:
-		var icmp ICMP
-		if err := icmp.DecodeFromBytes(rest); err != nil {
-			return nil, err
+		if p.ICMP == nil {
+			p.ICMP = &ICMP{}
 		}
-		p.ICMP = &icmp
+		if err := p.ICMP.decodeFromBytes(rest, alias); err != nil {
+			p.ICMP = nil
+			return err
+		}
+		p.TCP, p.UDP = nil, nil
+		p.Payload = nil
 	default:
-		return nil, fmt.Errorf("netem: unsupported protocol %s", p.IP.Protocol)
+		return fmt.Errorf("netem: unsupported protocol %s", p.IP.Protocol)
 	}
-	return &p, nil
+	return nil
+}
+
+// Reset clears the packet for reuse while keeping its owned allocations:
+// transport header structs stay attached (zeroed) and slice capacities are
+// retained. A Reset packet is ready for DecodeAliased or CloneInto with no
+// fresh allocations, making Packet values sync.Pool-compatible.
+//
+// Reset must only be called on packets whose buffers the packet owns. A
+// packet populated by DecodeAliased borrows its Payload/Quoted/option
+// storage from the decode input; Reset would retain that borrowed capacity
+// and a later CloneInto would scribble over the lender's bytes. Alias-
+// decoded packets are reset with *p = Packet{} instead.
+func (p *Packet) Reset() {
+	p.IP = IPv4{}
+	p.Payload = p.Payload[:0]
+	if p.TCP != nil {
+		opts := p.TCP.Options[:0]
+		*p.TCP = TCP{Options: opts}
+	}
+	if p.UDP != nil {
+		*p.UDP = UDP{}
+	}
+	if p.ICMP != nil {
+		quoted := p.ICMP.Quoted[:0]
+		*p.ICMP = ICMP{Quoted: quoted}
+	}
+}
+
+// CloneInto deep-copies p into q, reusing q's existing allocations
+// (transport structs, payload and quote capacity) where possible. q must
+// own its buffers — see Reset for the aliasing hazard. q ends up
+// semantically identical to a Clone of p but with zero allocations in
+// steady state; it shares no mutable memory with p.
+func (p *Packet) CloneInto(q *Packet) {
+	q.IP = p.IP
+	q.Payload = append(q.Payload[:0], p.Payload...)
+	if p.TCP != nil {
+		if q.TCP == nil {
+			q.TCP = &TCP{}
+		}
+		opts := q.TCP.Options[:0]
+		*q.TCP = *p.TCP
+		q.TCP.Options = opts
+		for _, o := range p.TCP.Options {
+			q.TCP.Options = append(q.TCP.Options, TCPOption{Kind: o.Kind, Data: append([]byte(nil), o.Data...)})
+		}
+	} else {
+		q.TCP = nil
+	}
+	if p.UDP != nil {
+		if q.UDP == nil {
+			q.UDP = &UDP{}
+		}
+		*q.UDP = *p.UDP
+	} else {
+		q.UDP = nil
+	}
+	if p.ICMP != nil {
+		if q.ICMP == nil {
+			q.ICMP = &ICMP{}
+		}
+		quoted := append(q.ICMP.Quoted[:0], p.ICMP.Quoted...)
+		*q.ICMP = *p.ICMP
+		q.ICMP.Quoted = quoted
+	} else {
+		q.ICMP = nil
+	}
 }
 
 // Clone returns a deep copy of the packet.
@@ -124,17 +308,48 @@ func (p *Packet) String() string {
 	return b.String()
 }
 
+// tcpPacket co-locates a Packet with its TCP header so one allocation
+// serves both — the hot path builds millions of these.
+type tcpPacket struct {
+	p Packet
+	t TCP
+}
+
+// FillTCP rewrites p in place as a TCP packet with the same defaults as
+// NewTCPPacket, reusing p's TCP struct when it has one. The payload is
+// aliased, not copied. p must own its buffers (see Reset); callers use
+// this to recycle a scratch packet across sequential sends.
+func (p *Packet) FillTCP(src, dst netip.Addr, srcPort, dstPort uint16, flags TCPFlags, seq, ack uint32, payload []byte) {
+	t := p.TCP
+	if t == nil {
+		t = &TCP{}
+	}
+	*t = TCP{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack, Flags: flags, Window: 65535,
+	}
+	*p = Packet{IP: IPv4{TTL: 64, Src: src, Dst: dst, Protocol: ProtoTCP}, TCP: t, Payload: payload}
+}
+
 // NewTCPPacket builds a TCP packet with the given addressing, flags, and
 // payload, using defaults suitable for the simulator.
 func NewTCPPacket(src, dst netip.Addr, srcPort, dstPort uint16, flags TCPFlags, seq, ack uint32, payload []byte) *Packet {
-	return &Packet{
-		IP: IPv4{TTL: 64, Src: src, Dst: dst, Protocol: ProtoTCP},
-		TCP: &TCP{
+	x := &tcpPacket{
+		p: Packet{IP: IPv4{TTL: 64, Src: src, Dst: dst, Protocol: ProtoTCP}, Payload: payload},
+		t: TCP{
 			SrcPort: srcPort, DstPort: dstPort,
 			Seq: seq, Ack: ack, Flags: flags, Window: 65535,
 		},
-		Payload: payload,
 	}
+	x.p.TCP = &x.t
+	return &x.p
+}
+
+// icmpPacket co-locates a Packet with its ICMP message, as tcpPacket does
+// for TCP.
+type icmpPacket struct {
+	p Packet
+	m ICMP
 }
 
 // NewTimeExceeded builds the ICMP Time Exceeded error a router at routerAddr
@@ -143,23 +358,37 @@ func NewTCPPacket(src, dst netip.Addr, srcPort, dstPort uint16, flags TCPFlags, 
 // RFC 792 minimum; larger values emulate RFC 1812 routers that quote more.
 // The quote is built from the offending packet as the router observed it, so
 // any header rewrites applied by upstream middleboxes are visible to
-// Tracebox-style comparison.
+// Tracebox-style comparison. Only the quoted prefix is ever serialized; the
+// offending payload is summed into the quoted checksum without being
+// rendered.
 func NewTimeExceeded(routerAddr netip.Addr, offending *Packet, quoteLen int) (*Packet, error) {
-	wire, err := offending.Serialize()
-	if err != nil {
+	x := &icmpPacket{}
+	x.p.ICMP = &x.m
+	if err := x.p.FillTimeExceeded(routerAddr, offending, quoteLen); err != nil {
 		return nil, err
 	}
-	ihl := IPv4HeaderLen
-	end := ihl + quoteLen
-	if end > len(wire) {
-		end = len(wire)
+	return &x.p, nil
+}
+
+// FillTimeExceeded rewrites p in place as the ICMP Time Exceeded error
+// NewTimeExceeded builds, reusing p's ICMP struct and quote buffer when
+// present. p must own its buffers (see Reset); consumers that retain quoted
+// bytes past the packet's lifetime must copy them (ICMP.QuotedPacket already
+// does).
+func (p *Packet) FillTimeExceeded(routerAddr netip.Addr, offending *Packet, quoteLen int) error {
+	m := p.ICMP
+	if m == nil {
+		m = &ICMP{}
 	}
-	return &Packet{
-		IP: IPv4{TTL: 64, Src: routerAddr, Dst: offending.IP.Src, Protocol: ProtoICMP},
-		ICMP: &ICMP{
-			Type:   ICMPTimeExceeded,
-			Code:   0, // TTL exceeded in transit
-			Quoted: append([]byte(nil), wire[:end]...),
-		},
-	}, nil
+	quoted, err := offending.serializeTo(m.Quoted[:0], quoteLen)
+	if err != nil {
+		return err
+	}
+	*m = ICMP{
+		Type:   ICMPTimeExceeded,
+		Code:   0, // TTL exceeded in transit
+		Quoted: quoted,
+	}
+	*p = Packet{IP: IPv4{TTL: 64, Src: routerAddr, Dst: offending.IP.Src, Protocol: ProtoICMP}, ICMP: m}
+	return nil
 }

@@ -96,10 +96,23 @@ func (t *TCP) headerLen() int {
 // payload to b, computing the checksum over the IPv4 pseudo-header formed
 // from src and dst. Returns the extended slice.
 func (t *TCP) SerializeTo(b []byte, src, dst [4]byte, payload []byte) []byte {
+	start := len(b)
+	b = t.serializeHeaderTo(b)
+	b = append(b, payload...)
+	seg := b[start:]
+	init := pseudoHeaderSum(src, dst, uint8(ProtoTCP), len(seg))
+	t.Checksum = checksumWithInitial(init, seg)
+	binary.BigEndian.PutUint16(seg[16:], t.Checksum)
+	return b
+}
+
+// serializeHeaderTo appends the header (including padded options) to b with
+// the checksum field zeroed; the caller computes and patches the checksum
+// once the covered range is known.
+func (t *TCP) serializeHeaderTo(b []byte) []byte {
 	hl := t.headerLen()
 	start := len(b)
 	b = append(b, make([]byte, hl)...)
-	b = append(b, payload...)
 	hdr := b[start:]
 	binary.BigEndian.PutUint16(hdr[0:], t.SrcPort)
 	binary.BigEndian.PutUint16(hdr[2:], t.DstPort)
@@ -123,16 +136,20 @@ func (t *TCP) SerializeTo(b []byte, src, dst [4]byte, payload []byte) []byte {
 		}
 	}
 	// Remaining bytes up to hl are zero (end-of-options padding).
-	seg := b[start:]
-	init := pseudoHeaderSum(src, dst, uint8(ProtoTCP), len(seg))
-	t.Checksum = checksumWithInitial(init, seg)
-	binary.BigEndian.PutUint16(hdr[16:], t.Checksum)
 	return b
 }
 
 // DecodeFromBytes parses a TCP header from data and returns the header
-// length consumed (including options).
+// length consumed (including options). Option data is copied out of data.
 func (t *TCP) DecodeFromBytes(data []byte) (int, error) {
+	return t.decodeFromBytes(data, false)
+}
+
+// decodeFromBytes parses the header. With alias set, option data slices
+// alias data (zero-copy); the caller must keep data immutable while the
+// header is live. The Options slice itself reuses t's existing capacity so
+// a pooled header decodes without allocating.
+func (t *TCP) decodeFromBytes(data []byte, alias bool) (int, error) {
 	if len(data) < TCPHeaderLen {
 		return 0, errShortTCP
 	}
@@ -148,7 +165,11 @@ func (t *TCP) DecodeFromBytes(data []byte) (int, error) {
 	t.Window = binary.BigEndian.Uint16(data[14:])
 	t.Checksum = binary.BigEndian.Uint16(data[16:])
 	t.Urgent = binary.BigEndian.Uint16(data[18:])
-	t.Options = nil
+	if alias {
+		t.Options = t.Options[:0]
+	} else {
+		t.Options = nil
+	}
 	opts := data[TCPHeaderLen:hl]
 	for i := 0; i < len(opts); {
 		kind := TCPOptionKind(opts[i])
@@ -166,7 +187,11 @@ func (t *TCP) DecodeFromBytes(data []byte) (int, error) {
 			if l < 2 || i+l > len(opts) {
 				return 0, errShortTCP
 			}
-			t.Options = append(t.Options, TCPOption{Kind: kind, Data: append([]byte(nil), opts[i+2:i+l]...)})
+			d := opts[i+2 : i+l : i+l]
+			if !alias {
+				d = append([]byte(nil), d...)
+			}
+			t.Options = append(t.Options, TCPOption{Kind: kind, Data: d})
 			i += l
 		}
 	}

@@ -54,12 +54,32 @@ func (u *UDP) DecodeFromBytes(data []byte) (int, error) {
 	return UDPHeaderLen, nil
 }
 
+// udpPacket co-locates a Packet with its UDP header so one allocation
+// serves both.
+type udpPacket struct {
+	p Packet
+	u UDP
+}
+
 // NewUDPPacket builds a UDP packet with defaults suitable for the
 // simulator.
 func NewUDPPacket(src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) *Packet {
-	return &Packet{
-		IP:      IPv4{TTL: 64, Src: src, Dst: dst, Protocol: ProtoUDP},
-		UDP:     &UDP{SrcPort: srcPort, DstPort: dstPort},
-		Payload: payload,
+	x := &udpPacket{
+		p: Packet{IP: IPv4{TTL: 64, Src: src, Dst: dst, Protocol: ProtoUDP}, Payload: payload},
+		u: UDP{SrcPort: srcPort, DstPort: dstPort},
 	}
+	x.p.UDP = &x.u
+	return &x.p
+}
+
+// FillUDP rewrites p in place as a UDP packet with the same defaults as
+// NewUDPPacket, reusing p's UDP struct when it has one. The payload is
+// aliased, not copied. p must own its buffers (see Reset).
+func (p *Packet) FillUDP(src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) {
+	u := p.UDP
+	if u == nil {
+		u = &UDP{}
+	}
+	*u = UDP{SrcPort: srcPort, DstPort: dstPort}
+	*p = Packet{IP: IPv4{TTL: 64, Src: src, Dst: dst, Protocol: ProtoUDP}, UDP: u, Payload: payload}
 }

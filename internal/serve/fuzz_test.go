@@ -8,14 +8,17 @@ import (
 	"testing"
 
 	"cendev/internal/vfs"
+	"cendev/internal/wire"
 )
 
 // FuzzStoreReplay feeds arbitrary bytes to the sharded store's segment
-// reader as a pre-existing shard file. OpenStore must never panic, and
-// its crash-recovery contract must hold: after the first open repairs
-// the segment (truncating any torn tail), a second open of the same
-// directory rebuilds exactly the same merged index and finds nothing
-// left to repair.
+// readers as pre-existing shard files — the same bytes installed both as
+// a legacy JSONL segment and as a binary segment, so one input exercises
+// both replay paths. OpenStore must never panic, and its crash-recovery
+// contract must hold: after the first open repairs the segments
+// (truncating any torn tail), a second open of the same directory
+// rebuilds exactly the same merged index and finds nothing left to
+// repair.
 //
 // The same bytes then seed a chaos filesystem, with a fuzz-chosen fault
 // schedule (one hard failure, one torn write) layered on top of a live
@@ -28,9 +31,20 @@ func FuzzStoreReplay(f *testing.F) {
 	f.Add([]byte(`{"seq":1,"id":"j-1","state":"queued"}`+"\n"+`{"seq":2,"id":"j-1","st`), int64(4), uint8(0), uint8(9)) // torn tail
 	f.Add([]byte("garbage\n"+`{"seq":3,"id":"j-2","state":"running"}`+"\n"), int64(5), uint8(7), uint8(12))
 	f.Add([]byte(`{"seq":9,"merged":12,"id":"j-3","state":"done","payload":{"x":1}}`+"\n"), int64(6), uint8(3), uint8(3))
+	// Binary seeds: a clean frame, a torn second frame, interior garbage.
+	recA := appendStoreRecord(nil, &storeRecord{Seq: 1, ID: "j-00000001", State: StateQueued})
+	recB := appendStoreRecord(nil, &storeRecord{Seq: 2, ID: "j-00000001", State: StateDone})
+	frameA := wire.AppendFrame(nil, recA)
+	frameB := wire.AppendFrame(nil, recB)
+	f.Add(append([]byte(nil), frameA...), int64(7), uint8(0), uint8(0))
+	f.Add(append(append([]byte(nil), frameA...), frameB[:len(frameB)/2]...), int64(8), uint8(0), uint8(7))
+	f.Add(append(append(append([]byte(nil), frameA...), "mid-file damage"...), frameB...), int64(9), uint8(5), uint8(0))
 	f.Fuzz(func(t *testing.T, data []byte, seed int64, failA, failB uint8) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, "shard-00.jsonl"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "shard-01.bin"), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		s, err := OpenStore(dir, 2)
@@ -70,6 +84,7 @@ func FuzzStoreReplay(f *testing.F) {
 		// appends, then a crash. Acknowledged means durable.
 		c := vfs.NewChaos(seed)
 		c.Install("store/shard-00.jsonl", data)
+		c.Install("store/shard-01.bin", data)
 		if failA > 0 {
 			c.FailOp(int(failA), vfs.ErrIO)
 		}

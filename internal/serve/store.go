@@ -2,11 +2,15 @@ package serve
 
 // The result store is a sharded append-only journal, the service-scale
 // descendant of the centrace campaign Journal: every job-state transition
-// is one JSON line appended (and fsynced) to the shard its job ID hashes
-// to, an in-memory index holds the merged latest view, and reopening a
-// directory replays every shard — tolerating the torn final line a
-// kill -9 mid-append leaves behind by truncating it away — so a crashed
-// daemon restarts into exactly the set of durable jobs. Shards bound
+// is one binary record frame (internal/wire, DESIGN.md §14) appended (and
+// fsynced) to the shard-NN.bin segment its job ID hashes to, an in-memory
+// index holds the merged latest view, and reopening a directory replays
+// every segment — tolerating the torn final frame a kill -9 mid-append
+// leaves behind by truncating it away — so a crashed daemon restarts into
+// exactly the set of durable jobs. Legacy shard-*.jsonl segments from the
+// JSON-lines era replay read-only: their jobs land in the index, and any
+// new records for them append to the binary shard their ID now hashes to.
+// JSON survives as the export/debug view (ExportJSON). Shards bound
 // compaction work and spread append fsyncs across files; when a shard
 // accumulates more superseded records than live ones it is rewritten in
 // place (write-temp, rename) from the merged index.
@@ -23,6 +27,7 @@ import (
 	"sync"
 
 	"cendev/internal/vfs"
+	"cendev/internal/wire"
 )
 
 // storeRecord is the on-disk form of one job-state transition. Queued
@@ -79,13 +84,12 @@ type storeShard struct {
 	// may be the only durable home their records have, and a rewrite that
 	// kept only currently-hashing jobs would silently drop them — a loss
 	// the crash matrix catches the first time the power goes out.
+	//
+	// There is no dirty-tail flag any more: binary frames self-delimit,
+	// so a record appended after a torn partial write is still recovered
+	// at replay by scanning for the next frame marker (the JSONL format
+	// needed a fresh-newline dance here to keep glued lines parseable).
 	foreign map[string]bool
-	// dirty means the file's live tail is not newline-terminated — a
-	// failed append left a partial record, or a pre-existing segment ends
-	// in a parseable line missing its newline. The next append must start
-	// on a fresh line, or its (synced, acknowledged) record would glue
-	// onto the tail and be unparseable at replay.
-	dirty bool
 }
 
 // Store is the crash-safe job/result store.
@@ -105,6 +109,11 @@ type Store struct {
 	// the crash matrix must catch (its sensitivity check).
 	compactSkipSync bool
 	warnings        []string
+	// recBuf and encBuf are the append path's scratch buffers: record
+	// payload and framed record respectively. Guarded by mu like the rest
+	// of the store.
+	recBuf []byte
+	encBuf []byte
 }
 
 // DefaultShards is the default shard count for a store directory.
@@ -136,11 +145,18 @@ func OpenStoreFS(fsys vfs.FS, dir string, nShards int) (*Store, error) {
 	}
 
 	// Replay every segment on disk, not just the first nShards: a
-	// restart with a smaller -shards must not orphan jobs.
-	paths, err := vfs.Glob(fsys, dir, "shard-*.jsonl")
+	// restart with a smaller -shards must not orphan jobs. Legacy JSONL
+	// segments replay alongside binary ones; only binary segments are
+	// ever appended to.
+	paths, err := vfs.Glob(fsys, dir, "shard-*.bin")
 	if err != nil {
 		return nil, err
 	}
+	legacy, err := vfs.Glob(fsys, dir, "shard-*.jsonl")
+	if err != nil {
+		return nil, err
+	}
+	paths = append(paths, legacy...)
 	for i := 0; i < nShards; i++ {
 		p := s.shardPath(i)
 		found := false
@@ -156,18 +172,17 @@ func OpenStoreFS(fsys vfs.FS, dir string, nShards int) (*Store, error) {
 	sort.Strings(paths)
 
 	type replayed struct {
-		path         string
-		records      int
-		ids          map[string]bool
-		unterminated bool
+		path    string
+		records int
+		ids     map[string]bool
 	}
 	var segs []replayed
 	for _, p := range paths {
-		n, ids, unterminated, err := s.replaySegment(p)
+		n, ids, err := s.replaySegment(p)
 		if err != nil {
 			return nil, err
 		}
-		segs = append(segs, replayed{path: p, records: n, ids: ids, unterminated: unterminated})
+		segs = append(segs, replayed{path: p, records: n, ids: ids})
 	}
 
 	// Open the first nShards for appending. Legacy segments beyond
@@ -184,7 +199,6 @@ func OpenStoreFS(fsys vfs.FS, dir string, nShards int) (*Store, error) {
 		for _, seg := range segs {
 			if seg.path == p {
 				sh.records = seg.records
-				sh.dirty = seg.unterminated
 			}
 		}
 		s.shards = append(s.shards, sh)
@@ -215,7 +229,7 @@ func OpenStoreFS(fsys vfs.FS, dir string, nShards int) (*Store, error) {
 }
 
 func (s *Store) shardPath(i int) string {
-	return filepath.Join(s.dir, fmt.Sprintf("shard-%02d.jsonl", i))
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%02d.bin", i))
 }
 
 // shardFor hashes a job ID to its owning shard.
@@ -227,21 +241,95 @@ func (s *Store) shardFor(id string) int {
 
 // replaySegment scans one segment file, merging records into the index in
 // seq order (within a file, append order is seq order) and repairing a
-// torn final line by truncating the file back to the last record
-// boundary. Returns the number of good records, the set of job IDs with
-// records in this file (for foreign-resident accounting), and whether
-// the file ends in a parseable line missing its newline — the caller
-// must mark the shard dirty so the next append does not glue onto it.
-func (s *Store) replaySegment(path string) (int, map[string]bool, bool, error) {
+// torn final record by truncating the file back to the last record
+// boundary. The format is sniffed per file: binary frame segments are the
+// live format, JSONL segments are the legacy read-only one. Returns the
+// number of good records and the set of job IDs with records in this file
+// (for foreign-resident accounting).
+func (s *Store) replaySegment(path string) (int, map[string]bool, error) {
 	f, err := s.fsys.Open(path)
 	if os.IsNotExist(err) {
-		return 0, nil, false, nil
+		return 0, nil, nil
 	}
 	if err != nil {
-		return 0, nil, false, err
+		return 0, nil, err
 	}
 	defer f.Close()
+	if isBinarySegment(path) {
+		return s.replayBinarySegment(path, f)
+	}
+	return s.replayJSONLSegment(path, f)
+}
 
+// isBinarySegment keys the replay format off the segment name: the store
+// only ever creates shard-*.bin (binary) and inherits shard-*.jsonl
+// (legacy JSON lines). Name-based dispatch keeps an empty or torn-headed
+// binary segment from being misread as JSONL.
+func isBinarySegment(path string) bool {
+	return filepath.Ext(path) == ".bin"
+}
+
+// replayBinarySegment replays one wire-framed segment. Interior
+// corruption is skipped by marker resync (the appended-after-torn-write
+// case); a torn tail is truncated back to the last frame boundary.
+func (s *Store) replayBinarySegment(path string, f vfs.File) (int, map[string]bool, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, nil, fmt.Errorf("serve: reading %s: %w", path, err)
+	}
+	r := wire.NewReader(data)
+	records := 0
+	ids := make(map[string]bool)
+	for {
+		payload, ok := r.Next()
+		if !ok {
+			break
+		}
+		rec, err := decodeStoreRecord(payload)
+		if err != nil {
+			s.warnings = append(s.warnings, fmt.Sprintf(
+				"serve: %s: skipping undecodable record: %v", filepath.Base(path), err))
+			continue
+		}
+		s.mergeRecord(rec)
+		ids[rec.ID] = true
+		records++
+	}
+	for _, w := range r.Warnings() {
+		s.warnings = append(s.warnings, fmt.Sprintf("serve: %s: %s", filepath.Base(path), w))
+	}
+	if truncateTo, torn := r.Torn(); torn {
+		if err := s.fsys.Truncate(path, truncateTo); err != nil {
+			return 0, nil, fmt.Errorf("serve: repairing %s: %w", path, err)
+		}
+		s.warnings = append(s.warnings, fmt.Sprintf(
+			"serve: %s: truncated torn tail at byte %d", filepath.Base(path), truncateTo))
+	}
+	return records, ids, nil
+}
+
+// replayJSONLSegment replays one legacy JSON-lines segment, read-only
+// except for torn-tail repair.
+func (s *Store) replayJSONLSegment(path string, f vfs.File) (int, map[string]bool, error) {
+	// A torn tail is an unparseable final line that is also unterminated —
+	// the kill -9 mid-append artifact. An unparseable final line that DOES
+	// end in a newline is interior damage (skip, don't truncate), so check
+	// how the file ends before scanning.
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, nil, fmt.Errorf("serve: reading %s: %w", path, err)
+	}
+	endsWithNewline := end == 0
+	if end > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], end-1); err != nil {
+			return 0, nil, fmt.Errorf("serve: reading %s: %w", path, err)
+		}
+		endsWithNewline = last[0] == '\n'
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, nil, fmt.Errorf("serve: reading %s: %w", path, err)
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	var pos, lastGoodEnd int64 // byte offsets: current scan position, end of last good line
@@ -273,31 +361,21 @@ func (s *Store) replaySegment(path string) (int, map[string]bool, bool, error) {
 		records++
 	}
 	if err := sc.Err(); err != nil {
-		return 0, nil, false, fmt.Errorf("serve: reading %s: %w", path, err)
+		return 0, nil, fmt.Errorf("serve: reading %s: %w", path, err)
 	}
-	if tornTail {
+	if tornTail && !endsWithNewline {
 		// The file ends in a torn record — the kill -9 mid-append
-		// artifact. Truncate back to the last record boundary so the
-		// segment is clean for appending. (An interior tear followed by
-		// good records is merely skipped: truncating would drop the good
-		// tail too.)
+		// artifact. Truncate back to the last record boundary. (An
+		// interior tear followed by good records is merely skipped:
+		// truncating would drop the good tail too, and so would cutting a
+		// newline-terminated final line that merely failed to parse.)
 		if err := s.fsys.Truncate(path, lastGoodEnd); err != nil {
-			return 0, nil, false, fmt.Errorf("serve: repairing %s: %w", path, err)
+			return 0, nil, fmt.Errorf("serve: repairing %s: %w", path, err)
 		}
 		s.warnings = append(s.warnings, fmt.Sprintf(
 			"serve: %s: truncated torn tail at byte %d", filepath.Base(path), lastGoodEnd))
-		return records, ids, false, nil // truncation ends the file at a line boundary
 	}
-	// A final line that parses but lacks its newline is not torn — no
-	// truncation — yet appending straight after it would glue two records
-	// into one unparseable line and silently lose both at the next
-	// replay. pos charges +1 per line for the newline, so it overshoots
-	// the real size by exactly 1 in that case.
-	size, err := f.Seek(0, io.SeekEnd)
-	if err != nil {
-		return 0, nil, false, fmt.Errorf("serve: sizing %s: %w", path, err)
-	}
-	return records, ids, pos == size+1, nil
+	return records, ids, nil
 }
 
 // mergeRecord folds one replayed record into the index. Records may
@@ -382,8 +460,11 @@ func (s *Store) UpdateState(id string, state JobState, attempts int, errMsg stri
 }
 
 // appendLocked assigns the next sequence number, writes the record as one
-// line, and fsyncs the shard so an acknowledged transition survives a
-// kill -9.
+// binary frame, and fsyncs the shard so an acknowledged transition
+// survives a kill -9. The frame is built in the store's scratch buffer —
+// the append path allocates nothing once the buffer has grown to record
+// size. A partial write needs no special handling: the next frame's
+// marker lets replay resync past the torn bytes.
 func (s *Store) appendLocked(rec *storeRecord) error {
 	s.seq++
 	rec.Seq = s.seq
@@ -391,23 +472,11 @@ func (s *Store) appendLocked(rec *storeRecord) error {
 		s.nextID = rec.Seq
 	}
 	sh := s.shards[s.shardFor(rec.ID)]
-	raw, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("serve: marshal record: %w", err)
-	}
-	raw = append(raw, '\n')
-	if sh.dirty {
-		// A previous append tore mid-record: open a fresh line so this
-		// record stays parseable (replay skips the garbage line).
-		raw = append([]byte{'\n'}, raw...)
-	}
-	if n, err := sh.f.Write(raw); err != nil {
-		if n > 0 {
-			sh.dirty = true
-		}
+	s.recBuf = appendStoreRecord(s.recBuf[:0], rec)
+	s.encBuf = wire.AppendFrame(s.encBuf[:0], s.recBuf)
+	if _, err := sh.f.Write(s.encBuf); err != nil {
 		return fmt.Errorf("serve: append %s: %w", sh.path, err)
 	}
-	sh.dirty = false
 	if err := sh.f.Sync(); err != nil {
 		return fmt.Errorf("serve: sync %s: %w", sh.path, err)
 	}
@@ -458,14 +527,9 @@ func (s *Store) compactLocked(i int) error {
 		if e.mergedSeq > e.Seq {
 			rec.Merged = e.mergedSeq
 		}
-		raw, err := json.Marshal(&rec)
-		if err != nil {
-			f.Close()
-			s.fsys.Remove(tmp)
-			return err
-		}
-		raw = append(raw, '\n')
-		if _, err := w.Write(raw); err != nil {
+		s.recBuf = appendStoreRecord(s.recBuf[:0], &rec)
+		s.encBuf = wire.AppendFrame(s.encBuf[:0], s.recBuf)
+		if _, err := w.Write(s.encBuf); err != nil {
 			f.Close()
 			s.fsys.Remove(tmp)
 			return err
@@ -499,7 +563,6 @@ func (s *Store) compactLocked(i int) error {
 	sh.f = nf
 	sh.records = len(entries)
 	sh.live = len(entries)
-	sh.dirty = false
 	// Make the rename itself durable before any record is acknowledged
 	// against the new segment: on filesystems that don't order metadata
 	// behind file fsyncs, a crash could otherwise revert the name to the
@@ -567,6 +630,40 @@ func (s *Store) Warnings() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]string(nil), s.warnings...)
+}
+
+// ExportJSON writes the merged index as JSON lines in admission order —
+// the human-readable debug view of the binary segments (one fully merged
+// record per job, the same shape compaction used to persist). This is
+// what `censerved -export-store` prints and what CI pipes through jq.
+func (s *Store) ExportJSON(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := make([]*JobEntry, 0, len(s.index))
+	for _, e := range s.index {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Seq < entries[b].Seq })
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		spec := e.Spec
+		rec := storeRecord{
+			Seq: e.Seq, ID: e.ID, State: e.State, Spec: &spec,
+			Attempts: e.Attempts, Error: e.Error, Payload: e.Payload,
+		}
+		if e.mergedSeq > e.Seq {
+			rec.Merged = e.mergedSeq
+		}
+		raw, err := json.Marshal(&rec)
+		if err != nil {
+			return fmt.Errorf("serve: export marshal: %w", err)
+		}
+		raw = append(raw, '\n')
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // Compact force-compacts every shard — part of the drain sequence, so a

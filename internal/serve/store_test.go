@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cendev/internal/wire"
 )
 
 func testSpec(domain string) JobSpec {
@@ -16,15 +18,43 @@ func testSpec(domain string) JobSpec {
 	return s
 }
 
-// assertCleanSegments fails if any segment line in dir is not a complete
-// JSON record — the "no torn segments" invariant.
+// assertCleanSegments fails if any segment in dir holds a torn or
+// undecodable record — the "no torn segments" invariant. Binary shards
+// must frame-parse end to end; legacy JSONL segments must be whole JSON
+// lines.
 func assertCleanSegments(t *testing.T, dir string) {
 	t.Helper()
-	paths, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	bins, err := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range paths {
+	for _, p := range bins {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := wire.NewReader(raw)
+		for {
+			payload, ok := r.Next()
+			if !ok {
+				break
+			}
+			if _, err := decodeStoreRecord(payload); err != nil {
+				t.Errorf("%s: undecodable record: %v", filepath.Base(p), err)
+			}
+		}
+		if _, torn := r.Torn(); torn {
+			t.Errorf("%s: torn tail left in segment: %q", filepath.Base(p), r.Warnings())
+		}
+		if w := r.Warnings(); len(w) != 0 {
+			t.Errorf("%s: segment not clean: %q", filepath.Base(p), w)
+		}
+	}
+	jsonls, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range jsonls {
 		f, err := os.Open(p)
 		if err != nil {
 			t.Fatal(err)
@@ -141,15 +171,22 @@ func TestStoreTornTailTruncatedOnReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// kill -9 mid-append: every shard gets a partial record with no
-	// newline.
-	paths, _ := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	// kill -9 mid-append: every shard gets the front half of a frame —
+	// marker and a length that promises more payload than exists.
+	torn := appendStoreRecord(nil, &storeRecord{Seq: 999, ID: "j-09999999", State: StateDone})
+	tornFrame := wire.AppendFrame(nil, torn)
+	paths, _ := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+	if len(paths) == 0 {
+		t.Fatal("no binary shards written")
+	}
 	for _, p := range paths {
 		f, err := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fmt.Fprintf(f, `{"seq":999,"id":"j-09999999","state":"done","payl`)
+		if _, err := f.Write(tornFrame[:len(tornFrame)/2]); err != nil {
+			t.Fatal(err)
+		}
 		f.Close()
 	}
 
@@ -189,6 +226,69 @@ func TestStoreTornTailTruncatedOnReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertCleanSegments(t, dir)
+}
+
+func TestStoreBinaryInteriorCorruptionResyncs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := st.AppendQueued(testSpec("a.example"))
+	b, _ := st.AppendQueued(testSpec("b.example"))
+	c, _ := st.AppendQueued(testSpec("c.example"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip the last payload byte of the middle frame: its CRC fails, and
+	// replay must resync at the third frame's marker instead of dropping
+	// the good tail.
+	p := filepath.Join(dir, "shard-00.bin")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var markers []int
+	for i := 0; i+len(wire.Marker) <= len(raw); i++ {
+		if raw[i] == wire.Marker[0] && raw[i+1] == wire.Marker[1] &&
+			raw[i+2] == wire.Marker[2] && raw[i+3] == wire.Marker[3] {
+			markers = append(markers, i)
+		}
+	}
+	if len(markers) != 3 {
+		t.Fatalf("expected 3 frames, found markers at %v", markers)
+	}
+	raw[markers[2]-1] ^= 0xFF
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (corrupt middle record skipped)", st2.Len())
+	}
+	if _, ok := st2.Get(b.ID); ok {
+		t.Fatal("corrupt record materialized as a job")
+	}
+	for _, id := range []string{a.ID, c.ID} {
+		if e, ok := st2.Get(id); !ok || e.State != StateQueued {
+			t.Fatalf("job %s after interior corruption: %+v ok=%v", id, e, ok)
+		}
+	}
+	var resynced bool
+	for _, w := range st2.Warnings() {
+		if strings.Contains(w, "resynced") {
+			resynced = true
+		}
+	}
+	if !resynced {
+		t.Fatalf("no resync warning; warnings = %q", st2.Warnings())
+	}
 }
 
 func TestStoreInteriorTornRecordSkippedNotTruncated(t *testing.T) {
@@ -240,14 +340,20 @@ func TestStoreCompaction(t *testing.T) {
 	if err := st.UpdateState(a.ID, StateDone, 41, "", payload); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(filepath.Join(dir, "shard-00.jsonl"))
+	raw, err := os.ReadFile(filepath.Join(dir, "shard-00.bin"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 42 records were appended; periodic compaction must have kept the
 	// segment near the live size (one merged record plus post-compaction
 	// updates below the next trigger).
-	if n := strings.Count(string(raw), "\n"); n >= st.compactMinRecords {
+	n := 0
+	for r := wire.NewReader(raw); ; n++ {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if n >= st.compactMinRecords {
 		t.Fatalf("segment has %d records, want < %d (compaction never ran?)", n, st.compactMinRecords)
 	}
 	if err := st.Close(); err != nil {

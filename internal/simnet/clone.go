@@ -69,7 +69,7 @@ func (n *Network) Clone() *Network {
 	}
 
 	if len(n.httpStreams) > 0 {
-		c.httpStreams = make(map[string][]byte, len(n.httpStreams))
+		c.httpStreams = make(map[flowKey][]byte, len(n.httpStreams))
 		for k, v := range n.httpStreams {
 			c.httpStreams[k] = append([]byte(nil), v...)
 		}

@@ -33,32 +33,58 @@ var ErrConnTimeout = errors.New("simnet: connection timed out")
 // it pass — but devices in a residual blocking state will drop it, making
 // the dial time out just like in the field.
 func (n *Network) Dial(client, ep *topology.Host, dstPort uint16) (*Conn, error) {
-	c := &Conn{
+	// Connections are pooled one-deep per network: measurement loops open a
+	// fresh connection per probe and close it before the next, so the same
+	// Conn object cycles through thousands of dials without allocating.
+	// Callers must not touch a *Conn after Close.
+	c := n.freeConn
+	if c == nil {
+		c = &Conn{}
+	} else {
+		n.freeConn = nil
+	}
+	*c = Conn{
 		net: n, client: client, endpoint: ep,
 		SrcPort: n.AllocPort(), DstPort: dstPort,
 		seq: 1,
 	}
-	syn := netem.NewTCPPacket(client.Addr, ep.Addr, c.SrcPort, dstPort, netem.TCPSyn, c.seq, 0, nil)
-	ds := n.Transmit(syn, client, ep)
-	for _, d := range ds {
+	fail := func(err error) (*Conn, error) {
+		n.freeConn = c
+		return nil, err
+	}
+	// Handshake packets are built in the Network's scratch tx packet:
+	// Transmit copies its input into the working packet immediately, so
+	// the scratch can be refilled for the next sequential send.
+	syn := &n.txPkt
+	syn.FillTCP(client.Addr, ep.Addr, c.SrcPort, dstPort, netem.TCPSyn, c.seq, 0, nil)
+	// Scan the handshake deliveries fully before transmitting the final
+	// ACK: Transmit reuses the delivery buffer, so ds must not be read
+	// after the next send.
+	var synAck *netem.TCP
+	for _, d := range n.Transmit(syn, client, ep) {
 		if d.Packet.TCP == nil || d.Packet.IP.Src != ep.Addr {
 			continue
 		}
 		t := d.Packet.TCP
 		if t.Flags&netem.TCPRst != 0 {
-			return nil, ErrConnRefused
+			return fail(ErrConnRefused)
 		}
 		if t.Flags&netem.TCPSyn != 0 && t.Flags&netem.TCPAck != 0 {
-			c.seq++
-			c.ack = t.Seq + 1
-			c.open = true
-			// Final ACK of the handshake (fire and forget).
-			ackPkt := netem.NewTCPPacket(client.Addr, ep.Addr, c.SrcPort, dstPort, netem.TCPAck, c.seq, c.ack, nil)
-			n.Transmit(ackPkt, client, ep)
-			return c, nil
+			synAck = t
+			break
 		}
 	}
-	return nil, ErrConnTimeout
+	if synAck == nil {
+		return fail(ErrConnTimeout)
+	}
+	c.seq++
+	c.ack = synAck.Seq + 1
+	c.open = true
+	// Final ACK of the handshake (fire and forget).
+	ackPkt := &n.txPkt
+	ackPkt.FillTCP(client.Addr, ep.Addr, c.SrcPort, dstPort, netem.TCPAck, c.seq, c.ack, nil)
+	n.Transmit(ackPkt, client, ep)
+	return c, nil
 }
 
 // SendPayload transmits application payload on the connection with the
@@ -66,7 +92,8 @@ func (n *Network) Dial(client, ep *topology.Host, dstPort uint16) (*Conn, error)
 // This is the TTL-limited probe primitive CenTrace is built on: the
 // handshake ran at full TTL, only the payload packet is TTL-limited.
 func (c *Conn) SendPayload(payload []byte, ttl uint8) []Delivery {
-	pkt := netem.NewTCPPacket(c.client.Addr, c.endpoint.Addr, c.SrcPort, c.DstPort,
+	pkt := &c.net.txPkt
+	pkt.FillTCP(c.client.Addr, c.endpoint.Addr, c.SrcPort, c.DstPort,
 		netem.TCPPsh|netem.TCPAck, c.seq, c.ack, payload)
 	pkt.IP.TTL = ttl
 	pkt.IP.ID = uint16(c.seq) // deterministic, varies per segment
@@ -83,7 +110,13 @@ func (c *Conn) SendPayload(payload []byte, ttl uint8) []Delivery {
 func (c *Conn) SendSegments(segments [][]byte, ttl uint8) []Delivery {
 	var out []Delivery
 	for _, seg := range segments {
-		out = append(out, c.SendPayload(seg, ttl)...)
+		for _, d := range c.SendPayload(seg, ttl) {
+			// The accumulated deliveries outlive the next segment's
+			// Transmit, which reclaims pooled delivery packets — so each
+			// retained packet gets its own copy.
+			d.Packet = d.Packet.Clone()
+			out = append(out, d)
+		}
 	}
 	return out
 }
@@ -100,13 +133,16 @@ func (c *Conn) Client() *topology.Host { return c.client }
 // Endpoint returns the endpoint host of the connection.
 func (c *Conn) Endpoint() *topology.Host { return c.endpoint }
 
-// Close sends a FIN at full TTL. Responses are discarded.
+// Close sends a FIN at full TTL and returns the connection to the network's
+// pool. Responses are discarded. The *Conn must not be used after Close.
 func (c *Conn) Close() {
 	if !c.open {
 		return
 	}
-	fin := netem.NewTCPPacket(c.client.Addr, c.endpoint.Addr, c.SrcPort, c.DstPort,
+	fin := &c.net.txPkt
+	fin.FillTCP(c.client.Addr, c.endpoint.Addr, c.SrcPort, c.DstPort,
 		netem.TCPFin|netem.TCPAck, c.seq, c.ack, nil)
 	c.net.Transmit(fin, c.client, c.endpoint)
 	c.open = false
+	c.net.freeConn = c
 }

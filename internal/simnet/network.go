@@ -24,6 +24,7 @@ import (
 	"cendev/internal/faults"
 	"cendev/internal/geoip"
 	"cendev/internal/middlebox"
+	"cendev/internal/netem"
 	"cendev/internal/obs"
 	"cendev/internal/topology"
 )
@@ -42,12 +43,130 @@ type Network struct {
 	devices       []*middlebox.Device
 	devicesByAddr map[netip.Addr]*middlebox.Device // management address → device
 	captures      map[string]*Capture              // client host ID → capture buffer
-	httpStreams   map[string][]byte                // per-flow HTTP request reassembly
+	httpStreams   map[flowKey][]byte               // per-flow HTTP request reassembly
 	nextPort      uint16
 	faults        *faults.Engine
 	obs           *obs.Registry
 	m             netMetrics
+
+	// Hot-path scratch and caches. None of this state is observable in
+	// results: it only removes redundant allocation and recomputation.
+	// Clones start with all of it empty.
+	//
+	// deliveries is the Network-owned batch buffer Transmit appends into;
+	// the returned []Delivery aliases it and is valid only until the next
+	// Transmit on this Network. The *Packets delivered by the network's
+	// own machinery (endpoint responses, router ICMP) are pooled and
+	// likewise valid only until the next Transmit; callers that keep
+	// packets across sends must Clone them. Retaining a delivered
+	// *payload* is safe: payload bytes live in write-once render caches or
+	// fresh per-call buffers, never in pooled packet storage.
+	deliveries []Delivery
+	// tcpPkts/udpPkts/icmpPkts pool the packets the network itself
+	// delivers, reclaimed wholesale at the top of every Transmit. The
+	// pools are segregated by layer so each recycled packet keeps reusing
+	// its own TCP/UDP/ICMP sub-struct and quote buffer.
+	tcpPkts  pktPool
+	udpPkts  pktPool
+	icmpPkts pktPool
+	// workPkt is the scratch working packet that crosses the hops in
+	// Transmit, refilled per call via CloneInto; it owns all its buffers.
+	workPkt netem.Packet
+	// pathBuf backs path computation when route-flap salt makes flow
+	// plans uncacheable.
+	pathBuf []*topology.Router
+	// respBuf backs endpointRespond's transient response list.
+	respBuf []*netem.Packet
+	// txPkt is the scratch packet Conn's sequential sends (SYN, ACK,
+	// payload, FIN) are built in. Transmit deep-copies its input into
+	// workPkt immediately and never retains it, so the next send may
+	// overwrite the scratch freely.
+	txPkt netem.Packet
+	// txUDP is the equivalent scratch for SendUDP probes, kept separate so
+	// alternating TCP and UDP sends don't churn each other's layer struct.
+	txUDP netem.Packet
+	// freeConn is a one-deep pool of closed connections: probes open one
+	// connection at a time, so Dial/Close recycle a single Conn object.
+	freeConn *Conn
+	// flowPlans caches the forwarding plan (path plus per-link device
+	// lists) for single-path destinations, keyed by host identity with a
+	// zero hash — the path is hash-independent there, so one entry serves
+	// every flow of the pair. Only populated while no fault engine is
+	// installed (route-flap salt varies with virtual time); ECMP
+	// destinations are walked per transmit instead (see Transmit).
+	flowPlans map[planKey]*flowPlan
+	// devsPlans memoizes the per-link device lists along a concrete
+	// router path, keyed by the path's identity bytes (source host ID
+	// plus NUL-separated router IDs, built in devsKeyBuf). Many flows
+	// share the same path, so plan misses resolve device lists here
+	// instead of hashing the link map per hop. planGen records the Graph
+	// generation both caches were computed at; attaching devices drops
+	// them.
+	devsPlans  map[string][][]*middlebox.Device
+	devsKeyBuf []byte
+	planGen    uint64
+	// httpCache/tlsCache memoize endpoint response rendering per server
+	// and raw request. The handlers are pure functions of (server config,
+	// request bytes), so replaying the rendered bytes is observationally
+	// identical; entries are write-once and never mutated.
+	httpCache map[*endpoint.Server]map[string][]byte
+	tlsCache  map[*endpoint.Server]map[string][]byte
 }
+
+// pktPool recycles delivery packets. All outstanding packets are
+// reclaimed at once by resetting idx; a packet stays alive (and untouched)
+// until the pool wraps around on a later Transmit.
+type pktPool struct {
+	pkts []*netem.Packet
+	idx  int
+}
+
+// get returns the next pooled packet, growing the pool on demand. The
+// caller refills it via the netem Fill* helpers, which reuse the packet's
+// layer structs and buffers.
+func (pp *pktPool) get() *netem.Packet {
+	if pp.idx < len(pp.pkts) {
+		p := pp.pkts[pp.idx]
+		pp.idx++
+		return p
+	}
+	p := &netem.Packet{}
+	pp.pkts = append(pp.pkts, p)
+	pp.idx++
+	return p
+}
+
+// flowKey identifies a 5-tuple flow with a comparable struct, replacing
+// the fmt.Sprintf string keys that used to dominate map hashing.
+type flowKey struct {
+	src, dst         netip.Addr
+	srcPort, dstPort uint16
+	proto            uint8
+}
+
+// planKey identifies a flow for plan caching. The hosts are compared by
+// pointer: callers pass the same *Host values for the life of a network,
+// and a hash collision between two distinct 5-tuples of the same host
+// pair cannot change the plan (the path is a function of src, dst, and
+// flow hash only).
+type planKey struct {
+	src, dst *topology.Host
+	hash     uint64
+}
+
+// flowPlan is a cached forwarding plan: the router path a flow takes and
+// the device list on each link. A nil plan (cached) means unreachable.
+type flowPlan struct {
+	path []*topology.Router
+	devs [][]*middlebox.Device
+}
+
+// maxFlowPlans bounds the plan cache; campaigns allocate a fresh source
+// port per connection, so keys accumulate until the map is recycled.
+const maxFlowPlans = 4096
+
+// maxRenderCache bounds each server's rendered-response memo.
+const maxRenderCache = 1024
 
 // netMetrics are the pre-resolved counters the packet-forwarding hot path
 // increments. The zero value (all nil) is the uninstrumented no-op path:
@@ -173,6 +292,77 @@ func (n *Network) AttachDevice(from, to string, dev *middlebox.Device) {
 	n.indexDevice(dev)
 }
 
+// dropPlans invalidates cached forwarding plans after anything that could
+// change what a packet meets along its path.
+func (n *Network) dropPlans() {
+	n.flowPlans = nil
+	n.devsPlans = nil
+}
+
+// ensurePlanCaches drops both plan caches together when the graph's
+// structural generation moved, so neither can serve entries computed
+// against an older topology.
+func (n *Network) ensurePlanCaches() {
+	if gen := n.Graph.Gen(); n.planGen != gen {
+		n.flowPlans = nil
+		n.devsPlans = nil
+		n.planGen = gen
+	}
+}
+
+// flowPlan returns the cached forwarding plan for a flow, computing it on
+// a miss. A nil return means the hosts are not connected (also cached).
+// Callers must only use this when no route salt is in effect.
+func (n *Network) flowPlan(key planKey, src, dst *topology.Host) *flowPlan {
+	n.ensurePlanCaches()
+	if n.flowPlans == nil || len(n.flowPlans) > maxFlowPlans {
+		n.flowPlans = make(map[planKey]*flowPlan, 64)
+	}
+	if p, ok := n.flowPlans[key]; ok {
+		return p
+	}
+	walked := n.Graph.AppendPathForFlow(n.pathBuf[:0], src, dst, key.hash, nil)
+	if walked == nil {
+		n.flowPlans[key] = nil
+		return nil
+	}
+	n.pathBuf = walked
+	p := &flowPlan{
+		path: append([]*topology.Router(nil), walked...),
+		devs: n.linkDevsForPath(src, walked),
+	}
+	n.flowPlans[key] = p
+	return p
+}
+
+// linkDevsForPath returns the device list on each link of a concrete
+// router path from src, memoized by the path's identity. Distinct paths
+// per (src, dst) pair are bounded by the ECMP fan-out, so the memo stays
+// tiny and the per-hop link map lookups are paid once per path.
+func (n *Network) linkDevsForPath(src *topology.Host, path []*topology.Router) [][]*middlebox.Device {
+	k := append(n.devsKeyBuf[:0], src.ID...)
+	for _, r := range path {
+		k = append(k, 0)
+		k = append(k, r.ID...)
+	}
+	n.devsKeyBuf = k
+	n.ensurePlanCaches()
+	if n.devsPlans == nil || len(n.devsPlans) > maxFlowPlans {
+		n.devsPlans = make(map[string][][]*middlebox.Device, 16)
+	}
+	if devs, ok := n.devsPlans[string(k)]; ok {
+		return devs
+	}
+	devs := make([][]*middlebox.Device, len(path))
+	prev := "@" + src.ID
+	for i, r := range path {
+		devs[i] = n.linkDevices[topology.LinkID{From: prev, To: r.ID}]
+		prev = r.ID
+	}
+	n.devsPlans[string(k)] = devs
+	return devs
+}
+
 // AttachGuard places a device directly in front of an endpoint host — the
 // NAT/firewall configuration behind the paper's "At E" blocking class
 // (§4.3: 16.19% of traceroutes terminate at the endpoint IP itself).
@@ -189,6 +379,7 @@ func (n *Network) AttachGuard(hostID string, dev *middlebox.Device) {
 // The first device registered at an address wins, matching the behaviour
 // of the linear scan this index replaced.
 func (n *Network) indexDevice(dev *middlebox.Device) {
+	n.dropPlans()
 	n.devices = append(n.devices, dev)
 	if dev.Addr.IsValid() {
 		if _, taken := n.devicesByAddr[dev.Addr]; !taken {

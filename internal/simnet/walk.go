@@ -1,10 +1,10 @@
 package simnet
 
 import (
-	"fmt"
-	"strings"
+	"bytes"
 	"time"
 
+	"cendev/internal/endpoint"
 	"cendev/internal/middlebox"
 	"cendev/internal/netem"
 	"cendev/internal/topology"
@@ -34,31 +34,67 @@ type Delivery struct {
 // the final response. Return packets traverse the reverse path with their
 // own TTL decrements, so low-TTL injections (CopyTTL devices) can die
 // before reaching the client — the mechanism behind "Past E" (§4.3).
+//
+// The returned slice is a batch buffer owned by the Network, and the
+// *Packets the network itself originates (endpoint responses, router ICMP)
+// are drawn from per-layer pools: both are valid only until the next
+// Transmit on the same Network. Callers that keep packets across sends
+// must Clone them first. Delivered payload bytes are stable — they live in
+// write-once render caches or fresh per-call buffers, never in pooled
+// packet storage — so retaining a payload slice alone is safe.
 func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Delivery {
 	n.clock += perHopLatency
+	// Reclaim every packet handed out on the previous Transmit: the
+	// delivery contract above says they are dead now.
+	n.tcpPkts.idx, n.udpPkts.idx, n.icmpPkts.idx = 0, 0, 0
 	n.recordCapture(src, pkt, true)
 	n.m.packets.Inc()
 
-	var out []Delivery
+	out := n.deliveries[:0]
 	defer func() {
+		n.deliveries = out
 		for _, d := range out {
 			n.recordCapture(src, d.Packet, false)
 		}
 		n.m.deliveries.Add(int64(len(out)))
 	}()
 
-	var flowHash uint64
-	switch {
-	case pkt.TCP != nil:
-		flowHash = topology.FlowHash(pkt.IP.Src, pkt.IP.Dst, pkt.TCP.SrcPort, pkt.TCP.DstPort, uint8(netem.ProtoTCP))
-	case pkt.UDP != nil:
-		flowHash = topology.FlowHash(pkt.IP.Src, pkt.IP.Dst, pkt.UDP.SrcPort, pkt.UDP.DstPort, uint8(netem.ProtoUDP))
-	default:
+	if pkt.TCP == nil && pkt.UDP == nil {
 		return out
 	}
-	path := n.Graph.PathForFlowSalted(src, dst, flowHash, n.routeSalt())
-	if path == nil {
-		return out
+
+	// Resolve the forwarding plan. Single-path destinations get a cached
+	// plan under a host-pair key (the path is hash-independent, so the
+	// entry hits for every flow of the pair, forever — and the flow hash
+	// itself never needs computing). ECMP destinations and salted
+	// (fault-engine) routing walk the forwarding table into a scratch
+	// buffer — allocation-free — and reuse only the per-path device memo:
+	// caching per flow would miss on every connection, since each dial
+	// draws a fresh source port and thus a fresh flow hash.
+	var path []*topology.Router
+	var planDevs [][]*middlebox.Device
+	salt := n.routeSalt()
+	if salt == nil && n.Graph.SinglePathTo(dst) {
+		plan := n.flowPlan(planKey{src: src, dst: dst, hash: 0}, src, dst)
+		if plan == nil {
+			return out
+		}
+		path, planDevs = plan.path, plan.devs
+	} else {
+		var flowHash uint64
+		if pkt.TCP != nil {
+			flowHash = topology.FlowHash(pkt.IP.Src, pkt.IP.Dst,
+				pkt.TCP.SrcPort, pkt.TCP.DstPort, uint8(netem.ProtoTCP))
+		} else {
+			flowHash = topology.FlowHash(pkt.IP.Src, pkt.IP.Dst,
+				pkt.UDP.SrcPort, pkt.UDP.DstPort, uint8(netem.ProtoUDP))
+		}
+		path = n.Graph.AppendPathForFlow(n.pathBuf[:0], src, dst, flowHash, salt)
+		if path == nil {
+			return out
+		}
+		n.pathBuf = path
+		planDevs = n.linkDevsForPath(src, path)
 	}
 
 	// deliver queues a response packet originating at hop originHop
@@ -115,27 +151,37 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 	// throttleDelay accumulates extra latency imposed by throttling
 	// devices; it shifts every delivery's arrival time.
 	var throttleDelay time.Duration
-	working := pkt.Clone()
+	// The working packet is Network-owned scratch: everything that outlives
+	// this call (injections, ICMP errors, endpoint responses) is built
+	// fresh, so the per-hop mutations never need a per-call deep clone.
+	pkt.CloneInto(&n.workPkt)
+	working := &n.workPkt
 	ttl := working.IP.TTL
 	prev := "" // empty = client access link
 	for i, router := range path {
 		hop := i + 1
-		// Devices on the link (prev → router) inspect the crossing packet.
-		linkFrom := prev
-		if linkFrom == "" {
-			linkFrom = "@" + src.ID // client access link pseudo-router
-		}
 		// Link impairments act before the link's devices: a packet lost on
-		// the wire never reaches the inspection tap.
-		if n.faults != nil && n.faults.Cross(linkFrom, router.ID, n.clock).Drop {
-			return sortDeliveries(out)
+		// the wire never reaches the inspection tap. The pseudo-router name
+		// is only built when a fault engine is installed — it is the one
+		// string concatenation on the per-hop fast path.
+		if n.faults != nil {
+			linkFrom := prev
+			if linkFrom == "" {
+				linkFrom = "@" + src.ID // client access link pseudo-router
+			}
+			if n.faults.Cross(linkFrom, router.ID, n.clock).Drop {
+				return sortDeliveries(out)
+			}
 		}
+		linkDevs := planDevs[i]
 		dropped := false
-		for _, dev := range n.linkDevices[topology.LinkID{From: linkFrom, To: router.ID}] {
+		for _, dev := range linkDevs {
 			v := dev.Inspect(working, dst.Addr, n.clock)
 			for _, inj := range v.Injected {
 				n.m.injections.Inc()
-				deliver(inj.Clone(), hop)
+				// Injected packets are freshly built per Inspect call;
+				// ownership transfers to the delivery.
+				deliver(inj, hop)
 			}
 			if v.DropOriginal {
 				dropped = true
@@ -154,8 +200,8 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 			// The fault engine can silence or rate-limit a router's ICMP
 			// generation on top of the router's own RFC behaviour.
 			if router.SendsICMP && (n.faults == nil || n.faults.AllowICMP(router.ID, n.clock)) {
-				te, err := netem.NewTimeExceeded(router.Addr, working, router.QuoteLen)
-				if err == nil {
+				te := n.icmpPkts.get()
+				if err := te.FillTimeExceeded(router.Addr, working, router.QuoteLen); err == nil {
 					n.m.icmp.Inc()
 					deliver(te, hop)
 				}
@@ -178,7 +224,7 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 		v := guard.Inspect(working, dst.Addr, n.clock)
 		for _, inj := range v.Injected {
 			n.m.injections.Inc()
-			deliver(inj.Clone(), endpointHop)
+			deliver(inj, endpointHop)
 		}
 		if v.Triggered && v.DropOriginal {
 			n.m.devDrops.Inc()
@@ -208,21 +254,22 @@ func sortDeliveries(ds []Delivery) []Delivery {
 }
 
 // endpointRespond produces the endpoint's transport-level response to a
-// packet that reached it.
+// packet that reached it. The returned slice is transient scratch (reused
+// next call); the packets inside are fresh.
 func (n *Network) endpointRespond(pkt *netem.Packet, dst *topology.Host) []*netem.Packet {
 	if pkt.UDP != nil {
 		return n.endpointRespondUDP(pkt, dst)
 	}
 	tcp := pkt.TCP
 	base := func() *netem.Packet {
-		return &netem.Packet{
-			IP: netem.IPv4{TTL: 64, Src: dst.Addr, Dst: pkt.IP.Src, Protocol: netem.ProtoTCP},
-			TCP: &netem.TCP{
-				SrcPort: tcp.DstPort, DstPort: tcp.SrcPort,
-				Seq: tcp.Ack, Ack: tcp.Seq + uint32(len(pkt.Payload)),
-				Window: 65535,
-			},
-		}
+		p := n.tcpPkts.get()
+		p.FillTCP(dst.Addr, pkt.IP.Src, tcp.DstPort, tcp.SrcPort,
+			0, tcp.Ack, tcp.Seq+uint32(len(pkt.Payload)), nil)
+		return p
+	}
+	one := func(p *netem.Packet) []*netem.Packet {
+		n.respBuf = append(n.respBuf[:0], p)
+		return n.respBuf
 	}
 	srv := n.servers[dst.ID]
 	portOpen := srv != nil && (tcp.DstPort == 80 || tcp.DstPort == 443 || srv.Services[int(tcp.DstPort)] != "")
@@ -233,12 +280,12 @@ func (n *Network) endpointRespond(pkt *netem.Packet, dst *topology.Host) []*nete
 		if !portOpen {
 			resp.TCP.Flags = netem.TCPRst | netem.TCPAck
 			resp.TCP.Ack = tcp.Seq + 1
-			return []*netem.Packet{resp}
+			return one(resp)
 		}
 		resp.TCP.Flags = netem.TCPSyn | netem.TCPAck
 		resp.TCP.Ack = tcp.Seq + 1
 		resp.TCP.Seq = 1000 // deterministic ISN
-		return []*netem.Packet{resp}
+		return one(resp)
 
 	case len(pkt.Payload) > 0 && portOpen:
 		var payload []byte
@@ -250,11 +297,11 @@ func (n *Network) endpointRespond(pkt *netem.Packet, dst *topology.Host) []*nete
 			if !complete {
 				ack := base()
 				ack.TCP.Flags = netem.TCPAck
-				return []*netem.Packet{ack}
+				return one(ack)
 			}
-			payload = srv.HandleHTTP(req).Render()
+			payload = n.renderHTTP(srv, req)
 		case 443:
-			payload = srv.HandleTLS(pkt.Payload).Response
+			payload = n.renderTLS(srv, pkt.Payload)
 		default:
 			payload = []byte(srv.Services[int(tcp.DstPort)])
 		}
@@ -264,16 +311,62 @@ func (n *Network) endpointRespond(pkt *netem.Packet, dst *topology.Host) []*nete
 		fin := base()
 		fin.TCP.Flags = netem.TCPFin | netem.TCPAck
 		fin.TCP.Seq = data.TCP.Seq + uint32(len(payload))
-		return []*netem.Packet{data, fin}
+		n.respBuf = append(n.respBuf[:0], data, fin)
+		return n.respBuf
 
 	case tcp.Flags&(netem.TCPFin|netem.TCPRst) != 0:
 		resp := base()
 		resp.TCP.Flags = netem.TCPAck
-		return []*netem.Packet{resp}
+		return one(resp)
 
 	default:
 		return nil // bare ACK etc.
 	}
+}
+
+// renderHTTP returns the server's rendered response for raw request bytes,
+// memoized per server. HandleHTTP is a pure function of (server config,
+// request bytes), so a cache hit is observationally identical to a fresh
+// render; cached bytes are write-once and shared across deliveries.
+func (n *Network) renderHTTP(srv *endpoint.Server, req []byte) []byte {
+	c := n.httpCache[srv]
+	if c == nil {
+		if n.httpCache == nil {
+			n.httpCache = make(map[*endpoint.Server]map[string][]byte)
+		}
+		c = make(map[string][]byte)
+		n.httpCache[srv] = c
+	}
+	if resp, ok := c[string(req)]; ok {
+		return resp
+	}
+	resp := srv.HandleHTTP(req).Render()
+	if len(c) >= maxRenderCache {
+		clear(c)
+	}
+	c[string(req)] = resp
+	return resp
+}
+
+// renderTLS is renderHTTP's Client Hello counterpart.
+func (n *Network) renderTLS(srv *endpoint.Server, raw []byte) []byte {
+	c := n.tlsCache[srv]
+	if c == nil {
+		if n.tlsCache == nil {
+			n.tlsCache = make(map[*endpoint.Server]map[string][]byte)
+		}
+		c = make(map[string][]byte)
+		n.tlsCache[srv] = c
+	}
+	if resp, ok := c[string(raw)]; ok {
+		return resp
+	}
+	resp := srv.HandleTLS(raw).Response
+	if len(c) >= maxRenderCache {
+		clear(c)
+	}
+	c[string(raw)] = resp
+	return resp
 }
 
 // bufferHTTP accumulates HTTP request segments per flow and reports
@@ -282,11 +375,17 @@ func (n *Network) endpointRespond(pkt *netem.Packet, dst *topology.Host) []*nete
 // with a bare-delimiter ending are passed through unchanged so mangled
 // delimiters still reach the parser (CenFuzz's Remove strategies).
 func (n *Network) bufferHTTP(pkt *netem.Packet) ([]byte, bool) {
-	key := fmt.Sprintf("%s:%d>%s:%d", pkt.IP.Src, pkt.TCP.SrcPort, pkt.IP.Dst, pkt.TCP.DstPort)
-	if n.httpStreams == nil {
-		n.httpStreams = make(map[string][]byte)
+	key := flowKey{pkt.IP.Src, pkt.IP.Dst, pkt.TCP.SrcPort, pkt.TCP.DstPort, uint8(netem.ProtoTCP)}
+	prev, buffered := n.httpStreams[key]
+	if !buffered && complete(pkt.Payload) {
+		// Common case: the whole request arrived in one segment; hand it
+		// to the caller without copying into (and out of) the stream map.
+		return pkt.Payload, true
 	}
-	buf := append(n.httpStreams[key], pkt.Payload...)
+	if n.httpStreams == nil {
+		n.httpStreams = make(map[flowKey][]byte)
+	}
+	buf := append(prev, pkt.Payload...)
 	if complete(buf) {
 		delete(n.httpStreams, key)
 		return buf, true
@@ -300,19 +399,24 @@ func (n *Network) bufferHTTP(pkt *netem.Packet) ([]byte, bool) {
 	return nil, false
 }
 
+// Request-terminator suffixes complete scans for, hoisted so the hot path
+// allocates nothing.
+var (
+	termCRLFCRLF = []byte("\r\n\r\n")
+	termLFLF     = []byte("\n\n")
+	termCRCR     = []byte("\r\r")
+)
+
 // complete reports whether buffered bytes end a request: the canonical
 // CRLFCRLF terminator, or any of the mangled delimiter endings CenFuzz
 // renders (bare LF/CR doubles), or a trailing empty-line heuristic.
 func complete(buf []byte) bool {
-	s := string(buf)
-	for _, term := range []string{"\r\n\r\n", "\n\n", "\r\r"} {
-		if strings.HasSuffix(s, term) {
-			return true
-		}
+	if bytes.HasSuffix(buf, termCRLFCRLF) || bytes.HasSuffix(buf, termLFLF) || bytes.HasSuffix(buf, termCRCR) {
+		return true
 	}
 	// Delimiter-free renders (CenFuzz delimiter="") cannot signal an end;
 	// treat any payload without line breaks as complete.
-	return !strings.ContainsAny(s, "\r\n")
+	return !bytes.ContainsAny(buf, "\r\n")
 }
 
 // endpointRespondUDP answers UDP datagrams: DNS queries go to the host's
@@ -330,17 +434,19 @@ func (n *Network) endpointRespondUDP(pkt *netem.Packet, dst *topology.Host) []*n
 	if answer == nil {
 		return nil
 	}
-	return []*netem.Packet{{
-		IP:      netem.IPv4{TTL: 64, Src: dst.Addr, Dst: pkt.IP.Src, Protocol: netem.ProtoUDP},
-		UDP:     &netem.UDP{SrcPort: 53, DstPort: pkt.UDP.SrcPort},
-		Payload: answer,
-	}}
+	resp := n.udpPkts.get()
+	resp.FillUDP(dst.Addr, pkt.IP.Src, 53, pkt.UDP.SrcPort, answer)
+	n.respBuf = append(n.respBuf[:0], resp)
+	return n.respBuf
 }
 
 // SendUDP transmits one UDP datagram from a client host with the given TTL
 // and returns everything the client receives — the DNS probe primitive.
 func (n *Network) SendUDP(client, dst *topology.Host, dstPort uint16, payload []byte, ttl uint8) []Delivery {
-	pkt := netem.NewUDPPacket(client.Addr, dst.Addr, n.AllocPort(), dstPort, payload)
+	// Built in a dedicated scratch (not txPkt, which Conn keeps as a TCP
+	// packet): Transmit copies its input immediately and never retains it.
+	pkt := &n.txUDP
+	pkt.FillUDP(client.Addr, dst.Addr, n.AllocPort(), dstPort, payload)
 	pkt.IP.TTL = ttl
 	return n.Transmit(pkt, client, dst)
 }

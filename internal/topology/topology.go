@@ -69,6 +69,36 @@ type Graph struct {
 	// invalidated whenever the graph changes. Path computation runs for
 	// every simulated packet, so this cache carries the simulator.
 	distCache map[string]map[string]int
+	// gen counts structural mutations (routers, hosts, links). External
+	// caches keyed on paths through this graph compare generations instead
+	// of subscribing to invalidation.
+	gen uint64
+	// idx/byIdx give every router a dense index in sorted-ID order, and
+	// routeCache holds per-destination forwarding tables over those
+	// indices, so the per-packet path walk does no map lookups, sorting,
+	// or allocation. Both are rebuilt lazily after mutations.
+	idx        map[string]int32
+	byIdx      []*Router
+	routeCache map[string]*routeTable
+	// lastRtID/lastRt short-circuit routeTableTo for the common case of
+	// consecutive lookups toward the same destination (a measurement sends
+	// every packet of a probe to one endpoint), skipping the string-keyed
+	// map access.
+	lastRtID string
+	lastRt   *routeTable
+}
+
+// routeTable is a per-destination ECMP forwarding table: next[i] lists the
+// dense indices of router i's equal-cost next hops toward the destination,
+// sorted by router ID (the same order NextHops returns). Tables are
+// immutable once built, which lets graph clones share them read-only.
+type routeTable struct {
+	next [][]int32
+	// multi records whether any router has more than one equal-cost next
+	// hop toward this destination. When false, the path to the destination
+	// is independent of the flow hash, so per-flow path caches can collapse
+	// all flows between a host pair onto one entry.
+	multi bool
 }
 
 // NewGraph returns an empty topology.
@@ -122,8 +152,26 @@ func (g *Graph) AddRouter(id string, as *AS) *Router {
 	r := &Router{ID: id, Addr: g.nextAddr(as), AS: as, SendsICMP: true, QuoteLen: 8}
 	g.routers[id] = r
 	g.adj[id] = nil
+	g.invalidate()
 	return r
 }
+
+// invalidate drops every derived routing structure after a structural
+// mutation and bumps the generation external caches compare against.
+func (g *Graph) invalidate() {
+	g.distCache = nil
+	g.idx = nil
+	g.byIdx = nil
+	g.routeCache = nil
+	g.lastRtID = ""
+	g.lastRt = nil
+	g.gen++
+}
+
+// Gen returns the graph's structural generation. It changes whenever
+// routers, hosts, or links are added, so callers caching computed paths can
+// detect staleness with one comparison.
+func (g *Graph) Gen() uint64 { return g.gen }
 
 // AddHost attaches a host to a router, allocating it an address in as.
 func (g *Graph) AddHost(id string, as *AS, router *Router) *Host {
@@ -132,6 +180,7 @@ func (g *Graph) AddHost(id string, as *AS, router *Router) *Host {
 	}
 	h := &Host{ID: id, Addr: g.nextAddr(as), AS: as, Router: router}
 	g.hosts[id] = h
+	g.gen++
 	return h
 }
 
@@ -150,7 +199,7 @@ func (g *Graph) Link(a, b string) {
 	}
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
-	g.distCache = nil
+	g.invalidate()
 }
 
 // Router returns a router by ID, or nil.
@@ -205,18 +254,35 @@ func (g *Graph) ASes() []*AS {
 }
 
 // Clone returns a deep copy of the graph: independent AS, router, and host
-// records (router behaviour pointers like RewriteTOS get their own storage),
-// an independent adjacency map, and a fresh distance cache. Clones exist so
-// parallel measurement workers can each own a private graph — the distance
-// cache is a lazily filled memo, which makes a shared Graph unsafe for
-// concurrent path computation.
+// records (router behaviour pointers like RewriteTOS get their own storage)
+// and an independent adjacency map. Clones exist so parallel measurement
+// workers can each own a private graph — the route caches are lazily filled
+// memos, which makes a shared Graph unsafe for concurrent path computation.
+//
+// Routing caches are warmed on the source graph and then shared with the
+// clone: distance maps and forwarding tables are immutable once built and
+// hold only router IDs and dense indices (never *Router pointers), and the
+// clone's sorted-ID index assigns identical indices, so read-only sharing is
+// safe and spares every worker clone a full Dijkstra rebuild. A mutation on
+// either graph drops that graph's cache maps without touching the shared
+// tables. Clone itself mutates the source's caches, so clones must be taken
+// serially (the campaign fan-out already does).
 func (g *Graph) Clone() *Graph {
+	g.warmAllRoutes()
 	c := &Graph{
-		ases:    make(map[uint32]*AS, len(g.ases)),
-		routers: make(map[string]*Router, len(g.routers)),
-		hosts:   make(map[string]*Host, len(g.hosts)),
-		adj:     make(map[string][]string, len(g.adj)),
-		addrSeq: make(map[uint32]int, len(g.addrSeq)),
+		ases:       make(map[uint32]*AS, len(g.ases)),
+		routers:    make(map[string]*Router, len(g.routers)),
+		hosts:      make(map[string]*Host, len(g.hosts)),
+		adj:        make(map[string][]string, len(g.adj)),
+		addrSeq:    make(map[uint32]int, len(g.addrSeq)),
+		distCache:  make(map[string]map[string]int, len(g.distCache)),
+		routeCache: make(map[string]*routeTable, len(g.routeCache)),
+	}
+	for dst, dist := range g.distCache {
+		c.distCache[dst] = dist
+	}
+	for dst, t := range g.routeCache {
+		c.routeCache[dst] = t
 	}
 	for asn, a := range g.ases {
 		cp := *a
@@ -250,6 +316,17 @@ func (g *Graph) Clone() *Graph {
 		c.adj[id] = append([]string(nil), neighbors...)
 	}
 	return c
+}
+
+// warmAllRoutes builds the forwarding table toward every router, so a
+// subsequent Clone hands complete routing state to the copy. Cheap for the
+// scenario-scale graphs this repository simulates (tens of routers), and a
+// no-op once warm.
+func (g *Graph) warmAllRoutes() {
+	g.ensureIndex()
+	for _, r := range g.byIdx {
+		g.routeTableTo(r.ID)
+	}
 }
 
 // distancesTo runs BFS from the destination router and returns hop
@@ -313,41 +390,123 @@ func (g *Graph) PathForFlow(src, dst *Host, flowHash uint64) []*Router {
 // route flaps: a router whose salt changes over virtual time re-rolls its
 // next-hop choice, emulating path churn without touching the topology.
 func (g *Graph) PathForFlowSalted(src, dst *Host, flowHash uint64, salt func(routerID string) uint64) []*Router {
-	if src.Router == nil || dst.Router == nil {
-		return nil
+	return g.AppendPathForFlow(nil, src, dst, flowHash, salt)
+}
+
+// ensureIndex (re)builds the dense router index in sorted-ID order.
+func (g *Graph) ensureIndex() {
+	if g.idx != nil {
+		return
 	}
-	dist := g.distancesTo(dst.Router.ID)
-	if _, ok := dist[src.Router.ID]; !ok {
-		return nil
+	ids := make([]string, 0, len(g.routers))
+	for id := range g.routers {
+		ids = append(ids, id)
 	}
-	var path []*Router
-	cur := src.Router.ID
-	path = append(path, g.routers[cur])
-	hop := 0
-	for cur != dst.Router.ID {
-		d := dist[cur]
-		var hops []string
-		for _, n := range g.adj[cur] {
+	sort.Strings(ids)
+	g.idx = make(map[string]int32, len(ids))
+	g.byIdx = make([]*Router, len(ids))
+	for i, id := range ids {
+		g.idx[id] = int32(i)
+		g.byIdx[i] = g.routers[id]
+	}
+}
+
+// routeTableTo returns (building and memoizing if needed) the forwarding
+// table toward dst. The equal-cost next-hop sets are computed once with the
+// same sort order PathForFlowSalted historically used, so table-driven
+// walks pick byte-identical paths.
+func (g *Graph) routeTableTo(dst string) *routeTable {
+	if g.lastRt != nil && g.lastRtID == dst {
+		return g.lastRt
+	}
+	if t, ok := g.routeCache[dst]; ok {
+		g.lastRtID, g.lastRt = dst, t
+		return t
+	}
+	g.ensureIndex()
+	dist := g.distancesTo(dst)
+	t := &routeTable{next: make([][]int32, len(g.byIdx))}
+	var hops []string
+	for i, r := range g.byIdx {
+		d, ok := dist[r.ID]
+		if !ok || r.ID == dst {
+			continue
+		}
+		hops = hops[:0]
+		for _, n := range g.adj[r.ID] {
 			if dist[n] == d-1 {
 				hops = append(hops, n)
 			}
 		}
 		sort.Strings(hops)
 		if len(hops) == 0 {
-			return nil // disconnected (should not happen after dist check)
+			continue
+		}
+		nx := make([]int32, len(hops))
+		for k, h := range hops {
+			nx[k] = g.idx[h]
+		}
+		if len(nx) > 1 {
+			t.multi = true
+		}
+		t.next[i] = nx
+	}
+	if g.routeCache == nil {
+		g.routeCache = make(map[string]*routeTable)
+	}
+	g.routeCache[dst] = t
+	g.lastRtID, g.lastRt = dst, t
+	return t
+}
+
+// SinglePathTo reports whether routing toward dst's router involves no
+// equal-cost choice anywhere in the graph — i.e. the path from any source
+// is independent of the flow hash. Callers caching per-flow paths use this
+// to collapse all flows of a host pair onto one cache entry.
+func (g *Graph) SinglePathTo(dst *Host) bool {
+	if dst.Router == nil {
+		return false
+	}
+	return !g.routeTableTo(dst.Router.ID).multi
+}
+
+// AppendPathForFlow computes the same path as PathForFlowSalted but appends
+// the routers into buf (resliced to zero length first) and walks a
+// memoized per-destination forwarding table, so the per-packet cost is a
+// handful of integer ops per hop with no sorting, map lookups, or
+// allocation. Returns nil when the hosts are not connected.
+func (g *Graph) AppendPathForFlow(buf []*Router, src, dst *Host, flowHash uint64, salt func(routerID string) uint64) []*Router {
+	if src.Router == nil || dst.Router == nil {
+		return nil
+	}
+	// The forwarding table may have been inherited from a Clone source, so
+	// the dense index is ensured separately (identical sorted-ID order on
+	// both graphs keeps inherited indices valid).
+	g.ensureIndex()
+	t := g.routeTableTo(dst.Router.ID)
+	cur, ok := g.idx[src.Router.ID]
+	if !ok {
+		return nil
+	}
+	dstIdx := g.idx[dst.Router.ID]
+	buf = append(buf[:0], g.byIdx[cur])
+	hop := 0
+	for cur != dstIdx {
+		choices := t.next[cur]
+		if len(choices) == 0 {
+			return nil // dst unreachable from cur
 		}
 		h := flowHash
 		if salt != nil {
-			h ^= salt(cur)
+			h ^= salt(g.byIdx[cur].ID)
 		}
 		// Use the high bits of the mixed hash: low bits can correlate with
 		// the source-port sequence and collapse the ECMP spread.
-		choice := hops[(mix(h, uint64(hop))>>32)%uint64(len(hops))]
-		path = append(path, g.routers[choice])
-		cur = choice
+		cur = choices[(mix(h, uint64(hop))>>32)%uint64(len(choices))]
+		buf = append(buf, g.byIdx[cur])
 		hop++
 	}
-	return path
+	return buf
 }
 
 // AllPaths enumerates every ECMP path between the hosts' routers, up to
