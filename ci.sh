@@ -108,6 +108,82 @@ jq -se --arg id "$JOB" 'map(select(.id == $id and .state == "done")) | length ==
 rm -rf /tmp/ci_censerved "$CENSERVED_STORE" /tmp/ci_store_export.jsonl /tmp/ci_store_export.err
 echo "==> censerved smoke ok"
 
+# Cluster smoke: a coordinator and two workers as real processes. One
+# job replicates onto both workers with matching digests; then w1 is
+# killed -9 and a second job must still finish on w2 alone (its w1 slot
+# collapses in virtual time), with the served payload hashing to the
+# recorded digest. Finally the cluster drains cleanly: the coordinator
+# first (its final anti-entropy sweep tolerates the dead peer), then the
+# surviving worker.
+echo "==> cluster smoke (coordinator + 2 workers, kill -9 one)"
+go build -o /tmp/ci_cluster_censerved ./cmd/censerved
+CL_COORD=127.0.0.1:8470; CL_W1=127.0.0.1:8471; CL_W2=127.0.0.1:8472
+CL_DIR=$(mktemp -d /tmp/ci_cluster.XXXXXX)
+/tmp/ci_cluster_censerved -role worker -node-id w1 -listen "$CL_W1" \
+  -store "$CL_DIR/w1" -peers "http://$CL_COORD" -quiet &
+CL_W1_PID=$!
+/tmp/ci_cluster_censerved -role worker -node-id w2 -listen "$CL_W2" \
+  -store "$CL_DIR/w2" -peers "http://$CL_COORD" -quiet &
+CL_W2_PID=$!
+/tmp/ci_cluster_censerved -role coordinator -listen "$CL_COORD" \
+  -store "$CL_DIR/coord" -replication 2 \
+  -peers "w1=http://$CL_W1,w2=http://$CL_W2" -quiet &
+CL_COORD_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "http://$CL_COORD/healthz" > /dev/null \
+    && curl -sf "http://$CL_W1/healthz" > /dev/null \
+    && curl -sf "http://$CL_W2/healthz" > /dev/null && break
+  sleep 0.1
+done
+cl_wait_done() { # $1=job id, $2=max tenths of a second
+  local state=
+  for i in $(seq 1 "$2"); do
+    state=$(curl -sf "http://$CL_COORD/v1/jobs/$1" | jq -r .state)
+    [ "$state" = done ] && return 0
+    case "$state" in failed|dead|conflict)
+      echo "cluster job $1 terminal state $state"
+      curl -s "http://$CL_COORD/v1/jobs/$1"; return 1;; esac
+    sleep 0.1
+  done
+  echo "cluster job $1 not done (state=$state)"; return 1
+}
+cl_check_digest() { # served payload must hash to the recorded digest
+  local digest got
+  digest=$(curl -sf "http://$CL_COORD/v1/jobs/$1" | jq -r .digest)
+  got=$(curl -sf "http://$CL_COORD/v1/results/$1" | sha256sum | cut -d' ' -f1)
+  [ -n "$digest" ] && [ "$digest" = "$got" ] \
+    || { echo "cluster job $1: payload sha256 $got != recorded digest $digest"; return 1; }
+}
+JOB_A=$(curl -sf -X POST "http://$CL_COORD/v1/jobs" \
+  -d '{"kind":"centrace","endpoint":"az-ep-0-0","domain":"www.globalblocked.example","seed":7}' | jq -r .id)
+cl_wait_done "$JOB_A" 100
+curl -sf "http://$CL_COORD/v1/jobs/$JOB_A" \
+  | jq -e '.replicas == ["w1","w2"]' > /dev/null \
+  || { echo "job $JOB_A not on both replicas"; curl -s "http://$CL_COORD/v1/jobs/$JOB_A"; exit 1; }
+cl_check_digest "$JOB_A"
+kill -9 "$CL_W1_PID"; wait "$CL_W1_PID" 2>/dev/null || true
+JOB_B=$(curl -sf -X POST "http://$CL_COORD/v1/jobs" \
+  -d '{"kind":"centrace","endpoint":"az-ep-0-0","domain":"www.globalblocked.example","seed":8}' | jq -r .id)
+cl_wait_done "$JOB_B" 300   # w1's replica slot must expire in virtual time first
+curl -sf "http://$CL_COORD/v1/jobs/$JOB_B" \
+  | jq -e '.replicas == ["w2"]' > /dev/null \
+  || { echo "job $JOB_B replicas wrong after w1 kill"; curl -s "http://$CL_COORD/v1/jobs/$JOB_B"; exit 1; }
+cl_check_digest "$JOB_B"
+curl -sf "http://$CL_COORD/metrics" | grep -q '^censerved_cluster_collapses_total [1-9]' \
+  || { echo "no slot collapse recorded after killing w1"; exit 1; }
+kill -TERM "$CL_COORD_PID"
+wait "$CL_COORD_PID" || { echo "coordinator drain exited nonzero"; exit 1; }
+kill -TERM "$CL_W2_PID"
+wait "$CL_W2_PID" || { echo "worker w2 drain exited nonzero"; exit 1; }
+rm -rf /tmp/ci_cluster_censerved "$CL_DIR"
+echo "==> cluster smoke ok"
+
+# Cluster throughput trajectory: 1 vs 3 workers through the full
+# protocol, every digest asserted inside the benchmark itself.
+echo "==> cluster benchmarks -> BENCH_cluster.json"
+go test -run '^$' -bench 'BenchmarkClusterThroughput' -benchtime 30x -json \
+  ./internal/cluster > BENCH_cluster.json
+
 # Crash matrix: every filesystem operation of the store and journal
 # workloads is an injection point, for every fault mode (EIO, ENOSPC,
 # torn write, durability-lost rename, power cut), across a widened seed

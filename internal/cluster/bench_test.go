@@ -1,0 +1,61 @@
+package cluster
+
+// BenchmarkClusterThroughput measures end-to-end jobs/second through
+// the full protocol — HTTP submission, placement, worker pull, local
+// persistence, completion, digest verification — at 1 and 3 in-process
+// workers (replication 1, so added workers add capacity rather than
+// redundancy). Every result digest is asserted inside the benchmark:
+// a throughput number from wrong results would be worthless.
+
+import (
+	"fmt"
+	"testing"
+
+	"cendev/internal/serve"
+)
+
+func BenchmarkClusterThroughput(b *testing.B) {
+	for _, workers := range []int{1, 3} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			nodes := make([]string, workers)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("w%d", i+1)
+			}
+			tc := startCluster(b, clusterConfig{
+				nodes:       nodes,
+				replication: 1,
+				hookFor:     echoHook,
+			})
+			specs := make([]serve.JobSpec, b.N)
+			wantDigests := make([]string, b.N)
+			for i := range specs {
+				specs[i] = serve.JobSpec{
+					Kind:     serve.KindCenProbe,
+					Endpoint: fmt.Sprintf("ep-%d", i),
+					Seed:     int64(i + 1),
+				}
+				s := specs[i]
+				s.Normalize()
+				payload, _ := echoHook("")(s)
+				wantDigests[i] = serve.PayloadDigest(payload)
+			}
+
+			b.ResetTimer()
+			ids := make([]string, b.N)
+			for i := range specs {
+				ids[i] = tc.submit(specs[i])
+			}
+			for i, id := range ids {
+				st := tc.waitTerminal(id)
+				if st.State != serve.StateDone {
+					b.Fatalf("job %s: state %s (%s)", id, st.State, st.Error)
+				}
+				if st.Digest != wantDigests[i] {
+					b.Fatalf("job %s: digest %s, want %s", id, st.Digest, wantDigests[i])
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

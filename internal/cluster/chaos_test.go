@@ -1,0 +1,58 @@
+package cluster
+
+// Per-node fault injection: one worker's disk dies under it (chaos VFS
+// power cut), and the cluster routes around it — its executions fail
+// transiently because the result cannot be made durable locally, the
+// replica slots reassign to healthy nodes, and every job still finishes
+// with verified digests.
+
+import (
+	"fmt"
+	"testing"
+
+	"cendev/internal/obs"
+	"cendev/internal/serve"
+	"cendev/internal/vfs"
+)
+
+func TestClusterSurvivesWorkerDiskFailure(t *testing.T) {
+	chaos := vfs.NewChaos(42)
+	tc := startCluster(t, clusterConfig{
+		nodes:       []string{"w1", "w2"},
+		replication: 1,
+		stealAfter:  2,
+		hookFor:     echoHook,
+		workerFS:    map[string]WorkerOptions{"w1": {FS: chaos}},
+	})
+	// The store opened fine; now the virtual power dies on w1's disk.
+	// Every subsequent store write there fails, so w1 can execute but
+	// never make a result durable — the contract says it must report
+	// transient failure, not acknowledge bytes it could lose.
+	chaos.SetCrashAtOp(chaos.Ops() + 1)
+
+	ids := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		ids = append(ids, tc.submit(serve.JobSpec{
+			Kind: serve.KindCenProbe, Endpoint: fmt.Sprintf("ep-%d", i), Seed: int64(i + 1),
+		}))
+	}
+	for _, id := range ids {
+		st := tc.waitTerminal(id)
+		if st.State != serve.StateDone {
+			t.Fatalf("job %s: state %s (%s)", id, st.State, st.Error)
+		}
+		if len(st.Replicas) != 1 || st.Replicas[0] != "w2" {
+			t.Fatalf("job %s: replicas %v, want [w2] — w1 has no durable disk", id, st.Replicas)
+		}
+		// The payload must be servable and digest-verified end to end.
+		got := tc.fetchResult(id)
+		if serve.PayloadDigest(got) != st.Digest {
+			t.Fatalf("job %s: served payload does not hash to recorded digest", id)
+		}
+	}
+	if fails := tc.reg.Counter("censerved_cluster_exec_failures_total", obs.L("node", "w1")).Value(); fails == 0 {
+		// With 6 jobs on a 2-node ring some land on w1 first; at least
+		// one transient failure must have been recorded.
+		t.Fatal("no transient execution failures recorded on the chaotic node")
+	}
+}

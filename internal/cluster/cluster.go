@@ -1,0 +1,89 @@
+// Package cluster turns censerved into a multi-node service: one
+// coordinator owning admission, placement, and verification, plus N
+// workers owning execution and payload storage (DESIGN.md §15).
+//
+// The whole design leans on the serve determinism contract: a job's
+// result payload is a pure function of its normalized spec+seed. That
+// makes replication re-execution — the coordinator leases the same job
+// to R ring-owner workers, each runs it independently against its own
+// clone-isolated world, and the replicas are "consistent" exactly when
+// their SHA-256 digests agree. There is no payload shipping on the
+// write path, no quorum protocol, and divergence is not resolved but
+// surfaced (serve.StateConflict): two replicas that disagree mean a
+// broken determinism invariant or a lying node, and both need an
+// operator.
+//
+// Time is virtual everywhere a decision is made: the coordinator's
+// clock is a counter of protocol events (pull and completion arrivals),
+// steal deadlines are measured in those events, and the anti-entropy
+// sweep order is a seeded permutation. Wall clocks appear only in
+// liveness plumbing (HTTP long-poll parking), never in anything that
+// chooses a result byte — the same rule cenlint enforces on the rest of
+// the repo.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// hashKey maps a job ID onto the ring's hash space. FNV-1a alone has
+// weak avalanche on short, similar strings (sequential job IDs, vnode
+// labels), which skews both ring balance and bucket spread; a
+// Murmur-style finalizer mixes the bits out.
+func hashKey(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the 64-bit avalanche finalizer (MurmurHash3 fmix64).
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Buckets is the fixed anti-entropy partition count: the top 6 bits of
+// the key hash, so bucket boundaries never move as jobs accumulate.
+const Buckets = 64
+
+// bucketShift positions the bucket index in the hash's top bits.
+const bucketShift = 58
+
+// bucketOf returns the anti-entropy bucket a job ID falls in.
+func bucketOf(id string) int { return int(hashKey(id) >> bucketShift) }
+
+// bucketRange returns the inclusive hash-space range of one bucket —
+// the Start/End a wire.DigestRange query carries.
+func bucketRange(bucket int) (start, end uint64) {
+	start = uint64(bucket) << bucketShift
+	end = start | (1<<bucketShift - 1)
+	return start, end
+}
+
+// setDigest rolls a set of (job ID, result digest) pairs into one
+// comparable digest: SHA-256 over the sorted "id=digest\n" lines.
+// Order-independent by construction, so two nodes holding the same
+// results agree regardless of arrival order. Empty set → empty string.
+func setDigest(pairs map[string]string) (count int64, digest string) {
+	if len(pairs) == 0 {
+		return 0, ""
+	}
+	ids := make([]string, 0, len(pairs))
+	for id := range pairs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h := sha256.New()
+	for _, id := range ids {
+		fmt.Fprintf(h, "%s=%s\n", id, pairs[id])
+	}
+	return int64(len(pairs)), hex.EncodeToString(h.Sum(nil))
+}

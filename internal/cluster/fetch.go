@@ -1,0 +1,148 @@
+package cluster
+
+// Read path and read-repair. The coordinator's store holds a done job's
+// digest and replica set but not its payload; GET /v1/results/{id}
+// lands here (via serve's ResultFetcher seam) and is answered by the
+// first replica whose bytes hash to the recorded digest. A replica that
+// is missing or corrupt gets the verified bytes pushed back — reads
+// heal the cluster as a side effect — and the durable replica set is
+// rewritten if it changed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"cendev/internal/serve"
+	"cendev/internal/wire"
+)
+
+// FetchResult implements serve.ResultFetcher.
+func (c *Coordinator) FetchResult(id string) (json.RawMessage, error) {
+	e, ok := c.srv.Store().Get(id)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown job %s", id)
+	}
+	if e.Digest == "" {
+		return nil, fmt.Errorf("cluster: job %s has no recorded digest", id)
+	}
+	payload, healthy, broken := c.readReplicas(id, e.Digest, e.Replicas)
+	if payload == nil {
+		return nil, fmt.Errorf("cluster: no replica of %s served digest %.12s… (replicas %v)",
+			id, e.Digest, e.Replicas)
+	}
+	if len(broken) > 0 {
+		repaired := c.repairReplicas(id, e.Spec, payload, e.Digest, broken)
+		healthy = append(healthy, repaired...)
+		sort.Strings(healthy)
+		if !equalStrings(healthy, e.Replicas) {
+			if err := c.srv.Store().UpdateReplicas(id, healthy); err != nil {
+				c.opts.Logf("cluster: job %s: persisting repaired replica set: %v", id, err)
+			}
+		}
+	}
+	return payload, nil
+}
+
+// readReplicas tries each recorded replica in sorted order and returns
+// the first digest-verified payload, the replicas that served or hold
+// it, and the replicas that failed verification or the read.
+func (c *Coordinator) readReplicas(id, digest string, replicas []string) (payload json.RawMessage, healthy, broken []string) {
+	order := append([]string(nil), replicas...)
+	sort.Strings(order)
+	for _, node := range order {
+		raw, err := c.readLocal(node, id)
+		if err != nil {
+			c.opts.Logf("cluster: job %s: replica %s unreadable: %v", id, node, err)
+			broken = append(broken, node)
+			continue
+		}
+		if serve.PayloadDigest(raw) != digest {
+			c.opts.Logf("cluster: job %s: replica %s digest mismatch", id, node)
+			broken = append(broken, node)
+			continue
+		}
+		healthy = append(healthy, node)
+		if payload == nil {
+			payload = raw
+		}
+	}
+	return payload, healthy, broken
+}
+
+// readLocal fetches one replica's local copy of a result.
+func (c *Coordinator) readLocal(node, id string) ([]byte, error) {
+	base, ok := c.opts.Peers[node]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", node)
+	}
+	resp, err := c.opts.Client.Get(base + "/v1/cluster/local/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+// repairReplicas pushes verified bytes to each broken replica and
+// returns the nodes that accepted the repair.
+func (c *Coordinator) repairReplicas(id string, spec serve.JobSpec, payload []byte, digest string, targets []string) []string {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		c.opts.Logf("cluster: job %s: marshaling spec for repair: %v", id, err)
+		return nil
+	}
+	var repaired []string
+	for _, node := range targets {
+		if err := c.pushRepair(node, id, specJSON, payload, digest); err != nil {
+			c.opts.Logf("cluster: job %s: repair push to %s failed: %v", id, node, err)
+			continue
+		}
+		c.opts.Obs.Counter("censerved_cluster_repairs_total").Inc()
+		c.opts.Logf("cluster: job %s: repaired replica on %s", id, node)
+		repaired = append(repaired, node)
+	}
+	return repaired
+}
+
+// pushRepair installs one verified result on one node: a JobLease frame
+// (carrying the spec, so the target can persist a complete record)
+// followed by a Completion frame carrying the payload and digest.
+func (c *Coordinator) pushRepair(node, id string, specJSON, payload []byte, digest string) error {
+	base, ok := c.opts.Peers[node]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", node)
+	}
+	lease := wire.AppendJobLease(nil, &wire.JobLease{ID: id, Node: node, Owner: node, Spec: specJSON})
+	comp := wire.AppendCompletion(nil, &wire.Completion{ID: id, Node: node, Digest: digest, Payload: payload})
+	body := wire.AppendFrame(nil, lease)
+	body = wire.AppendFrame(body, comp)
+	resp, err := c.opts.Client.Post(base+"/v1/cluster/repair", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

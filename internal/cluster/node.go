@@ -1,0 +1,38 @@
+package cluster
+
+// Node assembly: how cmd/censerved composes a cluster role out of the
+// serve shell and the cluster parts. A coordinator node is a full
+// serve.Server (admission, queue, store, API) whose backend is a
+// Coordinator; a worker node is a Worker plus its HTTP surface. Both
+// return one http.Handler so the daemon serves a single listener.
+
+import (
+	"net/http"
+
+	"cendev/internal/serve"
+)
+
+// NewCoordinatorNode builds a coordinator: serve.New over the cluster
+// backend, with the cluster protocol routes mounted next to the serve
+// API. The serve options' Backend field is overwritten.
+func NewCoordinatorNode(sopts serve.Options, copts CoordinatorOptions) (*serve.Server, *Coordinator, http.Handler, error) {
+	if copts.Obs == nil {
+		copts.Obs = sopts.Obs
+	}
+	if copts.Logf == nil {
+		copts.Logf = sopts.Logf
+	}
+	coord, err := NewCoordinator(copts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sopts.Backend = coord
+	srv, err := serve.New(sopts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cluster/", coord.Routes())
+	mux.Handle("/", srv.Handler())
+	return srv, coord, mux, nil
+}

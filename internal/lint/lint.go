@@ -22,13 +22,15 @@ import (
 
 // deterministicPkgs are the packages whose outputs must be a pure
 // function of spec+seed. detclock, seededrand and maprange apply here
-// (and to their subpackages). internal/parallel and internal/serve are
-// included deliberately: their wall-clock use is real but intentional
-// (latency gauges, admission clocks) and must carry an explicit
-// //cenlint:volatile justification rather than pass silently.
+// (and to their subpackages). internal/parallel, internal/serve and
+// internal/cluster are included deliberately: their wall-clock use is
+// real but intentional (latency gauges, admission clocks, long-poll
+// park timers) and must carry an explicit //cenlint:volatile
+// justification rather than pass silently.
 var deterministicPkgs = []string{
 	"cendev/internal/simnet",
 	"cendev/internal/centrace",
+	"cendev/internal/cluster",
 	"cendev/internal/cenfuzz",
 	"cendev/internal/cenprobe",
 	"cendev/internal/faults",
@@ -51,6 +53,7 @@ var deterministicPkgs = []string{
 // -metrics-out/-trace-out artifacts publish by rename.
 var journalPkgs = []string{
 	"cendev/internal/serve",
+	"cendev/internal/cluster",
 	"cendev/internal/wire",
 	"cendev/internal/centrace",
 	"cendev/internal/vfs",

@@ -141,16 +141,32 @@ const (
 	// (GET /v1/jobs?state=dead) so an operator can inspect what the
 	// service gave up on.
 	StateDead JobState = "dead"
+	// StateConflict is the replica-divergence state: two executions of
+	// the same spec returned different digests — a determinism violation
+	// or a corrupted/lying replica. Conflicted jobs are terminal and
+	// never retried: the divergence is already durable and needs an
+	// operator, not another roll of the dice.
+	StateConflict JobState = "conflict"
 )
 
 // Terminal reports whether the state is final.
-func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed || s == StateDead }
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateDead || s == StateConflict
+}
+
+// listStates are the ?state= filter values GET /v1/jobs accepts, in
+// lifecycle order (empty string — no filter — is also accepted).
+var listStates = []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateDead, StateConflict}
 
 // validListState reports whether state is usable as a ?state= filter.
 func validListState(s JobState) bool {
-	switch s {
-	case "", StateQueued, StateRunning, StateDone, StateFailed, StateDead:
+	if s == "" {
 		return true
+	}
+	for _, v := range listStates {
+		if s == v {
+			return true
+		}
 	}
 	return false
 }
@@ -164,6 +180,12 @@ type JobStatus struct {
 	// recovery.
 	Attempts int    `json:"attempts,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Digest is the hex SHA-256 of the result payload, set once done —
+	// what replica verification and the CI smoke compare.
+	Digest string `json:"digest,omitempty"`
+	// Replicas names the cluster nodes holding a durable copy of the
+	// payload (empty on standalone nodes).
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // jobsResponse is the body of GET /v1/jobs.

@@ -1,0 +1,90 @@
+package serve
+
+// The Backend seam separates the server's orchestration shell —
+// admission, queue, store, HTTP surface — from how an admitted job is
+// actually executed. A standalone node executes locally on the
+// scheduler; a cluster coordinator (internal/cluster) leases replica
+// executions to remote workers and verifies their digests; tests script
+// arbitrary outcomes. The shell treats every backend identically: pop a
+// job, Execute it under the watchdog, persist the outcome.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Job is the unit of work handed to a Backend: one admitted job with its
+// normalized spec and the attempt number of this execution.
+type Job struct {
+	ID       string
+	Spec     JobSpec
+	Attempts int
+}
+
+// ExecResult is what a successful execution yields.
+type ExecResult struct {
+	// Payload is the canonical result bytes, or nil when the payload
+	// lives only on remote replica stores (Remote true) — then
+	// GET /v1/results proxies through the backend's ResultFetcher.
+	Payload json.RawMessage
+	// Digest is the lowercase hex SHA-256 of the payload bytes — the
+	// unit of replica verification and the cache key's value.
+	Digest string
+	// Replicas names the nodes holding a durable copy of the payload
+	// (empty for standalone nodes: the local store is the copy).
+	Replicas []string
+	// Remote marks payloads that are deliberately not persisted in the
+	// local store because the replica set owns them.
+	Remote bool
+}
+
+// Backend executes admitted jobs. Execute must be safe for concurrent
+// use; errors are classified by the shell (Transient retries, Conflict
+// hard-fails into StateConflict, anything else fails the job).
+type Backend interface {
+	Execute(Job) (ExecResult, error)
+}
+
+// BoundBackend is implemented by backends that need the server they run
+// under (store access for read-repair, logging, drain checks). Bind is
+// called once, before any Execute.
+type BoundBackend interface {
+	Bind(*Server)
+}
+
+// ResultFetcher is implemented by backends whose done payloads live
+// remotely: GET /v1/results/{id} calls FetchResult when the stored entry
+// has no payload bytes, and the fetch is expected to read-repair missing
+// replicas as a side effect.
+type ResultFetcher interface {
+	FetchResult(id string) (json.RawMessage, error)
+}
+
+// BackendDrainer is implemented by backends with their own drain duties
+// (the coordinator's final replication sweep). DrainBackend runs after
+// in-flight jobs finish and before the store compacts.
+type BackendDrainer interface {
+	DrainBackend() error
+}
+
+// localBackend executes jobs in-process through a run function — the
+// scheduler for real nodes, the RunHook seam for tests.
+type localBackend struct {
+	run func(JobSpec) (json.RawMessage, error)
+}
+
+func (b localBackend) Execute(j Job) (ExecResult, error) {
+	payload, err := b.run(j.Spec)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Payload: payload, Digest: PayloadDigest(payload)}, nil
+}
+
+// PayloadDigest returns the lowercase hex SHA-256 of payload — the
+// digest every done job carries, standalone and clustered alike.
+func PayloadDigest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}

@@ -35,6 +35,30 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t)
 }
 
+// conflictError marks a replica digest disagreement — the one error
+// class that is worse than failure. Retrying cannot help (the divergence
+// is already durable on the replicas), so the job hard-fails into
+// StateConflict for an operator to inspect.
+type conflictError struct{ err error }
+
+func (e *conflictError) Error() string { return e.err.Error() }
+func (e *conflictError) Unwrap() error { return e.err }
+
+// Conflict wraps err as a replica digest conflict. A nil err stays nil.
+func Conflict(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &conflictError{err: err}
+}
+
+// IsConflict reports whether any error in the chain was wrapped by
+// Conflict.
+func IsConflict(err error) bool {
+	var c *conflictError
+	return errors.As(err, &c)
+}
+
 // retryDelay is the backoff, in queue virtual time (successful pops),
 // before a transiently failed job becomes eligible again: an exponential
 // window (1, 2, 4, ... capped at 64) plus jitter hashed from

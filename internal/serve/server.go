@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,13 @@ type Options struct {
 	// a test seam that skips building the (expensive) measurement world
 	// and lets tests script failures.
 	RunHook func(JobSpec) (json.RawMessage, error)
+	// Backend, when non-nil, replaces the local executor entirely — the
+	// cluster coordinator leases executions to workers through this seam.
+	// Takes precedence over RunHook.
+	Backend Backend
+	// DisableCache turns off the spec-digest result cache (used by nodes
+	// whose backend wants every submission to reach Execute).
+	DisableCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -98,16 +106,23 @@ func (o Options) withDefaults() Options {
 // Server is the orchestration service: admission gate, priority queue,
 // scheduler workers, and result store behind an HTTP JSON API.
 type Server struct {
-	opts  Options
-	store *Store
-	queue *Queue
-	admit *Admission
-	sched *Scheduler
-	run   func(JobSpec) (json.RawMessage, error)
-	mux   *http.ServeMux
+	opts    Options
+	store   *Store
+	queue   *Queue
+	admit   *Admission
+	sched   *Scheduler
+	backend Backend
+	mux     *http.ServeMux
 
 	draining atomic.Bool
 	workers  sync.WaitGroup
+
+	// cache dedupes identical submissions: canonical spec (which includes
+	// the seed) → finished result. Sound because payloads are pure
+	// functions of (spec, seed) — a hit returns the same bytes execution
+	// would have produced, without spending a world build on them.
+	cacheMu sync.Mutex
+	cache   map[string]cacheEntry
 
 	// degraded trips when the store persistently fails writes (see
 	// noteStoreWrite): the server stops accepting and running jobs but
@@ -142,11 +157,32 @@ func New(opts Options) (*Server, error) {
 		mDegraded: opts.Obs.Gauge("censerved_degraded"),
 	}
 	s.queue = NewQueue(opts.QueueCapacity, opts.Obs.Gauge("censerved_queue_depth"))
-	if opts.RunHook != nil {
-		s.run = opts.RunHook
-	} else {
+	switch {
+	case opts.Backend != nil:
+		s.backend = opts.Backend
+	case opts.RunHook != nil:
+		s.backend = localBackend{run: opts.RunHook}
+	default:
 		s.sched = NewScheduler(opts.Obs)
-		s.run = s.sched.Run
+		s.backend = localBackend{run: s.sched.Run}
+	}
+	if bb, ok := s.backend.(BoundBackend); ok {
+		bb.Bind(s)
+	}
+
+	// Warm the cache from recovered results so dedup survives restarts.
+	// Entries without a digest predate the cache and are skipped — the
+	// digest is what a hit hands to replica verification.
+	if !opts.DisableCache {
+		s.cache = make(map[string]cacheEntry)
+		for _, e := range store.List(StateDone) {
+			if e.Digest == "" {
+				continue
+			}
+			s.cache[e.Spec.CanonKey()] = cacheEntry{
+				payload: e.Payload, digest: e.Digest, replicas: e.Replicas,
+			}
+		}
 	}
 
 	// Recovery: pending entries in admission order. A job caught mid-run
@@ -209,6 +245,44 @@ func (s *Server) countRetried(kind string) {
 
 func (s *Server) countDead(kind string) {
 	s.opts.Obs.Counter("censerved_jobs_dead_total", obs.L("kind", kind)).Inc()
+}
+
+func (s *Server) countConflict(kind string) {
+	s.opts.Obs.Counter("censerved_jobs_conflict_total", obs.L("kind", kind)).Inc()
+}
+
+// cacheEntry is one finished result keyed by its canonical spec.
+type cacheEntry struct {
+	payload  json.RawMessage
+	digest   string
+	replicas []string
+}
+
+// cacheGet looks up a finished result for an identical spec+seed.
+func (s *Server) cacheGet(spec JobSpec) (cacheEntry, bool) {
+	if s.cache == nil {
+		return cacheEntry{}, false
+	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	ce, ok := s.cache[spec.CanonKey()]
+	return ce, ok
+}
+
+// cachePut records a finished execution for future dedup.
+func (s *Server) cachePut(spec JobSpec, res ExecResult) {
+	if s.cache == nil {
+		return
+	}
+	payload := res.Payload
+	if res.Remote {
+		payload = nil
+	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.cache[spec.CanonKey()] = cacheEntry{
+		payload: payload, digest: res.Digest, replicas: res.Replicas,
+	}
 }
 
 // noteStoreWrite feeds the degradation trigger: consecutive store-write
@@ -275,31 +349,37 @@ func (s *Server) runJob(workerID int, jobID string) {
 	s.mRunning.Add(1)
 	defer s.mRunning.Add(-1)
 
-	payload, err := s.execute(e.Spec)
+	res, err := s.execute(Job{ID: jobID, Spec: e.Spec, Attempts: attempts})
 
 	if err != nil {
 		s.finishFailed(workerID, jobID, &e, attempts, err)
 		return
 	}
 	s.countDone(e.Spec.Kind)
-	uerr := s.store.UpdateState(jobID, StateDone, attempts, "", payload)
+	payload := res.Payload
+	if res.Remote {
+		payload = nil // the replica set owns the bytes; keep only the digest
+	}
+	uerr := s.store.UpdateDone(jobID, attempts, payload, res.Digest, res.Replicas)
 	s.noteStoreWrite(uerr)
 	if uerr != nil {
 		s.opts.Logf("worker %d: job %s: mark done: %v", workerID, jobID, uerr)
 		return
 	}
-	s.opts.Logf("worker %d: job %s (%s) done, %d payload bytes", workerID, jobID, e.Spec.Kind, len(payload))
+	s.cachePut(e.Spec, res)
+	s.opts.Logf("worker %d: job %s (%s) done, digest %.12s…, %d payload bytes",
+		workerID, jobID, e.Spec.Kind, res.Digest, len(res.Payload))
 }
 
-// execute runs one job under the watchdog, with a panic barrier. A job
-// that outlives the watchdog is abandoned (its goroutine keeps running;
-// a buffered channel swallows the late result) and reported as a
-// transient timeout — re-runnable, because payloads are pure functions
-// of the spec.
-func (s *Server) execute(spec JobSpec) (json.RawMessage, error) {
+// execute runs one job through the backend under the watchdog, with a
+// panic barrier. A job that outlives the watchdog is abandoned (its
+// goroutine keeps running; a buffered channel swallows the late result)
+// and reported as a transient timeout — re-runnable, because payloads
+// are pure functions of the spec.
+func (s *Server) execute(j Job) (ExecResult, error) {
 	type result struct {
-		payload json.RawMessage
-		err     error
+		res ExecResult
+		err error
 	}
 	ch := make(chan result, 1)
 	go func() {
@@ -308,17 +388,17 @@ func (s *Server) execute(spec JobSpec) (json.RawMessage, error) {
 				ch <- result{err: fmt.Errorf("serve: job panicked: %v", r)}
 			}
 		}()
-		p, err := s.run(spec)
-		ch <- result{payload: p, err: err}
+		res, err := s.backend.Execute(j)
+		ch <- result{res: res, err: err}
 	}()
 	//cenlint:volatile watchdog liveness timeout: wall time decides only whether a hung job is abandoned, never any result bytes
 	timer := time.NewTimer(s.opts.JobTimeout)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		return r.payload, r.err
+		return r.res, r.err
 	case <-timer.C:
-		return nil, Transient(fmt.Errorf("serve: job exceeded %s watchdog timeout", s.opts.JobTimeout))
+		return ExecResult{}, Transient(fmt.Errorf("serve: job exceeded %s watchdog timeout", s.opts.JobTimeout))
 	}
 }
 
@@ -326,7 +406,7 @@ func (s *Server) execute(spec JobSpec) (json.RawMessage, error) {
 // left requeue with seeded backoff; transient failures out of budget go
 // to the dead-letter state; permanent failures fail immediately.
 func (s *Server) finishFailed(workerID int, jobID string, e *JobEntry, attempts int, err error) {
-	if IsTransient(err) && attempts <= s.opts.RetryBudget {
+	if IsTransient(err) && !IsConflict(err) && attempts <= s.opts.RetryBudget {
 		s.countRetried(e.Spec.Kind)
 		uerr := s.store.UpdateState(jobID, StateQueued, attempts, err.Error(), nil)
 		s.noteStoreWrite(uerr)
@@ -341,10 +421,14 @@ func (s *Server) finishFailed(workerID int, jobID string, e *JobEntry, attempts 
 		return
 	}
 	state := StateFailed
-	if IsTransient(err) {
+	switch {
+	case IsConflict(err):
+		state = StateConflict
+		s.countConflict(e.Spec.Kind)
+	case IsTransient(err):
 		state = StateDead
 		s.countDead(e.Spec.Kind)
-	} else {
+	default:
 		s.countFailed(e.Spec.Kind)
 	}
 	uerr := s.store.UpdateState(jobID, state, attempts, err.Error(), nil)
@@ -367,6 +451,11 @@ func (s *Server) Drain() error {
 	s.opts.Logf("draining: admission stopped, waiting for in-flight jobs")
 	s.queue.Close()
 	s.workers.Wait()
+	if bd, ok := s.backend.(BackendDrainer); ok {
+		if err := bd.DrainBackend(); err != nil {
+			s.opts.Logf("drain: backend: %v", err)
+		}
+	}
 	if err := s.store.Compact(); err != nil {
 		s.store.Close()
 		return fmt.Errorf("serve: drain compact: %w", err)
@@ -428,6 +517,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Result-cache dedup: an identical spec+seed already finished, and
+	// payloads are pure functions of (spec, seed), so execution would
+	// reproduce the cached bytes. Admit the job straight to done — no
+	// queue slot, no world build. Admission control still applies above:
+	// the cache saves compute, not the tenant's request budget.
+	if ce, ok := s.cacheGet(spec); ok {
+		entry, err := s.store.AppendQueued(spec)
+		s.noteStoreWrite(err)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "persisting job: "+err.Error())
+			return
+		}
+		uerr := s.store.UpdateDone(entry.ID, 0, ce.payload, ce.digest, ce.replicas)
+		s.noteStoreWrite(uerr)
+		if uerr != nil {
+			writeError(w, http.StatusInternalServerError, "persisting cached result: "+uerr.Error())
+			return
+		}
+		s.countSubmitted(spec.Tenant)
+		s.opts.Obs.Counter("censerved_cache_hits").Inc()
+		s.opts.Logf("job %s (%s) served from result cache, digest %.12s…", entry.ID, spec.Kind, ce.digest)
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: entry.ID, State: StateDone})
+		return
+	}
+
 	if err := s.queue.Reserve(); err != nil {
 		if errors.Is(err, ErrQueueClosed) {
 			writeError(w, http.StatusServiceUnavailable, "draining")
@@ -459,7 +573,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	state := JobState(r.URL.Query().Get("state"))
 	if !validListState(state) {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", state))
+		valid := make([]string, len(listStates))
+		for i, v := range listStates {
+			valid[i] = string(v)
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q (valid: %s)",
+			state, strings.Join(valid, ", ")))
 		return
 	}
 	entries := s.store.List(state)
@@ -490,10 +609,26 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	switch e.State {
 	case StateDone:
+		payload := e.Payload
+		if payload == nil {
+			// The bytes live on remote replicas; the backend fetches (and
+			// read-repairs) them.
+			rf, ok := s.backend.(ResultFetcher)
+			if !ok {
+				writeError(w, http.StatusInternalServerError, "result payload missing from store")
+				return
+			}
+			p, err := rf.FetchResult(e.ID)
+			if err != nil {
+				writeError(w, http.StatusBadGateway, "fetching result from replicas: "+err.Error())
+				return
+			}
+			payload = p
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(e.Payload)
-	case StateFailed, StateDead:
+		_, _ = w.Write(payload)
+	case StateFailed, StateDead, StateConflict:
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: e.Error})
 	default:
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; retry later", e.State))

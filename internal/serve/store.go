@@ -47,6 +47,11 @@ type storeRecord struct {
 	Attempts int             `json:"attempts,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Payload  json.RawMessage `json:"payload,omitempty"`
+	// Digest is the hex SHA-256 of the result payload; Replicas names
+	// the cluster nodes holding a durable copy. Both ride along with
+	// done records (record schema v2; v1 records replay with them empty).
+	Digest   string   `json:"digest,omitempty"`
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // JobEntry is the merged in-memory view of one job.
@@ -58,6 +63,10 @@ type JobEntry struct {
 	Attempts int
 	Error    string
 	Payload  json.RawMessage
+	// Digest is the hex SHA-256 of the payload; Replicas the nodes with
+	// a durable copy (see storeRecord).
+	Digest   string
+	Replicas []string
 	// mergedSeq is the highest record seq folded in — replay may visit a
 	// job's records out of order when they span segments (a shard-count
 	// change between runs), and only the newest record decides the state.
@@ -66,7 +75,10 @@ type JobEntry struct {
 
 // Status renders the entry as the API's job status body.
 func (e *JobEntry) Status() JobStatus {
-	return JobStatus{ID: e.ID, State: e.State, Spec: e.Spec, Attempts: e.Attempts, Error: e.Error}
+	return JobStatus{
+		ID: e.ID, State: e.State, Spec: e.Spec, Attempts: e.Attempts,
+		Error: e.Error, Digest: e.Digest, Replicas: e.Replicas,
+	}
 }
 
 // storeShard is one append-only segment file plus its compaction
@@ -408,6 +420,12 @@ func (s *Store) mergeRecord(rec *storeRecord) {
 		if rec.Attempts > 0 {
 			e.Attempts = rec.Attempts
 		}
+		if rec.Digest != "" {
+			e.Digest = rec.Digest
+		}
+		if len(rec.Replicas) > 0 {
+			e.Replicas = rec.Replicas
+		}
 	}
 	if eff > s.seq {
 		s.seq = eff
@@ -456,6 +474,80 @@ func (s *Store) UpdateState(id string, state JobState, attempts int, errMsg stri
 	if payload != nil {
 		e.Payload = payload
 	}
+	return s.maybeCompactLocked(s.shardFor(id))
+}
+
+// UpdateDone persists the done transition with its digest and replica
+// set. payload may be nil when the bytes live only on remote replicas.
+func (s *Store) UpdateDone(id string, attempts int, payload json.RawMessage, digest string, replicas []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[id]
+	if !ok {
+		return fmt.Errorf("serve: unknown job %s", id)
+	}
+	rec := storeRecord{ID: id, State: StateDone, Attempts: attempts,
+		Payload: payload, Digest: digest, Replicas: replicas}
+	if err := s.appendLocked(&rec); err != nil {
+		return err
+	}
+	e.State = StateDone
+	e.Attempts = attempts
+	e.Error = ""
+	e.mergedSeq = rec.Seq
+	e.Digest = digest
+	e.Replicas = replicas
+	if payload != nil {
+		e.Payload = payload
+	}
+	return s.maybeCompactLocked(s.shardFor(id))
+}
+
+// UpdateReplicas persists a new replica set for a done job — the
+// read-repair and anti-entropy bookkeeping write. State, payload and
+// digest are untouched.
+func (s *Store) UpdateReplicas(id string, replicas []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[id]
+	if !ok {
+		return fmt.Errorf("serve: unknown job %s", id)
+	}
+	rec := storeRecord{ID: id, State: e.State, Attempts: e.Attempts,
+		Error: e.Error, Digest: e.Digest, Replicas: replicas}
+	if err := s.appendLocked(&rec); err != nil {
+		return err
+	}
+	e.Replicas = replicas
+	e.mergedSeq = rec.Seq
+	return s.maybeCompactLocked(s.shardFor(id))
+}
+
+// PutResult inserts (or overwrites) a finished result under an external
+// job ID — how a cluster worker stores a replica of a coordinator-owned
+// job, and how repair pushes land. The record is durable (fsynced)
+// before PutResult returns; completing a lease before this returns would
+// acknowledge bytes that could still be lost.
+func (s *Store) PutResult(id string, spec JobSpec, payload json.RawMessage, digest string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := storeRecord{ID: id, State: StateDone, Spec: &spec,
+		Payload: payload, Digest: digest}
+	if err := s.appendLocked(&rec); err != nil {
+		return err
+	}
+	e, ok := s.index[id]
+	if !ok {
+		e = &JobEntry{ID: id, Seq: rec.Seq}
+		s.index[id] = e
+		s.shards[s.shardFor(id)].live++
+	}
+	e.State = StateDone
+	e.Spec = spec
+	e.Payload = payload
+	e.Digest = digest
+	e.Error = ""
+	e.mergedSeq = rec.Seq
 	return s.maybeCompactLocked(s.shardFor(id))
 }
 
@@ -523,6 +615,7 @@ func (s *Store) compactLocked(i int) error {
 		rec := storeRecord{
 			Seq: e.Seq, ID: e.ID, State: e.State, Spec: &spec,
 			Attempts: e.Attempts, Error: e.Error, Payload: e.Payload,
+			Digest: e.Digest, Replicas: e.Replicas,
 		}
 		if e.mergedSeq > e.Seq {
 			rec.Merged = e.mergedSeq
@@ -650,6 +743,7 @@ func (s *Store) ExportJSON(w io.Writer) error {
 		rec := storeRecord{
 			Seq: e.Seq, ID: e.ID, State: e.State, Spec: &spec,
 			Attempts: e.Attempts, Error: e.Error, Payload: e.Payload,
+			Digest: e.Digest, Replicas: e.Replicas,
 		}
 		if e.mergedSeq > e.Seq {
 			rec.Merged = e.mergedSeq

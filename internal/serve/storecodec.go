@@ -12,12 +12,17 @@ import (
 	"cendev/internal/wire"
 )
 
-// storeRecordV1 is the version byte of the current store record schema.
-const storeRecordV1 = 1
+// Store record schema versions. V1 is the pre-cluster shape; V2 appends
+// the result digest and replica set. New records are written at V2; V1
+// segments stay readable forever.
+const (
+	storeRecordV1 = 1
+	storeRecordV2 = 2
+)
 
 // appendStoreRecord appends the binary payload of rec to b.
 func appendStoreRecord(b []byte, rec *storeRecord) []byte {
-	b = append(b, storeRecordV1)
+	b = append(b, storeRecordV2)
 	b = wire.AppendVarint(b, rec.Seq)
 	b = wire.AppendVarint(b, rec.Merged)
 	b = wire.AppendString(b, rec.ID)
@@ -28,13 +33,20 @@ func appendStoreRecord(b []byte, rec *storeRecord) []byte {
 	}
 	b = wire.AppendVarint(b, int64(rec.Attempts))
 	b = wire.AppendString(b, rec.Error)
-	return wire.AppendBytes(b, rec.Payload)
+	b = wire.AppendBytes(b, rec.Payload)
+	b = wire.AppendString(b, rec.Digest)
+	b = wire.AppendUvarint(b, uint64(len(rec.Replicas)))
+	for _, r := range rec.Replicas {
+		b = wire.AppendString(b, r)
+	}
+	return b
 }
 
 // decodeStoreRecord decodes one binary record payload.
 func decodeStoreRecord(payload []byte) (*storeRecord, error) {
 	d := wire.NewDec(payload)
-	if v := d.Byte(); v != storeRecordV1 {
+	v := d.Byte()
+	if v != storeRecordV1 && v != storeRecordV2 {
 		if d.Err() == nil {
 			return nil, fmt.Errorf("serve: unknown store record version %d", v)
 		}
@@ -52,6 +64,15 @@ func decodeStoreRecord(payload []byte) (*storeRecord, error) {
 	rec.Attempts = int(d.Varint())
 	rec.Error = d.String()
 	rec.Payload = d.Bytes()
+	if v >= storeRecordV2 {
+		rec.Digest = d.String()
+		if n := d.Count(); n > 0 && d.Err() == nil {
+			rec.Replicas = make([]string, 0, n)
+			for i := uint64(0); i < n && d.Err() == nil; i++ {
+				rec.Replicas = append(rec.Replicas, d.String())
+			}
+		}
+	}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}

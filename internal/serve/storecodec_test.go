@@ -24,6 +24,8 @@ func fullStoreRecord() *storeRecord {
 		Attempts: 3,
 		Error:    "transient: timeout",
 		Payload:  json.RawMessage(`{"blocked":true,"ttl":7}`),
+		Digest:   "8b2c9a0f8b2c9a0f8b2c9a0f8b2c9a0f8b2c9a0f8b2c9a0f8b2c9a0f8b2c9a0f",
+		Replicas: []string{"node-a", "node-c"},
 	}
 }
 
@@ -83,9 +85,30 @@ func TestStoreRecordEncodingDeterministic(t *testing.T) {
 // be rejected, not misparsed.
 func TestStoreRecordVersionGate(t *testing.T) {
 	payload := appendStoreRecord(nil, fullStoreRecord())
-	payload[0] = storeRecordV1 + 1
+	payload[0] = storeRecordV2 + 1
 	if _, err := decodeStoreRecord(payload); err == nil {
 		t.Fatal("future-version record decoded without error")
+	}
+}
+
+// TestStoreRecordV1Compat: a record written by the V1 schema (no digest,
+// no replicas) must still decode — old shard segments outlive upgrades.
+func TestStoreRecordV1Compat(t *testing.T) {
+	orig := fullStoreRecord()
+	orig.Digest = ""
+	orig.Replicas = nil
+	// Encode at V2, then rewrite as V1 by stamping the version byte and
+	// dropping the V2 suffix (empty digest string + zero replica count =
+	// exactly two trailing bytes).
+	payload := appendStoreRecord(nil, orig)
+	payload[0] = storeRecordV1
+	payload = payload[:len(payload)-2]
+	got, err := decodeStoreRecord(payload)
+	if err != nil {
+		t.Fatalf("decode v1 record: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("v1 record diverged:\n  orig %+v\n  got  %+v", orig, got)
 	}
 }
 

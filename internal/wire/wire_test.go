@@ -95,6 +95,58 @@ func TestReaderInteriorCorruptionResyncs(t *testing.T) {
 	_ = mid
 }
 
+// adversarialResyncStream builds the nastiest interior-corruption shape:
+// frame A, then a corrupted frame whose own payload embeds a COMPLETE
+// valid frame (marker, length, CRC all good), then frame C. When the
+// outer frame's CRC rejects it, resync scans forward and lands on the
+// embedded frame's marker — a valid frame that was never appended at the
+// top level. The reader cannot distinguish it from a real record (by
+// construction it is bit-for-bit one), so the contract is: surface it,
+// keep going, and still recover every genuine frame after the damage
+// with no torn-tail misreport.
+func adversarialResyncStream() (stream []byte, inner []byte) {
+	inner = []byte("embedded-frame-payload")
+	var outerPayload []byte
+	outerPayload = append(outerPayload, []byte("garbage-before-")...)
+	outerPayload = AppendFrame(outerPayload, inner)
+	outerPayload = append(outerPayload, []byte("-garbage-after")...)
+
+	stream = AppendFrame(nil, []byte("first"))
+	corruptAt := len(stream) + len(Marker) // the outer frame's length byte
+	stream = AppendFrame(stream, outerPayload)
+	stream[corruptAt] ^= 0xFF // outer frame now unreadable; inner survives
+	stream = AppendFrame(stream, []byte("third"))
+	return stream, inner
+}
+
+func TestReaderAdversarialResync(t *testing.T) {
+	stream, inner := adversarialResyncStream()
+	r := NewReader(stream)
+	var got []string
+	for {
+		p, ok := r.Next()
+		if !ok {
+			break
+		}
+		got = append(got, string(p))
+	}
+	want := []string{"first", string(inner), "third"}
+	if len(got) != len(want) {
+		t.Fatalf("payloads = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("payload %d = %q, want %q (full: %q)", i, got[i], want[i], got)
+		}
+	}
+	if _, torn := r.Torn(); torn {
+		t.Fatal("adversarial interior corruption misreported as torn tail")
+	}
+	if len(r.Warnings()) == 0 {
+		t.Fatal("no warnings for the corrupted region")
+	}
+}
+
 func TestReaderGarbagePrefix(t *testing.T) {
 	stream := []byte("not a frame at all ")
 	stream = AppendFrame(stream, []byte("payload"))
@@ -239,6 +291,10 @@ func FuzzFrameReader(f *testing.F) {
 	torn := AppendFrame(nil, []byte("good"))
 	f.Add(append(torn[:len(torn):len(torn)], AppendFrame(nil, bytes.Repeat([]byte("x"), 100))[:20]...))
 	f.Add(Marker[:])
+	// Adversarial resync regression: a corrupted region that itself
+	// contains a valid embedded frame (also pinned under testdata/fuzz).
+	adversarial, _ := adversarialResyncStream()
+	f.Add(adversarial)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(data)
 		var payloads [][]byte
