@@ -14,6 +14,7 @@ import (
 	"net/netip"
 	"sync"
 	"testing"
+	"time"
 
 	"cendev/internal/cenfuzz"
 	"cendev/internal/cenprobe"
@@ -26,8 +27,10 @@ import (
 	"cendev/internal/ml"
 	"cendev/internal/netem"
 	"cendev/internal/obs"
+	"cendev/internal/routedyn"
 	"cendev/internal/serve"
 	"cendev/internal/simnet"
+	"cendev/internal/tomography"
 	"cendev/internal/topology"
 )
 
@@ -937,4 +940,100 @@ func BenchmarkExtension_Segmentation(b *testing.B) {
 			b.ReportMetric(100*rate, "evasion%")
 		})
 	}
+}
+
+// benchLadder builds a W-wide, D-layer ECMP ladder: every router in a
+// layer links to every router in the next, giving W^(D-1) equal-cost
+// paths — a worst-ish case for per-epoch route recomputation.
+func benchLadder(w, d int) *topology.Graph {
+	g := topology.NewGraph()
+	as := g.AddAS(64999, "Ladder", "XX")
+	for layer := 0; layer < d; layer++ {
+		for col := 0; col < w; col++ {
+			g.AddRouter(fmt.Sprintf("r%d_%d", layer, col), as)
+		}
+	}
+	for layer := 0; layer+1 < d; layer++ {
+		for a := 0; a < w; a++ {
+			for b := 0; b < w; b++ {
+				g.Link(fmt.Sprintf("r%d_%d", layer, a), fmt.Sprintf("r%d_%d", layer+1, b))
+			}
+		}
+	}
+	g.AddHost("src", as, g.Router("r0_0"))
+	g.AddHost("dst", as, g.Router(fmt.Sprintf("r%d_0", d-1)))
+	return g
+}
+
+// BenchmarkEpochRecompute measures the route-dynamics hot path: rebuilding
+// every epoch snapshot (graph clone + link-state replay + BFS route
+// tables) and resolving one flow path per epoch.
+func BenchmarkEpochRecompute(b *testing.B) {
+	g := benchLadder(4, 8)
+	eng := routedyn.NewEngine(7, g)
+	for i := 0; i < 4; i++ {
+		from := fmt.Sprintf("r%d_%d", i+1, i%4)
+		to := fmt.Sprintf("r%d_%d", i+2, (i+1)%4)
+		if err := eng.FlapLink(from, to, time.Duration(10+i)*time.Second, time.Minute, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hash := topology.FlowHash(g.Host("src").Addr, g.Host("dst").Addr, 40000, 80, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Clone drops every cached snapshot, so each iteration recomputes
+		// the full epoch history from the schedule.
+		e := eng.Clone(g)
+		for k := 0; k < e.Epochs(); k++ {
+			ep := e.Epoch(k)
+			eg := ep.Graph()
+			if p := eg.PathForFlowSalted(eg.Host("src"), eg.Host("dst"), hash, ep.SaltFunc()); len(p) == 0 {
+				b.Fatalf("epoch %d: no path", k)
+			}
+		}
+	}
+	b.ReportMetric(float64(eng.Epochs()), "epochs")
+}
+
+// BenchmarkTomographySolve measures the boolean-tomography solver on a
+// synthetic campaign: 48 vantages × 16 epochs over the ladder, ~10-link
+// paths, one censored link planted.
+func BenchmarkTomographySolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	censored := tomography.MakeLink("r3_1", "r4_2")
+	var observations []tomography.Observation
+	for v := 0; v < 48; v++ {
+		for e := 0; e < 16; e++ {
+			// Random layer-by-layer walk through the ladder.
+			links := []tomography.Link{tomography.MakeLink("@v"+fmt.Sprint(v), "r0_0")}
+			prev := "r0_0"
+			blocked := false
+			for layer := 1; layer < 8; layer++ {
+				next := fmt.Sprintf("r%d_%d", layer, rng.Intn(4))
+				l := tomography.MakeLink(prev, next)
+				links = append(links, l)
+				if l == censored {
+					blocked = true
+				}
+				prev = next
+			}
+			observations = append(observations, tomography.Observation{
+				Vantage: fmt.Sprintf("v%d", v), Endpoint: "dst",
+				Epoch: e, Blocked: blocked, Links: links,
+			})
+		}
+	}
+	var res tomography.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = tomography.Solve(observations)
+	}
+	b.StopTimer()
+	if res.Verdict == tomography.Unlocalizable || !res.Contains(censored) {
+		b.Fatalf("solver lost the planted link: %s", tomography.Render(res))
+	}
+	b.ReportMetric(float64(len(observations)), "obs")
+	b.ReportMetric(float64(len(res.Candidates)), "candidates")
 }

@@ -184,6 +184,24 @@ echo "==> cluster benchmarks -> BENCH_cluster.json"
 go test -run '^$' -bench 'BenchmarkClusterThroughput' -benchtime 30x -json \
   ./internal/cluster > BENCH_cluster.json
 
+# Route dynamics + tomography: benchmark epoch recomputation and the
+# tomography solver, then run the cross-validation experiment (churn
+# tomography vs CenTrace) at two worker counts — output must be
+# byte-identical and clear the 80% agreement gate.
+echo "==> routing benchmarks -> BENCH_routing.json"
+go test -run '^$' -bench 'Benchmark(EpochRecompute|TomographySolve)$' \
+  -benchtime 100x -json . > BENCH_routing.json
+echo "==> cross-validation experiment (tomography vs CenTrace)"
+go build -o /tmp/ci_experiments ./cmd/experiments
+/tmp/ci_experiments -exp crossval -workers 1 > /tmp/ci_crossval_w1.txt
+/tmp/ci_experiments -exp crossval -workers 4 > /tmp/ci_crossval_w4.txt
+cmp /tmp/ci_crossval_w1.txt /tmp/ci_crossval_w4.txt \
+  || { echo "crossval output differs across -workers"; exit 1; }
+grep -q '^agreement-ok: true$' /tmp/ci_crossval_w1.txt \
+  || { echo "crossval agreement below the 80% bar"; cat /tmp/ci_crossval_w1.txt; exit 1; }
+rm -f /tmp/ci_experiments /tmp/ci_crossval_w1.txt /tmp/ci_crossval_w4.txt
+echo "==> cross-validation ok"
+
 # Crash matrix: every filesystem operation of the store and journal
 # workloads is an injection point, for every fault mode (EIO, ENOSPC,
 # torn write, durability-lost rename, power cut), across a widened seed
@@ -203,6 +221,7 @@ go test -run=^$ -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/dnsgram
 go test -run=^$ -fuzz=FuzzDecodePacket -fuzztime="$FUZZTIME" ./internal/netem
 go test -run=^$ -fuzz=FuzzFrameReader -fuzztime="$FUZZTIME" ./internal/wire
 go test -run=^$ -fuzz=FuzzJournalReplay -fuzztime="$FUZZTIME" ./internal/centrace
+go test -run=^$ -fuzz=FuzzRouteEventReplay -fuzztime="$FUZZTIME" ./internal/routedyn
 go test -run=^$ -fuzz=FuzzStoreReplay -fuzztime="$FUZZTIME" ./internal/serve
 go test -run=^$ -fuzz=FuzzPromEscape -fuzztime="$FUZZTIME" ./internal/obs
 

@@ -10,7 +10,7 @@
 //
 // Experiments: table1, table2, table3, fig1, fig3, fig4, fig5, fig6, fig9,
 // fig10, fig11, fig12, stats4, stats5, stats6, stats7, methods, calib,
-// direction, throttle, dns, devices, report, all.
+// direction, throttle, dns, devices, crossval, report, all.
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..3|fig1|fig3..6|fig9..12|stats4..7|methods|calib|direction|throttle|dns|devices|report|all)")
+	exp := flag.String("exp", "all", "experiment id (table1..3|fig1|fig3..6|fig9..12|stats4..7|methods|calib|direction|throttle|dns|devices|crossval|report|all)")
 	reps := flag.Int("reps", 5, "CenTrace repetitions per traceroute")
 	maxFuzz := flag.Int("maxfuzz", 12, "max fuzzed devices per country")
 	format := flag.String("format", "ascii", "path-graph format for fig1/fig10-12 (ascii|dot)")
@@ -50,6 +50,19 @@ func main() {
 	if *exp == "table2" || *exp == "table3" {
 		// Catalog-only experiments need no measurements.
 		runCatalog(*exp)
+		return
+	}
+	if *exp == "crossval" {
+		// Cross-validation builds its own scenario worlds; no corpus needed.
+		fmt.Println(experiments.RenderCrossValidation(experiments.CrossValidate(experiments.CrossValConfig{
+			Workers:     *workers,
+			Repetitions: *reps,
+			Obs:         obsFlags.Registry(),
+		})))
+		if err := obsFlags.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 	fmt.Fprintln(os.Stderr, "building world and running measurement study...")
@@ -112,6 +125,12 @@ func main() {
 			experiments.WriteReport(os.Stdout, c)
 		case "devices":
 			fmt.Println(experiments.RenderDeviceInventory(experiments.DeviceInventory(c.Scenario)))
+		case "crossval":
+			fmt.Println(experiments.RenderCrossValidation(experiments.CrossValidate(experiments.CrossValConfig{
+				Workers:     *workers,
+				Repetitions: *reps,
+				Obs:         obsFlags.Registry(),
+			})))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
@@ -123,7 +142,7 @@ func main() {
 			"table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5",
 			"fig6", "fig9", "fig10", "fig11", "fig12",
 			"stats4", "stats5", "stats6", "stats7", "methods", "calib",
-			"direction", "throttle", "dns",
+			"direction", "throttle", "dns", "crossval",
 		} {
 			fmt.Printf("=== %s ===\n", id)
 			run(id)

@@ -1,0 +1,379 @@
+package experiments
+
+// Cross-validation of the two localizers: every scenario world is measured
+// twice — by CenTrace (TTL-limited probes from one vantage, the paper's
+// method) and by churn tomography (per-epoch reachability from several
+// vantages over the route-dynamics schedule). Where CenTrace localizes a
+// hop exactly, the tomography candidate set should contain a link touching
+// that hop's router; the table reports per-scenario agreement plus the
+// cases each method is structurally blind to (vantage-dependent blocking
+// for CenTrace, At-Endpoint blocking on disjoint paths for tomography).
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"cendev/internal/centrace"
+	"cendev/internal/endpoint"
+	"cendev/internal/middlebox"
+	"cendev/internal/obs"
+	"cendev/internal/parallel"
+	"cendev/internal/routedyn"
+	"cendev/internal/simnet"
+	"cendev/internal/tomography"
+	"cendev/internal/topology"
+)
+
+const (
+	crossvalTestDomain    = "blocked.example"
+	crossvalControlDomain = "control.example"
+)
+
+// CrossValConfig parameterizes the cross-validation study.
+type CrossValConfig struct {
+	// Workers is the scenario-cell fan-out width; output is byte-identical
+	// at every value.
+	Workers int
+	// Repetitions is CenTrace's per-TTL repetition count (default 3).
+	Repetitions int
+	// Obs instruments the worker pool (optional).
+	Obs *obs.Registry
+}
+
+// CrossValCell is one scenario's verdict pair.
+type CrossValCell struct {
+	Scenario string
+	// ExpectUnlocalizable marks scenarios constructed so tomography
+	// cannot localize (the At-Endpoint/disjoint-paths blind spot); they
+	// are scored on matching that expectation instead of on agreement.
+	ExpectUnlocalizable bool
+	CenTrace            centrace.JobResult
+	// CenHopRouter is the router ID owning CenTrace's blocking-hop
+	// address, "" when CenTrace found no in-network hop.
+	CenHopRouter string
+	Tomography   tomography.Result
+	// Comparable: both methods produced an exact-enough answer to compare.
+	Comparable bool
+	// Agree: some tomography candidate link touches CenTrace's blocking
+	// hop router.
+	Agree bool
+}
+
+// CrossValidation is the full study result.
+type CrossValidation struct {
+	Cells      []CrossValCell
+	Comparable int
+	Agreements int
+}
+
+// Rate is the agreement fraction over comparable cells.
+func (cv CrossValidation) Rate() float64 {
+	if cv.Comparable == 0 {
+		return 0
+	}
+	return float64(cv.Agreements) / float64(cv.Comparable)
+}
+
+// OK reports whether the study clears the cross-validation bar: at least
+// 80% agreement on the cells where CenTrace localized exactly.
+func (cv CrossValidation) OK() bool {
+	return cv.Comparable > 0 && cv.Rate() >= 0.8
+}
+
+// crossValScenario builds one scenario world. Every build is
+// self-contained and deterministic, so cells can run on any worker.
+type crossValScenario struct {
+	name         string
+	expectUnloc  bool
+	tomoVantages []string
+	cenVantage   string
+	build        func() *simnet.Network
+}
+
+// crossvalDiamond is the shared multi-path testbed: c behind r1 with ECMP
+// over r2a/r2b, direct vantages va/vb behind the branch routers, server s
+// behind r3.
+func crossvalDiamond() *simnet.Network {
+	g := topology.NewGraph()
+	as := g.AddAS(64500, "CrossVal", "XX")
+	r1 := g.AddRouter("r1", as)
+	r2a := g.AddRouter("r2a", as)
+	r2b := g.AddRouter("r2b", as)
+	r3 := g.AddRouter("r3", as)
+	g.Link("r1", "r2a")
+	g.Link("r1", "r2b")
+	g.Link("r2a", "r3")
+	g.Link("r2b", "r3")
+	g.AddHost("c", as, r1)
+	g.AddHost("va", as, r2a)
+	g.AddHost("vb", as, r2b)
+	g.AddHost("s", as, r3)
+	n := simnet.New(g)
+	n.RegisterServer("s", endpoint.NewServer(crossvalTestDomain, crossvalControlDomain))
+	return n
+}
+
+func crossvalRST(id string) *middlebox.Device {
+	return middlebox.NewDevice(id, middlebox.VendorUnknownRST, []string{crossvalTestDomain}, netip.Addr{})
+}
+
+func crossvalScenarios() []crossValScenario {
+	rehash := func(n *simnet.Network, seed int64) {
+		eng := routedyn.NewEngine(seed, n.Graph)
+		eng.MustSchedule(routedyn.Event{At: 30 * time.Second, Kind: routedyn.Rehash})
+		eng.MustSchedule(routedyn.Event{At: 60 * time.Second, Kind: routedyn.Rehash})
+		n.SetRoutes(eng)
+	}
+	return []crossValScenario{
+		{
+			// The headline case: a second vantage behind the censored
+			// branch pins the link exactly; CenTrace from the same vantage
+			// localizes the same hop.
+			name:         "two-vantage-exact",
+			tomoVantages: []string{"c", "va"},
+			cenVantage:   "va",
+			build: func() *simnet.Network {
+				n := crossvalDiamond()
+				n.AttachDevice("r2a", "r3", crossvalRST("xv-exact"))
+				rehash(n, 21)
+				return n
+			},
+		},
+		{
+			// Flapping censorship: the upstream link to the censored branch
+			// flaps, so vantage c's traffic is blocked only in announced
+			// epochs. Tomography narrows to the two co-occurring links.
+			name:         "flap-withdraw",
+			tomoVantages: []string{"c"},
+			cenVantage:   "va",
+			build: func() *simnet.Network {
+				n := crossvalDiamond()
+				n.AttachDevice("r2a", "r3", crossvalRST("xv-flap"))
+				eng := routedyn.NewEngine(7, n.Graph)
+				if err := eng.FlapLink("r1", "r2a", 20*time.Second, 40*time.Second, 2); err != nil {
+					panic(err)
+				}
+				n.SetRoutes(eng)
+				return n
+			},
+		},
+		{
+			// Pure ECMP churn from a single vantage: ambiguous by
+			// construction, but the candidate pair brackets the censor.
+			name:         "diamond-ecmp",
+			tomoVantages: []string{"c"},
+			cenVantage:   "c",
+			build: func() *simnet.Network {
+				n := crossvalDiamond()
+				n.AttachDevice("r1", "r2a", crossvalRST("xv-ecmp"))
+				rehash(n, 21)
+				return n
+			},
+		},
+		{
+			// Vantage-dependent blocking: the censor sits on the branch vb
+			// never crosses. CenTrace from vb sees nothing — only the
+			// multi-vantage campaign surfaces the device.
+			name:         "vantage-dependent",
+			tomoVantages: []string{"va", "vb"},
+			cenVantage:   "vb",
+			build: func() *simnet.Network {
+				n := crossvalDiamond()
+				n.AttachDevice("r2a", "r3", crossvalRST("xv-vantage"))
+				rehash(n, 21)
+				return n
+			},
+		},
+		{
+			// At-Endpoint blocking seen over disjoint paths: tomography's
+			// structural blind spot (no link is on every blocked path);
+			// CenTrace still localizes it at the endpoint.
+			name:         "guard-at-endpoint",
+			expectUnloc:  true,
+			tomoVantages: []string{"va", "vb"},
+			cenVantage:   "va",
+			build: func() *simnet.Network {
+				n := crossvalDiamond()
+				n.AttachGuard("s", middlebox.NewDevice("xv-guard",
+					middlebox.VendorUnknownDrop, []string{crossvalTestDomain}, netip.Addr{}))
+				rehash(n, 21)
+				return n
+			},
+		},
+		{
+			// Static single-path chain: with no churn, tomography can only
+			// name the whole path — ambiguous, but the true link is inside.
+			name:         "chain-static",
+			tomoVantages: []string{"c"},
+			cenVantage:   "c",
+			build: func() *simnet.Network {
+				g := topology.NewGraph()
+				as := g.AddAS(64501, "Chain", "XX")
+				r1 := g.AddRouter("r1", as)
+				g.AddRouter("r2", as)
+				g.AddRouter("r3", as)
+				r4 := g.AddRouter("r4", as)
+				g.Link("r1", "r2")
+				g.Link("r2", "r3")
+				g.Link("r3", "r4")
+				g.AddHost("c", as, r1)
+				g.AddHost("s", as, r4)
+				n := simnet.New(g)
+				n.RegisterServer("s", endpoint.NewServer(crossvalTestDomain, crossvalControlDomain))
+				n.AttachDevice("r2", "r3", crossvalRST("xv-chain"))
+				return n
+			},
+		},
+	}
+}
+
+// CrossValScenarioNames lists the available scenario names in run order.
+func CrossValScenarioNames() []string {
+	scenarios := crossvalScenarios()
+	names := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		names[i] = sc.name
+	}
+	return names
+}
+
+// CrossValidate runs every scenario cell and scores tomography against
+// CenTrace. Cells fan out across cfg.Workers; each builds its own world,
+// so the result is byte-identical at every worker count.
+func CrossValidate(cfg CrossValConfig) CrossValidation {
+	cv, err := CrossValidateNamed(nil, cfg)
+	if err != nil {
+		// nil names selects every scenario; nothing can be unknown.
+		panic(err)
+	}
+	return cv
+}
+
+// CrossValidateNamed runs only the named scenarios (nil or empty selects
+// all), erroring on unknown names.
+func CrossValidateNamed(names []string, cfg CrossValConfig) (CrossValidation, error) {
+	if cfg.Repetitions <= 0 {
+		cfg.Repetitions = 3
+	}
+	scenarios := crossvalScenarios()
+	if len(names) > 0 {
+		chosen := make([]crossValScenario, 0, len(names))
+		for _, name := range names {
+			found := false
+			for _, sc := range scenarios {
+				if sc.name == name {
+					chosen = append(chosen, sc)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return CrossValidation{}, fmt.Errorf(
+					"experiments: unknown cross-validation scenario %q (have %s)",
+					name, strings.Join(CrossValScenarioNames(), ", "))
+			}
+		}
+		scenarios = chosen
+	}
+	cells := make([]CrossValCell, len(scenarios))
+	parallel.ForEachOpt(len(scenarios), cfg.Workers,
+		parallel.Options{Pool: "crossval.cells", Obs: cfg.Obs}, func(_, i int) {
+			cells[i] = runCrossValCell(scenarios[i], cfg.Repetitions)
+		})
+	cv := CrossValidation{Cells: cells}
+	for _, c := range cells {
+		if c.Comparable {
+			cv.Comparable++
+			if c.Agree {
+				cv.Agreements++
+			}
+		}
+	}
+	return cv, nil
+}
+
+func runCrossValCell(sc crossValScenario, reps int) CrossValCell {
+	base := sc.build()
+	tnet := base.Clone()
+	cnet := base.Clone()
+
+	vantages := make([]*topology.Host, 0, len(sc.tomoVantages))
+	for _, id := range sc.tomoVantages {
+		vantages = append(vantages, tnet.Graph.Host(id))
+	}
+	observations := tomography.Collect(tnet, vantages, tnet.Graph.Host("s"),
+		tomography.CollectConfig{TestDomain: crossvalTestDomain, ControlDomain: crossvalControlDomain})
+
+	cell := CrossValCell{
+		Scenario:            sc.name,
+		ExpectUnlocalizable: sc.expectUnloc,
+		Tomography:          tomography.Solve(observations),
+		CenTrace: centrace.RunJob(cnet, cnet.Graph.Host(sc.cenVantage), cnet.Graph.Host("s"),
+			centrace.JobSpec{
+				ControlDomain: crossvalControlDomain,
+				TestDomain:    crossvalTestDomain,
+				Repetitions:   reps,
+			}),
+	}
+	if cell.CenTrace.Blocked && cell.CenTrace.BlockingHop != "" {
+		for _, r := range cnet.Graph.Routers() {
+			if r.Addr.String() == cell.CenTrace.BlockingHop {
+				cell.CenHopRouter = r.ID
+				break
+			}
+		}
+	}
+	cell.Comparable = !sc.expectUnloc &&
+		cell.CenHopRouter != "" &&
+		cell.Tomography.Verdict != tomography.Unlocalizable
+	if cell.Comparable {
+		for _, cand := range cell.Tomography.Candidates {
+			if cand.Link.A == cell.CenHopRouter || cand.Link.B == cell.CenHopRouter {
+				cell.Agree = true
+				break
+			}
+		}
+	}
+	return cell
+}
+
+// RenderCrossValidation formats the study as the cross-validation table.
+// The final "agreement-ok" line is the machine-checkable gate CI greps
+// for.
+func RenderCrossValidation(cv CrossValidation) string {
+	var b strings.Builder
+	b.WriteString("cross-validation: churn tomography vs CenTrace\n")
+	fmt.Fprintf(&b, "%-19s %-26s %-46s %s\n", "scenario", "centrace", "tomography", "verdict")
+	for _, c := range cv.Cells {
+		cen := "no blocking seen"
+		if c.CenTrace.Blocked {
+			hop := c.CenHopRouter
+			if hop == "" {
+				hop = c.CenTrace.BlockingHop
+			}
+			if hop == "" {
+				hop = "?"
+			}
+			cen = fmt.Sprintf("hop=%s conf=%.2f", hop, c.CenTrace.Confidence)
+		}
+		verdict := "n/a"
+		switch {
+		case c.ExpectUnlocalizable:
+			if c.Tomography.Verdict == tomography.Unlocalizable {
+				verdict = "blind-spot-confirmed"
+			} else {
+				verdict = "unexpected-localization"
+			}
+		case c.Comparable && c.Agree:
+			verdict = "agree"
+		case c.Comparable:
+			verdict = "disagree"
+		}
+		fmt.Fprintf(&b, "%-19s %-26s %-46s %s\n", c.Scenario, cen, tomography.Render(c.Tomography), verdict)
+	}
+	fmt.Fprintf(&b, "agreement: %d/%d comparable cells (%.0f%%)\n", cv.Agreements, cv.Comparable, 100*cv.Rate())
+	fmt.Fprintf(&b, "agreement-ok: %v\n", cv.OK())
+	return b.String()
+}

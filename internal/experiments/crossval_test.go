@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cendev/internal/tomography"
+)
+
+func cellByName(t *testing.T, cv CrossValidation, name string) CrossValCell {
+	t.Helper()
+	for _, c := range cv.Cells {
+		if c.Scenario == name {
+			return c
+		}
+	}
+	t.Fatalf("no cell %q", name)
+	return CrossValCell{}
+}
+
+func TestCrossValidateAgreement(t *testing.T) {
+	cv := CrossValidate(CrossValConfig{Workers: 1})
+	if !cv.OK() {
+		t.Fatalf("cross-validation below the 80%% bar:\n%s", RenderCrossValidation(cv))
+	}
+	if cv.Comparable < 3 {
+		t.Fatalf("want at least 3 comparable cells, got %d:\n%s", cv.Comparable, RenderCrossValidation(cv))
+	}
+
+	// The headline scenario must localize exactly and match CenTrace.
+	exact := cellByName(t, cv, "two-vantage-exact")
+	if exact.Tomography.Verdict != tomography.Exact || !exact.Agree {
+		t.Fatalf("two-vantage-exact: %+v", exact)
+	}
+	if top, _ := exact.Tomography.Top(); top != tomography.MakeLink("r2a", "r3") {
+		t.Fatalf("two-vantage-exact top = %s", top)
+	}
+
+	// Vantage-dependent blocking: CenTrace's single vantage is blind, the
+	// multi-vantage campaign still brackets the censor.
+	vd := cellByName(t, cv, "vantage-dependent")
+	if vd.CenTrace.Blocked {
+		t.Fatalf("vantage-dependent: CenTrace from the clean branch saw blocking: %+v", vd.CenTrace)
+	}
+	if !vd.Tomography.Contains(tomography.MakeLink("r2a", "r3")) {
+		t.Fatalf("vantage-dependent: candidate set lost the true link: %s", tomography.Render(vd.Tomography))
+	}
+
+	// The tomography blind spot must be confirmed, not silently wrong.
+	guard := cellByName(t, cv, "guard-at-endpoint")
+	if guard.Tomography.Verdict != tomography.Unlocalizable {
+		t.Fatalf("guard-at-endpoint: want unlocalizable, got %s", tomography.Render(guard.Tomography))
+	}
+	if guard.Comparable {
+		t.Fatal("guard-at-endpoint must not count toward the agreement denominator")
+	}
+}
+
+func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
+	one := RenderCrossValidation(CrossValidate(CrossValConfig{Workers: 1}))
+	four := RenderCrossValidation(CrossValidate(CrossValConfig{Workers: 4}))
+	if one != four {
+		t.Fatalf("-workers divergence:\nworkers=1:\n%s\nworkers=4:\n%s", one, four)
+	}
+	if !strings.Contains(one, "agreement-ok: true") {
+		t.Fatalf("rendered table missing the CI gate line:\n%s", one)
+	}
+}

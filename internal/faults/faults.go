@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"cendev/internal/obs"
+	"cendev/internal/routedyn"
 )
 
 // Outcome is an impairment's decision about one packet event.
@@ -242,10 +243,17 @@ func (e *Engine) icmpPolicy(routerID string) *icmpPolicy {
 // period of virtual time — deterministic path churn ("A Churn for the
 // Better"): the same flow takes a different downstream path in different
 // epochs, but the same seed and epoch always pick the same path.
+//
+// This is a shim over the route-dynamics engine's salt derivation
+// (routedyn.FlapBaseSalt / FlapEpochSalt): faults keeps the per-router
+// period bookkeeping, routedyn owns the one salt formula, so flap
+// scenarios and epoch-based route dynamics perturb paths through exactly
+// the same mechanism — and the delegation is bit-for-bit compatible with
+// the salts this engine derived before routedyn existed.
 func (e *Engine) FlapRoutes(routerID string, period time.Duration) *Engine {
 	e.flaps[routerID] = flapPolicy{
 		period: period,
-		salt:   splitmix(uint64(e.seed) ^ hashString(routerID)),
+		salt:   routedyn.FlapBaseSalt(e.seed, routerID),
 	}
 	return e
 }
@@ -317,12 +325,10 @@ func (e *Engine) RouteSalt(routerID string, now time.Duration) uint64 {
 		return 0
 	}
 	epoch := uint64(now / f.period)
-	if epoch == 0 {
-		// Epoch 0 keeps the unperturbed route so measurements start on the
-		// topology's canonical path; churn begins at the first flap.
-		return 0
-	}
-	return splitmix(f.salt ^ (epoch+1)*0xbf58476d1ce4e5b9)
+	// Epoch 0 keeps the unperturbed route so measurements start on the
+	// topology's canonical path; churn begins at the first flap (the
+	// delegated derivation returns 0 for epoch 0).
+	return routedyn.FlapEpochSalt(f.salt, epoch)
 }
 
 // Seed returns the seed the engine's randomness derives from.
@@ -379,7 +385,7 @@ func (e *Engine) CloneSeeded(seed int64) *Engine {
 	for id, f := range e.flaps {
 		c.flaps[id] = flapPolicy{
 			period: f.period,
-			salt:   splitmix(uint64(seed) ^ hashString(id)),
+			salt:   routedyn.FlapBaseSalt(seed, id),
 		}
 	}
 	return c

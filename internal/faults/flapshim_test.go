@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFlapShimByteIdentical replays the pre-routedyn salt derivation —
+// inlined here verbatim from the old implementation — against the
+// delegated one over a dense virtual-time sweep. Any pre-existing flap
+// scenario (seed, router, period) must produce bit-identical salt
+// sequences, and therefore byte-identical measurement results, after the
+// unification.
+func TestFlapShimByteIdentical(t *testing.T) {
+	oldHash := func(s string) uint64 {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		return h
+	}
+	oldMix := func(x uint64) uint64 {
+		x += 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	oldRouteSalt := func(seed int64, routerID string, period, now time.Duration) uint64 {
+		base := oldMix(uint64(seed) ^ oldHash(routerID))
+		epoch := uint64(now / period)
+		if epoch == 0 {
+			return 0
+		}
+		return oldMix(base ^ (epoch+1)*0xbf58476d1ce4e5b9)
+	}
+
+	for _, seed := range []int64{1, 5, 18, 42, -3} {
+		for _, router := range []string{"r1", "r5", "bb-az-1"} {
+			for _, period := range []time.Duration{time.Minute, 5 * time.Minute, 7 * time.Minute} {
+				e := NewEngine(seed).FlapRoutes(router, period)
+				for now := time.Duration(0); now < 30*time.Minute; now += 13 * time.Second {
+					want := oldRouteSalt(seed, router, period, now)
+					if got := e.RouteSalt(router, now); got != want {
+						t.Fatalf("seed %d router %s period %v now %v: RouteSalt = %#x, want %#x",
+							seed, router, period, now, got, want)
+					}
+				}
+			}
+		}
+	}
+
+	// CloneSeeded re-derives through the same chain.
+	e := NewEngine(5).FlapRoutes("r9", time.Minute)
+	c := e.CloneSeeded(77)
+	if got, want := c.RouteSalt("r9", 3*time.Minute), oldRouteSalt(77, "r9", time.Minute, 3*time.Minute); got != want {
+		t.Fatalf("CloneSeeded RouteSalt = %#x, want %#x", got, want)
+	}
+}

@@ -40,7 +40,9 @@ var deterministicPkgs = []string{
 	"cendev/internal/evolve",
 	"cendev/internal/obs",
 	"cendev/internal/parallel",
+	"cendev/internal/routedyn",
 	"cendev/internal/serve",
+	"cendev/internal/tomography",
 	"cendev/internal/vfs",
 	"cendev/internal/wire",
 }
@@ -56,6 +58,7 @@ var journalPkgs = []string{
 	"cendev/internal/cluster",
 	"cendev/internal/wire",
 	"cendev/internal/centrace",
+	"cendev/internal/routedyn",
 	"cendev/internal/vfs",
 	"cendev/internal/obs",
 }

@@ -1,0 +1,125 @@
+// Route-event journal: the schedule serialized as internal/wire frames,
+// one event per frame, in application order. A journal plus a seed fully
+// determines an engine — and therefore every epoch graph and ECMP salt —
+// so a run's path history replays byte-identically at any worker count.
+//
+// Frame payload layout (all integers uvarint unless noted):
+//
+//	byte    version (1)
+//	byte    kind (Withdraw=0, Announce=1, Rehash=2)
+//	uvarint at, in nanoseconds of virtual time
+//	string  from (uvarint length + bytes; empty for Rehash)
+//	string  to
+//
+// The wire framing supplies the marker, length prefix, and CRC, and its
+// reader's resync/torn-tail handling applies unchanged: a journal with a
+// torn final frame replays every complete event and reports the tear.
+package routedyn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cendev/internal/wire"
+)
+
+// journalVersion is the event-record layout version.
+const journalVersion = 1
+
+// maxEventPayload bounds a single event record. Router IDs are short
+// strings; anything near this limit is a corrupt or hostile record.
+const maxEventPayload = 4096
+
+// AppendEvent encodes one event record (unframed) onto dst.
+func AppendEvent(dst []byte, ev Event) []byte {
+	dst = append(dst, journalVersion, byte(ev.Kind))
+	dst = wire.AppendUvarint(dst, uint64(ev.At))
+	dst = wire.AppendString(dst, ev.From)
+	dst = wire.AppendString(dst, ev.To)
+	return dst
+}
+
+// DecodeEvent parses one event record produced by AppendEvent.
+func DecodeEvent(payload []byte) (Event, error) {
+	if len(payload) > maxEventPayload {
+		return Event{}, fmt.Errorf("routedyn: event record %d bytes exceeds limit %d", len(payload), maxEventPayload)
+	}
+	d := wire.NewDec(payload)
+	ver := d.Byte()
+	kind := d.Byte()
+	at := d.Uvarint()
+	from := d.String()
+	to := d.String()
+	if err := d.Err(); err != nil {
+		return Event{}, fmt.Errorf("routedyn: decode event: %w", err)
+	}
+	if ver != journalVersion {
+		return Event{}, fmt.Errorf("routedyn: event version %d, want %d", ver, journalVersion)
+	}
+	if kind > uint8(Rehash) {
+		return Event{}, fmt.Errorf("routedyn: unknown event kind %d", kind)
+	}
+	if d.Len() != 0 {
+		return Event{}, fmt.Errorf("routedyn: %d trailing bytes after event record", d.Len())
+	}
+	if at > uint64(1<<62) {
+		return Event{}, fmt.Errorf("routedyn: event time %d overflows virtual time", at)
+	}
+	return Event{At: time.Duration(at), Kind: EventKind(kind), From: from, To: to}, nil
+}
+
+// WriteJournal serializes the schedule in application order.
+func (e *Engine) WriteJournal(w io.Writer) error {
+	var frame, rec []byte
+	for _, ev := range e.events {
+		rec = AppendEvent(rec[:0], ev)
+		frame = wire.AppendFrame(frame[:0], rec)
+		if _, err := w.Write(frame); err != nil {
+			return fmt.Errorf("routedyn: write journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJournal parses a journal byte stream back into events, in journal
+// order. Undecodable complete frames are reported as warnings and
+// skipped, mirroring the wire reader's own corruption handling; a torn
+// final frame is likewise a warning, not an error, so a journal cut mid
+// write still replays its complete prefix.
+func ReadJournal(data []byte) (events []Event, warnings []string, err error) {
+	r := wire.NewReader(data)
+	for {
+		payload, ok := r.Next()
+		if !ok {
+			break
+		}
+		ev, decErr := DecodeEvent(payload)
+		if decErr != nil {
+			warnings = append(warnings, decErr.Error())
+			continue
+		}
+		events = append(events, ev)
+	}
+	warnings = append(warnings, r.Warnings()...)
+	if _, torn := r.Torn(); torn {
+		warnings = append(warnings, "routedyn: journal tail torn; replayed complete prefix")
+	}
+	return events, warnings, nil
+}
+
+// ScheduleFromJournal replays a journal into the engine. Events the
+// engine rejects (unknown routers for this base graph, zero times) are
+// returned as warnings alongside the parser's own.
+func (e *Engine) ScheduleFromJournal(data []byte) (warnings []string, err error) {
+	events, warnings, err := ReadJournal(data)
+	if err != nil {
+		return warnings, err
+	}
+	for _, ev := range events {
+		if schedErr := e.Schedule(ev); schedErr != nil {
+			warnings = append(warnings, schedErr.Error())
+		}
+	}
+	return warnings, nil
+}

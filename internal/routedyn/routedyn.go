@@ -1,0 +1,311 @@
+// Package routedyn is the seeded route-dynamics engine: BGP-style
+// announcements and withdrawals scheduled in virtual time over an
+// internal/topology graph, with epoched path recomputation and per-epoch
+// ECMP re-hash salts. The paper localizes devices over a static topology;
+// real censorship moves with routing — "A Churn for the Better" localizes
+// devices *from* path churn, and "Routing-Induced Censorship Changes"
+// shows BGP shifts moving clients in and out of censorship entirely. This
+// engine generates that churn deterministically: the event schedule
+// partitions virtual time into epochs, each epoch lazily snapshots a
+// private graph clone with the scheduled link state applied, and every
+// epoch past the first perturbs ECMP choices with a salt derived from
+// (seed, epoch) alone. The same schedule and seed therefore produce
+// byte-identical path histories at any worker count, and the event
+// journal (journal.go) makes a run's schedule replayable after the fact.
+//
+// Concurrency: an Engine is not safe for concurrent use, by design — the
+// simulator gives every measurement worker a private network clone, and
+// Clone rebinds the engine to the clone's graph. Epoch snapshots taken
+// from a base graph are safe against concurrent path computation on that
+// base (topology.Graph.Clone locks the graph's cache mutex).
+package routedyn
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cendev/internal/topology"
+)
+
+// EventKind classifies a scheduled route event.
+type EventKind uint8
+
+const (
+	// Withdraw takes the link down: routing computes as if it were absent.
+	Withdraw EventKind = iota
+	// Announce brings a previously withdrawn link back up.
+	Announce
+	// Rehash changes no link state but still opens a new epoch, re-rolling
+	// every ECMP choice — the pure tie-break churn of a BGP best-path
+	// change that does not alter the available links.
+	Rehash
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Withdraw:
+		return "withdraw"
+	case Announce:
+		return "announce"
+	case Rehash:
+		return "rehash"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled route change. From/To name the undirected link
+// (empty for Rehash). Events at the same virtual time apply in schedule
+// order within one epoch.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	From string
+	To   string
+}
+
+// Engine holds a route-event schedule bound to a base graph. Epochs are
+// the half-open intervals between distinct event times; epoch 0 is the
+// canonical pre-churn routing (salt 0, the base graph itself), so a
+// network with an empty schedule behaves exactly as one with no engine.
+type Engine struct {
+	seed   int64
+	base   *topology.Graph
+	events []Event // sorted by At, stable in schedule order
+	// starts[i] is epoch i's first instant; starts[0] is always 0.
+	starts []time.Duration
+	epochs []*Epoch // lazily built snapshots, parallel to starts
+}
+
+// NewEngine binds an empty schedule to a base graph. The seed roots every
+// per-epoch ECMP salt.
+func NewEngine(seed int64, base *topology.Graph) *Engine {
+	return &Engine{seed: seed, base: base, starts: []time.Duration{0}}
+}
+
+// Seed returns the engine's salt seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Schedule adds one event and rebuilds the epoch boundaries. Events at or
+// before virtual time zero are rejected: epoch 0 is by definition the
+// canonical pre-churn state. Link events must name two distinct routers
+// present in the base graph.
+func (e *Engine) Schedule(ev Event) error {
+	if ev.At <= 0 {
+		return fmt.Errorf("routedyn: event at %v: epoch 0 is canonical, events must be after time zero", ev.At)
+	}
+	switch ev.Kind {
+	case Withdraw, Announce:
+		if ev.From == "" || ev.To == "" || ev.From == ev.To {
+			return fmt.Errorf("routedyn: %s event needs two distinct routers, got %q <-> %q", ev.Kind, ev.From, ev.To)
+		}
+		if e.base.Router(ev.From) == nil {
+			return fmt.Errorf("routedyn: %s event: unknown router %q", ev.Kind, ev.From)
+		}
+		if e.base.Router(ev.To) == nil {
+			return fmt.Errorf("routedyn: %s event: unknown router %q", ev.Kind, ev.To)
+		}
+		if !e.base.Linked(ev.From, ev.To) {
+			return fmt.Errorf("routedyn: %s event: no link %q <-> %q", ev.Kind, ev.From, ev.To)
+		}
+	case Rehash:
+		if ev.From != "" || ev.To != "" {
+			return fmt.Errorf("routedyn: rehash event carries no link, got %q <-> %q", ev.From, ev.To)
+		}
+	default:
+		return fmt.Errorf("routedyn: unknown event kind %d", ev.Kind)
+	}
+	e.events = append(e.events, ev)
+	sort.SliceStable(e.events, func(i, j int) bool { return e.events[i].At < e.events[j].At })
+	e.rebuildStarts()
+	return nil
+}
+
+// MustSchedule is Schedule for statically correct schedules (scenario
+// builders); it panics on error.
+func (e *Engine) MustSchedule(ev Event) *Engine {
+	if err := e.Schedule(ev); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// FlapLink schedules `cycles` withdraw/announce pairs for one link: down
+// at firstDown, up again half a period later, repeating every period.
+func (e *Engine) FlapLink(from, to string, firstDown, period time.Duration, cycles int) error {
+	for c := 0; c < cycles; c++ {
+		at := firstDown + time.Duration(c)*period
+		if err := e.Schedule(Event{At: at, Kind: Withdraw, From: from, To: to}); err != nil {
+			return err
+		}
+		if err := e.Schedule(Event{At: at + period/2, Kind: Announce, From: from, To: to}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildStarts recomputes epoch boundaries (distinct event times) and
+// drops stale snapshots.
+func (e *Engine) rebuildStarts() {
+	e.starts = e.starts[:0]
+	e.starts = append(e.starts, 0)
+	for _, ev := range e.events {
+		if ev.At != e.starts[len(e.starts)-1] {
+			e.starts = append(e.starts, ev.At)
+		}
+	}
+	e.epochs = nil
+}
+
+// Events returns the schedule in application order. The slice is the
+// engine's own; callers must not mutate it.
+func (e *Engine) Events() []Event { return e.events }
+
+// Epochs returns the number of epochs the schedule defines (≥ 1).
+func (e *Engine) Epochs() int { return len(e.starts) }
+
+// EpochStart returns the first instant of epoch i.
+func (e *Engine) EpochStart(i int) time.Duration { return e.starts[i] }
+
+// EpochAt resolves the active epoch for a virtual-time instant. Negative
+// times resolve to epoch 0.
+func (e *Engine) EpochAt(now time.Duration) *Epoch {
+	// sort.Search finds the first start > now; the active epoch is the one
+	// before it.
+	i := sort.Search(len(e.starts), func(k int) bool { return e.starts[k] > now }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.epoch(i)
+}
+
+// Epoch returns epoch i's snapshot, building it on first use.
+func (e *Engine) Epoch(i int) *Epoch { return e.epoch(i) }
+
+// epoch lazily builds the snapshot for epoch index i.
+func (e *Engine) epoch(i int) *Epoch {
+	if e.epochs == nil {
+		e.epochs = make([]*Epoch, len(e.starts))
+	}
+	if ep := e.epochs[i]; ep != nil {
+		return ep
+	}
+	ep := &Epoch{Index: i, Start: e.starts[i], seed: e.seed}
+	if i+1 < len(e.starts) {
+		ep.End = e.starts[i+1]
+	} else {
+		ep.End = -1
+	}
+	if i == 0 {
+		// Epoch 0 is the canonical state: the base graph itself, unsalted.
+		// Sharing it (rather than cloning) keeps a schedule-free engine
+		// free, and the canonical path identical to the no-engine network.
+		ep.graph = e.base
+	} else {
+		g := e.base.Clone()
+		for _, ev := range e.events {
+			if ev.At > e.starts[i] {
+				break
+			}
+			switch ev.Kind {
+			case Withdraw:
+				g.SetLinkUp(ev.From, ev.To, false)
+			case Announce:
+				g.SetLinkUp(ev.From, ev.To, true)
+			}
+		}
+		ep.graph = g
+	}
+	e.epochs[i] = ep
+	return ep
+}
+
+// Clone rebinds the schedule to another graph — the per-worker network
+// clone. Epoch snapshots are rebuilt lazily against the new base, so the
+// clone is cheap and the result deterministic (snapshots are a pure
+// function of base + schedule + seed).
+func (e *Engine) Clone(base *topology.Graph) *Engine {
+	c := &Engine{
+		seed:   e.seed,
+		base:   base,
+		events: append([]Event(nil), e.events...),
+		starts: append([]time.Duration(nil), e.starts...),
+	}
+	return c
+}
+
+// Epoch is one interval of stable routing: a snapshot graph with the
+// schedule's link state applied, and a per-epoch ECMP salt.
+type Epoch struct {
+	Index int
+	Start time.Duration
+	// End is the first instant of the next epoch, or -1 for the last.
+	End   time.Duration
+	graph *topology.Graph
+	seed  int64
+}
+
+// Graph returns the epoch's routing snapshot. Epoch 0 returns the base
+// graph itself; later epochs return a private clone with the scheduled
+// link state applied.
+func (ep *Epoch) Graph() *topology.Graph { return ep.graph }
+
+// Salt returns the ECMP perturbation for a router in this epoch: 0 in
+// epoch 0 (canonical paths), and a (seed, router, epoch)-derived value
+// afterwards — the same derivation chain faults.Engine route flaps use,
+// so there is exactly one salt mechanism in the tree.
+func (ep *Epoch) Salt(routerID string) uint64 {
+	return FlapEpochSalt(FlapBaseSalt(ep.seed, routerID), uint64(ep.Index))
+}
+
+// SaltFunc returns Salt as a closure, or nil for epoch 0 where every salt
+// is zero (letting forwarding keep its unsalted fast path).
+func (ep *Epoch) SaltFunc() func(routerID string) uint64 {
+	if ep.Index == 0 {
+		return nil
+	}
+	return ep.Salt
+}
+
+// FlapBaseSalt derives the per-router base salt for ECMP perturbation.
+// This is the single source of route-flap randomness in the tree:
+// faults.Engine flap policies and routedyn epochs both derive from it, so
+// the two mechanisms produce identical perturbation streams for the same
+// (seed, router).
+func FlapBaseSalt(seed int64, routerID string) uint64 {
+	return splitmix(uint64(seed) ^ hashString(routerID))
+}
+
+// FlapEpochSalt derives the effective ECMP salt for one epoch from a
+// router's base salt. Epoch 0 is canonical: salt 0 reproduces the
+// unperturbed path exactly.
+func FlapEpochSalt(base, epoch uint64) uint64 {
+	if epoch == 0 {
+		return 0
+	}
+	return splitmix(base ^ (epoch+1)*0xbf58476d1ce4e5b9)
+}
+
+// splitmix is the SplitMix64 finalizer: a cheap, well-mixed seed stepper.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashString is FNV-1a, used to fold identifiers into seeds.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,246 @@
+package routedyn
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cendev/internal/topology"
+)
+
+// buildDiamond creates src-r1-{r2a|r2b}-r3-dst with two equal-cost paths.
+func buildDiamond(t testing.TB) (*topology.Graph, *topology.Host, *topology.Host) {
+	t.Helper()
+	g := topology.NewGraph()
+	asA := g.AddAS(100, "SourceNet", "US")
+	asB := g.AddAS(200, "TransitNet", "DE")
+	asC := g.AddAS(300, "DestNet", "KZ")
+	r1 := g.AddRouter("r1", asA)
+	g.AddRouter("r2a", asB)
+	g.AddRouter("r2b", asB)
+	r3 := g.AddRouter("r3", asC)
+	g.Link("r1", "r2a")
+	g.Link("r1", "r2b")
+	g.Link("r2a", "r3")
+	g.Link("r2b", "r3")
+	src := g.AddHost("client", asA, r1)
+	dst := g.AddHost("server", asC, r3)
+	return g, src, dst
+}
+
+func TestEpochBoundaries(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	e := NewEngine(7, g)
+	if e.Epochs() != 1 {
+		t.Fatalf("empty schedule has %d epochs, want 1", e.Epochs())
+	}
+	e.MustSchedule(Event{At: 10 * time.Second, Kind: Withdraw, From: "r1", To: "r2a"})
+	e.MustSchedule(Event{At: 20 * time.Second, Kind: Announce, From: "r1", To: "r2a"})
+	e.MustSchedule(Event{At: 20 * time.Second, Kind: Rehash}) // same instant: same epoch
+	if e.Epochs() != 3 {
+		t.Fatalf("schedule has %d epochs, want 3", e.Epochs())
+	}
+	cases := []struct {
+		now  time.Duration
+		want int
+	}{
+		{0, 0}, {9 * time.Second, 0},
+		{10 * time.Second, 1}, {19 * time.Second, 1},
+		{20 * time.Second, 2}, {time.Hour, 2},
+		{-time.Second, 0},
+	}
+	for _, c := range cases {
+		if got := e.EpochAt(c.now).Index; got != c.want {
+			t.Errorf("EpochAt(%v) = epoch %d, want %d", c.now, got, c.want)
+		}
+	}
+}
+
+func TestEpochGraphAppliesLinkState(t *testing.T) {
+	g, src, dst := buildDiamond(t)
+	e := NewEngine(7, g)
+	e.MustSchedule(Event{At: 10 * time.Second, Kind: Withdraw, From: "r1", To: "r2a"})
+	e.MustSchedule(Event{At: 20 * time.Second, Kind: Announce, From: "r1", To: "r2a"})
+
+	ep0 := e.EpochAt(0)
+	if ep0.Graph() != g {
+		t.Fatal("epoch 0 must share the base graph")
+	}
+	if ep0.SaltFunc() != nil {
+		t.Fatal("epoch 0 must be unsalted")
+	}
+
+	ep1 := e.EpochAt(15 * time.Second)
+	if ep1.Graph() == g {
+		t.Fatal("epoch 1 must snapshot a private clone")
+	}
+	if ep1.Graph().LinkUp("r1", "r2a") {
+		t.Fatal("epoch 1 snapshot did not apply the withdrawal")
+	}
+	if g.LinkUp("r1", "r2a") == false {
+		t.Fatal("epoch snapshot mutated the base graph")
+	}
+	s1, d1 := ep1.Graph().Host(src.ID), ep1.Graph().Host(dst.ID)
+	if paths := ep1.Graph().AllPaths(s1, d1, 0); len(paths) != 1 {
+		t.Fatalf("epoch 1 has %d paths, want 1", len(paths))
+	}
+
+	ep2 := e.EpochAt(25 * time.Second)
+	if !ep2.Graph().LinkUp("r1", "r2a") {
+		t.Fatal("epoch 2 snapshot did not apply the announcement")
+	}
+	if ep2.Salt("r1") == 0 || ep2.Salt("r1") == ep1.Salt("r1") {
+		t.Fatal("epoch salts must be nonzero and differ per epoch")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	e := NewEngine(1, g)
+	bad := []Event{
+		{At: 0, Kind: Withdraw, From: "r1", To: "r2a"},            // epoch 0 is canonical
+		{At: time.Second, Kind: Withdraw, From: "r1"},             // missing To
+		{At: time.Second, Kind: Withdraw, From: "x", To: "y"},     // unknown routers
+		{At: time.Second, Kind: Withdraw, From: "r2a", To: "r2b"}, // not linked
+		{At: time.Second, Kind: Rehash, From: "r1", To: "r2a"},    // rehash carries no link
+		{At: time.Second, Kind: EventKind(9)},                     // unknown kind
+	}
+	for _, ev := range bad {
+		if err := e.Schedule(ev); err == nil {
+			t.Errorf("Schedule(%+v) accepted an invalid event", ev)
+		}
+	}
+	if e.Epochs() != 1 {
+		t.Fatalf("rejected events changed the schedule: %d epochs", e.Epochs())
+	}
+}
+
+func TestCloneRebindsAndMatches(t *testing.T) {
+	g, src, dst := buildDiamond(t)
+	e := NewEngine(42, g)
+	if err := e.FlapLink("r1", "r2a", 10*time.Second, 20*time.Second, 2); err != nil {
+		t.Fatal(err)
+	}
+	cg := g.Clone()
+	ce := e.Clone(cg)
+	if ce.Epochs() != e.Epochs() {
+		t.Fatalf("clone has %d epochs, want %d", ce.Epochs(), e.Epochs())
+	}
+	for i := 0; i < e.Epochs(); i++ {
+		ep, cep := e.Epoch(i), ce.Epoch(i)
+		if ep.Salt("r1") != cep.Salt("r1") {
+			t.Fatalf("epoch %d salts diverge between engine and clone", i)
+		}
+		for flow := uint64(0); flow < 32; flow++ {
+			p := ep.Graph().PathForFlowSalted(ep.Graph().Host(src.ID), ep.Graph().Host(dst.ID), flow, ep.SaltFunc())
+			cp := cep.Graph().PathForFlowSalted(cep.Graph().Host(src.ID), cep.Graph().Host(dst.ID), flow, cep.SaltFunc())
+			if len(p) != len(cp) {
+				t.Fatalf("epoch %d flow %d: path lengths diverge", i, flow)
+			}
+			for k := range p {
+				if p[k].ID != cp[k].ID {
+					t.Fatalf("epoch %d flow %d hop %d: %s vs %s", i, flow, k, p[k].ID, cp[k].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestFlapSaltsMatchFaultsFormula(t *testing.T) {
+	// The historical faults.Engine derivation, inlined: regression that
+	// routedyn's exported primitives reproduce it bit-for-bit.
+	oldHash := func(s string) uint64 {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		return h
+	}
+	oldMix := func(x uint64) uint64 {
+		x += 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		for _, router := range []string{"r1", "r5", "bb-az-1", ""} {
+			base := oldMix(uint64(seed) ^ oldHash(router))
+			if got := FlapBaseSalt(seed, router); got != base {
+				t.Fatalf("FlapBaseSalt(%d, %q) = %#x, want %#x", seed, router, got, base)
+			}
+			for epoch := uint64(0); epoch < 8; epoch++ {
+				want := uint64(0)
+				if epoch > 0 {
+					want = oldMix(base ^ (epoch+1)*0xbf58476d1ce4e5b9)
+				}
+				if got := FlapEpochSalt(base, epoch); got != want {
+					t.Fatalf("FlapEpochSalt(%#x, %d) = %#x, want %#x", base, epoch, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	e := NewEngine(3, g)
+	e.MustSchedule(Event{At: 5 * time.Second, Kind: Withdraw, From: "r1", To: "r2a"})
+	e.MustSchedule(Event{At: 8 * time.Second, Kind: Rehash})
+	e.MustSchedule(Event{At: 12 * time.Second, Kind: Announce, From: "r1", To: "r2a"})
+
+	var buf bytes.Buffer
+	if err := e.WriteJournal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replay := NewEngine(3, g)
+	warnings, err := replay.ScheduleFromJournal(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("clean journal produced warnings: %v", warnings)
+	}
+	if got, want := replay.Events(), e.Events(); len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d: %+v != %+v", i, got[i], want[i])
+			}
+		}
+	}
+	// Byte-identical re-serialization: journal(replay(journal)) == journal.
+	var buf2 bytes.Buffer
+	if err := replay.WriteJournal(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("journal re-serialization is not byte-identical")
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	e := NewEngine(3, g)
+	e.MustSchedule(Event{At: 5 * time.Second, Kind: Withdraw, From: "r1", To: "r2a"})
+	e.MustSchedule(Event{At: 9 * time.Second, Kind: Announce, From: "r1", To: "r2a"})
+	var buf bytes.Buffer
+	if err := e.WriteJournal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()-3]
+	events, warnings, err := ReadJournal(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("torn journal replayed %d events, want 1", len(events))
+	}
+	if len(warnings) == 0 {
+		t.Fatal("torn journal produced no warning")
+	}
+}

@@ -27,6 +27,7 @@ const (
 	KindCenFuzz          = "cenfuzz"           // strategy catalog against one endpoint
 	KindCenProbe         = "cenprobe"          // banner grabs (given addrs or all devices)
 	KindCenCluster       = "cencluster"        // full §7 corpus + clustering study
+	KindTomography       = "tomography"        // churn-tomography cross-validation study
 )
 
 // JobSpec is the wire-level description of one measurement job — the body
@@ -59,6 +60,7 @@ type JobSpec struct {
 	Addrs       []string `json:"addrs,omitempty"`        // cenprobe: addresses (default: all devices)
 	TopK        int      `json:"topk,omitempty"`         // cencluster: top-importance features
 	MinPts      int      `json:"minpts,omitempty"`       // cencluster: DBSCAN min cluster size
+	Scenario    string   `json:"scenario,omitempty"`     // tomography: one scenario (default: all)
 
 	// Fault profile, applied through a per-job engine seeded from
 	// (Seed, canonical spec) so realizations are job-deterministic.
@@ -98,7 +100,9 @@ func (s *JobSpec) Validate() error {
 		if s.Domain == "" {
 			return fmt.Errorf("serve: %s job needs a domain", s.Kind)
 		}
-	case KindCenTraceCampaign, KindCenProbe, KindCenCluster:
+	case KindCenTraceCampaign, KindCenProbe, KindCenCluster, KindTomography:
+		// Tomography scenario names are validated at dispatch time, like
+		// host IDs: the scenario catalog belongs to the scheduler's layer.
 	default:
 		return fmt.Errorf("serve: unknown job kind %q", s.Kind)
 	}

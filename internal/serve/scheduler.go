@@ -95,6 +95,8 @@ func (s *Scheduler) Run(spec JobSpec) (json.RawMessage, error) {
 		return s.runCenProbe(spec)
 	case KindCenCluster:
 		return s.runCenCluster(spec)
+	case KindTomography:
+		return s.runTomography(spec)
 	default:
 		return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 	}
@@ -229,6 +231,39 @@ func (s *Scheduler) runCenCluster(spec JobSpec) (json.RawMessage, error) {
 	return marshalPayload(clusterPayload{
 		Observations: len(c.Observations()),
 		Rendered:     experiments.RenderFig6(res),
+	})
+}
+
+// runTomography runs the churn-tomography cross-validation study — all
+// scenarios, or the one spec.Scenario names. Like cencluster, the study
+// builds its own scenario worlds, so the base-world clone and fault
+// profile are not used; the payload is a pure function of the spec.
+func (s *Scheduler) runTomography(spec JobSpec) (json.RawMessage, error) {
+	var names []string
+	if spec.Scenario != "" {
+		names = []string{spec.Scenario}
+	}
+	cv, err := experiments.CrossValidateNamed(names, experiments.CrossValConfig{
+		Workers:     spec.Workers,
+		Repetitions: spec.Repetitions,
+		Obs:         s.obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	type tomographyPayload struct {
+		Cells       []experiments.CrossValCell `json:"cells"`
+		Comparable  int                        `json:"comparable"`
+		Agreements  int                        `json:"agreements"`
+		AgreementOK bool                       `json:"agreement_ok"`
+		Rendered    string                     `json:"rendered"`
+	}
+	return marshalPayload(tomographyPayload{
+		Cells:       cv.Cells,
+		Comparable:  cv.Comparable,
+		Agreements:  cv.Agreements,
+		AgreementOK: cv.OK(),
+		Rendered:    experiments.RenderCrossValidation(cv),
 	})
 }
 

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The tomography job kind runs end to end through the service: submitted
+// over HTTP, dispatched by the scheduler, payload byte-identical for the
+// same spec at different in-job worker counts.
+func TestServerTomographyJob(t *testing.T) {
+	_, ts := startServer(t, Options{Workers: 2, AdmitBurst: 16})
+
+	spec := JobSpec{Kind: KindTomography, Scenario: "two-vantage-exact"}
+	idA, _ := submit(t, ts, spec)
+	if st := waitDone(t, ts, idA); st.State != StateDone {
+		t.Fatalf("tomography job: state %s error %q", st.State, st.Error)
+	}
+	resA := fetchResult(t, ts, idA)
+
+	var payload struct {
+		Cells       []json.RawMessage `json:"cells"`
+		Comparable  int               `json:"comparable"`
+		Agreements  int               `json:"agreements"`
+		AgreementOK bool              `json:"agreement_ok"`
+		Rendered    string            `json:"rendered"`
+	}
+	if err := json.Unmarshal(resA, &payload); err != nil {
+		t.Fatalf("payload not JSON: %v\n%s", err, resA)
+	}
+	if len(payload.Cells) != 1 || payload.Comparable != 1 || payload.Agreements != 1 || !payload.AgreementOK {
+		t.Fatalf("unexpected payload: %s", resA)
+	}
+	if !strings.Contains(payload.Rendered, "agreement-ok: true") {
+		t.Fatalf("rendered table missing gate line:\n%s", payload.Rendered)
+	}
+
+	// Same spec but a different in-job worker count must not change the
+	// measured cells (Workers is part of the spec, so compare cells, not
+	// whole payload digests).
+	idB, _ := submit(t, ts, JobSpec{Kind: KindTomography, Scenario: "two-vantage-exact", Workers: 4})
+	if st := waitDone(t, ts, idB); st.State != StateDone {
+		t.Fatalf("tomography job (workers=4): state %s error %q", st.State, st.Error)
+	}
+	var payloadB struct {
+		Cells []json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(fetchResult(t, ts, idB), &payloadB); err != nil {
+		t.Fatal(err)
+	}
+	if len(payloadB.Cells) != 1 || !bytes.Equal(payload.Cells[0], payloadB.Cells[0]) {
+		t.Fatalf("cell bytes differ across in-job worker counts:\nA: %s\nB: %s",
+			payload.Cells[0], payloadB.Cells[0])
+	}
+}
+
+// Unknown scenario names fail at dispatch with a helpful error, like
+// unknown hosts do.
+func TestServerTomographyUnknownScenario(t *testing.T) {
+	_, ts := startServer(t, Options{Workers: 1, AdmitBurst: 4})
+	id, _ := submit(t, ts, JobSpec{Kind: KindTomography, Scenario: "no-such-scenario"})
+	st := waitDone(t, ts, id)
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "no-such-scenario") {
+		t.Fatalf("error %q does not name the bad scenario", st.Error)
+	}
+}

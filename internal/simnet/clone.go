@@ -78,6 +78,12 @@ func (n *Network) Clone() *Network {
 	if n.faults != nil {
 		c.faults = n.faults.Clone()
 	}
+	if n.routes != nil {
+		// Rebind the route schedule to the cloned graph; epoch snapshots
+		// rebuild lazily against it, a pure function of graph + schedule +
+		// seed, so every clone sees identical path history.
+		c.routes = n.routes.Clone(c.Graph)
+	}
 	return c
 }
 

@@ -26,6 +26,7 @@ import (
 	"cendev/internal/middlebox"
 	"cendev/internal/netem"
 	"cendev/internal/obs"
+	"cendev/internal/routedyn"
 	"cendev/internal/topology"
 )
 
@@ -46,6 +47,7 @@ type Network struct {
 	httpStreams   map[flowKey][]byte               // per-flow HTTP request reassembly
 	nextPort      uint16
 	faults        *faults.Engine
+	routes        *routedyn.Engine
 	obs           *obs.Registry
 	m             netMetrics
 
@@ -275,6 +277,51 @@ func (n *Network) routeSalt() func(string) uint64 {
 		return nil
 	}
 	return func(routerID string) uint64 { return n.faults.RouteSalt(routerID, n.clock) }
+}
+
+// SetRoutes installs a route-dynamics engine: from now on, forwarding
+// consults the engine's active epoch for the routing graph and ECMP salt
+// at every transmit. The engine must be bound to this network's graph
+// (routedyn.NewEngine(seed, n.Graph)); Clone rebinds it automatically.
+// Pass nil to restore static routing.
+func (n *Network) SetRoutes(e *routedyn.Engine) { n.routes = e }
+
+// Routes returns the installed route-dynamics engine, or nil.
+func (n *Network) Routes() *routedyn.Engine { return n.routes }
+
+// activeRouting resolves what forwarding uses at the current virtual
+// time: the active route-dynamics epoch's snapshot graph (the base graph
+// when no engine is installed or the schedule is still in epoch 0) and
+// the effective ECMP salt — the epoch's re-hash salt XOR-combined with
+// the fault engine's flap salt, either alone, or nil when neither
+// perturbs routes.
+func (n *Network) activeRouting() (*topology.Graph, func(string) uint64) {
+	fsalt := n.routeSalt()
+	if n.routes == nil {
+		return n.Graph, fsalt
+	}
+	ep := n.routes.EpochAt(n.clock)
+	esalt := ep.SaltFunc()
+	switch {
+	case esalt == nil:
+		return ep.Graph(), fsalt
+	case fsalt == nil:
+		return ep.Graph(), esalt
+	default:
+		return ep.Graph(), func(routerID string) uint64 { return fsalt(routerID) ^ esalt(routerID) }
+	}
+}
+
+// FlowPath returns the router path a TCP flow with the given ports takes
+// from src to dst at the current virtual time — the same resolution
+// Transmit performs (active epoch snapshot plus flap salts) — or nil when
+// dst is unreachable right now. The tomography collector uses this as the
+// simulation's stand-in for traceroute-derived path knowledge: it records
+// which links a probe's verdict implicates.
+func (n *Network) FlowPath(src, dst *topology.Host, srcPort, dstPort uint16) []*topology.Router {
+	g, salt := n.activeRouting()
+	flowHash := topology.FlowHash(src.Addr, dst.Addr, srcPort, dstPort, uint8(netem.ProtoTCP))
+	return g.PathForFlowSalted(g.Host(src.ID), g.Host(dst.ID), flowHash, salt)
 }
 
 // Sleep advances the virtual clock.

@@ -73,8 +73,13 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 	// draws a fresh source port and thus a fresh flow hash.
 	var path []*topology.Router
 	var planDevs [][]*middlebox.Device
-	salt := n.routeSalt()
-	if salt == nil && n.Graph.SinglePathTo(dst) {
+	// Route dynamics: forwarding follows the active epoch's snapshot graph
+	// and re-hash salt. In epoch 0 (or with no engine installed) routeGraph
+	// is the base graph, so the single-path plan cache below stays valid;
+	// later epochs route over a private snapshot and always take the
+	// walked path, which is what makes path churn observable.
+	routeGraph, salt := n.activeRouting()
+	if salt == nil && routeGraph == n.Graph && n.Graph.SinglePathTo(dst) {
 		plan := n.flowPlan(planKey{src: src, dst: dst, hash: 0}, src, dst)
 		if plan == nil {
 			return out
@@ -89,7 +94,7 @@ func (n *Network) Transmit(pkt *netem.Packet, src, dst *topology.Host) []Deliver
 			flowHash = topology.FlowHash(pkt.IP.Src, pkt.IP.Dst,
 				pkt.UDP.SrcPort, pkt.UDP.DstPort, uint8(netem.ProtoUDP))
 		}
-		path = n.Graph.AppendPathForFlow(n.pathBuf[:0], src, dst, flowHash, salt)
+		path = routeGraph.AppendPathForFlow(n.pathBuf[:0], src, dst, flowHash, salt)
 		if path == nil {
 			return out
 		}

@@ -1,0 +1,227 @@
+// Package tomography is the churn-based censorship localizer — the
+// codebase's second, independent locator, cross-validated against
+// CenTrace. Where CenTrace infers a device's position from TTL-limited
+// probes on one path, tomography exploits route dynamics ("A Churn for
+// the Better"): as routing epochs move flows on and off the censored
+// link, the per-epoch reachability verdicts from multiple vantages form a
+// boolean system over the link incidence matrix. A censoring link must
+// lie on every blocked flow's path and on no clean flow's path, so the
+// candidate set is
+//
+//	∩ {links of blocked observations}  \  ∪ {links of clean observations}
+//
+// — exact when a single link survives, ambiguous when several always
+// co-occur, unlocalizable when churn never separated the censor from the
+// clean traffic (or blocking was never observed). Observations carry the
+// exact per-flow path, the simulation's stand-in for traceroute-derived
+// path knowledge.
+package tomography
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is an undirected router-level link in canonical order (A < B).
+// Client access links use the simulator's "@host" pseudo-router name.
+type Link struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// MakeLink canonicalizes an undirected link.
+func MakeLink(a, b string) Link {
+	if b < a {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return l.A + "<->" + l.B }
+
+// Observation is one reachability measurement: a single probe flow from a
+// vantage to an endpoint during one routing epoch, its blocking verdict,
+// and the links of the path the flow took.
+type Observation struct {
+	Vantage  string `json:"vantage"`
+	Endpoint string `json:"endpoint"`
+	Epoch    int    `json:"epoch"`
+	Blocked  bool   `json:"blocked"`
+	Links    []Link `json:"links"`
+}
+
+// Verdict classifies a localization outcome.
+type Verdict string
+
+const (
+	// Exact: one candidate link explains every observation.
+	Exact Verdict = "exact"
+	// Ambiguous: several links co-occur on every blocked path and no
+	// clean path; the data cannot separate them.
+	Ambiguous Verdict = "ambiguous"
+	// Unlocalizable: no blocking was observed, or no single link is
+	// consistent with all observations (e.g. At-Endpoint censorship hit
+	// flows on disjoint paths).
+	Unlocalizable Verdict = "unlocalizable"
+)
+
+// Candidate is one link consistent with every observation.
+type Candidate struct {
+	Link Link `json:"link"`
+	// Score is the fraction of observations the link explains — 1.0 for
+	// every strict candidate by construction, kept for comparability with
+	// ranked-output consumers.
+	Score float64 `json:"score"`
+	// BlockedHits counts blocked observations whose path contains the
+	// link (equal to the total for strict candidates).
+	BlockedHits int `json:"blocked_hits"`
+}
+
+// HighConfidence mirrors centrace.HighConfidence: results at or above it
+// are trustworthy on their own.
+const HighConfidence = 0.7
+
+// Result is the localizer's output.
+type Result struct {
+	// Candidates is the ranked consistent-link set: score descending,
+	// then canonical link order. Empty when Unlocalizable.
+	Candidates []Candidate `json:"candidates,omitempty"`
+	Verdict    Verdict     `json:"verdict"`
+	// Confidence is comparable to centrace.Confidence.Score: a [0,1]
+	// blend of discrimination (how small the candidate set is) and
+	// evidence volume on both sides of the boolean system.
+	Confidence float64 `json:"confidence"`
+	// BlockedObs/CleanObs count the observations behind the verdict.
+	BlockedObs int `json:"blocked_obs"`
+	CleanObs   int `json:"clean_obs"`
+	// Epochs/Vantages count the distinct routing epochs and vantage
+	// points observed — the diversity that makes the intersection sharp.
+	Epochs   int `json:"epochs"`
+	Vantages int `json:"vantages"`
+}
+
+// High reports whether the result clears the high-confidence bar.
+func (r Result) High() bool { return r.Confidence >= HighConfidence }
+
+// Top returns the best candidate link and true, or false when
+// unlocalizable.
+func (r Result) Top() (Link, bool) {
+	if len(r.Candidates) == 0 {
+		return Link{}, false
+	}
+	return r.Candidates[0].Link, true
+}
+
+// Contains reports whether a link is in the candidate set.
+func (r Result) Contains(l Link) bool {
+	for _, c := range r.Candidates {
+		if c.Link == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Solve runs boolean tomography over the observations. The result is a
+// pure function of the observation multiset — input order never matters —
+// and is deterministic (all map iteration is sorted).
+func Solve(obs []Observation) Result {
+	inBlocked := make(map[Link]int)
+	inClean := make(map[Link]int)
+	epochs := make(map[int]struct{})
+	vantages := make(map[string]struct{})
+	var res Result
+	for _, o := range obs {
+		epochs[o.Epoch] = struct{}{}
+		vantages[o.Vantage] = struct{}{}
+		// A path can contain a link once only, but be defensive about
+		// duplicated entries: count each link once per observation.
+		seen := make(map[Link]struct{}, len(o.Links))
+		for _, l := range o.Links {
+			l = MakeLink(l.A, l.B)
+			if _, dup := seen[l]; dup {
+				continue
+			}
+			seen[l] = struct{}{}
+			if o.Blocked {
+				inBlocked[l]++
+			} else {
+				inClean[l]++
+			}
+		}
+		if o.Blocked {
+			res.BlockedObs++
+		} else {
+			res.CleanObs++
+		}
+	}
+	res.Epochs = len(epochs)
+	res.Vantages = len(vantages)
+
+	if res.BlockedObs == 0 {
+		res.Verdict = Unlocalizable
+		return res
+	}
+	links := make([]Link, 0, len(inBlocked))
+	for l := range inBlocked {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		return links[i].B < links[j].B
+	})
+	for _, l := range links {
+		if inBlocked[l] == res.BlockedObs && inClean[l] == 0 {
+			res.Candidates = append(res.Candidates, Candidate{
+				Link:        l,
+				Score:       1.0,
+				BlockedHits: inBlocked[l],
+			})
+		}
+	}
+	switch len(res.Candidates) {
+	case 0:
+		res.Verdict = Unlocalizable
+		return res
+	case 1:
+		res.Verdict = Exact
+	default:
+		res.Verdict = Ambiguous
+	}
+	res.Confidence = confidence(len(res.Candidates), res.BlockedObs, res.CleanObs)
+	return res
+}
+
+// confidence blends discrimination with evidence volume. Weights are
+// chosen so an exact verdict with ≥4 observations on each side scores
+// 1.0, and a two-way ambiguity never clears HighConfidence no matter how
+// much evidence backs it (0.65/2 + 0.175 + 0.175 = 0.675).
+func confidence(candidates, blocked, clean int) float64 {
+	disc := 1 / float64(candidates)
+	return 0.65*disc + 0.175*evidence(blocked) + 0.175*evidence(clean)
+}
+
+// evidence saturates at 4 observations: beyond that, more probes of the
+// same epochs add no information.
+func evidence(n int) float64 {
+	if n >= 4 {
+		return 1
+	}
+	return float64(n) / 4
+}
+
+// Render formats a result as a one-line summary for reports.
+func Render(r Result) string {
+	top := "-"
+	if l, ok := r.Top(); ok {
+		top = l.String()
+		if len(r.Candidates) > 1 {
+			top = fmt.Sprintf("%s (+%d more)", top, len(r.Candidates)-1)
+		}
+	}
+	return fmt.Sprintf("%s top=%s conf=%.2f obs=%dB/%dC epochs=%d vantages=%d",
+		r.Verdict, top, r.Confidence, r.BlockedObs, r.CleanObs, r.Epochs, r.Vantages)
+}

@@ -1,0 +1,162 @@
+package tomography
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func obsOf(vantage string, epoch int, blocked bool, links ...Link) Observation {
+	return Observation{Vantage: vantage, Endpoint: "s", Epoch: epoch, Blocked: blocked, Links: links}
+}
+
+func l(a, b string) Link { return MakeLink(a, b) }
+
+// Golden case: two vantages whose blocked paths overlap in exactly one
+// link pin the censor down.
+func TestSolveExact(t *testing.T) {
+	obs := []Observation{
+		obsOf("c", 0, true, l("@c", "r1"), l("r1", "r2a"), l("r2a", "r3")),
+		obsOf("c", 1, false, l("@c", "r1"), l("r1", "r2b"), l("r2b", "r3")),
+		obsOf("va", 0, true, l("@va", "r2a"), l("r2a", "r3")),
+		obsOf("va", 1, true, l("@va", "r2a"), l("r2a", "r3")),
+	}
+	r := Solve(obs)
+	if r.Verdict != Exact {
+		t.Fatalf("verdict = %s, want exact (%s)", r.Verdict, Render(r))
+	}
+	top, _ := r.Top()
+	if top != l("r2a", "r3") {
+		t.Fatalf("top candidate = %s, want r2a<->r3", top)
+	}
+	if r.BlockedObs != 3 || r.CleanObs != 1 || r.Epochs != 2 || r.Vantages != 2 {
+		t.Fatalf("counts wrong: %s", Render(r))
+	}
+	// disc=1, blocked=3/4, clean=1/4 → 0.65 + 0.175*0.75 + 0.175*0.25
+	want := 0.65 + 0.175*0.75 + 0.175*0.25
+	if math.Abs(r.Confidence-want) > 1e-12 {
+		t.Fatalf("confidence = %v, want %v", r.Confidence, want)
+	}
+	if !r.High() {
+		t.Fatal("an exact verdict clears the high bar even on thin evidence (disc term alone is 0.65)")
+	}
+}
+
+// With ≥4 observations on each side an exact verdict reaches 1.0.
+func TestSolveExactSaturatedConfidence(t *testing.T) {
+	var obs []Observation
+	for i := 0; i < 4; i++ {
+		obs = append(obs,
+			obsOf("va", i, true, l("@va", "r2a"), l("r2a", "r3")),
+			obsOf("c", i, false, l("@c", "r1"), l("r1", "r2b"), l("r2b", "r3")),
+			obsOf("c", i, true, l("@c", "r1"), l("r1", "r2a"), l("r2a", "r3")),
+		)
+	}
+	r := Solve(obs)
+	if r.Verdict != Exact || r.Confidence != 1.0 {
+		t.Fatalf("want exact conf=1.0, got %s", Render(r))
+	}
+	if !r.High() {
+		t.Fatal("saturated exact result must be high confidence")
+	}
+}
+
+// Golden case: a single vantage on a diamond cannot split co-occurring
+// links; the truth is in the candidate set but confidence stays below the
+// high bar.
+func TestSolveAmbiguous(t *testing.T) {
+	var obs []Observation
+	for i := 0; i < 4; i++ {
+		obs = append(obs,
+			obsOf("c", i, true, l("@c", "r1"), l("r1", "r2a"), l("r2a", "r3")),
+			obsOf("c", i, false, l("@c", "r1"), l("r1", "r2b"), l("r2b", "r3")),
+		)
+	}
+	r := Solve(obs)
+	if r.Verdict != Ambiguous {
+		t.Fatalf("verdict = %s, want ambiguous (%s)", r.Verdict, Render(r))
+	}
+	if len(r.Candidates) != 2 || !r.Contains(l("r1", "r2a")) || !r.Contains(l("r2a", "r3")) {
+		t.Fatalf("candidates = %v, want {r1<->r2a, r2a<->r3}", r.Candidates)
+	}
+	// Max-evidence two-way ambiguity: 0.65/2 + 0.175 + 0.175 = 0.675.
+	if math.Abs(r.Confidence-0.675) > 1e-12 {
+		t.Fatalf("confidence = %v, want 0.675", r.Confidence)
+	}
+	if r.High() {
+		t.Fatal("an ambiguity must never clear the high-confidence bar")
+	}
+}
+
+// Golden case: At-Endpoint blocking seen from vantages with disjoint
+// paths leaves no link consistent with all observations.
+func TestSolveUnlocalizableDisjointPaths(t *testing.T) {
+	obs := []Observation{
+		obsOf("va", 0, true, l("@va", "r2a"), l("r2a", "r3")),
+		obsOf("vb", 0, true, l("@vb", "r2b"), l("r2b", "r3")),
+	}
+	r := Solve(obs)
+	if r.Verdict != Unlocalizable || len(r.Candidates) != 0 {
+		t.Fatalf("want unlocalizable with no candidates, got %s", Render(r))
+	}
+	if r.Confidence != 0 {
+		t.Fatalf("confidence = %v, want 0", r.Confidence)
+	}
+}
+
+// Golden case: no blocking observed at all.
+func TestSolveUnlocalizableNoBlocking(t *testing.T) {
+	r := Solve([]Observation{
+		obsOf("c", 0, false, l("@c", "r1"), l("r1", "r2a"), l("r2a", "r3")),
+	})
+	if r.Verdict != Unlocalizable || r.Confidence != 0 || r.BlockedObs != 0 {
+		t.Fatalf("want unlocalizable, got %s", Render(r))
+	}
+}
+
+// A clean observation crossing the only shared blocked link exonerates
+// it; nothing else survives.
+func TestSolveCleanObservationExonerates(t *testing.T) {
+	obs := []Observation{
+		obsOf("c", 0, true, l("@c", "r1"), l("r1", "r2a")),
+		obsOf("c", 1, false, l("@c", "r1"), l("r1", "r2a")),
+	}
+	r := Solve(obs)
+	// @c-r1 and r1-r2a both appear clean, so no candidate remains.
+	if r.Verdict != Unlocalizable {
+		t.Fatalf("want unlocalizable, got %s", Render(r))
+	}
+}
+
+// Solve is a pure function of the observation multiset: shuffling input
+// order never changes the result.
+func TestSolveOrderIndependent(t *testing.T) {
+	obs := []Observation{
+		obsOf("c", 0, true, l("@c", "r1"), l("r1", "r2a"), l("r2a", "r3")),
+		obsOf("c", 1, false, l("@c", "r1"), l("r1", "r2b"), l("r2b", "r3")),
+		obsOf("va", 0, true, l("@va", "r2a"), l("r2a", "r3")),
+		obsOf("va", 2, true, l("@va", "r2a"), l("r2a", "r3")),
+		obsOf("vb", 2, false, l("@vb", "r2b"), l("r2b", "r3")),
+	}
+	want := Render(Solve(obs))
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(len(obs), func(i, j int) { obs[i], obs[j] = obs[j], obs[i] })
+		if got := Render(Solve(obs)); got != want {
+			t.Fatalf("trial %d: result changed with input order:\n got %s\nwant %s", trial, got, want)
+		}
+	}
+}
+
+// Links on observation paths are normalized, so reversed endpoints count
+// as the same undirected link.
+func TestSolveNormalizesLinks(t *testing.T) {
+	obs := []Observation{
+		obsOf("c", 0, true, Link{A: "r2a", B: "r1"}, Link{A: "r3", B: "r2a"}),
+		obsOf("va", 0, true, Link{A: "r2a", B: "r3"}),
+	}
+	r := Solve(obs)
+	if top, _ := r.Top(); r.Verdict != Exact || top != l("r2a", "r3") {
+		t.Fatalf("want exact r2a<->r3, got %s", Render(r))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 )
 
 // AS is an autonomous system.
@@ -59,10 +60,23 @@ type LinkID struct{ From, To string }
 
 // Graph is the network topology.
 type Graph struct {
+	// mu guards the lazily built derived routing state (distCache, idx,
+	// byIdx, routeCache, lastRt) and the mutators that invalidate it.
+	// Measurement workers each own a private clone, so the lock is
+	// uncontended on the packet hot path; it exists so that Clone — which
+	// warms the source's caches — is safe against a concurrent route
+	// recomputation on the same graph (the route-dynamics engine snapshots
+	// epoch graphs from a base that may be computing paths at the time).
+	mu      sync.Mutex
 	ases    map[uint32]*AS
 	routers map[string]*Router
 	hosts   map[string]*Host
 	adj     map[string][]string
+	// down holds withdrawn links keyed by their canonical undirected form
+	// (smaller ID first). A withdrawn link is skipped by every routing
+	// computation as if absent, but stays in the adjacency so a later
+	// re-announcement restores it. Nil means every link is announced.
+	down map[LinkID]bool
 	// addrSeq tracks per-AS address allocation.
 	addrSeq map[uint32]int
 	// distCache memoizes BFS distance maps per destination router; it is
@@ -117,6 +131,8 @@ func NewGraph() *Graph {
 // router and host addresses are assigned. At most 255 ASes fit; the
 // scenarios in this repository use well under that.
 func (g *Graph) AddAS(asn uint32, name, country string) *AS {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if a, ok := g.ases[asn]; ok {
 		return a
 	}
@@ -146,6 +162,8 @@ func (g *Graph) nextAddr(a *AS) netip.Addr {
 // AddRouter creates a router in as with default behaviour: answers ICMP
 // with RFC 792 minimal quoting.
 func (g *Graph) AddRouter(id string, as *AS) *Router {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if r, ok := g.routers[id]; ok {
 		return r
 	}
@@ -158,6 +176,7 @@ func (g *Graph) AddRouter(id string, as *AS) *Router {
 
 // invalidate drops every derived routing structure after a structural
 // mutation and bumps the generation external caches compare against.
+// Requires g.mu.
 func (g *Graph) invalidate() {
 	g.distCache = nil
 	g.idx = nil
@@ -169,12 +188,21 @@ func (g *Graph) invalidate() {
 }
 
 // Gen returns the graph's structural generation. It changes whenever
-// routers, hosts, or links are added, so callers caching computed paths can
-// detect staleness with one comparison.
-func (g *Graph) Gen() uint64 { return g.gen }
+// routers, hosts, or links are added or link state flips, so callers
+// caching computed paths can detect staleness with one comparison. Gen is
+// monotonic across clones: a clone starts at its source's generation, so
+// external caches keyed by generation never see the counter move
+// backwards when they switch between a graph and its clone.
+func (g *Graph) Gen() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gen
+}
 
 // AddHost attaches a host to a router, allocating it an address in as.
 func (g *Graph) AddHost(id string, as *AS, router *Router) *Host {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if h, ok := g.hosts[id]; ok {
 		return h
 	}
@@ -186,6 +214,8 @@ func (g *Graph) AddHost(id string, as *AS, router *Router) *Host {
 
 // Link connects two routers bidirectionally.
 func (g *Graph) Link(a, b string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if _, ok := g.routers[a]; !ok {
 		panic("topology: unknown router " + a)
 	}
@@ -200,6 +230,83 @@ func (g *Graph) Link(a, b string) {
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
 	g.invalidate()
+}
+
+// ukey returns the canonical undirected key for a link: smaller ID first.
+func ukey(a, b string) LinkID {
+	if b < a {
+		a, b = b, a
+	}
+	return LinkID{From: a, To: b}
+}
+
+// edgeUp reports whether the undirected link a<->b is announced.
+// Requires g.mu.
+func (g *Graph) edgeUp(a, b string) bool {
+	if len(g.down) == 0 {
+		return true
+	}
+	return !g.down[ukey(a, b)]
+}
+
+// SetLinkUp announces (up=true) or withdraws (up=false) the undirected
+// link between two routers — the topology-level primitive behind
+// BGP-style route dynamics. A withdrawn link is invisible to BFS
+// distances, forwarding tables, NextHops, and AllPaths, but stays in the
+// adjacency so a later announcement restores it. A state change
+// invalidates derived routing caches and bumps Gen; setting the current
+// state again is a no-op. Panics if the routers are not linked.
+func (g *Graph) SetLinkUp(a, b string, up bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	linked := false
+	for _, n := range g.adj[a] {
+		if n == b {
+			linked = true
+			break
+		}
+	}
+	if !linked {
+		panic("topology: no link " + a + " <-> " + b)
+	}
+	k := ukey(a, b)
+	if up {
+		if !g.down[k] {
+			return
+		}
+		delete(g.down, k)
+	} else {
+		if g.down[k] {
+			return
+		}
+		if g.down == nil {
+			g.down = make(map[LinkID]bool)
+		}
+		g.down[k] = true
+	}
+	g.invalidate()
+}
+
+// LinkUp reports whether the undirected link between two routers is
+// currently announced. Unknown pairs report true (there is nothing to
+// withdraw).
+func (g *Graph) LinkUp(a, b string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.edgeUp(a, b)
+}
+
+// Linked reports whether two routers share a link, announced or
+// withdrawn.
+func (g *Graph) Linked(a, b string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range g.adj[a] {
+		if n == b {
+			return true
+		}
+	}
+	return false
 }
 
 // Router returns a router by ID, or nil.
@@ -265,9 +372,15 @@ func (g *Graph) ASes() []*AS {
 // clone's sorted-ID index assigns identical indices, so read-only sharing is
 // safe and spares every worker clone a full Dijkstra rebuild. A mutation on
 // either graph drops that graph's cache maps without touching the shared
-// tables. Clone itself mutates the source's caches, so clones must be taken
-// serially (the campaign fan-out already does).
+// tables. Clone warms the source's caches under the graph mutex, so taking
+// a clone is safe even while another goroutine is computing paths on the
+// source (the route-dynamics engine snapshots epoch graphs this way); the
+// campaign fan-out still serializes clone-taking for its other shared
+// structures. The clone inherits the source's generation, keeping Gen
+// monotonic across clones.
 func (g *Graph) Clone() *Graph {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.warmAllRoutes()
 	c := &Graph{
 		ases:       make(map[uint32]*AS, len(g.ases)),
@@ -277,6 +390,13 @@ func (g *Graph) Clone() *Graph {
 		addrSeq:    make(map[uint32]int, len(g.addrSeq)),
 		distCache:  make(map[string]map[string]int, len(g.distCache)),
 		routeCache: make(map[string]*routeTable, len(g.routeCache)),
+		gen:        g.gen,
+	}
+	if len(g.down) > 0 {
+		c.down = make(map[LinkID]bool, len(g.down))
+		for k, v := range g.down {
+			c.down[k] = v
+		}
 	}
 	for dst, dist := range g.distCache {
 		c.distCache[dst] = dist
@@ -321,7 +441,7 @@ func (g *Graph) Clone() *Graph {
 // warmAllRoutes builds the forwarding table toward every router, so a
 // subsequent Clone hands complete routing state to the copy. Cheap for the
 // scenario-scale graphs this repository simulates (tens of routers), and a
-// no-op once warm.
+// no-op once warm. Requires g.mu.
 func (g *Graph) warmAllRoutes() {
 	g.ensureIndex()
 	for _, r := range g.byIdx {
@@ -330,8 +450,8 @@ func (g *Graph) warmAllRoutes() {
 }
 
 // distancesTo runs BFS from the destination router and returns hop
-// distances for every router that can reach it. Results are memoized
-// until the graph changes.
+// distances for every router that can reach it over announced links.
+// Results are memoized until the graph changes. Requires g.mu.
 func (g *Graph) distancesTo(dst string) map[string]int {
 	if cached, ok := g.distCache[dst]; ok {
 		return cached
@@ -344,6 +464,9 @@ func (g *Graph) distancesTo(dst string) map[string]int {
 		neighbors := append([]string(nil), g.adj[cur]...)
 		sort.Strings(neighbors)
 		for _, n := range neighbors {
+			if !g.edgeUp(cur, n) {
+				continue
+			}
 			if _, seen := dist[n]; !seen {
 				dist[n] = dist[cur] + 1
 				queue = append(queue, n)
@@ -360,6 +483,8 @@ func (g *Graph) distancesTo(dst string) map[string]int {
 // NextHops returns the equal-cost next hops from router `from` toward
 // router `dst`, in deterministic order.
 func (g *Graph) NextHops(from, dst string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	dist := g.distancesTo(dst)
 	d, ok := dist[from]
 	if !ok || from == dst {
@@ -367,7 +492,7 @@ func (g *Graph) NextHops(from, dst string) []string {
 	}
 	var hops []string
 	for _, n := range g.adj[from] {
-		if dist[n] == d-1 {
+		if dist[n] == d-1 && g.edgeUp(from, n) {
 			hops = append(hops, n)
 		}
 	}
@@ -394,6 +519,9 @@ func (g *Graph) PathForFlowSalted(src, dst *Host, flowHash uint64, salt func(rou
 }
 
 // ensureIndex (re)builds the dense router index in sorted-ID order.
+// Requires g.mu. The built map and slice are never mutated in place after
+// this returns (invalidation replaces them wholesale), so references
+// captured under the lock stay safe to read after it is released.
 func (g *Graph) ensureIndex() {
 	if g.idx != nil {
 		return
@@ -414,7 +542,7 @@ func (g *Graph) ensureIndex() {
 // routeTableTo returns (building and memoizing if needed) the forwarding
 // table toward dst. The equal-cost next-hop sets are computed once with the
 // same sort order PathForFlowSalted historically used, so table-driven
-// walks pick byte-identical paths.
+// walks pick byte-identical paths. Requires g.mu.
 func (g *Graph) routeTableTo(dst string) *routeTable {
 	if g.lastRt != nil && g.lastRtID == dst {
 		return g.lastRt
@@ -434,7 +562,7 @@ func (g *Graph) routeTableTo(dst string) *routeTable {
 		}
 		hops = hops[:0]
 		for _, n := range g.adj[r.ID] {
-			if dist[n] == d-1 {
+			if dist[n] == d-1 && g.edgeUp(r.ID, n) {
 				hops = append(hops, n)
 			}
 		}
@@ -467,6 +595,8 @@ func (g *Graph) SinglePathTo(dst *Host) bool {
 	if dst.Router == nil {
 		return false
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return !g.routeTableTo(dst.Router.ID).multi
 }
 
@@ -481,15 +611,20 @@ func (g *Graph) AppendPathForFlow(buf []*Router, src, dst *Host, flowHash uint64
 	}
 	// The forwarding table may have been inherited from a Clone source, so
 	// the dense index is ensured separately (identical sorted-ID order on
-	// both graphs keeps inherited indices valid).
+	// both graphs keeps inherited indices valid). The table, index map, and
+	// router slice are captured under the lock and immutable afterwards, so
+	// the walk itself — and the caller's salt function — run unlocked.
+	g.mu.Lock()
 	g.ensureIndex()
 	t := g.routeTableTo(dst.Router.ID)
-	cur, ok := g.idx[src.Router.ID]
+	idx, byIdx := g.idx, g.byIdx
+	g.mu.Unlock()
+	cur, ok := idx[src.Router.ID]
 	if !ok {
 		return nil
 	}
-	dstIdx := g.idx[dst.Router.ID]
-	buf = append(buf[:0], g.byIdx[cur])
+	dstIdx := idx[dst.Router.ID]
+	buf = append(buf[:0], byIdx[cur])
 	hop := 0
 	for cur != dstIdx {
 		choices := t.next[cur]
@@ -498,12 +633,12 @@ func (g *Graph) AppendPathForFlow(buf []*Router, src, dst *Host, flowHash uint64
 		}
 		h := flowHash
 		if salt != nil {
-			h ^= salt(g.byIdx[cur].ID)
+			h ^= salt(byIdx[cur].ID)
 		}
 		// Use the high bits of the mixed hash: low bits can correlate with
 		// the source-port sequence and collapse the ECMP spread.
 		cur = choices[(mix(h, uint64(hop))>>32)%uint64(len(choices))]
-		buf = append(buf, g.byIdx[cur])
+		buf = append(buf, byIdx[cur])
 		hop++
 	}
 	return buf
@@ -513,6 +648,8 @@ func (g *Graph) AppendPathForFlow(buf []*Router, src, dst *Host, flowHash uint64
 // limit paths (0 means no limit). Used by tests and by the path-variance
 // calibration experiment.
 func (g *Graph) AllPaths(src, dst *Host, limit int) [][]*Router {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	dist := g.distancesTo(dst.Router.ID)
 	if _, ok := dist[src.Router.ID]; !ok {
 		return nil
@@ -531,7 +668,7 @@ func (g *Graph) AllPaths(src, dst *Host, limit int) [][]*Router {
 		d := dist[cur]
 		var hops []string
 		for _, n := range g.adj[cur] {
-			if dist[n] == d-1 {
+			if dist[n] == d-1 && g.edgeUp(cur, n) {
 				hops = append(hops, n)
 			}
 		}
