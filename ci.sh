@@ -16,16 +16,34 @@ fi
 # Unified static-analysis stage: stock vet over everything (this
 # includes internal/obs, whose ad-hoc `go vet ./internal/obs/` line was
 # promoted here), then cenlint — the repo's own go/analysis-style suite
-# enforcing the determinism and persistence invariants (wall-clock
-# reads, global rand, unsorted map-fed output, rename-without-fsync,
-# %w error wrapping). Built once, fails on any diagnostic.
+# enforcing the determinism and persistence invariants, now
+# interprocedurally (DESIGN.md §17): cross-package taint chains, pooled
+# aliases escaping their release point, lock discipline, unstoppable
+# goroutines. The suite runs twice against one summary cache: the cold
+# run populates it, the warm run must be served entirely from it and be
+# faster — that pins the cache keying (a stale hit would also desync
+# findings). Both timings land in BENCH_lint.json.
 echo "==> go vet ./..."
 go vet ./...
-echo "==> cenlint ./..."
+echo "==> cenlint ./... (cold, then warm from summary cache)"
 go build -o /tmp/ci_cenlint ./cmd/cenlint
-/tmp/ci_cenlint ./...
+CENLINT_CACHE=$(mktemp -d /tmp/ci_cenlint_cache.XXXXXX)
+/tmp/ci_cenlint -cache "$CENLINT_CACHE" -timing /tmp/ci_lint_cold.json ./...
+/tmp/ci_cenlint -cache "$CENLINT_CACHE" -timing /tmp/ci_lint_warm.json ./...
+jq -n --slurpfile c /tmp/ci_lint_cold.json --slurpfile w /tmp/ci_lint_warm.json \
+  '{cold: $c[0], warm: $w[0]}' > BENCH_lint.json
+jq -e '.warm.cache_hits == .warm.packages and .warm.packages > 0' BENCH_lint.json > /dev/null \
+  || { echo "warm cenlint run missed the summary cache"; cat BENCH_lint.json; exit 1; }
+jq -e '.warm.total_ms < .cold.total_ms' BENCH_lint.json > /dev/null \
+  || { echo "warm cenlint run not faster than cold"; cat BENCH_lint.json; exit 1; }
+echo "==> cenlint warm $(jq .warm.total_ms BENCH_lint.json)ms vs cold $(jq .cold.total_ms BENCH_lint.json)ms"
+rm -rf "$CENLINT_CACHE" /tmp/ci_lint_cold.json /tmp/ci_lint_warm.json
 
 echo "==> go test -race ./..."
+# The lint engine first and explicitly: the driver analyzes packages in
+# parallel while publishing summaries to one shared ipa.Program, so it
+# runs under the race detector on every CI pass.
+go test -race ./internal/lint/...
 go test -race ./...
 
 # Parallel measurement engine: benchmark the campaign worker pool at

@@ -1,7 +1,10 @@
 // Command cenlint machine-checks the repo's determinism and persistence
 // invariants: no wall-clock reads or global randomness in deterministic
-// packages, no unsorted map iteration feeding canonical output, fsync
-// before rename in the journal/store packages, and %w error wrapping.
+// packages (including through cross-package call chains), no unsorted
+// map iteration feeding canonical output, no pooled-buffer aliases
+// escaping their release point, lock discipline in the shared-state
+// packages, no unstoppable goroutines, fsync before rename in the
+// journal/store packages, and %w error wrapping.
 //
 // Usage:
 //
@@ -11,10 +14,12 @@
 // Exit status is 0 when clean, 1 when any diagnostic is reported, and 2
 // on load/type-check failure. Suppress an intentional finding with a
 // trailing or preceding `//cenlint:volatile <justification>` comment;
-// the justification is mandatory.
+// the justification is mandatory, and a directive that suppresses
+// nothing is itself reported.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +31,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	cacheDir := flag.String("cache", "", "summary-cache directory (empty disables caching)")
+	workers := flag.Int("workers", 0, "concurrent package analyses (0 = GOMAXPROCS)")
+	timing := flag.String("timing", "", "write run timing stats as JSON to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cenlint [packages]\n\nFlags:\n")
+		fmt.Fprintf(os.Stderr, "usage: cenlint [flags] [packages]\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,7 +43,7 @@ func main() {
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -44,15 +52,21 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := driver.Load("", patterns...)
+	findings, stats, err := driver.Analyze(driver.Options{
+		Patterns:  patterns,
+		Analyzers: analyzers,
+		CacheDir:  *cacheDir,
+		Workers:   *workers,
+		Audit:     true,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	findings, err := driver.Run(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if *timing != "" {
+		if b, jerr := json.MarshalIndent(stats, "", "  "); jerr == nil {
+			os.WriteFile(*timing, append(b, '\n'), 0o644)
+		}
 	}
 	cwd, _ := os.Getwd()
 	for _, f := range findings {

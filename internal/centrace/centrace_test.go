@@ -1,6 +1,7 @@
 package centrace
 
 import (
+	"bytes"
 	"net/netip"
 	"testing"
 
@@ -395,5 +396,58 @@ func TestCampaign(t *testing.T) {
 	}
 	if results[0].Target.Label != "KZ" {
 		t.Error("label not carried through")
+	}
+}
+
+// TestObservationPayloadIsPrivateCopy pins the fix for a pooled-alias bug:
+// ProbeObs.Payload used to alias the delivered packet's payload bytes —
+// storage the simulation owns (pooled packets, the shared render cache) and
+// is free to rewrite or hand to other measurements. The observation must
+// hold a private copy: it has to survive later traffic on the same network,
+// and mutating it must not bleed into the simulation's own buffers.
+func TestObservationPayloadIsPrivateCopy(t *testing.T) {
+	n, client, server := buildNet(t)
+	res1 := New(n, client, server, cfg()).Run()
+	if res1.Test.TermKind != KindData {
+		t.Fatalf("setup: TermKind = %s, want data", res1.Test.TermKind)
+	}
+	var live, snap [][]byte
+	for ti := range res1.Test.Traces {
+		obs := res1.Test.Traces[ti].Obs
+		for i := range obs {
+			if obs[i].Kind == KindData && len(obs[i].Payload) > 0 {
+				live = append(live, obs[i].Payload)
+				snap = append(snap, append([]byte(nil), obs[i].Payload...))
+			}
+		}
+	}
+	if len(live) == 0 {
+		t.Fatal("setup: no KindData observations recorded")
+	}
+
+	// Later traffic on the same network must not rewrite recorded
+	// observations (the pool reclaims every delivered packet).
+	_ = New(n, client, server, cfg()).Run()
+	for i := range live {
+		if !bytes.Equal(live[i], snap[i]) {
+			t.Fatalf("observation payload %d rewritten by later traffic:\n got %q\nwant %q", i, live[i], snap[i])
+		}
+	}
+
+	// And the reverse direction: a caller scribbling on its result must
+	// not corrupt the simulation. Before the fix this trashed the shared
+	// HTTP render cache, changing what later measurements received.
+	for i := range live {
+		for j := range live[i] {
+			live[i][j] = '#'
+		}
+	}
+	res3 := New(n, client, server, cfg()).Run()
+	term := res3.Test.Traces[0].Terminating()
+	if term == nil || term.Kind != KindData {
+		t.Fatal("third measurement lost its data response")
+	}
+	if !bytes.Equal(term.Payload, snap[0]) {
+		t.Fatalf("mutating a result corrupted the endpoint's response bytes:\n got %q\nwant %q", term.Payload, snap[0])
 	}
 }

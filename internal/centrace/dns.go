@@ -54,7 +54,9 @@ func (p *Prober) probeOnceDNS(domain string, ttl int) ProbeObs {
 			}
 			obs.From = pkt.IP.Src
 			obs.Kind = KindData
-			obs.Payload = pkt.Payload
+			// pkt is pooled and reclaimed at the next Transmit; dnsBlocked
+			// parses this after the whole aggregate completes, so copy.
+			obs.Payload = append([]byte(nil), pkt.Payload...)
 			obs.Injected = &InjectedFeatures{
 				TTL:     pkt.IP.TTL,
 				IPID:    pkt.IP.ID,

@@ -349,7 +349,10 @@ func (p *Prober) probeOnce(domain string, ttl int) ProbeObs {
 				obs.Kind = KindRST
 			case len(pkt.Payload) > 0:
 				obs.Kind = KindData
-				obs.Payload = pkt.Payload
+				// pkt is pooled and reclaimed at the next Transmit; the
+				// observation outlives the whole trace (infer runs blockpage
+				// matching on it after both aggregates), so copy the bytes.
+				obs.Payload = append([]byte(nil), pkt.Payload...)
 			case pkt.TCP.Flags&netem.TCPFin != 0:
 				// A bare FIN counts as a terminating injection only when it
 				// arrives in order. A FIN with a higher sequence number means

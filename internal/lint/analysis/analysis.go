@@ -13,6 +13,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"cendev/internal/lint/ipa"
 )
 
 // Analyzer describes one named static check.
@@ -34,7 +36,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
-	Report    func(Diagnostic)
+	// Facts holds the module's resolved interprocedural summaries
+	// (cendev/internal/lint/ipa), populated bottom-up by the driver
+	// before this package's pass runs. Analyzers must tolerate nil —
+	// they then see only what is syntactically in front of them.
+	Facts  *ipa.Program
+	Report func(Diagnostic)
 }
 
 // Diagnostic is one finding at one source position.

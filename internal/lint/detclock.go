@@ -4,23 +4,15 @@ import (
 	"go/ast"
 
 	"cendev/internal/lint/analysis"
+	"cendev/internal/lint/ipa"
 )
 
 // wallClockFuncs are the package-level time functions that read or wait
 // on the wall clock. time.Duration arithmetic and time.Time values
 // threaded in from callers are fine; only acquiring wall time inside a
-// deterministic package is the bug.
-var wallClockFuncs = map[string]bool{
-	"Now":       true,
-	"Since":     true,
-	"Until":     true,
-	"Sleep":     true,
-	"After":     true,
-	"AfterFunc": true,
-	"Tick":      true,
-	"NewTimer":  true,
-	"NewTicker": true,
-}
+// deterministic package is the bug. The table lives in ipa so the
+// syntactic check and the interprocedural dettaint can never drift.
+var wallClockFuncs = ipa.WallClockFuncs
 
 // DetClock forbids wall-clock reads in deterministic packages. The
 // simnet virtual clock (and the injectable now-func pattern used by

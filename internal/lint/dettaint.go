@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cendev/internal/lint/analysis"
+	"cendev/internal/lint/ipa"
+)
+
+// DetTaint closes the cross-package blind spot of detclock/seededrand:
+// a deterministic package calling a helper in a "free" package that
+// reads time.Now() (at any call depth) launders nondeterminism past the
+// syntactic checks. The ipa engine summarizes which taint sources every
+// module function transitively reaches; dettaint reports any reference
+// from a deterministic package to a non-deterministic module function
+// whose summary is tainted, with the witness call chain. References to
+// functions in deterministic packages are not re-reported — the source
+// itself is flagged (or deliberately annotated) where it occurs.
+var DetTaint = &analysis.Analyzer{
+	Name: "dettaint",
+	Doc: "forbid calls from deterministic packages to module functions that transitively reach " +
+		"the wall clock or global randomness; the diagnostic shows the offending call chain",
+	Run: runDetTaint,
+}
+
+func runDetTaint(pass *analysis.Pass) error {
+	if pass.Facts == nil || !isDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	kinds := []ipa.Kind{ipa.KindWallClock, ipa.KindGlobalRand}
+	remedy := map[ipa.Kind]string{
+		ipa.KindWallClock:  "thread the virtual clock or an injected now-func",
+		ipa.KindGlobalRand: "thread a seeded *rand.Rand",
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if !pass.Facts.IsLocal(path) || isDeterministic(path) {
+				return true
+			}
+			for _, k := range kinds {
+				chain := pass.Facts.TaintChain(fn.FullName(), k)
+				if chain == nil {
+					continue
+				}
+				pass.Reportf(id.Pos(),
+					"call into %s reaches %s (%s) from deterministic package %s: %s; %s (or annotate //cenlint:volatile <why>)",
+					ipa.ShortName(fn.FullName()), chain[len(chain)-1], k, pass.Pkg.Path(),
+					ipa.FormatChain(chain), remedy[k])
+			}
+			return true
+		})
+	}
+	return nil
+}

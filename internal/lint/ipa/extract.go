@@ -1,0 +1,289 @@
+package ipa
+
+// Summary extraction: one pass per function per fixpoint round. The
+// scans are deliberately layered — reference scan (taint + call graph),
+// blocking scan, unbounded-loop scan, and the shared value-flow scan
+// (ScanFlows) that both extraction and the poolescape analyzer use, so
+// the facts the cache serves and the diagnostics the analyzer reports
+// can never disagree.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// extractFunc builds the summary for one function declaration, folding
+// in the resolved facts of callees via lookup.
+func (p *Program) extractFunc(pkgPath string, fd *ast.FuncDecl, info *types.Info, lookup func(string) *Summary) *Summary {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok || obj == nil {
+		return nil
+	}
+	if fd.Recv == nil && (fd.Name.Name == "init" || fd.Name.Name == "_") {
+		// init functions are uncallable and may legally exist many times
+		// per package; a FullName-keyed map cannot hold them.
+		return nil
+	}
+	s := &Summary{Fn: obj.FullName(), Pkg: pkgPath}
+
+	// Reference scan: direct taint sources and the local call graph.
+	// Function values count as calls — a referenced closure or callback
+	// may run, so taint must flow through it (over-approximation, see
+	// the package comment).
+	calls := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if kind, isSrc := p.cfg.SourceOf(fn); isSrc {
+			src := fn.Pkg().Name() + "." + fn.Name()
+			if cur, ok := s.taint(kind); !ok || src < cur.Src {
+				if s.Taints == nil {
+					s.Taints = map[Kind]TaintEdge{}
+				}
+				s.Taints[kind] = TaintEdge{Src: src}
+			}
+			return true
+		}
+		if p.local[fn.Pkg().Path()] && fn.FullName() != s.Fn {
+			calls[fn.FullName()] = true
+		}
+		return true
+	})
+	s.Calls = sortedKeys(calls)
+
+	// Blocking scan: the function's own body only. Function literals are
+	// excluded — a closure may be deferred, parked in a goroutine, or
+	// never invoked, so its parking behavior is not the function's.
+	walkSkipFuncLits(fd.Body, func(n ast.Node) {
+		if s.Blocks {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			s.Blocks, s.BlocksOn = true, "a channel send"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.Blocks, s.BlocksOn = true, "a channel receive"
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				s.Blocks, s.BlocksOn = true, "a select with no default"
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					s.Blocks, s.BlocksOn = true, "a range over a channel"
+				}
+			}
+		case *ast.CallExpr:
+			if fn := CalleeOf(info, n); fn != nil && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+					// WaitGroup.Wait; Cond.Wait is deliberately excluded —
+					// it releases the lock it is paired with.
+					if recvNamed(fn) == "WaitGroup" {
+						s.Blocks, s.BlocksOn = true, "sync.WaitGroup.Wait"
+					}
+				case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+					s.Blocks, s.BlocksOn = true, "time.Sleep"
+				}
+			}
+		}
+	})
+
+	// Unbounded-loop scan: go-statement bodies are the goroutine's
+	// problem (goleak inspects them at the launch site), not this
+	// function's.
+	if pos := UnboundedLoopPos(fd.Body); pos != token.NoPos {
+		s.Unbounded = true
+	}
+
+	// Value flow: parameter escapes and pooled returns.
+	fr := ScanFlows(fd, info, p.cfg, lookup)
+	s.Params = fr.Params
+	s.ReturnsPooled = fr.ReturnsPooled
+	s.PooledVia = fr.PooledVia
+
+	// Fold callee facts, smallest FullName first so witnesses are
+	// deterministic regardless of resolution order.
+	for _, c := range s.Calls {
+		cs := lookup(c)
+		if cs == nil {
+			continue
+		}
+		for _, k := range []Kind{KindWallClock, KindGlobalRand} {
+			if e, ok := cs.taint(k); ok {
+				if _, own := s.taint(k); !own {
+					if s.Taints == nil {
+						s.Taints = map[Kind]TaintEdge{}
+					}
+					s.Taints[k] = TaintEdge{Via: c, Src: e.Src}
+				}
+			}
+		}
+		if cs.Blocks && !s.Blocks {
+			s.Blocks, s.BlocksVia, s.BlocksOn = true, c, ""
+		}
+		if cs.Unbounded && !s.Unbounded {
+			s.Unbounded, s.UnboundedVia = true, c
+		}
+	}
+	return s
+}
+
+// recvNamed returns the name of a method's receiver named type, or "".
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// CalleeOf resolves a call expression to the *types.Func it statically
+// invokes — package function or method, same package or imported — or
+// nil for builtins, conversions, function values, and dynamic calls.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (and therefore cannot park).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkSkipFuncLits visits every node of n except the bodies of nested
+// function literals.
+func walkSkipFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+// UnboundedLoopPos returns the position of the first `for {}` loop in n
+// that offers no way out — no return, no break, no channel receive, no
+// select — skipping nested function literals and the bodies of go
+// statements (the launched goroutine's loops belong to the goroutine).
+// token.NoPos when every loop is bounded or signal-driven.
+func UnboundedLoopPos(n ast.Node) token.Pos {
+	found := token.NoPos
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			if m != n {
+				return false
+			}
+		case *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			if m.Cond == nil && m.Init == nil && m.Post == nil && !loopHasExit(m.Body) {
+				found = m.For
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasExit reports whether a loop body contains an exit or a
+// termination signal: return, break, goto, panic, a channel receive, or
+// a select. Nested function literals are skipped.
+func loopHasExit(body *ast.BlockStmt) bool {
+	has := false
+	walkSkipFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			has = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				has = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				has = true
+			}
+		case *ast.SelectStmt:
+			has = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				has = true
+			}
+		}
+	})
+	return has
+}
+
+// LocalCallees returns the distinct local functions referenced under n,
+// sorted by FullName — the witness-ordering contract.
+func LocalCallees(info *types.Info, n ast.Node, isLocal func(string) bool) []*types.Func {
+	seen := map[string]*types.Func{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok && fn.Pkg() != nil && isLocal(fn.Pkg().Path()) {
+			seen[fn.FullName()] = fn
+		}
+		return true
+	})
+	out := make([]*types.Func, 0, len(seen))
+	for _, k := range sortedKeys(seen) {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// PoolSourceShort renders a pool-source FullName for diagnostics.
+func PoolSourceShort(root string) string {
+	return ShortName(strings.TrimPrefix(root, "pool:"))
+}

@@ -1,0 +1,702 @@
+package ipa
+
+// Value-flow scan: tracks which local values alias pooled storage or a
+// parameter, and classifies where those values end up. Extraction uses
+// the result to fill ParamFlow/ReturnsPooled (position-free); the
+// poolescape analyzer re-runs the same scan over the package under
+// analysis and turns pool-rooted sink events into diagnostics — one
+// scan, two consumers, so facts and findings cannot disagree.
+//
+// Roots are strings: "pool:<FullName of the pool source>" or
+// "param:<index>". A value carries a SET of roots — a delivery buffer
+// can alias both a pooled packet and a parameter at once, and dropping
+// either loses a finding. Method calls on a carrying value
+// (pkt.Clone()) deliberately do not carry — copying is the documented
+// way to retain a pooled value.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Sink classifies where a tracked value ended up.
+type Sink int
+
+const (
+	// SinkGlobal: stored to a package-level variable.
+	SinkGlobal Sink = iota
+	// SinkMapOrSlice: stored into a map or slice element whose container
+	// is not a local variable.
+	SinkMapOrSlice
+	// SinkField: stored into a field of a non-receiver value (a
+	// parameter's field, or through a pointer).
+	SinkField
+	// SinkReceiverField: stored into a field of the method's own
+	// receiver — the sanctioned owner pattern for pooled values.
+	SinkReceiverField
+	// SinkSend: sent on a channel.
+	SinkSend
+	// SinkReturn: returned from the function.
+	SinkReturn
+	// SinkCallee: passed to a callee whose summary says that parameter
+	// escapes.
+	SinkCallee
+)
+
+func (s Sink) String() string {
+	switch s {
+	case SinkGlobal:
+		return "stored to a package-level variable"
+	case SinkMapOrSlice:
+		return "stored into a map or slice element"
+	case SinkField:
+		return "stored into a field"
+	case SinkReceiverField:
+		return "stored into a receiver field"
+	case SinkSend:
+		return "sent on a channel"
+	case SinkReturn:
+		return "returned"
+	case SinkCallee:
+		return "passed to an escaping callee"
+	}
+	return "unknown sink"
+}
+
+// Flow is one sink event for one root of a tracked value.
+type Flow struct {
+	Pos    token.Pos
+	Root   string // "pool:<full>" or "param:<i>"
+	Sink   Sink
+	Target string // rendering of the sink destination
+	Via    string // callee FullName for SinkCallee
+	How    string // callee's escape description for SinkCallee
+}
+
+// FlowResult is everything one scan learned about a function body.
+type FlowResult struct {
+	Flows         []Flow // in source order, roots sorted within a site
+	Params        []ParamFlow
+	ReturnsPooled bool
+	PooledVia     string
+}
+
+// ScanFlows runs the value-flow scan over one function declaration.
+// lookup resolves callee summaries (nil for unknown/non-local callees —
+// a documented blind spot: values handed to unsummarized functions are
+// assumed not to escape).
+func ScanFlows(fd *ast.FuncDecl, info *types.Info, cfg Config, lookup func(string) *Summary) *FlowResult {
+	fs := &flowScanner{
+		info:     info,
+		cfg:      cfg,
+		lookup:   lookup,
+		carrying: map[types.Object]map[string]bool{},
+		funclits: map[types.Object]*ast.FuncLit{},
+		cleansed: map[types.Object]bool{},
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		fs.recv = info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	fs.paramIdx = map[types.Object]int{}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++ // unnamed parameter occupies a slot but has no object
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				fs.paramIdx[obj] = idx
+				if aliasingType(obj.Type(), 0) {
+					fs.carrying[obj] = map[string]bool{"param:" + strconv.Itoa(idx): true}
+				}
+			}
+			idx++
+		}
+	}
+	fs.res.Params = make([]ParamFlow, idx)
+
+	// Pre-pass: function literals bound to local variables (calls to the
+	// variable bind arguments to the literal's parameters — the simnet
+	// deliver-closure pattern) and Clone-cleansed locals (a local whose
+	// aliasing field is overwritten with a Clone() result is a copy-out
+	// holder, the documented retention pattern — it never carries).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if lit, ok := unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+							if obj := fs.objOf(id); obj != nil {
+								fs.funclits[obj] = lit
+							}
+						}
+					}
+					if sel, ok := unparen(n.Lhs[i]).(*ast.SelectorExpr); ok && isCloneCall(n.Rhs[i]) {
+						if id, ok := baseIdent(sel.X); ok {
+							fs.cleansed[fs.objOf(id)] = true
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					if lit, ok := unparen(n.Values[i]).(*ast.FuncLit); ok {
+						if obj := info.Defs[n.Names[i]]; obj != nil {
+							fs.funclits[obj] = lit
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Propagation fixpoint: grow the carrying sets until stable. The
+	// sets only grow, so termination is bounded by roots × objects.
+	for round := 0; round < maxRounds; round++ {
+		fs.changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			fs.propagate(n)
+			return true
+		})
+		if !fs.changed {
+			break
+		}
+	}
+
+	// Sink pass: classify every use of a carrying value.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		fs.sinks(n)
+		return true
+	})
+	return &fs.res
+}
+
+type flowScanner struct {
+	info     *types.Info
+	cfg      Config
+	lookup   func(string) *Summary
+	recv     types.Object
+	paramIdx map[types.Object]int
+	carrying map[types.Object]map[string]bool
+	funclits map[types.Object]*ast.FuncLit
+	cleansed map[types.Object]bool
+	changed  bool
+	res      FlowResult
+}
+
+func (fs *flowScanner) objOf(id *ast.Ident) types.Object {
+	if obj := fs.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return fs.info.Uses[id]
+}
+
+func (fs *flowScanner) addRoots(obj types.Object, roots map[string]bool) {
+	if obj == nil || len(roots) == 0 || fs.cleansed[obj] {
+		return
+	}
+	m := fs.carrying[obj]
+	if m == nil {
+		m = map[string]bool{}
+		fs.carrying[obj] = m
+	}
+	for r := range roots {
+		if !m[r] {
+			m[r] = true
+			fs.changed = true
+		}
+	}
+}
+
+// isLocalVar reports whether obj is a function-local variable — neither
+// a parameter, the receiver, nor package-level.
+func (fs *flowScanner) isLocalVar(obj types.Object) bool {
+	if obj == nil || obj == fs.recv {
+		return false
+	}
+	if _, isParam := fs.paramIdx[obj]; isParam {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pkg() == nil || v.Parent() != v.Pkg().Scope()
+}
+
+func (fs *flowScanner) isPkgVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// rootsOf resolves the set of roots an expression may alias. An
+// expression whose static type cannot hold a reference (bool, numbers,
+// a string read out of a struct — strings are immutable and built by
+// copy) never carries, which keeps scalar reads from tainting whole
+// result structs.
+func (fs *flowScanner) rootsOf(e ast.Expr) map[string]bool {
+	if t := fs.typeOf(e); t != nil && !aliasingType(t, 0) {
+		return nil
+	}
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return fs.carrying[fs.objOf(e)]
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fs.rootsOf(e.X)
+		}
+	case *ast.StarExpr:
+		return fs.rootsOf(e.X)
+	case *ast.SliceExpr:
+		return fs.rootsOf(e.X)
+	case *ast.IndexExpr:
+		return fs.rootsOf(e.X)
+	case *ast.SelectorExpr:
+		// A field read from a carrying struct value carries.
+		return fs.rootsOf(e.X)
+	case *ast.TypeAssertExpr:
+		return fs.rootsOf(e.X)
+	case *ast.KeyValueExpr:
+		return fs.rootsOf(e.Value)
+	case *ast.CompositeLit:
+		var out map[string]bool
+		for _, el := range e.Elts {
+			out = unionRoots(out, fs.rootsOf(el))
+		}
+		return out
+	case *ast.CallExpr:
+		return fs.callRoots(e)
+	}
+	return nil
+}
+
+func unionRoots(a, b map[string]bool) map[string]bool {
+	if len(b) == 0 {
+		return a
+	}
+	if a == nil {
+		a = map[string]bool{}
+	}
+	for r := range b {
+		a[r] = true
+	}
+	return a
+}
+
+// callRoots resolves what a call expression's result may alias.
+func (fs *flowScanner) callRoots(call *ast.CallExpr) map[string]bool {
+	// Conversions are pass-throughs: []byte(p), Payload(p).
+	if tv, ok := fs.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return fs.rootsOf(call.Args[0])
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := fs.info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "append" {
+				// The result shares the first argument's backing array.
+				out := unionRoots(nil, fs.rootsOf(call.Args[0]))
+				// Appended elements are copied by value: they alias through
+				// only when the element type itself can hold a reference
+				// (append(out, pooledPkt) carries; append([]byte(nil), p...)
+				// is the byte-copy retention idiom and does not).
+				var elemAliases = true
+				if t := fs.typeOf(call); t != nil {
+					if st, ok := t.Underlying().(*types.Slice); ok {
+						elemAliases = aliasingType(st.Elem(), 0)
+					}
+				}
+				if elemAliases {
+					for _, a := range call.Args[1:] {
+						out = unionRoots(out, fs.rootsOf(a))
+					}
+				}
+				return out
+			}
+			return nil // len, cap, copy, make, new, …
+		}
+	}
+	fn := CalleeOf(fs.info, call)
+	if fn == nil {
+		return nil
+	}
+	full := fn.FullName()
+	if fs.cfg.PoolSources[full] {
+		return map[string]bool{"pool:" + full: true}
+	}
+	cs := fs.lookup(full)
+	if cs == nil {
+		return nil
+	}
+	var out map[string]bool
+	if cs.ReturnsPooled {
+		src := cs.PooledVia
+		if src == "" {
+			src = full
+		}
+		out = unionRoots(out, map[string]bool{"pool:" + src: true})
+	}
+	// A callee that returns one of its parameters aliases that argument.
+	for i, a := range call.Args {
+		j := calleeParamIndex(fn, i)
+		if j < len(cs.Params) && cs.Params[j].Returned {
+			out = unionRoots(out, fs.rootsOf(a))
+		}
+	}
+	return out
+}
+
+// calleeParamIndex maps an argument index to the callee's parameter
+// index, folding variadic tails onto the last parameter.
+func calleeParamIndex(fn *types.Func, argIdx int) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return argIdx
+	}
+	if sig.Variadic() && argIdx >= sig.Params().Len()-1 {
+		return sig.Params().Len() - 1
+	}
+	return argIdx
+}
+
+// propagate grows the carrying sets from one node.
+func (fs *flowScanner) propagate(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			// Multi-value: payload, ok := r.Next(). Mark every LHS; the
+			// non-reference results are filtered by their types.
+			if roots := fs.rootsOf(n.Rhs[0]); len(roots) > 0 {
+				for _, l := range n.Lhs {
+					fs.propagateAssign(l, roots)
+				}
+			}
+			return
+		}
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i := range n.Lhs {
+			if roots := fs.rootsOf(n.Rhs[i]); len(roots) > 0 {
+				fs.propagateAssign(n.Lhs[i], roots)
+			}
+		}
+	case *ast.ValueSpec:
+		if len(n.Names) != len(n.Values) {
+			return
+		}
+		for i := range n.Names {
+			if roots := fs.rootsOf(n.Values[i]); len(roots) > 0 {
+				fs.addRoots(fs.info.Defs[n.Names[i]], roots)
+			}
+		}
+	case *ast.RangeStmt:
+		if roots := fs.rootsOf(n.X); len(roots) > 0 {
+			if id, ok := n.Value.(*ast.Ident); ok {
+				fs.addRoots(fs.objOf(id), roots)
+			}
+		}
+	case *ast.CallExpr:
+		fs.bindFuncLitArgs(n)
+	}
+}
+
+// propagateAssign records what an assignment target now holds, without
+// emitting events (the sink pass does that).
+func (fs *flowScanner) propagateAssign(lhs ast.Expr, roots map[string]bool) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := fs.objOf(lhs); fs.isLocalVar(obj) {
+			fs.addRoots(obj, roots)
+		}
+	case *ast.IndexExpr:
+		// s[i] = p: a local container now holds the value.
+		if id, ok := baseIdent(lhs.X); ok {
+			if obj := fs.objOf(id); fs.isLocalVar(obj) {
+				fs.addRoots(obj, roots)
+			}
+		}
+	case *ast.SelectorExpr:
+		// v.f = p: a local struct now holds the value.
+		if id, ok := baseIdent(lhs.X); ok {
+			if obj := fs.objOf(id); fs.isLocalVar(obj) {
+				fs.addRoots(obj, roots)
+			}
+		}
+	}
+}
+
+// bindFuncLitArgs joins a called function literal's parameters to the
+// carrying set: deliver(pkt, hop) where deliver := func(resp, h) {…}.
+func (fs *flowScanner) bindFuncLitArgs(call *ast.CallExpr) {
+	var lit *ast.FuncLit
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		lit = fun
+	case *ast.Ident:
+		if obj := fs.objOf(fun); obj != nil {
+			lit = fs.funclits[obj]
+		}
+	}
+	if lit == nil {
+		return
+	}
+	var litParams []types.Object
+	for _, field := range lit.Type.Params.List {
+		if len(field.Names) == 0 {
+			litParams = append(litParams, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			litParams = append(litParams, fs.info.Defs[name])
+		}
+	}
+	for i, a := range call.Args {
+		if i >= len(litParams) {
+			break
+		}
+		if roots := fs.rootsOf(a); len(roots) > 0 {
+			fs.addRoots(litParams[i], roots)
+		}
+	}
+}
+
+// sinks records sink events from one node.
+func (fs *flowScanner) sinks(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			if roots := fs.rootsOf(n.Rhs[0]); len(roots) > 0 {
+				for _, l := range n.Lhs {
+					fs.sinkAssign(l, roots)
+				}
+			}
+			return
+		}
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i := range n.Lhs {
+			if roots := fs.rootsOf(n.Rhs[i]); len(roots) > 0 {
+				fs.sinkAssign(n.Lhs[i], roots)
+			}
+		}
+	case *ast.SendStmt:
+		for _, root := range sortedKeys(fs.rootsOf(n.Value)) {
+			fs.event(Flow{Pos: n.Arrow, Root: root, Sink: SinkSend, Target: types.ExprString(n.Chan)})
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			for _, root := range sortedKeys(fs.rootsOf(r)) {
+				fs.event(Flow{Pos: n.Return, Root: root, Sink: SinkReturn})
+			}
+		}
+	case *ast.CallExpr:
+		fs.sinkCallArgs(n)
+	}
+}
+
+// sinkAssign classifies an assignment of a carrying value.
+func (fs *flowScanner) sinkAssign(lhs ast.Expr, roots map[string]bool) {
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := fs.objOf(l); fs.isPkgVar(obj) {
+			for _, root := range sortedKeys(roots) {
+				fs.event(Flow{Pos: l.Pos(), Root: root, Sink: SinkGlobal, Target: l.Name})
+			}
+		}
+	case *ast.IndexExpr:
+		fs.sinkContainer(l, l.X, roots, SinkMapOrSlice)
+	case *ast.SelectorExpr:
+		fs.sinkContainer(l, l.X, roots, SinkField)
+	case *ast.StarExpr:
+		for _, root := range sortedKeys(roots) {
+			fs.event(Flow{Pos: l.Pos(), Root: root, Sink: SinkField, Target: types.ExprString(l)})
+		}
+	}
+}
+
+// sinkContainer classifies a store into base's element or field.
+func (fs *flowScanner) sinkContainer(lhs ast.Expr, base ast.Expr, roots map[string]bool, fallback Sink) {
+	id, ok := baseIdent(base)
+	if !ok {
+		return // call-result or other unresolvable base: skip, not flag
+	}
+	obj := fs.objOf(id)
+	for _, root := range sortedKeys(roots) {
+		if obj != nil && fs.carrying[obj][root] {
+			// Storing a value back into a container that already shares its
+			// root (the in-place sort/swap pattern) moves nothing across an
+			// ownership boundary.
+			continue
+		}
+		switch {
+		case obj != nil && obj == fs.recv:
+			fs.event(Flow{Pos: lhs.Pos(), Root: root, Sink: SinkReceiverField, Target: types.ExprString(lhs)})
+		case fs.isLocalVar(obj):
+			// Local container: propagation, not an event.
+		case fs.isPkgVar(obj):
+			fs.event(Flow{Pos: lhs.Pos(), Root: root, Sink: SinkGlobal, Target: types.ExprString(lhs)})
+		default:
+			// Parameter (or receiver-less base): the store outlives the call.
+			fs.event(Flow{Pos: lhs.Pos(), Root: root, Sink: fallback, Target: types.ExprString(lhs)})
+		}
+	}
+}
+
+// sinkCallArgs flags carrying values handed to callees whose summary
+// says the parameter escapes.
+func (fs *flowScanner) sinkCallArgs(call *ast.CallExpr) {
+	fn := CalleeOf(fs.info, call)
+	if fn == nil {
+		return // builtins, funclit vars (bodies are scanned directly), dynamic calls
+	}
+	cs := fs.lookup(fn.FullName())
+	if cs == nil {
+		return
+	}
+	for i, a := range call.Args {
+		roots := fs.rootsOf(a)
+		if len(roots) == 0 {
+			continue
+		}
+		j := calleeParamIndex(fn, i)
+		if j < len(cs.Params) && cs.Params[j].Escapes {
+			for _, root := range sortedKeys(roots) {
+				fs.event(Flow{
+					Pos: a.Pos(), Root: root, Sink: SinkCallee,
+					Target: types.ExprString(a), Via: fn.FullName(), How: cs.Params[j].How,
+				})
+			}
+		}
+	}
+}
+
+// event records a flow and folds it into Params/ReturnsPooled.
+func (fs *flowScanner) event(f Flow) {
+	fs.res.Flows = append(fs.res.Flows, f)
+	if rest, ok := strings.CutPrefix(f.Root, "param:"); ok {
+		i, err := strconv.Atoi(rest)
+		if err != nil || i >= len(fs.res.Params) {
+			return
+		}
+		pf := &fs.res.Params[i]
+		switch f.Sink {
+		case SinkReturn:
+			pf.Returned = true
+		case SinkReceiverField, SinkGlobal, SinkMapOrSlice, SinkField, SinkSend:
+			if !pf.Escapes {
+				pf.Escapes, pf.How = true, f.Sink.String()
+			}
+		case SinkCallee:
+			if !pf.Escapes {
+				pf.Escapes = true
+				pf.Via = f.Via
+				pf.How = fmt.Sprintf("passed to %s (%s)", ShortName(f.Via), f.How)
+			}
+		}
+		return
+	}
+	if f.Sink == SinkReturn && strings.HasPrefix(f.Root, "pool:") {
+		src := strings.TrimPrefix(f.Root, "pool:")
+		if !fs.res.ReturnsPooled || src < fs.res.PooledVia {
+			fs.res.ReturnsPooled = true
+			fs.res.PooledVia = src
+		}
+	}
+}
+
+// typeOf resolves an expression's static type, falling back to the
+// identifier's object for idents the Types map omits.
+func (fs *flowScanner) typeOf(e ast.Expr) types.Type {
+	if tv, ok := fs.info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		if obj := fs.objOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// valueTypes are named types that contain a pointer internally but are
+// immutable values in practice — copying one can never smuggle out a
+// handle to pooled storage (netip.Addr's pointer is an interned zone
+// sentinel; time.Time's is a shared *Location).
+var valueTypes = map[string]bool{
+	"net/netip.Addr":     true,
+	"net/netip.AddrPort": true,
+	"net/netip.Prefix":   true,
+	"time.Time":          true,
+}
+
+// aliasingType reports whether a value of type t can hold a reference
+// into pooled storage: pointers, slices, maps, interfaces, functions
+// (closures capture), and aggregates containing any of those. Scalars,
+// strings (immutable, built by copy), channels, and the immutable
+// valueTypes cannot.
+func aliasingType(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return true // unresolvable: stay conservative
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && valueTypes[obj.Pkg().Path()+"."+obj.Name()] {
+			return false
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Chan:
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasingType(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return aliasingType(u.Elem(), depth+1)
+	}
+	return true
+}
+
+// isCloneCall reports whether e is a call to a method named Clone — the
+// documented deep-copy retention idiom.
+func isCloneCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Clone"
+}
+
+// baseIdent unwraps selector/index/star/paren chains to the leftmost
+// identifier: a.b[i].c → a.
+func baseIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package ipa_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+
+	"cendev/internal/lint/ipa"
+)
+
+// The engine tests type-check small synthetic packages in memory and
+// assert directly on the resolved summaries — the fixture tests in
+// internal/lint pin analyzer diagnostics; these pin the facts the
+// analyzers consume.
+
+// chainImporter resolves previously checked in-memory packages first,
+// then falls back to the gc importer for the standard library.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// build type-checks src as pkgPath (resolving imports of earlier test
+// packages through deps), adds it to prog, and returns the facts.
+func build(t *testing.T, prog *ipa.Program, pkgPath, src string, deps map[string]*types.Package) (*ipa.PackageFacts, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, pkgPath+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", pkgPath, err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{}, Defs: map[*ast.Ident]types.Object{},
+		Uses: map[*ast.Ident]types.Object{}, Implicits: map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{}, Scopes: map[ast.Node]*types.Scope{},
+		Instances: map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: chainImporter{local: deps, fallback: importer.Default()}}
+	tpkg, err := conf.Check(pkgPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", pkgPath, err)
+	}
+	return prog.AddPackage(pkgPath, []*ast.File{f}, info), tpkg
+}
+
+func summary(t *testing.T, prog *ipa.Program, fullName string) *ipa.Summary {
+	t.Helper()
+	s := prog.Summary(fullName)
+	if s == nil {
+		t.Fatalf("no summary for %s", fullName)
+	}
+	return s
+}
+
+// TestReturnsPooledThroughClosureAndSort is the distilled shape of
+// simnet's Transmit: a pooled packet enters a delivery slice through a
+// closure, the slice goes through an in-place sorting helper that
+// returns its own parameter, and the result is returned. The pooled
+// root must survive the whole chain.
+func TestReturnsPooledThroughClosureAndSort(t *testing.T) {
+	const src = `package fix
+
+type Packet struct{ B []byte }
+type pool struct{ pkts []*Packet }
+
+func (p *pool) get() *Packet { return p.pkts[0] }
+
+type Delivery struct {
+	Packet *Packet
+	At     int
+}
+
+type Net struct {
+	pool  pool
+	cache []Delivery
+}
+
+func (n *Net) Transmit() []Delivery {
+	out := n.cache[:0]
+	deliver := func(resp *Packet, hop int) {
+		out = append(out, Delivery{Packet: resp, At: hop})
+	}
+	te := n.pool.get()
+	deliver(te, 3)
+	return sortD(out)
+}
+
+func sortD(ds []Delivery) []Delivery {
+	ds[0], ds[1] = ds[1], ds[0]
+	return ds
+}
+`
+	cfg := ipa.Config{PoolSources: map[string]bool{"(*fix.pool).get": true}}
+	prog := ipa.NewProgram(cfg, []string{"fix"})
+	build(t, prog, "fix", src, nil)
+
+	tr := summary(t, prog, "(*fix.Net).Transmit")
+	if !tr.ReturnsPooled {
+		t.Fatalf("Transmit: ReturnsPooled = false, want true (summary %+v)", tr)
+	}
+	if tr.PooledVia != "(*fix.pool).get" {
+		t.Errorf("Transmit: PooledVia = %q, want the pool source", tr.PooledVia)
+	}
+	// sortD aliases its parameter through to its result but touches no
+	// pool itself.
+	sd := summary(t, prog, "fix.sortD")
+	if sd.ReturnsPooled {
+		t.Errorf("sortD: ReturnsPooled = true, want false")
+	}
+	if len(sd.Params) == 0 || !sd.Params[0].Returned {
+		t.Errorf("sortD: Params[0].Returned = false, want true (params %+v)", sd.Params)
+	}
+}
+
+// TestMultiRootValue pins the root-set model: a value that aliases both
+// a parameter and a pooled packet must record both facts. A single-root
+// (first-wins) tracker drops whichever root arrives second.
+func TestMultiRootValue(t *testing.T) {
+	const src = `package mr
+
+type Packet struct{ B []byte }
+type pool struct{ pkts []*Packet }
+
+func (p *pool) get() *Packet { return p.pkts[0] }
+
+type Net struct{ pool pool }
+
+var sink []*Packet
+
+// Mix returns a slice that aliases BOTH the seed parameter (appended
+// first, so its root is installed first) and a pooled packet.
+func (n *Net) Mix(seed []*Packet) []*Packet {
+	out := seed
+	out = append(out, n.pool.get())
+	sink = out
+	return out
+}
+`
+	cfg := ipa.Config{PoolSources: map[string]bool{"(*mr.pool).get": true}}
+	prog := ipa.NewProgram(cfg, []string{"mr"})
+	build(t, prog, "mr", src, nil)
+
+	s := summary(t, prog, "(*mr.Net).Mix")
+	if !s.ReturnsPooled {
+		t.Errorf("Mix: ReturnsPooled = false; the pool root was dropped by the param root")
+	}
+	if len(s.Params) == 0 || !s.Params[0].Returned {
+		t.Errorf("Mix: Params[0].Returned = false; the param root was dropped by the pool root (params %+v)", s.Params)
+	}
+	if len(s.Params) == 0 || !s.Params[0].Escapes {
+		t.Errorf("Mix: Params[0].Escapes = false, want true via the package-level sink")
+	}
+}
+
+// TestByteCopyDoesNotCarry: append into a fresh []byte copies the bytes,
+// not the backing pointer — the canonical retention idiom must come out
+// clean, while returning the pooled alias itself must not.
+func TestByteCopyDoesNotCarry(t *testing.T) {
+	const src = `package bc
+
+type Packet struct{ B []byte }
+type pool struct{ pkts []*Packet }
+
+func (p *pool) get() *Packet { return p.pkts[0] }
+
+type Net struct{ pool pool }
+
+func (n *Net) CopyBytes() []byte {
+	p := n.pool.get()
+	return append([]byte(nil), p.B...)
+}
+
+func (n *Net) AliasBytes() []byte {
+	p := n.pool.get()
+	return p.B
+}
+
+// CloneRetain launders through the documented Clone idiom: the result
+// owns its storage.
+func (p *Packet) Clone() *Packet {
+	return &Packet{B: append([]byte(nil), p.B...)}
+}
+
+func (n *Net) CloneRetain() *Packet {
+	return n.pool.get().Clone()
+}
+`
+	cfg := ipa.Config{PoolSources: map[string]bool{"(*bc.pool).get": true}}
+	prog := ipa.NewProgram(cfg, []string{"bc"})
+	build(t, prog, "bc", src, nil)
+
+	if s := summary(t, prog, "(*bc.Net).CopyBytes"); s.ReturnsPooled {
+		t.Errorf("CopyBytes: ReturnsPooled = true; a byte-for-byte copy carries no alias")
+	}
+	if s := summary(t, prog, "(*bc.Net).AliasBytes"); !s.ReturnsPooled {
+		t.Errorf("AliasBytes: ReturnsPooled = false; p.B aliases the pooled payload")
+	}
+	if s := summary(t, prog, "(*bc.Net).CloneRetain"); s.ReturnsPooled {
+		t.Errorf("CloneRetain: ReturnsPooled = true; Clone results own their storage")
+	}
+}
+
+// TestTaintCrossPackage checks bottom-up resolution over the import
+// DAG: a helper package reaches time.Now, a dependent package reaches
+// it only through the helper, and the witness chain reconstructs the
+// full path.
+func TestTaintCrossPackage(t *testing.T) {
+	const helperSrc = `package helper
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Pure(a, b int) int { return a + b }
+`
+	const mainSrc = `package app
+
+import "helper"
+
+func Tick() int64 { return helper.Stamp().UnixNano() }
+
+func Calm() int { return helper.Pure(1, 2) }
+`
+	prog := ipa.NewProgram(ipa.DefaultConfig(), []string{"helper", "app"})
+	_, hpkg := build(t, prog, "helper", helperSrc, nil)
+	build(t, prog, "app", mainSrc, map[string]*types.Package{"helper": hpkg})
+
+	st := summary(t, prog, "helper.Stamp")
+	if e, ok := st.Taints[ipa.KindWallClock]; !ok || e.Src != "time.Now" || e.Via != "" {
+		t.Errorf("Stamp: wall-clock taint = %+v, want direct time.Now", st.Taints)
+	}
+	if s := summary(t, prog, "helper.Pure"); len(s.Taints) != 0 {
+		t.Errorf("Pure: Taints = %+v, want none", s.Taints)
+	}
+	tk := summary(t, prog, "app.Tick")
+	if e, ok := tk.Taints[ipa.KindWallClock]; !ok || e.Via != "helper.Stamp" {
+		t.Errorf("Tick: wall-clock taint = %+v, want via helper.Stamp", tk.Taints)
+	}
+	if s := summary(t, prog, "app.Calm"); len(s.Taints) != 0 {
+		t.Errorf("Calm: Taints = %+v, want none", s.Taints)
+	}
+
+	chain := prog.TaintChain("app.Tick", ipa.KindWallClock)
+	want := []string{"app.Tick", "helper.Stamp", "time.Now"}
+	if !reflect.DeepEqual(chain, want) {
+		t.Errorf("TaintChain(app.Tick) = %v, want %v", chain, want)
+	}
+	if got := ipa.FormatChain(chain); got != "app.Tick → helper.Stamp → time.Now" {
+		t.Errorf("FormatChain = %q", got)
+	}
+	if c := prog.TaintChain("app.Calm", ipa.KindWallClock); c != nil {
+		t.Errorf("TaintChain(app.Calm) = %v, want nil", c)
+	}
+}
+
+// TestParamEscapeRoutes covers the escape sinks a summary distinguishes:
+// package-level variable, map/slice element, channel send, and indirect
+// escape through a callee.
+func TestParamEscapeRoutes(t *testing.T) {
+	const src = `package esc
+
+type T struct{ x int }
+
+var keep *T
+
+func toGlobal(p *T) { keep = p }
+
+func toSlice(dst []*T, p *T) { dst[0] = p }
+
+func toChan(ch chan *T, p *T) { ch <- p }
+
+func viaCallee(p *T) { toGlobal(p) }
+
+func contained(p *T) int { return p.x }
+`
+	prog := ipa.NewProgram(ipa.Config{}, []string{"esc"})
+	build(t, prog, "esc", src, nil)
+
+	if s := summary(t, prog, "esc.toGlobal"); !s.Params[0].Escapes {
+		t.Errorf("toGlobal: param does not escape (params %+v)", s.Params)
+	}
+	if s := summary(t, prog, "esc.toSlice"); !s.Params[1].Escapes {
+		t.Errorf("toSlice: second param does not escape (params %+v)", s.Params)
+	}
+	if s := summary(t, prog, "esc.toChan"); !s.Params[1].Escapes {
+		t.Errorf("toChan: second param does not escape (params %+v)", s.Params)
+	}
+	v := summary(t, prog, "esc.viaCallee")
+	if !v.Params[0].Escapes || v.Params[0].Via != "esc.toGlobal" {
+		t.Errorf("viaCallee: param flow = %+v, want escape via esc.toGlobal", v.Params)
+	}
+	if s := summary(t, prog, "esc.contained"); len(s.Params) > 0 && s.Params[0].Escapes {
+		t.Errorf("contained: param escapes (params %+v), want contained", s.Params)
+	}
+}
+
+// TestBlockingFacts: direct channel operations block; callers of
+// blocking functions block through them; BlockChain reconstructs the
+// witness.
+func TestBlockingFacts(t *testing.T) {
+	const src = `package blk
+
+func recv(ch chan int) int { return <-ch }
+
+func indirect(ch chan int) int { return recv(ch) }
+
+func calm(a int) int { return a * 2 }
+`
+	prog := ipa.NewProgram(ipa.Config{}, []string{"blk"})
+	build(t, prog, "blk", src, nil)
+
+	r := summary(t, prog, "blk.recv")
+	if !r.Blocks || r.BlocksVia != "" {
+		t.Errorf("recv: Blocks=%v BlocksVia=%q, want direct block", r.Blocks, r.BlocksVia)
+	}
+	in := summary(t, prog, "blk.indirect")
+	if !in.Blocks || in.BlocksVia != "blk.recv" {
+		t.Errorf("indirect: Blocks=%v BlocksVia=%q, want via blk.recv", in.Blocks, in.BlocksVia)
+	}
+	if s := summary(t, prog, "blk.calm"); s.Blocks {
+		t.Errorf("calm: Blocks = true, want false")
+	}
+	chain, op, ok := prog.BlockChain("blk.indirect")
+	if !ok || len(chain) != 2 || chain[1] != "blk.recv" || op == "" {
+		t.Errorf("BlockChain(indirect) = %v, %q, %v", chain, op, ok)
+	}
+	if _, _, ok := prog.BlockChain("blk.calm"); ok {
+		t.Errorf("BlockChain(calm): ok = true, want false")
+	}
+}
+
+// TestUnboundedLoops: a for{} with no exit signal is unbounded; loops
+// that receive, select, return, or break are not; callers that always
+// reach an unbounded callee inherit the fact.
+func TestUnboundedLoops(t *testing.T) {
+	const src = `package ub
+
+var sink int
+
+func spin() {
+	for {
+		sink++
+	}
+}
+
+func launder() { spin() }
+
+func okRecv(ch chan int) {
+	for {
+		sink = <-ch
+	}
+}
+
+func okBreak() {
+	for {
+		if sink > 10 {
+			break
+		}
+		sink++
+	}
+}
+`
+	prog := ipa.NewProgram(ipa.Config{}, []string{"ub"})
+	build(t, prog, "ub", src, nil)
+
+	if s := summary(t, prog, "ub.spin"); !s.Unbounded || s.UnboundedVia != "" {
+		t.Errorf("spin: Unbounded=%v Via=%q, want direct unbounded", s.Unbounded, s.UnboundedVia)
+	}
+	l := summary(t, prog, "ub.launder")
+	if !l.Unbounded || l.UnboundedVia != "ub.spin" {
+		t.Errorf("launder: Unbounded=%v Via=%q, want via ub.spin", l.Unbounded, l.UnboundedVia)
+	}
+	if s := summary(t, prog, "ub.okRecv"); s.Unbounded {
+		t.Errorf("okRecv: Unbounded = true; a receiving loop has a stop signal")
+	}
+	if s := summary(t, prog, "ub.okBreak"); s.Unbounded {
+		t.Errorf("okBreak: Unbounded = true; the loop can exit")
+	}
+	chain := prog.UnboundedChain("ub.launder")
+	if !reflect.DeepEqual(chain, []string{"ub.launder", "ub.spin"}) {
+		t.Errorf("UnboundedChain(launder) = %v", chain)
+	}
+}
+
+// TestValueTypesDoNotAlias: netip.Addr and time.Time are named structs
+// with internal pointers, but immutable values in practice — copying
+// one out of a pooled packet must not mark the result pooled.
+func TestValueTypesDoNotAlias(t *testing.T) {
+	const src = `package vt
+
+import (
+	"net/netip"
+	"time"
+)
+
+type Packet struct {
+	Src netip.Addr
+	At  time.Time
+	B   []byte
+}
+type pool struct{ pkts []*Packet }
+
+func (p *pool) get() *Packet { return p.pkts[0] }
+
+type Net struct{ pool pool }
+
+func (n *Net) SrcOf() netip.Addr { return n.pool.get().Src }
+
+func (n *Net) AtOf() time.Time { return n.pool.get().At }
+`
+	cfg := ipa.Config{PoolSources: map[string]bool{"(*vt.pool).get": true}}
+	prog := ipa.NewProgram(cfg, []string{"vt"})
+	build(t, prog, "vt", src, nil)
+
+	if s := summary(t, prog, "(*vt.Net).SrcOf"); s.ReturnsPooled {
+		t.Errorf("SrcOf: ReturnsPooled = true; netip.Addr is an immutable value")
+	}
+	if s := summary(t, prog, "(*vt.Net).AtOf"); s.ReturnsPooled {
+		t.Errorf("AtOf: ReturnsPooled = true; time.Time is an immutable value")
+	}
+}
+
+func TestShortName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"cendev/internal/topology.FlowHash", "topology.FlowHash"},
+		{"(*cendev/internal/simnet.Network).Transmit", "(*simnet.Network).Transmit"},
+		{"time.Now", "time.Now"},
+		{"main.main", "main.main"},
+	}
+	for _, c := range cases {
+		if got := ipa.ShortName(c.in); got != c.want {
+			t.Errorf("ShortName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -74,9 +74,14 @@ func pathIn(path string, set []string) bool {
 
 func isDeterministic(path string) bool { return pathIn(path, deterministicPkgs) }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order: the five
+// syntactic PR-5 analyzers plus the four interprocedural ones built on
+// the ipa summary engine.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{DetClock, SeededRand, MapRange, FsyncRename, ErrWrapDir}
+	return []*analysis.Analyzer{
+		DetClock, SeededRand, MapRange, FsyncRename, ErrWrapDir,
+		DetTaint, PoolEscape, LockDiscipline, GoLeak,
+	}
 }
 
 // pkgFunc resolves an identifier use to a package-level function (no

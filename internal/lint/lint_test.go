@@ -38,6 +38,32 @@ func TestErrWrapDirFixtures(t *testing.T) {
 	lintest.Run(t, "testdata/errwrapdir/wrap", lint.ErrWrapDir)
 }
 
+func TestDetTaintFixtures(t *testing.T) {
+	lintest.Run(t, "testdata/dettaint/det", lint.DetTaint)
+	lintest.Run(t, "testdata/dettaint/free", lint.DetTaint)
+}
+
+func TestPoolEscapeFixtures(t *testing.T) {
+	lintest.Run(t, "testdata/poolescape/simnet", lint.PoolEscape)
+}
+
+func TestLockDisciplineFixtures(t *testing.T) {
+	lintest.Run(t, "testdata/lockdiscipline/locked", lint.LockDiscipline)
+	lintest.Run(t, "testdata/lockdiscipline/free", lint.LockDiscipline)
+}
+
+func TestGoLeakFixtures(t *testing.T) {
+	lintest.Run(t, "testdata/goleak/det", lint.GoLeak)
+	lintest.Run(t, "testdata/goleak/free", lint.GoLeak)
+}
+
+// TestUnusedSuppressionAudit exercises the driver's audit mode: a
+// directive that suppresses nothing, or carries no justification, is a
+// finding of the pseudo-analyzer "cenlint".
+func TestUnusedSuppressionAudit(t *testing.T) {
+	lintest.RunAudit(t, "testdata/directives/unused", lint.DetClock)
+}
+
 // TestRepoIsClean is the meta-gate: the full analyzer suite must report
 // zero diagnostics across the whole module. Any new wall-clock read,
 // global-rand use, unsorted map-fed output, or rename-without-fsync in a
@@ -47,16 +73,16 @@ func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("re-type-checks the whole module; skipped in -short")
 	}
-	pkgs, err := driver.Load("", "cendev/...")
+	findings, stats, err := driver.Analyze(driver.Options{
+		Patterns:  []string{"cendev/..."},
+		Analyzers: lint.All(),
+		Audit:     true,
+	})
 	if err != nil {
-		t.Fatalf("loading module packages: %v", err)
+		t.Fatalf("analyzing module packages: %v", err)
 	}
-	if len(pkgs) < 20 {
-		t.Fatalf("suspiciously few packages loaded (%d); pattern broken?", len(pkgs))
-	}
-	findings, err := driver.Run(pkgs, lint.All())
-	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
+	if stats.Packages < 20 {
+		t.Fatalf("suspiciously few packages analyzed (%d); pattern broken?", stats.Packages)
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)

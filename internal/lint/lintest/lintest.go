@@ -21,6 +21,15 @@
 // "fixture/<dirname>". Imports are limited to the standard library and
 // this module's own packages, type-checked against export data resolved
 // once per process via `go list -export`.
+//
+// A fixture directory may contain helper subdirectories, each loaded as
+// its own package before the main fixture (default import path
+// "fixture/<dirname>/<subdirname>", overridable with its own
+// //lintest:importpath). The fixture imports helpers by that path. Every
+// loaded package is summarized into a shared ipa.Program, so the
+// interprocedural analyzers see cross-package call chains exactly as the
+// real driver would. RunAudit additionally surfaces the driver's
+// unused-suppression findings.
 package lintest
 
 import (
@@ -45,6 +54,7 @@ import (
 
 	"cendev/internal/lint/analysis"
 	"cendev/internal/lint/driver"
+	"cendev/internal/lint/ipa"
 )
 
 // Run type-checks the fixture package in dir, applies the analyzers
@@ -52,11 +62,28 @@ import (
 // findings against the fixture's want annotations.
 func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
+	runFixture(t, dir, false, analyzers)
+}
+
+// RunAudit is Run with the driver's suppression audit enabled: unused
+// //cenlint:volatile directives surface as findings and need their own
+// want annotations.
+func RunAudit(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	runFixture(t, dir, true, analyzers)
+}
+
+func runFixture(t *testing.T, dir string, audit bool, analyzers []*analysis.Analyzer) {
+	t.Helper()
 	pkg, err := loadFixture(dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	got, err := driver.RunPackage(pkg, analyzers)
+	run := driver.RunPackage
+	if audit {
+		run = driver.RunPackageAudit
+	}
+	got, err := run(pkg, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", dir, err)
 	}
@@ -150,57 +177,128 @@ func wantPayload(text string) (string, bool) {
 	return text[len("want "):], true
 }
 
-// loadFixture parses and type-checks the fixture directory as one
-// package.
+// fixtureUnit is one parsed fixture directory awaiting type-check.
+type fixtureUnit struct {
+	dir   string
+	path  string
+	files []*ast.File
+}
+
+// loadFixture parses and type-checks the fixture directory (helper
+// subdirectories first), summarizes every loaded package into a shared
+// ipa.Program, and returns the main fixture package with Facts wired.
 func loadFixture(dir string) (*driver.Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	var files []*ast.File
-	importPath := "fixture/" + filepath.Base(dir)
+	base := filepath.Base(dir)
 	imports := map[string]bool{}
+
+	var units []fixtureUnit // helpers first, main fixture last
+	var subdirs []string
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") && !strings.HasPrefix(e.Name(), "_") {
+			subdirs = append(subdirs, e.Name())
+		}
+	}
+	sort.Strings(subdirs)
+	for _, sd := range subdirs {
+		u, err := parseFixtureDir(fset, filepath.Join(dir, sd), "fixture/"+base+"/"+sd, imports)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	main, err := parseFixtureDir(fset, dir, "fixture/"+base, imports)
+	if err != nil {
+		return nil, err
+	}
+	units = append(units, main)
+
+	// Locally-loaded paths resolve from this process, never from go list.
+	localPaths := make([]string, len(units))
+	for i, u := range units {
+		localPaths[i] = u.path
+		delete(imports, u.path)
+	}
+	lookup, err := stdlibExports(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := fixtureImporter{
+		local:    map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "gc", lookup),
+	}
+	prog := ipa.NewProgram(ipa.DefaultConfig(), localPaths)
+	var pkg *driver.Package
+	for _, u := range units {
+		conf := types.Config{Importer: imp}
+		info := driver.NewInfo()
+		tpkg, err := conf.Check(u.path, fset, u.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", u.dir, err)
+		}
+		imp.local[u.path] = tpkg
+		prog.AddPackage(u.path, u.files, info)
+		pkg = &driver.Package{
+			Path: u.path, Fset: fset, Files: u.files, Types: tpkg, TypesInfo: info, Facts: prog,
+		}
+	}
+	return pkg, nil
+}
+
+// parseFixtureDir parses one directory's .go files (non-recursive),
+// folding their imports into imports and honoring //lintest:importpath.
+func parseFixtureDir(fset *token.FileSet, dir, defaultPath string, imports map[string]bool) (fixtureUnit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fixtureUnit{}, err
+	}
+	u := fixtureUnit{dir: dir, path: defaultPath}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return fixtureUnit{}, err
 		}
-		files = append(files, f)
+		u.files = append(u.files, f)
 		for _, imp := range f.Imports {
 			p, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
-				return nil, err
+				return fixtureUnit{}, err
 			}
 			imports[p] = true
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if rest, ok := strings.CutPrefix(c.Text, "//lintest:importpath "); ok {
-					importPath = strings.TrimSpace(rest)
+					u.path = strings.TrimSpace(rest)
 				}
 			}
 		}
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no .go files in %s", dir)
+	if len(u.files) == 0 {
+		return fixtureUnit{}, fmt.Errorf("no .go files in %s", dir)
 	}
-	lookup, err := stdlibExports(imports)
-	if err != nil {
-		return nil, err
+	return u, nil
+}
+
+// fixtureImporter resolves locally-loaded fixture packages first, then
+// falls back to export data.
+type fixtureImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if p := fi.local[path]; p != nil {
+		return p, nil
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
-	info := driver.NewInfo()
-	tpkg, err := conf.Check(importPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %w", dir, err)
-	}
-	return &driver.Package{
-		Path: importPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
-	}, nil
+	return fi.fallback.Import(path)
 }
 
 var (

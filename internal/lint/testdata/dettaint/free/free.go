@@ -1,0 +1,9 @@
+// Package free is outside the deterministic set: the same tainted calls
+// the det fixture flags must stay silent here.
+package free
+
+import "fixture/free/helpers"
+
+func okStamp() int64 {
+	return helpers.Stamp()
+}

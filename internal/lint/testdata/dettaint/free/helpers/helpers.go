@@ -1,0 +1,9 @@
+// Package helpers mirrors the det fixture's helper for the free case.
+package helpers
+
+import "time"
+
+// Stamp reaches the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

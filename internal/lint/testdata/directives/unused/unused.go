@@ -1,0 +1,26 @@
+//lintest:importpath cendev/internal/simnet
+
+// Package unused exercises the driver's suppression audit: a
+// //cenlint:volatile directive that suppresses nothing is itself a
+// finding, so stale escape hatches cannot accumulate.
+package unused
+
+import "time"
+
+func okUsed() time.Time {
+	return time.Now() //cenlint:volatile fixture: wall-clock gauge, volatile series only
+}
+
+func okUsedLineAbove() time.Time {
+	//cenlint:volatile fixture: wall-clock gauge, volatile series only
+	return time.Now()
+}
+
+func badUnused() int {
+	x := 1 /* want "unused //cenlint:volatile directive" */ //cenlint:volatile fixture: stale justification, nothing to suppress
+	return x
+}
+
+func badBare() time.Time {
+	return time.Now() /* want "needs a justification" */ //cenlint:volatile
+}

@@ -1,0 +1,85 @@
+//lintest:importpath cendev/internal/simnet
+
+// Package det exercises goleak inside a deterministic package: a
+// goroutine with no termination path is a finding, signal-driven loops
+// are not.
+package det
+
+var sink int
+
+func work() {
+	sink++
+}
+
+// spin loops forever with no exit — reachable only through go
+// statements, where goleak reports it.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// relay is one hop between a goroutine and the unbounded loop.
+func relay() {
+	spin()
+}
+
+func badLit() {
+	go func() {
+		for { // want "goroutine loops forever with no termination path"
+			work()
+		}
+	}()
+}
+
+func badNamed() {
+	go spin() // want "goroutine runs simnet.spin, which loops forever"
+}
+
+func badIndirect() {
+	go func() { // want "goroutine reaches an unstoppable loop: simnet.relay → simnet.spin"
+		relay()
+	}()
+}
+
+func okSelectDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+func okRangeChan(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+func okRecv(ch chan int) {
+	go func() {
+		for {
+			<-ch
+			work()
+		}
+	}()
+}
+
+func okBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+func okVolatile() {
+	go spin() //cenlint:volatile fixture: process-lifetime ticker, killed with the process
+}

@@ -1,0 +1,23 @@
+// Package free is outside the deterministic set: unstoppable goroutines
+// are that package's own business.
+package free
+
+var sink int
+
+func spin() {
+	for {
+		sink++
+	}
+}
+
+func okNamed() {
+	go spin()
+}
+
+func okLit() {
+	go func() {
+		for {
+			sink++
+		}
+	}()
+}

@@ -1,0 +1,28 @@
+// Package free is outside the lock-discipline set: the same shapes the
+// locked fixture flags must stay silent here.
+package free
+
+import (
+	"sync"
+	"time"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func okCopy(g Guarded) int {
+	return g.n
+}
+
+func okSleepHeld(g *Guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func okNeverUnlock(g *Guarded) {
+	g.mu.Lock()
+	g.n++
+}

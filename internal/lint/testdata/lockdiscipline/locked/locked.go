@@ -1,0 +1,126 @@
+//lintest:importpath cendev/internal/topology
+
+// Package locked exercises lockdiscipline inside a lock-discipline
+// package: lock-bearing copies, unpaired locks, returns inside held
+// regions, and slow or parking work under a mutex.
+package locked
+
+import (
+	"sync"
+	"time"
+)
+
+// Guarded is the canonical mutex-bearing type.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Node is a local type with a deep Clone.
+type Node struct {
+	data []int
+}
+
+func (n *Node) Clone() *Node {
+	return &Node{data: append([]int(nil), n.data...)}
+}
+
+func badCopyParam(g Guarded) int { // want "parameter copies lock-bearing type"
+	return g.n
+}
+
+func badDeref(p *Guarded) int {
+	g := *p // want "dereference copies lock-bearing type"
+	return g.n
+}
+
+func badNeverUnlock(g *Guarded) {
+	g.mu.Lock() // want "g.mu is locked but never unlocked"
+	g.n++
+}
+
+func badReturnHeld(g *Guarded) int {
+	g.mu.Lock()
+	if g.n > 0 {
+		return g.n // want "return while g.mu is still locked"
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func badSendHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want "channel send while holding g.mu"
+}
+
+func badRecvHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n = <-ch // want "channel receive while holding g.mu"
+}
+
+func badSelectHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "select with no default while holding g.mu"
+	case v := <-ch:
+		g.n = v
+	}
+}
+
+func badSleepHeld(g *Guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding g.mu"
+}
+
+func badCloneHeld(g *Guarded, n *Node) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return n.Clone() // want "Clone.. while holding g.mu"
+}
+
+// waitAll parks on the WaitGroup — its summary marks it blocking.
+func waitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func badBlockingCallee(g *Guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	waitAll(wg) // want "call while holding g.mu can park on"
+}
+
+func okDefer(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	return g.n
+}
+
+func okPaired(g *Guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func okUnlockBeforeReturn(g *Guarded) int {
+	g.mu.Lock()
+	v := g.n
+	g.mu.Unlock()
+	return v
+}
+
+func okSendAfterUnlock(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	v := g.n
+	g.mu.Unlock()
+	ch <- v
+}
+
+func okVolatile(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n //cenlint:volatile fixture: buffered progress channel sized to the worker count
+}

@@ -1,0 +1,112 @@
+//lintest:importpath cendev/internal/simnet
+
+// Package simnet claims the real pool owner's import path so the
+// fixture's pktPool.get matches the engine's configured pool source.
+// Every way a pooled packet can outlive its release point is exercised,
+// alongside the sanctioned owner and Clone patterns.
+package simnet
+
+// Packet stands in for netem.Packet.
+type Packet struct {
+	Payload []byte
+}
+
+// Clone is the documented retention idiom: a deep copy owns its bytes.
+func (p *Packet) Clone() *Packet {
+	return &Packet{Payload: append([]byte(nil), p.Payload...)}
+}
+
+type pktPool struct {
+	pkts []*Packet
+	idx  int
+}
+
+func (pp *pktPool) get() *Packet {
+	if pp.idx < len(pp.pkts) {
+		p := pp.pkts[pp.idx]
+		pp.idx++
+		return p
+	}
+	p := &Packet{}
+	pp.pkts = append(pp.pkts, p)
+	pp.idx++
+	return p
+}
+
+// Network owns the pool; stashing pooled packets in its own fields is
+// the sanctioned owner pattern.
+type Network struct {
+	pool pktPool
+	last *Packet
+}
+
+var leaked *Packet
+
+func (n *Network) badGlobal() {
+	p := n.pool.get()
+	leaked = p // want "pooled value from .*pktPool.*get is stored to a package-level variable"
+}
+
+func (n *Network) badSend(ch chan *Packet) {
+	ch <- n.pool.get() // want "pooled value from .*pktPool.*get is sent on a channel"
+}
+
+func (n *Network) badParamStore(keep []*Packet) {
+	p := n.pool.get()
+	keep[0] = p // want "pooled value from .*pktPool.*get is stored into a map or slice element"
+}
+
+// stash is the laundering helper: its summary says the second parameter
+// escapes into the first.
+func stash(dst []*Packet, p *Packet) {
+	dst[0] = p
+}
+
+func (n *Network) badCallee(keep []*Packet) {
+	p := n.pool.get()
+	stash(keep, p) // want "pooled value from .*pktPool.*get handed to simnet.stash, where it is stored into a map or slice element"
+}
+
+// BadReturn hands a pooled alias to an arbitrary caller with no contract.
+func (n *Network) BadReturn() *Packet {
+	return n.pool.get() // want "BadReturn returns an alias of pooled storage"
+}
+
+// grab may return pooled storage — unexported, so the obligation
+// propagates to its callers through the summary instead of a report.
+func (n *Network) grab() *Packet {
+	return n.pool.get()
+}
+
+// BadReturnIndirect launders the pooled return through grab.
+func (n *Network) BadReturnIndirect() *Packet {
+	return n.grab() // want "BadReturnIndirect returns an alias of pooled storage"
+}
+
+// Transmit is a sanctioned pool return: the delivery contract is
+// documented and callers Clone to retain.
+func (n *Network) Transmit() *Packet {
+	return n.pool.get()
+}
+
+// okOwner: the pool owner stashing packets in its own fields controls
+// the release point.
+func (n *Network) okOwner() {
+	n.last = n.pool.get()
+}
+
+// okClone retains a copy, never the pooled alias.
+func (n *Network) OkClone() *Packet {
+	return n.pool.get().Clone()
+}
+
+// okByteCopy retains the bytes, not the backing array.
+func (n *Network) OkByteCopy() []byte {
+	p := n.pool.get()
+	return append([]byte(nil), p.Payload...)
+}
+
+func (n *Network) okVolatile() {
+	p := n.pool.get()
+	leaked = p //cenlint:volatile fixture: debug tap, cleared before the next transmit
+}

@@ -91,6 +91,10 @@ func (n *Network) Dial(client, ep *topology.Host, dstPort uint16) (*Conn, error)
 // given IP TTL and returns every packet the client receives in response.
 // This is the TTL-limited probe primitive CenTrace is built on: the
 // handshake ran at full TTL, only the payload packet is TTL-limited.
+//
+// The returned packets carry Transmit's pooled-delivery contract: they
+// are valid only until the next Transmit on this network (the next
+// probe). Clone anything retained past that point.
 func (c *Conn) SendPayload(payload []byte, ttl uint8) []Delivery {
 	pkt := &c.net.txPkt
 	pkt.FillTCP(c.client.Addr, c.endpoint.Addr, c.SrcPort, c.DstPort,

@@ -447,6 +447,9 @@ func (n *Network) endpointRespondUDP(pkt *netem.Packet, dst *topology.Host) []*n
 
 // SendUDP transmits one UDP datagram from a client host with the given TTL
 // and returns everything the client receives — the DNS probe primitive.
+// The returned packets carry Transmit's pooled-delivery contract: they
+// are valid only until the next Transmit on this network. Clone anything
+// retained past that point.
 func (n *Network) SendUDP(client, dst *topology.Host, dstPort uint16, payload []byte, ttl uint8) []Delivery {
 	// Built in a dedicated scratch (not txPkt, which Conn keeps as a TCP
 	// packet): Transmit copies its input immediately and never retains it.
